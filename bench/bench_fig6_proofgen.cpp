@@ -1,0 +1,109 @@
+// Figure 6 reproduction: time consumed for proof generation.
+//
+// The paper plots, against dataset size:
+//   - pi_e / pi_p (proofs of encryption — the dominant cost, ~3 min for
+//     a 5 MB dataset on their machine),
+//   - pi_t for aggregation / partition / duplication ("essentially data
+//     comparisons", ~10 s for 5 MB),
+//   - pi_k, which is independent of data size (~120 ms).
+// We sweep dataset entry counts with the same three circuit families and
+// report generation times. Expected shape: pi_e grows ~linearly and
+// dominates; pi_t is far cheaper at equal size; pi_k is flat.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/circuits.hpp"
+#include "crypto/rng.hpp"
+#include "plonk/plonk.hpp"
+
+using namespace zkdet;
+using bench::Stopwatch;
+using bench::fmt_seconds;
+using ff::Fr;
+
+namespace {
+
+struct Timing {
+  double prove = 0;
+  std::size_t gates = 0;
+};
+
+Timing time_circuit(const gadgets::CircuitBuilder& bld, const plonk::Srs& srs,
+                    crypto::Drbg& rng) {
+  const auto keys = plonk::preprocess(bld.cs(), srs);
+  if (!keys) return {};
+  Stopwatch sw;
+  const auto proof = plonk::prove(keys->pk, bld.cs(), srs, bld.witness(), rng);
+  Timing t;
+  t.prove = sw.seconds();
+  t.gates = bld.cs().num_rows();
+  if (!proof) t.prove = -1;
+  return t;
+}
+
+std::vector<Fr> make_data(std::size_t n, crypto::Drbg& rng) {
+  std::vector<Fr> d;
+  for (std::size_t i = 0; i < n; ++i) d.push_back(rng.random_fr());
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==============================================================\n");
+  std::printf("Fig. 6 — Time consumed for proof generation\n");
+  std::printf("(paper: pi_e/pi_p dominate and grow with data size; pi_t for\n");
+  std::printf(" agg/part/dup is cheap; pi_k is constant ~0.1s)\n");
+  std::printf("==============================================================\n");
+
+  crypto::Drbg rng(1);
+  const plonk::Srs srs = plonk::Srs::setup((1 << 16) + 16, rng);
+
+  std::printf("%-10s %-12s %-14s %-12s %-14s %-14s\n", "entries", "pi_e gates",
+              "pi_e prove", "pi_t dup", "pi_t agg(2)", "pi_t part(2)");
+  for (const std::size_t n : {2u, 4u, 8u, 16u, 32u}) {
+    const std::vector<Fr> data = make_data(n, rng);
+    const Fr key = rng.random_fr(), nonce = rng.random_fr();
+    const Fr o1 = rng.random_fr(), o2 = rng.random_fr();
+
+    const Timing enc = time_circuit(
+        core::build_encryption_circuit(data, key, nonce, o1), srs, rng);
+
+    const Timing dup = time_circuit(
+        core::build_duplication_circuit(data, o1, o2), srs, rng);
+
+    const std::vector<std::vector<Fr>> halves{
+        std::vector<Fr>(data.begin(), data.begin() + static_cast<long>(n / 2)),
+        std::vector<Fr>(data.begin() + static_cast<long>(n / 2), data.end())};
+    const Timing agg = time_circuit(
+        core::build_aggregation_circuit(halves, {o1, o2}, rng.random_fr()),
+        srs, rng);
+
+    const Timing part = time_circuit(
+        core::build_partition_circuit(data, {n / 2, n - n / 2}, o1,
+                                      {rng.random_fr(), rng.random_fr()}),
+        srs, rng);
+
+    std::printf("%-10zu %-12zu %-14s %-12s %-14s %-14s\n", n, enc.gates,
+                fmt_seconds(enc.prove).c_str(), fmt_seconds(dup.prove).c_str(),
+                fmt_seconds(agg.prove).c_str(),
+                fmt_seconds(part.prove).c_str());
+  }
+
+  // pi_k: size-independent (measure thrice to show flatness)
+  std::printf("\npi_k (key proof, independent of data size):\n");
+  for (int i = 0; i < 3; ++i) {
+    const Timing k = time_circuit(
+        core::build_key_circuit(rng.random_fr(), rng.random_fr(),
+                                rng.random_fr()),
+        srs, rng);
+    std::printf("  run %d: %s  (%zu gates)\n", i + 1,
+                fmt_seconds(k.prove).c_str(), k.gates);
+  }
+  std::printf("\nshape check: pi_e and pi_t grow ~linearly in entries; pi_k is\n");
+  std::printf("flat, matching Fig. 6. Note: the paper's pi_t << pi_e gap comes\n");
+  std::printf("from CP-NIZK commitment sharing (LegoSNARK-style linked\n");
+  std::printf("commitments); we recompute Poseidon commitments in-circuit, so\n");
+  std::printf("our pi_t costs about one pi_e at equal size (see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Microbenchmarks of the cryptographic substrates (google-benchmark).
+//
+// Not a paper table by itself, but the ingredients the paper's numbers
+// decompose into: field/curve arithmetic, pairing, the circuit-friendly
+// primitives (MiMC, Poseidon) vs the traditional hash (SHA-256), MSM and
+// NTT scaling.
+#include <benchmark/benchmark.h>
+
+#include "crypto/mimc.hpp"
+#include "crypto/poseidon.hpp"
+#include "crypto/rng.hpp"
+#include "crypto/sha256.hpp"
+#include "ec/msm.hpp"
+#include "ec/pairing.hpp"
+#include "ff/ntt.hpp"
+
+using namespace zkdet;
+using ff::Fr;
+
+namespace {
+
+crypto::Drbg& rng() {
+  static crypto::Drbg r(1);
+  return r;
+}
+
+void BM_FrMul(benchmark::State& state) {
+  Fr a = rng().random_fr();
+  const Fr b = rng().random_fr();
+  for (auto _ : state) {
+    a *= b;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FrMul);
+
+void BM_FrInverse(benchmark::State& state) {
+  Fr a = rng().random_fr();
+  for (auto _ : state) {
+    a = a.inverse() + Fr::one();
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FrInverse);
+
+void BM_Fp12Mul(benchmark::State& state) {
+  ff::Fp12 a;
+  for (auto& c : a.c) c = ff::Fp2{ff::random_field<ff::Fp>(rng()),
+                                  ff::random_field<ff::Fp>(rng())};
+  ff::Fp12 b = a;
+  for (auto _ : state) {
+    a *= b;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_Fp12Mul);
+
+void BM_G1Add(benchmark::State& state) {
+  ec::G1 p = ec::G1::generator().mul(rng().random_fr());
+  const ec::G1 q = ec::G1::generator().mul(rng().random_fr());
+  for (auto _ : state) {
+    p += q;
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_G1Add);
+
+void BM_G1ScalarMul(benchmark::State& state) {
+  const ec::G1 p = ec::G1::generator();
+  const Fr k = rng().random_fr();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.mul(k));
+  }
+}
+BENCHMARK(BM_G1ScalarMul);
+
+void BM_Pairing(benchmark::State& state) {
+  const ec::G1 p = ec::G1::generator().mul(rng().random_fr());
+  const ec::G2 q = ec::G2::generator().mul(rng().random_fr());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ec::pairing(p, q));
+  }
+}
+BENCHMARK(BM_Pairing);
+
+void BM_MillerLoop(benchmark::State& state) {
+  const ec::G1 p = ec::G1::generator().mul(rng().random_fr());
+  const ec::G2 q = ec::G2::generator().mul(rng().random_fr());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ec::miller_loop(p, q));
+  }
+}
+BENCHMARK(BM_MillerLoop);
+
+void BM_Msm(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<Fr> scalars(n);
+  std::vector<ec::G1> points(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scalars[i] = rng().random_fr();
+    points[i] = ec::G1::generator().mul(rng().random_fr());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ec::msm(scalars, points));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Msm)->Arg(256)->Arg(1024)->Arg(4096)->Complexity();
+
+void BM_Ntt(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ff::EvaluationDomain domain(n);
+  std::vector<Fr> v(n);
+  for (auto& x : v) x = rng().random_fr();
+  for (auto _ : state) {
+    domain.fft(v);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Ntt)->Arg(1024)->Arg(4096)->Arg(16384)->Complexity();
+
+void BM_MimcBlock(benchmark::State& state) {
+  const Fr k = rng().random_fr();
+  Fr m = rng().random_fr();
+  for (auto _ : state) {
+    m = crypto::mimc_encrypt_block(k, m);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_MimcBlock);
+
+void BM_PoseidonHash2(benchmark::State& state) {
+  Fr l = rng().random_fr();
+  const Fr r = rng().random_fr();
+  for (auto _ : state) {
+    l = crypto::poseidon_hash2(l, r);
+    benchmark::DoNotOptimize(l);
+  }
+}
+BENCHMARK(BM_PoseidonHash2);
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  std::vector<std::uint8_t> data(1024, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::digest(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,139 @@
+// Table II reproduction: gas consumption of the ZKDET smart contracts.
+//
+// Paper (Rinkeby):
+//   ZKDET contract deployment      1,020,954
+//   Verifier contract deployment   1,644,969
+//   Token minting                    106,048
+//   Token transferring                36,574
+//   Token burning                     50,084
+//   Aggregation                       96,780
+//   Partition                         83,124
+//   Duplication                       94,012
+//
+// We run the same operations through the chain substrate's EVM-style gas
+// meter (DESIGN.md substitution #4) and print measured vs paper values.
+#include <cstdio>
+
+#include "core/circuits.hpp"
+#include "core/system.hpp"
+
+using namespace zkdet;
+using chain::CallContext;
+using chain::Formula;
+using chain::Receipt;
+using ff::Fr;
+
+namespace {
+
+void row(const char* op, std::uint64_t ours, std::uint64_t paper) {
+  const double ratio =
+      paper == 0 ? 0.0 : static_cast<double>(ours) / static_cast<double>(paper);
+  std::printf("%-34s %12llu %12llu %8.2fx\n", op,
+              static_cast<unsigned long long>(ours),
+              static_cast<unsigned long long>(paper), ratio);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==============================================================\n");
+  std::printf("Table II — Gas consumption of smart contracts in ZKDET\n");
+  std::printf("==============================================================\n");
+  std::printf("%-34s %12s %12s %8s\n", "operation", "measured", "paper",
+              "ratio");
+
+  crypto::Drbg rng(1);
+  chain::Chain chain;
+  const crypto::KeyPair operator_keys = crypto::KeyPair::generate(rng);
+  const crypto::KeyPair alice = crypto::KeyPair::generate(rng);
+  const crypto::KeyPair bob = crypto::KeyPair::generate(rng);
+  chain.create_account(operator_keys, 1'000'000);
+  chain.create_account(alice, 1'000'000);
+  chain.create_account(bob, 1'000'000);
+
+  // --- deployments ---
+  Receipt deploy_nft;
+  chain::DataNft& nft = chain.deploy<chain::DataNft>(operator_keys, &deploy_nft);
+  row("ZKDET contract deployment", deploy_nft.gas_used, 1'020'954);
+
+  // verifier with the pi_k verifying key baked in
+  const plonk::Srs srs = plonk::Srs::setup((1 << 12) + 16, rng);
+  gadgets::CircuitBuilder kb =
+      core::build_key_circuit(Fr::one(), Fr::from_u64(2), Fr::from_u64(3));
+  const auto keys = plonk::preprocess(kb.cs(), srs);
+  Receipt deploy_verifier;
+  chain.deploy<chain::PlonkVerifierContract>(operator_keys, &deploy_verifier,
+                                             keys->vk);
+  row("Verifier contract deployment", deploy_verifier.gas_used, 1'644'969);
+
+  // --- token operations (steady state: warm the per-account balance and
+  //     counter slots first, as on a live chain) ---
+  std::uint64_t warm_a = 0, warm_b = 0;
+  chain.call(alice, "warmup-mint-a", [&](CallContext& ctx) {
+    warm_a = nft.mint(ctx, Fr::from_u64(1), Fr::from_u64(2), Fr::from_u64(3));
+  });
+  chain.call(bob, "warmup-mint-b", [&](CallContext& ctx) {
+    warm_b = nft.mint(ctx, Fr::from_u64(4), Fr::from_u64(5), Fr::from_u64(6));
+  });
+  (void)warm_b;
+
+  std::uint64_t token_a = 0, token_b = 0;
+  const Receipt mint = chain.call(alice, "mint", [&](CallContext& ctx) {
+    token_a = nft.mint(ctx, Fr::from_u64(11), Fr::from_u64(12),
+                       Fr::from_u64(13));
+  });
+  row("Token minting", mint.gas_used, 106'048);
+  chain.call(alice, "mint2", [&](CallContext& ctx) {
+    token_b = nft.mint(ctx, Fr::from_u64(21), Fr::from_u64(22),
+                       Fr::from_u64(23));
+  });
+
+  const Receipt xfer = chain.call(alice, "transfer", [&](CallContext& ctx) {
+    nft.transfer_from(ctx, crypto::address_of(alice.pk),
+                      crypto::address_of(bob.pk), warm_a);
+  });
+  row("Token transferring", xfer.gas_used, 36'574);
+
+  // --- transformations: Table II meters the provenance registration of
+  //     a derived token (prevIds[] + formula), not the mint it follows.
+  std::uint64_t derived1 = 0, derived2 = 0, derived3 = 0;
+  chain.call(alice, "mint-derived-1", [&](CallContext& ctx) {
+    derived1 = nft.mint(ctx, Fr::from_u64(41), Fr::from_u64(42),
+                        Fr::from_u64(43));
+  });
+  chain.call(alice, "mint-derived-2", [&](CallContext& ctx) {
+    derived2 = nft.mint(ctx, Fr::from_u64(51), Fr::from_u64(52),
+                        Fr::from_u64(53));
+  });
+  chain.call(alice, "mint-derived-3", [&](CallContext& ctx) {
+    derived3 = nft.mint(ctx, Fr::from_u64(61), Fr::from_u64(62),
+                        Fr::from_u64(63));
+  });
+
+  const Receipt r_agg = chain.call(alice, "aggregate", [&](CallContext& ctx) {
+    nft.record_transformation(ctx, derived1, Formula::kAggregation,
+                              {token_a, token_b});
+  });
+  row("Aggregation", r_agg.gas_used, 96'780);
+
+  const Receipt r_part = chain.call(alice, "partition", [&](CallContext& ctx) {
+    nft.record_transformation(ctx, derived2, Formula::kPartition, {derived1});
+  });
+  row("Partition", r_part.gas_used, 83'124);
+
+  const Receipt r_dup = chain.call(alice, "duplicate", [&](CallContext& ctx) {
+    nft.record_transformation(ctx, derived3, Formula::kDuplication,
+                              {derived1});
+  });
+  row("Duplication", r_dup.gas_used, 94'012);
+
+  const Receipt burn = chain.call(alice, "burn", [&](CallContext& ctx) {
+    nft.burn(ctx, token_a);
+  });
+  row("Token burning", burn.gas_used, 50'084);
+
+  std::printf("\nshape check: one-time deployments cost ~1-1.6M gas; metadata\n");
+  std::printf("operations stay around 40-110k gas — the economics argument of\n");
+  std::printf("paper VI-C (NFTs store only metadata, so invocation is cheap).\n");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Marketplace scenario: transformations, a clock auction and both
+// exchange protocols — including what goes wrong with plain ZKCP.
+//
+// Cast: Alice curates sensor data, Bob buys, Eve eavesdrops on the chain.
+//
+//   1. Alice publishes two raw datasets and aggregates them into a
+//      curated collection (with transformation proofs).
+//   2. Alice lists the collection's token in a descending clock auction;
+//      Bob wins the token at the decayed price.
+//   3. Owning the token is not enough — the data is encrypted. Bob buys
+//      the key via the key-secure protocol; Eve learns nothing.
+//   4. For contrast, Alice sells another asset over classic ZKCP; Eve
+//      reads the revealed key off the chain and steals the data.
+#include <cstdio>
+
+#include "core/exchange.hpp"
+
+using namespace zkdet;
+using core::KeySecureExchange;
+using core::OwnedAsset;
+using core::TransformationProtocol;
+using core::ZkcpExchange;
+using core::ZkdetSystem;
+using ff::Fr;
+
+namespace {
+
+std::vector<Fr> sensor_readings(std::uint64_t base, std::size_t n) {
+  std::vector<Fr> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(Fr::from_u64(base + i * 7));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== ZKDET marketplace ===\n\n");
+  ZkdetSystem sys(1 << 14, 3);
+  TransformationProtocol transform(sys);
+  KeySecureExchange exchange(sys, transform);
+  ZkcpExchange zkcp(sys, transform);
+
+  crypto::Drbg rng(7);
+  const crypto::KeyPair alice = crypto::KeyPair::generate(rng);
+  const crypto::KeyPair bob = crypto::KeyPair::generate(rng);
+  sys.chain().create_account(alice, 10'000);
+  sys.chain().create_account(bob, 10'000);
+  const chain::Address alice_addr = crypto::address_of(alice.pk);
+  const chain::Address bob_addr = crypto::address_of(bob.pk);
+
+  // --- 1. publish + aggregate ---
+  auto site_a = transform.publish(alice, sensor_readings(1000, 3));
+  auto site_b = transform.publish(alice, sensor_readings(2000, 5));
+  if (!site_a || !site_b) return 1;
+  std::printf("published site A (token %llu) and site B (token %llu)\n",
+              static_cast<unsigned long long>(site_a->token_id),
+              static_cast<unsigned long long>(site_b->token_id));
+
+  const std::vector<OwnedAsset> sources{*site_a, *site_b};
+  auto collection = transform.aggregate(alice, sources);
+  if (!collection) return 1;
+  std::printf("aggregated into collection token %llu (%zu entries)\n",
+              static_cast<unsigned long long>(collection->token_id),
+              collection->plain.size());
+  std::printf("provenance chain verifies: %s\n",
+              transform.verify_provenance_chain(collection->token_id)
+                  ? "yes"
+                  : "no");
+
+  // --- 2. clock auction for the token ---
+  std::uint64_t auction_id = 0;
+  sys.chain().call(alice, "approve-auction", [&](chain::CallContext& ctx) {
+    sys.nft().approve(ctx, sys.auction().address(), collection->token_id);
+  });
+  sys.chain().call(alice, "create-auction", [&](chain::CallContext& ctx) {
+    auction_id = sys.auction().create(ctx, collection->token_id,
+                                      /*start=*/900, /*floor=*/300,
+                                      /*decay=*/50);
+  });
+  std::printf("\nauction %llu opened: start 900, floor 300, decay 50/block\n",
+              static_cast<unsigned long long>(auction_id));
+  sys.chain().advance_blocks(6);
+  const std::uint64_t price =
+      sys.auction().current_price(auction_id, sys.chain().height());
+  std::printf("clock price after 6 blocks: %llu\n",
+              static_cast<unsigned long long>(price));
+  const auto bid = sys.chain().call(
+      bob, "bid",
+      [&](chain::CallContext& ctx) { sys.auction().bid(ctx, auction_id); },
+      price, sys.auction().address());
+  std::printf("bob bid %llu: %s; token owner is now %s\n",
+              static_cast<unsigned long long>(price),
+              bid.success ? "won" : bid.error.c_str(),
+              sys.nft().token(collection->token_id)->owner == bob_addr
+                  ? "bob"
+                  : "alice");
+
+  // --- 3. key-secure key purchase ---
+  // Bob owns the *token* now, but the decryption key is still Alice's;
+  // the escrow therefore names Alice as the seller explicitly.
+  auto offer = exchange.make_offer(*collection, nullptr, "any");
+  if (!offer || !exchange.verify_offer(*offer)) return 1;
+  auto session = exchange.lock_payment(bob, *offer, 200, 100, alice_addr);
+  if (!session) return 1;
+  if (!exchange.settle(alice, *collection, session->exchange_id,
+                       session->k_v)) {
+    return 1;
+  }
+  auto data = exchange.recover_data(*session);
+  std::printf("\nkey-secure exchange: bob decrypted %zu entries; "
+              "entry[0]=%s\n",
+              data ? data->size() : 0,
+              data ? (*data)[0].to_dec().c_str() : "-");
+
+  // Eve inspects all public state: chain + storage. The only key-related
+  // value on-chain is k_c = k + k_v, useless without k_v.
+  {
+    const auto x = sys.arbiter().exchange(session->exchange_id);
+    const auto* rec = transform.encryption_record(collection->token_id);
+    const auto blob = sys.storage().get(rec->data_cid);
+    const auto ct = storage::blob_to_dataset(*blob);
+    const auto eve = crypto::mimc_ctr_decrypt(x->k_c, rec->nonce, *ct);
+    std::printf("eve decrypts with on-chain k_c: %s\n",
+                eve == collection->plain ? "SUCCEEDS (bug!)"
+                                         : "garbage (privacy preserved)");
+  }
+
+  // --- 4. the ZKCP contrast ---
+  auto legacy = transform.publish(alice, sensor_readings(5000, 4));
+  if (!legacy) return 1;
+  auto legacy_offer = zkcp.make_offer(*legacy, nullptr, "any");
+  auto xid = zkcp.lock_payment(bob, *legacy_offer, 150);
+  if (!xid || !zkcp.open(alice, *legacy, *xid)) return 1;
+  const auto stolen = zkcp.eavesdrop(*xid, legacy->token_id);
+  std::printf("\nZKCP baseline: key revealed on-chain during Open; "
+              "eve steals the data: %s\n",
+              (stolen && *stolen == legacy->plain) ? "yes — the flaw ZKDET fixes"
+                                                   : "no");
+
+  std::printf("\nbalances: alice=%llu bob=%llu; chain valid: %s\n",
+              static_cast<unsigned long long>(sys.chain().balance(alice_addr)),
+              static_cast<unsigned long long>(sys.chain().balance(bob_addr)),
+              sys.chain().validate_chain() ? "yes" : "no");
+  std::printf("=== done ===\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Provenance audit: the traceability walk of paper Fig. 2.
+//
+// Builds a transformation DAG (publish -> duplicate -> partition ->
+// aggregate -> process), prints it as the on-chain auditor would see it,
+// validates every proof edge back to the sources, and then demonstrates
+// that tampering with stored data is caught by the audit.
+#include <cstdio>
+
+#include "core/transformation.hpp"
+
+using namespace zkdet;
+using core::OwnedAsset;
+using core::TransformationProtocol;
+using core::ZkdetSystem;
+using ff::Fr;
+
+namespace {
+
+void print_token(const ZkdetSystem& sys_const, ZkdetSystem& sys,
+                 const TransformationProtocol& transform, std::uint64_t id) {
+  (void)sys_const;
+  const auto info = sys.nft().token(id);
+  if (!info) return;
+  std::printf("  token %2llu  %-12s owner=%.10s...  parents=[",
+              static_cast<unsigned long long>(id),
+              chain::formula_name(info->formula), info->owner.c_str());
+  for (std::size_t i = 0; i < info->prev_ids.size(); ++i) {
+    std::printf("%s%llu", i > 0 ? "," : "",
+                static_cast<unsigned long long>(info->prev_ids[i]));
+  }
+  std::printf("]  pi_e=%s pi_t=%s\n",
+              transform.verify_encryption(id) ? "ok" : "BAD",
+              transform.verify_transformation(id) ? "ok" : "BAD");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== ZKDET provenance audit ===\n\n");
+  ZkdetSystem sys(1 << 14, 5);
+  TransformationProtocol transform(sys);
+
+  crypto::Drbg rng(23);
+  const crypto::KeyPair curator = crypto::KeyPair::generate(rng);
+  sys.chain().create_account(curator, 10'000);
+
+  // Build the DAG of paper Fig. 2: two sources, transformations on top.
+  std::vector<Fr> raw1, raw2;
+  for (std::uint64_t i = 0; i < 4; ++i) raw1.push_back(Fr::from_u64(10 + i));
+  for (std::uint64_t i = 0; i < 2; ++i) raw2.push_back(Fr::from_u64(90 + i));
+
+  auto d1 = transform.publish(curator, raw1);
+  auto d2 = transform.publish(curator, raw2);
+  auto dup = transform.duplicate(curator, *d1);
+  auto parts = transform.partition(curator, *dup, {2, 2});
+  const std::vector<OwnedAsset> to_merge{(*parts)[1], *d2};
+  auto agg = transform.aggregate(curator, to_merge);
+  const core::TransformGadget square_all =
+      [](gadgets::CircuitBuilder& bld, std::span<const gadgets::Wire> s) {
+        std::vector<gadgets::Wire> out;
+        for (const auto w : s) out.push_back(bld.mul(w, w));
+        return out;
+      };
+  auto proc = transform.process(curator, *agg, square_all, "square");
+  if (!d1 || !d2 || !dup || !parts || !agg || !proc) {
+    std::printf("DAG construction failed\n");
+    return 1;
+  }
+
+  std::printf("token graph (as read from the chain):\n");
+  for (std::uint64_t id = 1; id <= sys.nft().total_minted(); ++id) {
+    print_token(sys, sys, transform, id);
+  }
+
+  std::printf("\nfull audit of token %llu (the processed asset):\n",
+              static_cast<unsigned long long>(proc->token_id));
+  const auto ancestors = sys.nft().provenance(proc->token_id);
+  std::printf("  ancestor set:");
+  for (const auto a : ancestors) {
+    std::printf(" %llu", static_cast<unsigned long long>(a));
+  }
+  std::printf("\n  chain-of-proofs valid: %s\n",
+              transform.verify_provenance_chain(proc->token_id) ? "yes" : "no");
+
+  // sanity: processing output really is the squares of the aggregate
+  std::printf("  spot check: agg[0]^2 = %s, proc[0] = %s\n",
+              (agg->plain[0] * agg->plain[0]).to_dec().c_str(),
+              proc->plain[0].to_dec().c_str());
+
+  // Tamper with the aggregate's stored ciphertext on every node: the
+  // audit of the descendant now fails at that edge.
+  const auto* rec = transform.encryption_record(agg->token_id);
+  for (std::size_t i = 0; i < sys.storage().num_nodes(); ++i) {
+    sys.storage().node(i).corrupt(rec->data_cid);
+  }
+  std::printf("\nafter corrupting the aggregate's ciphertext in storage:\n");
+  const bool still_valid = transform.verify_provenance_chain(proc->token_id);
+  std::printf("  audit of processed token now: %s (tamper detected %zu "
+              "times)\n",
+              still_valid ? "valid (BUG)" : "INVALID — corruption caught",
+              sys.storage().tamper_detections());
+  std::printf("=== done ===\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+#include "chain/arbiter.hpp"
+
+#include "crypto/poseidon.hpp"
+
+namespace zkdet::chain {
+
+namespace {
+constexpr std::size_t kKeySecureCodeSize = 2600;
+constexpr std::size_t kZkcpCodeSize = 1400;
+}  // namespace
+
+KeySecureArbiter::KeySecureArbiter(const PlonkVerifierContract& verifier)
+    : Contract("KeySecureArbiter", kKeySecureCodeSize), verifier_(verifier) {}
+
+std::uint64_t KeySecureArbiter::lock(CallContext& ctx, const Address& seller,
+                                     const Fr& h_v, const Fr& key_commitment,
+                                     std::uint64_t timeout_blocks) {
+  ctx.require(ctx.value() > 0, "payment required");
+  const std::uint64_t id = next_id_++;
+  ExchangeInfo info;
+  info.id = id;
+  info.buyer = ctx.sender();
+  info.seller = seller;
+  info.amount = ctx.value();
+  info.h_v = h_v;
+  info.key_commitment = key_commitment;
+  info.deadline = ctx.block_height() + timeout_blocks;
+  info.state = ExchangeState::kLocked;
+  exchanges_[id] = info;
+  store().set(ctx, "xc/" + std::to_string(id) + "/hv", h_v);
+  store().set(ctx, "xc/" + std::to_string(id) + "/c", key_commitment);
+  store().set_u64(ctx, "xc/" + std::to_string(id) + "/amount", info.amount);
+  ctx.emit(Event{"PaymentLocked",
+                 {{"exchangeId", std::to_string(id)},
+                  {"buyer", ctx.sender()},
+                  {"amount", std::to_string(info.amount)}}});
+  return id;
+}
+
+void KeySecureArbiter::settle(CallContext& ctx, std::uint64_t exchange_id,
+                              const Fr& k_c, const plonk::Proof& proof_k) {
+  auto it = exchanges_.find(exchange_id);
+  ctx.require(it != exchanges_.end(), "no such exchange");
+  ExchangeInfo& x = it->second;
+  ctx.require(x.state == ExchangeState::kLocked, "exchange not open");
+  ctx.require(ctx.sender() == x.seller, "only the seller settles");
+
+  // Public inputs of the pi_k relation: (k_c, c, h_v).
+  const bool ok =
+      verifier_.verify(ctx, {k_c, x.key_commitment, x.h_v}, proof_k);
+  ctx.require(ok, "invalid key proof");
+
+  x.k_c = k_c;
+  x.state = ExchangeState::kSettled;
+  store().set(ctx, "xc/" + std::to_string(exchange_id) + "/kc", k_c);
+  ctx.chain().transfer(address(), x.seller, x.amount);
+  ctx.emit(Event{"ExchangeSettled",
+                 {{"exchangeId", std::to_string(exchange_id)},
+                  {"seller", x.seller}}});
+}
+
+void KeySecureArbiter::refund(CallContext& ctx, std::uint64_t exchange_id) {
+  auto it = exchanges_.find(exchange_id);
+  ctx.require(it != exchanges_.end(), "no such exchange");
+  ExchangeInfo& x = it->second;
+  ctx.require(x.state == ExchangeState::kLocked, "exchange not open");
+  ctx.require(ctx.sender() == x.buyer, "only the buyer refunds");
+  ctx.require(ctx.block_height() > x.deadline, "deadline not reached");
+  x.state = ExchangeState::kRefunded;
+  ctx.chain().transfer(address(), x.buyer, x.amount);
+  ctx.emit(Event{"ExchangeRefunded",
+                 {{"exchangeId", std::to_string(exchange_id)}}});
+}
+
+std::optional<ExchangeInfo> KeySecureArbiter::exchange(
+    std::uint64_t id) const {
+  const auto it = exchanges_.find(id);
+  if (it == exchanges_.end()) return std::nullopt;
+  return it->second;
+}
+
+// --- ZKCP baseline ---
+
+ZkcpArbiter::ZkcpArbiter() : Contract("ZkcpArbiter", kZkcpCodeSize) {}
+
+std::uint64_t ZkcpArbiter::lock(CallContext& ctx, const Address& seller,
+                                const Fr& key_hash) {
+  ctx.require(ctx.value() > 0, "payment required");
+  const std::uint64_t id = next_id_++;
+  ZkcpExchangeInfo info;
+  info.id = id;
+  info.buyer = ctx.sender();
+  info.seller = seller;
+  info.amount = ctx.value();
+  info.key_hash = key_hash;
+  info.state = ExchangeState::kLocked;
+  exchanges_[id] = info;
+  store().set(ctx, "zkcp/" + std::to_string(id) + "/h", key_hash);
+  return id;
+}
+
+void ZkcpArbiter::open(CallContext& ctx, std::uint64_t exchange_id,
+                       const Fr& key) {
+  auto it = exchanges_.find(exchange_id);
+  ctx.require(it != exchanges_.end(), "no such exchange");
+  ZkcpExchangeInfo& x = it->second;
+  ctx.require(x.state == ExchangeState::kLocked, "exchange not open");
+  ctx.require(ctx.sender() == x.seller, "only the seller opens");
+  const Fr h = crypto::poseidon_hash({key}, /*domain_tag=*/0x6b6579);  // "key"
+  ctx.require(h == x.key_hash, "key does not match hash");
+  // The key is now part of public chain state — anyone can decrypt the
+  // publicly stored ciphertext. This is exactly the flaw the key-secure
+  // protocol removes.
+  x.revealed_key = key;
+  x.key_revealed = true;
+  x.state = ExchangeState::kSettled;
+  store().set(ctx, "zkcp/" + std::to_string(exchange_id) + "/key", key);
+  ctx.chain().transfer(address(), x.seller, x.amount);
+}
+
+std::optional<ZkcpExchangeInfo> ZkcpArbiter::exchange(std::uint64_t id) const {
+  const auto it = exchanges_.find(id);
+  if (it == exchanges_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Fr> ZkcpArbiter::leaked_key(std::uint64_t id) const {
+  const auto it = exchanges_.find(id);
+  if (it == exchanges_.end() || !it->second.key_revealed) return std::nullopt;
+  return it->second.revealed_key;
+}
+
+}  // namespace zkdet::chain

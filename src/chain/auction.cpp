@@ -1,0 +1,107 @@
+#include "chain/auction.hpp"
+
+namespace zkdet::chain {
+
+namespace {
+constexpr std::size_t kAuctionCodeSize = 2100;
+}
+
+ClockAuction::ClockAuction(DataNft& nft)
+    : Contract("ClockAuction", kAuctionCodeSize), nft_(nft) {}
+
+std::uint64_t ClockAuction::create(CallContext& ctx, std::uint64_t token_id,
+                                   std::uint64_t start_price,
+                                   std::uint64_t floor_price,
+                                   std::uint64_t decay_per_block) {
+  ctx.require(start_price >= floor_price, "start below floor");
+  const Address seller = ctx.sender();
+  ctx.require(nft_.owner_of(ctx, token_id) == seller, "not the token owner");
+  // Escrow the token (requires prior approval of this contract).
+  nft_.transfer_from(ctx, seller, address(), token_id);
+
+  const std::uint64_t id = next_id_++;
+  AuctionInfo info;
+  info.id = id;
+  info.token_id = token_id;
+  info.seller = seller;
+  info.start_price = start_price;
+  info.floor_price = floor_price;
+  info.decay_per_block = decay_per_block;
+  info.start_block = ctx.block_height();
+  info.open = true;
+  auctions_[id] = info;
+
+  store().set_u64(ctx, "auction/" + std::to_string(id) + "/token", token_id);
+  store().set_u64(ctx, "auction/" + std::to_string(id) + "/start", start_price);
+  ctx.emit(Event{"AuctionCreated",
+                 {{"auctionId", std::to_string(id)},
+                  {"tokenId", std::to_string(token_id)},
+                  {"startPrice", std::to_string(start_price)}}});
+  return id;
+}
+
+std::uint64_t ClockAuction::current_price(std::uint64_t auction_id,
+                                          std::uint64_t height) const {
+  const auto it = auctions_.find(auction_id);
+  if (it == auctions_.end()) return 0;
+  const AuctionInfo& a = it->second;
+  const std::uint64_t elapsed =
+      height > a.start_block ? height - a.start_block : 0;
+  const std::uint64_t decayed = a.decay_per_block * elapsed;
+  if (a.start_price < a.floor_price + decayed) return a.floor_price;
+  return a.start_price - decayed;
+}
+
+void ClockAuction::bid(CallContext& ctx, std::uint64_t auction_id) {
+  auto it = auctions_.find(auction_id);
+  ctx.require(it != auctions_.end(), "no such auction");
+  AuctionInfo& a = it->second;
+  ctx.require(a.open, "auction closed");
+  const std::uint64_t price = current_price(auction_id, ctx.block_height());
+  ctx.require(ctx.value() >= price, "bid below current clock price");
+
+  // Hand over the token first (checks may still revert), then move money.
+  const Address bidder = ctx.sender();
+  {
+    CallContext::SenderScope as_contract(ctx, address());
+    nft_.transfer_from(ctx, address(), bidder, a.token_id);
+  }
+  // Forward the escrowed payment to the seller; refund any overshoot.
+  ctx.chain().transfer(address(), a.seller, price);
+  if (ctx.value() > price) {
+    ctx.chain().transfer(address(), bidder, ctx.value() - price);
+  }
+
+  a.open = false;
+  a.winner = ctx.sender();
+  a.settle_price = price;
+  store().set_u64(ctx, "auction/" + std::to_string(auction_id) + "/settled",
+                  price);
+  ctx.emit(Event{"AuctionSettled",
+                 {{"auctionId", std::to_string(auction_id)},
+                  {"winner", ctx.sender()},
+                  {"price", std::to_string(price)}}});
+}
+
+void ClockAuction::cancel(CallContext& ctx, std::uint64_t auction_id) {
+  auto it = auctions_.find(auction_id);
+  ctx.require(it != auctions_.end(), "no such auction");
+  AuctionInfo& a = it->second;
+  ctx.require(a.open, "auction closed");
+  ctx.require(a.seller == ctx.sender(), "only seller may cancel");
+  {
+    CallContext::SenderScope as_contract(ctx, address());
+    nft_.transfer_from(ctx, address(), a.seller, a.token_id);
+  }
+  a.open = false;
+  ctx.emit(Event{"AuctionCancelled",
+                 {{"auctionId", std::to_string(auction_id)}}});
+}
+
+std::optional<AuctionInfo> ClockAuction::auction(std::uint64_t id) const {
+  const auto it = auctions_.find(id);
+  if (it == auctions_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace zkdet::chain

@@ -1,0 +1,232 @@
+#include "chain/chain.hpp"
+
+#include <cassert>
+
+#include "crypto/sha256.hpp"
+
+namespace zkdet::chain {
+
+// --- CallContext ---
+
+CallContext::CallContext(Chain& chain, Address sender, std::uint64_t value,
+                         GasMeter& gas)
+    : chain_(chain), sender_(std::move(sender)), value_(value), gas_(gas) {}
+
+std::uint64_t CallContext::block_height() const { return chain_.height(); }
+std::uint64_t CallContext::timestamp() const { return chain_.timestamp(); }
+
+void CallContext::emit(Event ev) {
+  const auto& g = chain_.gas_schedule();
+  std::size_t data_bytes = 0;
+  for (const auto& [k, v] : ev.fields) data_bytes += k.size() + v.size();
+  gas_.charge(g.log_base + g.log_topic + g.log_data_byte * data_bytes);
+  events_.push_back(std::move(ev));
+}
+
+// --- MeteredStore ---
+
+void MeteredStore::set(CallContext& ctx, const std::string& key,
+                       const Fr& value) {
+  const auto& g = ctx.chain().gas_schedule();
+  const auto it = slots_.find(key);
+  if (it == slots_.end()) {
+    ctx.gas().charge(g.sstore_set);
+    slots_.emplace(key, value);
+  } else {
+    ctx.gas().charge(g.sstore_update);
+    it->second = value;
+  }
+}
+
+void MeteredStore::set_u64(CallContext& ctx, const std::string& key,
+                           std::uint64_t value) {
+  set(ctx, key, Fr::from_u64(value));
+}
+
+std::optional<Fr> MeteredStore::get(CallContext& ctx,
+                                    const std::string& key) const {
+  ctx.gas().charge(ctx.chain().gas_schedule().sload);
+  const auto it = slots_.find(key);
+  if (it == slots_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::uint64_t> MeteredStore::get_u64(
+    CallContext& ctx, const std::string& key) const {
+  const auto v = get(ctx, key);
+  if (!v) return std::nullopt;
+  return v->to_canonical().limb[0];
+}
+
+void MeteredStore::erase(CallContext& ctx, const std::string& key) {
+  ctx.gas().charge(ctx.chain().gas_schedule().sstore_update);
+  slots_.erase(key);
+}
+
+std::optional<Fr> MeteredStore::peek(const std::string& key) const {
+  const auto it = slots_.find(key);
+  if (it == slots_.end()) return std::nullopt;
+  return it->second;
+}
+
+// --- Chain ---
+
+Chain::Chain() {
+  Block genesis;
+  genesis.height = 0;
+  genesis.timestamp = timestamp_;
+  genesis.hash = block_hash(genesis);
+  blocks_.push_back(genesis);
+}
+
+Address Chain::create_account(const crypto::KeyPair& keys,
+                              std::uint64_t initial_balance) {
+  const Address addr = crypto::address_of(keys.pk);
+  balances_[addr] += initial_balance;
+  account_keys_[addr] = keys.pk;
+  return addr;
+}
+
+std::uint64_t Chain::balance(const Address& a) const {
+  const auto it = balances_.find(a);
+  return it == balances_.end() ? 0 : it->second;
+}
+
+void Chain::transfer(const Address& from, const Address& to,
+                     std::uint64_t amount) {
+  auto it = balances_.find(from);
+  if (it == balances_.end() || it->second < amount) {
+    throw Revert("insufficient balance");
+  }
+  it->second -= amount;
+  balances_[to] += amount;
+}
+
+void Chain::finish_deploy(const crypto::KeyPair& deployer,
+                          std::unique_ptr<Contract> contract,
+                          Receipt* receipt) {
+  contract->address_ =
+      "ct:" + contract->name_ + "#" + std::to_string(next_contract_id_++);
+  GasMeter meter(100'000'000);
+  meter.charge(gas_.tx_base);
+  meter.charge(gas_.create_base);
+  meter.charge(gas_.create_per_byte * contract->code_size());
+  TxRecord tx;
+  tx.sender = crypto::address_of(deployer.pk);
+  tx.description = "deploy " + contract->name_;
+  tx.gas_used = meter.used();
+  balances_[contract->address_];  // ensure the escrow account exists
+  contracts_.push_back(std::move(contract));
+  if (receipt != nullptr) {
+    receipt->success = true;
+    receipt->gas_used = tx.gas_used;
+    receipt->block = height();
+  }
+  seal_block(std::move(tx));
+}
+
+Receipt Chain::call(const crypto::KeyPair& sender,
+                    const std::string& description,
+                    const std::function<void(CallContext&)>& fn,
+                    std::uint64_t value, const Address& pay_to,
+                    std::uint64_t gas_limit) {
+  Receipt receipt;
+  const Address from = crypto::address_of(sender.pk);
+
+  // Authenticate: a signature over (height, description) stands in for a
+  // full RLP transaction; the chain rejects unknown or forged senders.
+  crypto::Drbg rng("tx-nonce", height() * 1000003 + description.size());
+  std::vector<std::uint8_t> msg(description.begin(), description.end());
+  msg.push_back(static_cast<std::uint8_t>(height() & 0xFF));
+  const auto sig = crypto::schnorr_sign(sender, msg, rng);
+  const auto keyit = account_keys_.find(from);
+  if (keyit == account_keys_.end() ||
+      !crypto::schnorr_verify(keyit->second, msg, sig)) {
+    receipt.error = "unknown sender or bad signature";
+    return receipt;
+  }
+
+  GasMeter meter(gas_limit);
+  TxRecord tx;
+  tx.sender = from;
+  tx.description = description;
+  try {
+    meter.charge(gas_.tx_base);
+    if (value > 0) {
+      if (pay_to.empty()) throw Revert("value transfer without target");
+      transfer(from, pay_to, value);
+    }
+    CallContext ctx(*this, from, value, meter);
+    fn(ctx);
+    receipt.success = true;
+    receipt.events = std::move(ctx.events());
+  } catch (const Revert& r) {
+    receipt.error = r.what();
+    tx.success = false;
+  } catch (const OutOfGas&) {
+    receipt.error = "out of gas";
+    tx.success = false;
+  }
+  if (!tx.success && value > 0) {
+    // Undo the escrow payment (best effort: a contract that spent the
+    // escrow before reverting is a contract bug surfaced in the error).
+    try {
+      transfer(pay_to, from, value);
+    } catch (const Revert&) {
+      receipt.error += " (escrow refund failed)";
+    }
+  }
+  receipt.gas_used = meter.used();
+  receipt.block = height();
+  tx.gas_used = meter.used();
+  seal_block(std::move(tx));
+  return receipt;
+}
+
+void Chain::advance_blocks(std::uint64_t k) {
+  for (std::uint64_t i = 0; i < k; ++i) {
+    TxRecord empty;
+    empty.description = "(empty)";
+    seal_block(std::move(empty));
+  }
+}
+
+void Chain::seal_block(TxRecord tx) {
+  Block b;
+  b.height = blocks_.size();
+  timestamp_ += 13;  // ~Ethereum block time
+  b.timestamp = timestamp_;
+  b.prev_hash = blocks_.back().hash;
+  tx.block = b.height;
+  b.txs.push_back(std::move(tx));
+  b.hash = block_hash(b);
+  blocks_.push_back(std::move(b));
+}
+
+std::array<std::uint8_t, 32> Chain::block_hash(const Block& b) {
+  crypto::Sha256 h;
+  h.update("zkdet-block");
+  std::array<std::uint8_t, 16> hdr{};
+  for (int i = 0; i < 8; ++i) {
+    hdr[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(b.height >> (i * 8));
+    hdr[static_cast<std::size_t>(8 + i)] =
+        static_cast<std::uint8_t>(b.timestamp >> (i * 8));
+  }
+  h.update(hdr);
+  h.update(b.prev_hash);
+  for (const auto& tx : b.txs) {
+    h.update(tx.sender);
+    h.update(tx.description);
+  }
+  return h.finalize();
+}
+
+bool Chain::validate_chain() const {
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (block_hash(blocks_[i]) != blocks_[i].hash) return false;
+    if (i > 0 && blocks_[i].prev_hash != blocks_[i - 1].hash) return false;
+  }
+  return true;
+}
+
+}  // namespace zkdet::chain

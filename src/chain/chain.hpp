@@ -1,0 +1,211 @@
+// In-process blockchain substrate — the Rinkeby substitute.
+//
+// A deterministic single-sequencer chain: every metered call becomes a
+// signed transaction in a SHA-256-linked block. Contracts are C++
+// objects that read/write a gas-metered key-value store and emit gas-
+// metered events; account balances move through the same runtime. This
+// preserves what the paper relies on from Ethereum — tamper-evident
+// ordered history, gas accounting, contract-held escrow, public
+// verifiability of records — without a networked consensus stack
+// (substitution documented in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chain/gas.hpp"
+#include "crypto/schnorr.hpp"
+#include "ff/bn254.hpp"
+
+namespace zkdet::chain {
+
+using Address = std::string;
+using ff::Fr;
+
+class Revert : public std::runtime_error {
+ public:
+  explicit Revert(const std::string& reason)
+      : std::runtime_error("revert: " + reason) {}
+};
+
+struct Event {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+struct TxRecord {
+  std::uint64_t block = 0;
+  Address sender;
+  std::string description;
+  std::uint64_t gas_used = 0;
+  bool success = true;
+};
+
+struct Block {
+  std::uint64_t height = 0;
+  std::uint64_t timestamp = 0;
+  std::array<std::uint8_t, 32> prev_hash{};
+  std::array<std::uint8_t, 32> hash{};
+  std::vector<TxRecord> txs;
+};
+
+struct Receipt {
+  bool success = false;
+  std::uint64_t gas_used = 0;
+  std::uint64_t block = 0;
+  std::string error;
+  std::vector<Event> events;
+};
+
+class Chain;
+
+// Execution context handed to contract methods.
+class CallContext {
+ public:
+  CallContext(Chain& chain, Address sender, std::uint64_t value,
+              GasMeter& gas);
+
+  [[nodiscard]] Chain& chain() { return chain_; }
+  [[nodiscard]] const Address& sender() const { return sender_; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  [[nodiscard]] GasMeter& gas() { return gas_; }
+  [[nodiscard]] std::uint64_t block_height() const;
+  [[nodiscard]] std::uint64_t timestamp() const;
+
+  void require(bool cond, const std::string& reason) {
+    if (!cond) throw Revert(reason);
+  }
+  void emit(Event ev);
+
+  [[nodiscard]] std::vector<Event>& events() { return events_; }
+
+  // EVM msg.sender semantics for contract-to-contract calls: while a
+  // SenderScope is alive, ctx.sender() reports the calling contract's
+  // address instead of the originating account.
+  class SenderScope {
+   public:
+    SenderScope(CallContext& ctx, Address contract_address)
+        : ctx_(ctx), saved_(std::move(ctx.sender_)) {
+      ctx_.sender_ = std::move(contract_address);
+    }
+    ~SenderScope() { ctx_.sender_ = std::move(saved_); }
+    SenderScope(const SenderScope&) = delete;
+    SenderScope& operator=(const SenderScope&) = delete;
+
+   private:
+    CallContext& ctx_;
+    Address saved_;
+  };
+
+ private:
+  Chain& chain_;
+  Address sender_;
+  std::uint64_t value_;
+  GasMeter& gas_;
+  std::vector<Event> events_;
+};
+
+// Gas-metered contract storage: a flat key -> field-element map with
+// EVM new-slot / update pricing.
+class MeteredStore {
+ public:
+  void set(CallContext& ctx, const std::string& key, const Fr& value);
+  void set_u64(CallContext& ctx, const std::string& key, std::uint64_t value);
+  [[nodiscard]] std::optional<Fr> get(CallContext& ctx,
+                                      const std::string& key) const;
+  [[nodiscard]] std::optional<std::uint64_t> get_u64(
+      CallContext& ctx, const std::string& key) const;
+  void erase(CallContext& ctx, const std::string& key);
+  // Unmetered read for off-chain inspection (a full node's RPC view).
+  [[nodiscard]] std::optional<Fr> peek(const std::string& key) const;
+
+ private:
+  std::map<std::string, Fr> slots_;
+};
+
+// Base class for contracts.
+class Contract {
+ public:
+  Contract(std::string name, std::size_t code_size)
+      : name_(std::move(name)), code_size_(code_size) {}
+  virtual ~Contract() = default;
+  Contract(const Contract&) = delete;
+  Contract& operator=(const Contract&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t code_size() const { return code_size_; }
+  [[nodiscard]] const Address& address() const { return address_; }
+
+ protected:
+  [[nodiscard]] MeteredStore& store() { return store_; }
+  [[nodiscard]] const MeteredStore& store() const { return store_; }
+
+ private:
+  friend class Chain;
+  std::string name_;
+  std::size_t code_size_;
+  Address address_;
+  MeteredStore store_;
+};
+
+class Chain {
+ public:
+  Chain();
+
+  // --- accounts ---
+  Address create_account(const crypto::KeyPair& keys,
+                         std::uint64_t initial_balance);
+  [[nodiscard]] std::uint64_t balance(const Address& a) const;
+  // Raw transfer used by the runtime and contracts (escrow flows).
+  void transfer(const Address& from, const Address& to, std::uint64_t amount);
+
+  // --- contract deployment ---
+  // Constructs a contract in place, charges creation gas to the deployer
+  // and returns a reference with chain lifetime.
+  template <typename C, typename... Args>
+  C& deploy(const crypto::KeyPair& deployer, Receipt* receipt, Args&&... args) {
+    auto contract = std::make_unique<C>(std::forward<Args>(args)...);
+    C& ref = *contract;
+    finish_deploy(deployer, std::move(contract), receipt);
+    return ref;
+  }
+
+  // --- transactions ---
+  // Runs `fn` as a signed, gas-metered transaction from `sender`.
+  Receipt call(const crypto::KeyPair& sender, const std::string& description,
+               const std::function<void(CallContext&)>& fn,
+               std::uint64_t value = 0, const Address& pay_to = {},
+               std::uint64_t gas_limit = 30'000'000);
+
+  // --- chain state ---
+  [[nodiscard]] std::uint64_t height() const { return blocks_.size(); }
+  [[nodiscard]] std::uint64_t timestamp() const { return timestamp_; }
+  [[nodiscard]] const std::vector<Block>& blocks() const { return blocks_; }
+  void advance_blocks(std::uint64_t k);  // empty blocks (time passing)
+
+  // Verifies hash-linking of the whole chain (tamper evidence).
+  [[nodiscard]] bool validate_chain() const;
+
+  [[nodiscard]] const GasSchedule& gas_schedule() const { return gas_; }
+
+ private:
+  void finish_deploy(const crypto::KeyPair& deployer,
+                     std::unique_ptr<Contract> contract, Receipt* receipt);
+  void seal_block(TxRecord tx);
+  [[nodiscard]] static std::array<std::uint8_t, 32> block_hash(const Block& b);
+
+  GasSchedule gas_;
+  std::map<Address, std::uint64_t> balances_;
+  std::map<Address, crypto::G1> account_keys_;
+  std::vector<std::unique_ptr<Contract>> contracts_;
+  std::vector<Block> blocks_;
+  std::uint64_t timestamp_ = 1'650'000'000;
+  std::uint64_t next_contract_id_ = 1;
+};
+
+}  // namespace zkdet::chain

@@ -1,0 +1,191 @@
+#include "chain/nft.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace zkdet::chain {
+
+namespace {
+// Equivalent flattened-bytecode size of the Solidity DataNFT (ERC-721 +
+// provenance extensions); calibrated so deployment gas matches the
+// paper's Table II (see DESIGN.md substitution #4).
+constexpr std::size_t kNftCodeSize = 4839;
+}  // namespace
+
+const char* formula_name(Formula f) {
+  switch (f) {
+    case Formula::kGenesis: return "genesis";
+    case Formula::kAggregation: return "aggregation";
+    case Formula::kPartition: return "partition";
+    case Formula::kDuplication: return "duplication";
+    case Formula::kProcessing: return "processing";
+  }
+  return "?";
+}
+
+DataNft::DataNft() : Contract("DataNFT", kNftCodeSize) {}
+
+std::string DataNft::key(const char* field, std::uint64_t id) const {
+  return std::string(field) + "/" + std::to_string(id);
+}
+
+std::uint64_t DataNft::mint(CallContext& ctx, const Fr& uri, const Fr& data_cm,
+                            const Fr& key_cm) {
+  const std::uint64_t id = next_id_++;
+  store().set(ctx, key("owner", id),
+              Fr::reduce_from(
+                  ff::u256_from_bytes(crypto::Sha256::digest(ctx.sender()))));
+  store().set(ctx, key("uri", id), uri);
+  store().set(ctx, key("datacm", id), data_cm);
+  store().set(ctx, key("keycm", id), key_cm);
+  const auto bal = store().get_u64(ctx, "balance/" + ctx.sender());
+  store().set_u64(ctx, "balance/" + ctx.sender(), bal.value_or(0) + 1);
+  store().set_u64(ctx, "count", next_id_ - 1);
+  ctx.emit(Event{"Mint",
+                 {{"tokenId", std::to_string(id)}, {"owner", ctx.sender()}}});
+
+  TokenInfo info;
+  info.id = id;
+  info.owner = ctx.sender();
+  info.uri = uri;
+  info.data_commitment = data_cm;
+  info.key_commitment = key_cm;
+  index_[id] = std::move(info);
+  return id;
+}
+
+std::uint64_t DataNft::mint_derived(
+    CallContext& ctx, const Fr& uri, const Fr& data_cm, const Fr& key_cm,
+    Formula formula, const std::vector<std::uint64_t>& prev_ids) {
+  // Validate parents before mutating anything (check-then-act; there is
+  // no state rollback on revert).
+  ctx.require(!prev_ids.empty(), "derived token needs parents");
+  for (const std::uint64_t p : prev_ids) {
+    ctx.require(exists(p), "parent does not exist");
+    ctx.require(index_.at(p).owner == ctx.sender(),
+                "caller does not own parent token");
+  }
+  const std::uint64_t id = mint(ctx, uri, data_cm, key_cm);
+  record_transformation(ctx, id, formula, prev_ids);
+  return id;
+}
+
+void DataNft::record_transformation(
+    CallContext& ctx, std::uint64_t token_id, Formula formula,
+    const std::vector<std::uint64_t>& prev_ids) {
+  ctx.require(exists(token_id), "no such token");
+  ctx.require(!prev_ids.empty(), "derived token needs parents");
+  ctx.gas().charge(ctx.chain().gas_schedule().sload);  // owner check
+  TokenInfo& info = index_.at(token_id);
+  ctx.require(info.owner == ctx.sender(), "only the owner records");
+  ctx.require(info.prev_ids.empty() && info.formula == Formula::kGenesis,
+              "provenance already recorded");
+  for (const std::uint64_t p : prev_ids) {
+    ctx.require(exists(p), "parent does not exist");
+    ctx.gas().charge(ctx.chain().gas_schedule().sload);  // owner check
+    ctx.require(index_.at(p).owner == ctx.sender(),
+                "caller does not own parent token");
+    ctx.require(p != token_id, "token cannot be its own parent");
+  }
+  store().set_u64(ctx, key("prevn", token_id), prev_ids.size());
+  for (std::size_t i = 0; i < prev_ids.size(); ++i) {
+    store().set_u64(ctx, key("prev", token_id) + "/" + std::to_string(i),
+                    prev_ids[i]);
+  }
+  store().set_u64(ctx, key("formula", token_id),
+                  static_cast<std::uint64_t>(formula));
+  ctx.emit(Event{"Transformation",
+                 {{"tokenId", std::to_string(token_id)},
+                  {"formula", formula_name(formula)}}});
+  info.formula = formula;
+  info.prev_ids = prev_ids;
+}
+
+void DataNft::transfer_from(CallContext& ctx, const Address& from,
+                            const Address& to, std::uint64_t token_id) {
+  ctx.require(exists(token_id), "no such token");
+  ctx.gas().charge(ctx.chain().gas_schedule().sload);  // owner
+  TokenInfo& info = index_.at(token_id);
+  ctx.require(info.owner == from, "from is not the owner");
+  const auto appr = approvals_.find(token_id);
+  const bool authorized =
+      ctx.sender() == from ||
+      (appr != approvals_.end() && appr->second == ctx.sender());
+  ctx.require(authorized, "caller not authorized");
+
+  store().set(ctx, key("owner", token_id),
+              Fr::reduce_from(ff::u256_from_bytes(crypto::Sha256::digest(to))));
+  const auto bf = store().get_u64(ctx, "balance/" + from);
+  store().set_u64(ctx, "balance/" + from, bf.value_or(1) - 1);
+  const auto bt = store().get_u64(ctx, "balance/" + to);
+  store().set_u64(ctx, "balance/" + to, bt.value_or(0) + 1);
+  ctx.emit(Event{"Transfer",
+                 {{"tokenId", std::to_string(token_id)},
+                  {"from", from},
+                  {"to", to}}});
+  info.owner = to;
+  approvals_.erase(token_id);
+}
+
+void DataNft::approve(CallContext& ctx, const Address& to,
+                      std::uint64_t token_id) {
+  ctx.require(exists(token_id), "no such token");
+  ctx.gas().charge(ctx.chain().gas_schedule().sload);
+  ctx.require(index_.at(token_id).owner == ctx.sender(),
+              "only owner can approve");
+  store().set(ctx, key("approved", token_id),
+              Fr::reduce_from(ff::u256_from_bytes(crypto::Sha256::digest(to))));
+  approvals_[token_id] = to;
+}
+
+void DataNft::burn(CallContext& ctx, std::uint64_t token_id) {
+  ctx.require(exists(token_id), "no such token");
+  ctx.gas().charge(ctx.chain().gas_schedule().sload);
+  ctx.require(index_.at(token_id).owner == ctx.sender(),
+              "only owner can burn");
+  store().erase(ctx, key("owner", token_id));
+  store().erase(ctx, key("uri", token_id));
+  store().erase(ctx, key("datacm", token_id));
+  store().erase(ctx, key("keycm", token_id));
+  const auto bal = store().get_u64(ctx, "balance/" + ctx.sender());
+  store().set_u64(ctx, "balance/" + ctx.sender(), bal.value_or(1) - 1);
+  ctx.emit(Event{"Burn", {{"tokenId", std::to_string(token_id)}}});
+  index_.erase(token_id);
+  approvals_.erase(token_id);
+}
+
+Address DataNft::owner_of(CallContext& ctx, std::uint64_t token_id) const {
+  ctx.gas().charge(ctx.chain().gas_schedule().sload);
+  const auto it = index_.find(token_id);
+  if (it == index_.end()) throw Revert("no such token");
+  return it->second.owner;
+}
+
+std::optional<TokenInfo> DataNft::token(std::uint64_t token_id) const {
+  const auto it = index_.find(token_id);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool DataNft::exists(std::uint64_t token_id) const {
+  return index_.contains(token_id);
+}
+
+std::vector<std::uint64_t> DataNft::provenance(std::uint64_t token_id) const {
+  std::vector<std::uint64_t> order;
+  std::set<std::uint64_t> seen;
+  std::vector<std::uint64_t> stack{token_id};
+  while (!stack.empty()) {
+    const std::uint64_t cur = stack.back();
+    stack.pop_back();
+    if (!seen.insert(cur).second) continue;
+    const auto it = index_.find(cur);
+    if (it == index_.end()) continue;
+    if (cur != token_id) order.push_back(cur);
+    for (const std::uint64_t p : it->second.prev_ids) stack.push_back(p);
+  }
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace zkdet::chain

@@ -1,0 +1,31 @@
+#include "chain/verifier_contract.hpp"
+
+namespace zkdet::chain {
+
+namespace {
+// Equivalent bytecode size of a Solidity Plonk verifier with the vk
+// hard-coded (paper: ~1.64M gas to deploy; see Table II bench).
+constexpr std::size_t kVerifierCodeSize = 7960;
+}  // namespace
+
+PlonkVerifierContract::PlonkVerifierContract(plonk::VerifyingKey vk,
+                                             std::string label)
+    : Contract(std::move(label), kVerifierCodeSize), vk_(std::move(vk)) {}
+
+bool PlonkVerifierContract::verify(CallContext& ctx,
+                                   const std::vector<Fr>& public_inputs,
+                                   const plonk::Proof& proof) const {
+  const auto& g = ctx.chain().gas_schedule();
+  // calldata: proof + public inputs
+  ctx.gas().charge(g.calldata_byte *
+                   (plonk::Proof::size_bytes() + 32 * public_inputs.size()));
+  // pairing product over 2 pairs
+  ctx.gas().charge(g.pairing_base + 2 * g.pairing_per_pair);
+  // 18 scalar multiplications + 12 additions in G1 (paper VI-B.3)
+  ctx.gas().charge(18 * g.ecmul + 12 * g.ecadd);
+  // PI(zeta) evaluation: field work only, noise-floor pricing
+  ctx.gas().charge(g.compute_word * 64 * (public_inputs.size() + 1));
+  return plonk::verify(vk_, public_inputs, proof);
+}
+
+}  // namespace zkdet::chain

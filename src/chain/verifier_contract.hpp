@@ -1,0 +1,32 @@
+// On-chain Plonk verifier contract (paper VI-C.2).
+//
+// Holds a hard-coded verifying key (hence the large "bytecode") and
+// performs real Plonk verification, gas-priced like an EVM verifier
+// would be under EIP-1108: one 2-pair pairing check, 18 G1 scalar
+// multiplications and a handful of additions, plus calldata for the
+// 768-byte proof. Deployment is a one-time cost; verifications are
+// unlimited thereafter.
+#pragma once
+
+#include "chain/chain.hpp"
+#include "plonk/plonk.hpp"
+
+namespace zkdet::chain {
+
+class PlonkVerifierContract : public Contract {
+ public:
+  explicit PlonkVerifierContract(plonk::VerifyingKey vk,
+                                 std::string label = "PlonkVerifier");
+
+  // Gas-metered verification; returns the verdict (does not revert on an
+  // invalid proof so callers can branch).
+  bool verify(CallContext& ctx, const std::vector<Fr>& public_inputs,
+              const plonk::Proof& proof) const;
+
+  [[nodiscard]] const plonk::VerifyingKey& vk() const { return vk_; }
+
+ private:
+  plonk::VerifyingKey vk_;
+};
+
+}  // namespace zkdet::chain

@@ -1,0 +1,312 @@
+#include "core/apps.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace zkdet::core {
+
+using gadgets::FixOps;
+using gadgets::fix_encode;
+
+// --- Logistic regression ---
+
+LrDataset LrDataset::synthesize(std::size_t n, std::size_t k,
+                                crypto::Drbg& rng) {
+  LrDataset d;
+  d.n = n;
+  d.k = k;
+  d.x.reserve(n * k);
+  d.y.reserve(n);
+  // Ground-truth separator with small noise.
+  std::vector<double> w_true(k);
+  const auto unit = [&rng] {
+    return (static_cast<double>(rng() % 20001) - 10000.0) / 10000.0;
+  };
+  for (auto& w : w_true) w = unit();
+  for (std::size_t i = 0; i < n; ++i) {
+    double dot = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const double xi = unit();
+      d.x.push_back(xi);
+      dot += w_true[j] * xi;
+    }
+    const double noise = unit() * 0.1;
+    d.y.push_back(dot + noise > 0 ? 1.0 : 0.0);
+  }
+  return d;
+}
+
+std::vector<Fr> LrDataset::encode(const FixParams& p) const {
+  std::vector<Fr> out;
+  out.reserve(n * (k + 1));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) out.push_back(fix_encode(x[i * k + j], p));
+    out.push_back(fix_encode(y[i], p));
+  }
+  return out;
+}
+
+namespace {
+
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+std::vector<double> lr_gradient(const LrDataset& data,
+                                const std::vector<double>& beta) {
+  std::vector<double> grad(data.k + 1, 0.0);
+  for (std::size_t i = 0; i < data.n; ++i) {
+    double z = beta[0];
+    for (std::size_t j = 0; j < data.k; ++j) z += beta[j + 1] * data.x[i * data.k + j];
+    const double r = sigmoid(z) - data.y[i];
+    grad[0] += r;
+    for (std::size_t j = 0; j < data.k; ++j) grad[j + 1] += r * data.x[i * data.k + j];
+  }
+  for (auto& g : grad) g /= static_cast<double>(data.n);
+  return grad;
+}
+
+}  // namespace
+
+LrModel LrModel::train(const LrDataset& data, double alpha,
+                       std::size_t iterations) {
+  LrModel m;
+  m.beta.assign(data.k + 1, 0.0);
+  for (std::size_t it = 0; it < iterations; ++it) {
+    const std::vector<double> grad = lr_gradient(data, m.beta);
+    for (std::size_t j = 0; j <= data.k; ++j) m.beta[j] -= alpha * grad[j];
+  }
+  return m;
+}
+
+double LrModel::loss(const LrDataset& data) const {
+  double total = 0;
+  for (std::size_t i = 0; i < data.n; ++i) {
+    double z = beta[0];
+    for (std::size_t j = 0; j < data.k; ++j) z += beta[j + 1] * data.x[i * data.k + j];
+    const double h = std::min(std::max(sigmoid(z), 1e-9), 1.0 - 1e-9);
+    total += data.y[i] > 0.5 ? -std::log(h) : -std::log(1.0 - h);
+  }
+  return total / static_cast<double>(data.n);
+}
+
+double LrModel::accuracy(const LrDataset& data) const {
+  std::size_t hit = 0;
+  for (std::size_t i = 0; i < data.n; ++i) {
+    double z = beta[0];
+    for (std::size_t j = 0; j < data.k; ++j) z += beta[j + 1] * data.x[i * data.k + j];
+    if ((z > 0) == (data.y[i] > 0.5)) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(data.n);
+}
+
+TransformGadget lr_step_gadget(std::size_t n, std::size_t k, double alpha,
+                               LrModel model, double epsilon,
+                               FixParams params) {
+  return [n, k, alpha, model = std::move(model), epsilon,
+          params](CircuitBuilder& bld,
+                  std::span<const Wire> source) -> std::vector<Wire> {
+    assert(source.size() == n * (k + 1));
+    FixOps fx(bld, params);
+
+    // beta enters as auxiliary witness (the prover's current iterate).
+    std::vector<Wire> beta(k + 1);
+    for (std::size_t j = 0; j <= k; ++j) {
+      beta[j] = bld.add_witness(fix_encode(model.beta[j], params));
+    }
+
+    // Residuals r_i = sigmoid(beta0 + sum_j beta_j x_ij) - y_i.
+    std::vector<Wire> residuals(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::span<const Wire> xi = source.subspan(i * (k + 1), k);
+      const Wire yi = source[i * (k + 1) + k];
+      std::vector<Wire> terms(xi.begin(), xi.end());
+      std::vector<Wire> betas(beta.begin() + 1, beta.end());
+      Wire z = fx.inner(betas, terms);
+      z = fx.add(z, beta[0]);
+      residuals[i] = fx.sub(fx.sigmoid(z), yi);
+    }
+
+    // Gradient-descent update: beta'_j = beta_j - (alpha/n) sum_i x_ij r_i
+    // (the intercept column is implicitly all-ones).
+    const double scale = alpha / static_cast<double>(n);
+    std::vector<Wire> beta_next(k + 1);
+    beta_next[0] = fx.sub(beta[0], fx.mul_const(bld.sum(residuals), scale));
+    for (std::size_t j = 1; j <= k; ++j) {
+      std::vector<Wire> xcol(n);
+      for (std::size_t i = 0; i < n; ++i) xcol[i] = source[i * (k + 1) + (j - 1)];
+      beta_next[j] = fx.sub(beta[j], fx.mul_const(fx.inner(xcol, residuals), scale));
+    }
+
+    // Convergence: ||beta' - beta||^2 <= epsilon.
+    Wire dist2 = bld.zero();
+    for (std::size_t j = 0; j <= k; ++j) {
+      const Wire dj = fx.sub(beta_next[j], beta[j]);
+      dist2 = fx.add(dist2, fx.square(dj));
+    }
+    const Wire eps = fx.constant(epsilon);
+    const Wire diff = fx.sub(eps, dist2);
+    fx.assert_nonneg(diff);
+
+    return beta_next;
+  };
+}
+
+// --- Transformer ---
+
+TransformerWeights TransformerWeights::random(std::size_t d, std::size_t h,
+                                              crypto::Drbg& rng) {
+  TransformerWeights w;
+  w.d = d;
+  w.h = h;
+  const auto unit = [&rng] {
+    return (static_cast<double>(rng() % 2001) - 1000.0) / 2000.0;
+  };
+  const auto fill = [&](std::vector<double>& v, std::size_t len) {
+    v.resize(len);
+    for (auto& x : v) x = unit();
+  };
+  fill(w.wq, d * d);
+  fill(w.wk, d * d);
+  fill(w.wv, d * d);
+  fill(w.w1, d * h);
+  fill(w.b1, h);
+  fill(w.w2, h * d);
+  fill(w.b2, d);
+  return w;
+}
+
+std::size_t TransformerWeights::parameter_count() const {
+  return wq.size() + wk.size() + wv.size() + w1.size() + b1.size() +
+         w2.size() + b2.size();
+}
+
+namespace {
+
+// PL-exp used by the circuit; mirrored natively for expected outputs.
+double pl_exp(double t) {
+  // clamp to the gadget's domain
+  const double x0 = -12.0, x1 = 4.0;
+  const double step = (x1 - x0) / 64.0;
+  double x = std::min(std::max(t, x0), x1 - 1e-12);
+  const double seg = std::floor((x - x0) / step);
+  const double kx = x0 + seg * step;
+  const double y0 = std::exp(kx);
+  const double slope = (std::exp(kx + step) - y0) / step;
+  return y0 + slope * (x - kx);
+}
+
+}  // namespace
+
+std::vector<double> transformer_forward(const TransformerWeights& w,
+                                        const std::vector<double>& input,
+                                        std::size_t seq_len) {
+  const std::size_t d = w.d;
+  assert(input.size() == seq_len * d);
+  const auto matvec = [&](const std::vector<double>& m,
+                          const double* v, std::size_t rows,
+                          std::size_t cols, const double* bias) {
+    std::vector<double> out(cols, 0.0);
+    for (std::size_t c = 0; c < cols; ++c) {
+      double acc = bias != nullptr ? bias[c] : 0.0;
+      for (std::size_t r = 0; r < rows; ++r) acc += v[r] * m[r * cols + c];
+      out[c] = acc;
+    }
+    return out;
+  };
+  std::vector<std::vector<double>> q(seq_len), kk(seq_len), v(seq_len);
+  for (std::size_t i = 0; i < seq_len; ++i) {
+    q[i] = matvec(w.wq, &input[i * d], d, d, nullptr);
+    kk[i] = matvec(w.wk, &input[i * d], d, d, nullptr);
+    v[i] = matvec(w.wv, &input[i * d], d, d, nullptr);
+  }
+  const double inv_sqrt_d = 1.0 / std::sqrt(static_cast<double>(d));
+  std::vector<double> out(seq_len * d, 0.0);
+  for (std::size_t i = 0; i < seq_len; ++i) {
+    std::vector<double> e(seq_len);
+    double denom = 0;
+    for (std::size_t j = 0; j < seq_len; ++j) {
+      double dot = 0;
+      for (std::size_t c = 0; c < d; ++c) dot += q[i][c] * kk[j][c];
+      e[j] = pl_exp(dot * inv_sqrt_d);
+      denom += e[j];
+    }
+    std::vector<double> z(d, 0.0);
+    for (std::size_t j = 0; j < seq_len; ++j) {
+      const double a = e[j] / denom;
+      for (std::size_t c = 0; c < d; ++c) z[c] += a * v[j][c];
+    }
+    // FFN
+    std::vector<double> u = matvec(w.w1, z.data(), d, w.h, w.b1.data());
+    for (auto& x : u) x = std::max(0.0, x);
+    const std::vector<double> o = matvec(w.w2, u.data(), w.h, d, w.b2.data());
+    for (std::size_t c = 0; c < d; ++c) out[i * d + c] = o[c];
+  }
+  return out;
+}
+
+TransformGadget transformer_gadget(std::size_t seq_len, TransformerWeights w,
+                                   FixParams params) {
+  return [seq_len, w = std::move(w),
+          params](CircuitBuilder& bld,
+                  std::span<const Wire> source) -> std::vector<Wire> {
+    const std::size_t d = w.d;
+    assert(source.size() == seq_len * d);
+    FixOps fx(bld, params);
+
+    // Column c of a d x cols matrix as a double span.
+    const auto col = [](const std::vector<double>& m, std::size_t rows,
+                        std::size_t cols, std::size_t c) {
+      std::vector<double> out(rows);
+      for (std::size_t r = 0; r < rows; ++r) out[r] = m[r * cols + c];
+      return out;
+    };
+
+    std::vector<std::vector<Wire>> q(seq_len), kk(seq_len), v(seq_len);
+    for (std::size_t i = 0; i < seq_len; ++i) {
+      const std::span<const Wire> s_i = source.subspan(i * d, d);
+      q[i].resize(d);
+      kk[i].resize(d);
+      v[i].resize(d);
+      for (std::size_t c = 0; c < d; ++c) {
+        q[i][c] = fx.affine_const(s_i, col(w.wq, d, d, c), 0.0);
+        kk[i][c] = fx.affine_const(s_i, col(w.wk, d, d, c), 0.0);
+        v[i][c] = fx.affine_const(s_i, col(w.wv, d, d, c), 0.0);
+      }
+    }
+
+    const double inv_sqrt_d = 1.0 / std::sqrt(static_cast<double>(d));
+    std::vector<Wire> out;
+    out.reserve(seq_len * d);
+    for (std::size_t i = 0; i < seq_len; ++i) {
+      // attention scores -> PL exp -> normalized weights
+      std::vector<Wire> e(seq_len);
+      for (std::size_t j = 0; j < seq_len; ++j) {
+        const Wire dot = fx.inner(q[i], kk[j]);
+        e[j] = fx.exp(fx.mul_const(dot, inv_sqrt_d));
+      }
+      Wire denom = e[0];
+      for (std::size_t j = 1; j < seq_len; ++j) denom = fx.add(denom, e[j]);
+      std::vector<Wire> a(seq_len);
+      for (std::size_t j = 0; j < seq_len; ++j) {
+        a[j] = fx.div_nonneg(e[j], denom);
+      }
+      // z = sum_j a_j * v_j
+      std::vector<Wire> z(d);
+      for (std::size_t c = 0; c < d; ++c) {
+        std::vector<Wire> vcol(seq_len);
+        for (std::size_t j = 0; j < seq_len; ++j) vcol[j] = v[j][c];
+        z[c] = fx.inner(a, vcol);
+      }
+      // FFN: relu(z W1 + b1) W2 + b2
+      std::vector<Wire> u(w.h);
+      for (std::size_t c = 0; c < w.h; ++c) {
+        u[c] = fx.relu(fx.affine_const(z, col(w.w1, d, w.h, c), w.b1[c]));
+      }
+      for (std::size_t c = 0; c < d; ++c) {
+        out.push_back(fx.affine_const(u, col(w.w2, w.h, d, c), w.b2[c]));
+      }
+    }
+    return out;
+  };
+}
+
+}  // namespace zkdet::core

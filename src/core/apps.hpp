@@ -1,0 +1,88 @@
+// Data-processing applications (paper IV-E): proofs for model training.
+//
+// Both applications plug into TransformationProtocol::process() as
+// TransformGadgets over fixed-point-encoded source datasets, turning a
+// trained model into a sellable derived data asset whose provenance
+// proof shows it was really produced from the source dataset.
+//
+// Logistic regression (IV-E.1): the source encodes n points
+// [x_{i,1..k}, y_i]; the derived asset is the parameter vector
+// beta' = (beta_0..beta_k) after one verified gradient-descent step from
+// the prover's beta, together with the convergence check
+// ||beta' - beta||^2 <= epsilon — the paper's criterion that only the
+// last two iterates need to be proved. The in-circuit sigmoid is the
+// clamped piecewise-linear gadget (documented substitution).
+//
+// Transformer (IV-E.2): the source encodes L token embeddings of width
+// d; the derived asset is the output of one encoder block — scaled
+// dot-product attention (softmax via the PL exp gadget and a range-
+// checked division) followed by a two-layer ReLU feed-forward network —
+// under the prover's (constant) weight matrices.
+#pragma once
+
+#include "core/circuits.hpp"
+#include "crypto/rng.hpp"
+#include "gadgets/fixed_point.hpp"
+
+namespace zkdet::core {
+
+using gadgets::FixParams;
+
+// --- Logistic regression ---
+
+struct LrDataset {
+  std::size_t n = 0;  // points
+  std::size_t k = 0;  // features
+  std::vector<double> x;  // n*k row-major
+  std::vector<double> y;  // n labels in {0,1}
+
+  // Synthesizes a linearly-separable-ish dataset (the paper uses a
+  // proprietary tabular set; substitution documented in DESIGN.md).
+  static LrDataset synthesize(std::size_t n, std::size_t k,
+                              crypto::Drbg& rng);
+
+  // Fixed-point field encoding [x_i1..x_ik, y_i] per point.
+  [[nodiscard]] std::vector<Fr> encode(const FixParams& p) const;
+};
+
+struct LrModel {
+  std::vector<double> beta;  // k+1 params, beta[0] = intercept
+
+  // Plain gradient-descent training (native side).
+  static LrModel train(const LrDataset& data, double alpha,
+                       std::size_t iterations);
+  [[nodiscard]] double loss(const LrDataset& data) const;
+  [[nodiscard]] double accuracy(const LrDataset& data) const;
+};
+
+// Transform gadget proving one GD step from `model` over the encoded
+// dataset, with ||step||^2 <= epsilon. Output wires: beta' (k+1 values).
+TransformGadget lr_step_gadget(std::size_t n, std::size_t k, double alpha,
+                               LrModel model, double epsilon,
+                               FixParams params);
+
+// --- Transformer encoder block ---
+
+struct TransformerWeights {
+  std::size_t d = 0;  // model dim
+  std::size_t h = 0;  // FFN hidden dim
+  std::vector<double> wq, wk, wv;  // d*d row-major
+  std::vector<double> w1, b1;      // d*h, h
+  std::vector<double> w2, b2;      // h*d, d
+
+  static TransformerWeights random(std::size_t d, std::size_t h,
+                                   crypto::Drbg& rng);
+  [[nodiscard]] std::size_t parameter_count() const;
+};
+
+// Native forward pass mirroring the circuit semantics (PL exp, clamped).
+std::vector<double> transformer_forward(const TransformerWeights& w,
+                                        const std::vector<double>& input,
+                                        std::size_t seq_len);
+
+// Transform gadget for one encoder block over L embeddings of width d
+// (source length L*d). Output wires: L*d derived values.
+TransformGadget transformer_gadget(std::size_t seq_len, TransformerWeights w,
+                                   FixParams params);
+
+}  // namespace zkdet::core

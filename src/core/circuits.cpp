@@ -1,0 +1,183 @@
+#include "core/circuits.hpp"
+
+#include <cassert>
+
+#include "crypto/poseidon.hpp"
+
+namespace zkdet::core {
+
+using gadgets::mimc_ctr_encrypt_gadget;
+using gadgets::poseidon_commit_gadget;
+using gadgets::poseidon_hash_gadget;
+
+Fr commit_dataset(const std::vector<Fr>& data, const Fr& blinder) {
+  return crypto::PoseidonCommitment::commit_with(data, blinder);
+}
+
+Fr commit_key(const Fr& key, const Fr& blinder) {
+  return crypto::PoseidonCommitment::commit_with({key}, blinder);
+}
+
+Fr hash_key(const Fr& k_v) {
+  return crypto::poseidon_hash({k_v}, kKeyHashTag);
+}
+
+namespace {
+
+// Allocates witness wires for a dataset.
+std::vector<Wire> witness_wires(CircuitBuilder& bld,
+                                const std::vector<Fr>& data) {
+  std::vector<Wire> out;
+  out.reserve(data.size());
+  for (const Fr& d : data) out.push_back(bld.add_witness(d));
+  return out;
+}
+
+// Binds `computed` to a fresh public input carrying the same value.
+void expose(CircuitBuilder& bld, Wire computed) {
+  const Wire pub = bld.add_public_input(bld.value(computed));
+  bld.assert_equal(pub, computed);
+}
+
+}  // namespace
+
+CircuitBuilder build_encryption_circuit(const std::vector<Fr>& plain,
+                                        const Fr& key, const Fr& nonce,
+                                        const Fr& blinder) {
+  CircuitBuilder bld;
+  const Wire nonce_w = bld.add_public_input(nonce);
+  const std::vector<Wire> plain_w = witness_wires(bld, plain);
+  const Wire key_w = bld.add_witness(key);
+  const Wire blinder_w = bld.add_witness(blinder);
+
+  const Wire commitment = poseidon_commit_gadget(bld, plain_w, blinder_w);
+  expose(bld, commitment);
+
+  const std::vector<Wire> ct =
+      mimc_ctr_encrypt_gadget(bld, key_w, nonce_w, plain_w);
+  for (const Wire c : ct) expose(bld, c);
+  return bld;
+}
+
+CircuitBuilder build_duplication_circuit(const std::vector<Fr>& source,
+                                         const Fr& o_s, const Fr& o_d) {
+  CircuitBuilder bld;
+  const std::vector<Wire> s_w = witness_wires(bld, source);
+  const Wire os_w = bld.add_witness(o_s);
+  const Wire od_w = bld.add_witness(o_d);
+  // d_i = s_i is enforced by using the same wires in both commitments
+  // (n = m structurally).
+  expose(bld, poseidon_commit_gadget(bld, s_w, os_w));
+  expose(bld, poseidon_commit_gadget(bld, s_w, od_w));
+  return bld;
+}
+
+CircuitBuilder build_aggregation_circuit(
+    const std::vector<std::vector<Fr>>& sources, const std::vector<Fr>& o_s,
+    const Fr& o_d) {
+  assert(sources.size() == o_s.size() && !sources.empty());
+  CircuitBuilder bld;
+  std::vector<Wire> all;
+  for (std::size_t k = 0; k < sources.size(); ++k) {
+    const std::vector<Wire> s_w = witness_wires(bld, sources[k]);
+    const Wire ok_w = bld.add_witness(o_s[k]);
+    expose(bld, poseidon_commit_gadget(bld, s_w, ok_w));
+    all.insert(all.end(), s_w.begin(), s_w.end());
+  }
+  // m = sum n_k and d_{offset+j} = s_kj hold structurally: the derived
+  // commitment closes over exactly the concatenated source wires.
+  const Wire od_w = bld.add_witness(o_d);
+  expose(bld, poseidon_commit_gadget(bld, all, od_w));
+  return bld;
+}
+
+CircuitBuilder build_partition_circuit(const std::vector<Fr>& source,
+                                       const std::vector<std::size_t>& sizes,
+                                       const Fr& o_s,
+                                       const std::vector<Fr>& o_d) {
+  assert(sizes.size() == o_d.size());
+  std::size_t total = 0;
+  for (const std::size_t s : sizes) {
+    assert(s > 0 && "empty parts are not a valid partition");
+    total += s;
+  }
+  assert(total == source.size() && "partition must be exhaustive");
+
+  CircuitBuilder bld;
+  const std::vector<Wire> s_w = witness_wires(bld, source);
+  const Wire os_w = bld.add_witness(o_s);
+  expose(bld, poseidon_commit_gadget(bld, s_w, os_w));
+  // Contiguous split: exhaustive and mutually exclusive by construction.
+  std::size_t off = 0;
+  for (std::size_t k = 0; k < sizes.size(); ++k) {
+    const std::span<const Wire> part(s_w.data() + off, sizes[k]);
+    const Wire ok_w = bld.add_witness(o_d[k]);
+    expose(bld, poseidon_commit_gadget(bld, part, ok_w));
+    off += sizes[k];
+  }
+  return bld;
+}
+
+CircuitBuilder build_processing_circuit(const std::vector<Fr>& source,
+                                        const Fr& o_s, const Fr& o_d,
+                                        const TransformGadget& transform) {
+  CircuitBuilder bld;
+  const std::vector<Wire> s_w = witness_wires(bld, source);
+  const Wire os_w = bld.add_witness(o_s);
+  expose(bld, poseidon_commit_gadget(bld, s_w, os_w));
+  const std::vector<Wire> d_w = transform(bld, s_w);
+  const Wire od_w = bld.add_witness(o_d);
+  expose(bld, poseidon_commit_gadget(bld, d_w, od_w));
+  return bld;
+}
+
+CircuitBuilder build_exchange_data_circuit(const std::vector<Fr>& plain,
+                                           const Fr& key, const Fr& nonce,
+                                           const Fr& blinder,
+                                           const Predicate& phi) {
+  CircuitBuilder bld;
+  const Wire nonce_w = bld.add_public_input(nonce);
+  const std::vector<Wire> plain_w = witness_wires(bld, plain);
+  const Wire key_w = bld.add_witness(key);
+  const Wire blinder_w = bld.add_witness(blinder);
+
+  if (phi) phi(bld, plain_w);
+
+  expose(bld, poseidon_commit_gadget(bld, plain_w, blinder_w));
+  const std::vector<Wire> ct =
+      mimc_ctr_encrypt_gadget(bld, key_w, nonce_w, plain_w);
+  for (const Wire c : ct) expose(bld, c);
+  return bld;
+}
+
+CircuitBuilder build_disclosure_circuit(const std::vector<Fr>& plain,
+                                        const Fr& blinder, std::size_t index) {
+  assert(index < plain.size());
+  CircuitBuilder bld;
+  const std::vector<Wire> plain_w = witness_wires(bld, plain);
+  const Wire blinder_w = bld.add_witness(blinder);
+  expose(bld, poseidon_commit_gadget(bld, plain_w, blinder_w));
+  expose(bld, plain_w[index]);
+  return bld;
+}
+
+CircuitBuilder build_key_circuit(const Fr& key, const Fr& key_blinder,
+                                 const Fr& k_v) {
+  CircuitBuilder bld;
+  const Wire k_w = bld.add_witness(key);
+  const Wire o_w = bld.add_witness(key_blinder);
+  const Wire kv_w = bld.add_witness(k_v);
+
+  // k_c = k + k_v (public, first)
+  const Wire kc = bld.add(k_w, kv_w);
+  expose(bld, kc);
+  // c = Commit(k, o)
+  const Wire kw_arr[1] = {k_w};
+  expose(bld, poseidon_commit_gadget(bld, kw_arr, o_w));
+  // h_v = H(k_v)
+  const Wire kv_arr[1] = {kv_w};
+  expose(bld, poseidon_hash_gadget(bld, kv_arr, kKeyHashTag));
+  return bld;
+}
+
+}  // namespace zkdet::core

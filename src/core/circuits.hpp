@@ -1,0 +1,105 @@
+// The ZKDET relation circuits (paper IV-B, IV-D, IV-F).
+//
+// Each build_* function lays the relation into a CircuitBuilder with
+// concrete values, producing both the constraint system (shape depends
+// only on sizes) and the witness. Key generation uses an instance with
+// placeholder values of the same sizes; proving uses the real ones.
+//
+// Public input orders are part of the protocol and are consumed by the
+// on-chain verifier contracts:
+//   pi_e  : nonce, c_s, ct[0..n)                      (encryption proof)
+//   pi_t  : per formula, commitments in source->derived order
+//   pi_p  : nonce, c_d, ct[0..n)                      (+ predicate consts)
+//   pi_k  : k_c, c, h_v                               (key proof)
+#pragma once
+
+#include <functional>
+
+#include "gadgets/builder.hpp"
+#include "gadgets/hash_gadgets.hpp"
+
+namespace zkdet::core {
+
+using ff::Fr;
+using gadgets::CircuitBuilder;
+using gadgets::Wire;
+
+// Domain tag for H(k_v) in the exchange protocol (must match the
+// ZkcpArbiter / key-negotiation hashing).
+inline constexpr std::uint64_t kKeyHashTag = 0x6b6579;  // "key"
+
+// A predicate phi over the plaintext dataset: receives the dataset wires
+// and must add constraints (paper III-C / IV-F). The trivial predicate
+// adds none.
+using Predicate = std::function<void(CircuitBuilder&, std::span<const Wire>)>;
+
+// --- pi_e: proof of encryption ---
+// statement: ct = MiMC-CTR_k(nonce, plain)  AND  c_s = Commit(plain, o)
+// public:  nonce, c_s, ct[i]
+// witness: plain[i], k, o
+CircuitBuilder build_encryption_circuit(const std::vector<Fr>& plain,
+                                        const Fr& key, const Fr& nonce,
+                                        const Fr& blinder);
+
+// --- pi_t: duplication (paper IV-D.1) ---
+// public: c_s, c_d; witness: S (= D), o_s, o_d
+CircuitBuilder build_duplication_circuit(const std::vector<Fr>& source,
+                                         const Fr& o_s, const Fr& o_d);
+
+// --- pi_t: aggregation (paper IV-D.2) ---
+// public: c_s[k] for each source, then c_d
+// witness: sources, blinders; D = concat(S_1..S_x) enforced by sharing
+// wires between source commitments and the derived commitment.
+CircuitBuilder build_aggregation_circuit(
+    const std::vector<std::vector<Fr>>& sources, const std::vector<Fr>& o_s,
+    const Fr& o_d);
+
+// --- pi_t: partition (paper IV-D.3) ---
+// public: c_s, then c_d[k] for each part
+// witness: S, blinders. Parts are contiguous, exhaustive and mutually
+// exclusive by construction (each part size must be nonzero).
+CircuitBuilder build_partition_circuit(const std::vector<Fr>& source,
+                                       const std::vector<std::size_t>& sizes,
+                                       const Fr& o_s,
+                                       const std::vector<Fr>& o_d);
+
+// --- pi_t: processing (paper IV-D.4) ---
+// public: c_s, c_d (plus whatever the transform adds)
+// witness: S, D, blinders, transform-internal aux.
+// `transform` receives the source wires and must return the derived
+// wires, adding the constraints that tie them together.
+using TransformGadget = std::function<std::vector<Wire>(
+    CircuitBuilder&, std::span<const Wire> source)>;
+CircuitBuilder build_processing_circuit(const std::vector<Fr>& source,
+                                        const Fr& o_s, const Fr& o_d,
+                                        const TransformGadget& transform);
+
+// --- pi_p: exchange data-validation proof (paper IV-F phase 1) ---
+// statement: phi(D)=1 AND ct = Enc(k, D) AND Open(D, c_d, o_d)=1
+// public: nonce, c_d, ct[i]
+CircuitBuilder build_exchange_data_circuit(const std::vector<Fr>& plain,
+                                           const Fr& key, const Fr& nonce,
+                                           const Fr& blinder,
+                                           const Predicate& phi);
+
+// --- pi_k: key-negotiation proof (paper IV-F phase 2) ---
+// statement: Open(k, c, o)=1 AND h_v = H(k_v) AND k_c = k + k_v
+// public: k_c, c, h_v; witness: k, o, k_v
+CircuitBuilder build_key_circuit(const Fr& key, const Fr& key_blinder,
+                                 const Fr& k_v);
+
+// --- pi_s: sample-disclosure proof (marketplace extension) ---
+// The seller reveals one plaintext entry and proves it belongs to the
+// committed dataset: Open(D, c_d, o)=1 AND D[index] = value. The index
+// is a circuit constant (part of the shape); public: c_d, value.
+// Lets buyers inspect sample rows before paying without the seller
+// being able to show rows from a different dataset.
+CircuitBuilder build_disclosure_circuit(const std::vector<Fr>& plain,
+                                        const Fr& blinder, std::size_t index);
+
+// Native-side helpers shared with the circuits.
+Fr commit_dataset(const std::vector<Fr>& data, const Fr& blinder);
+Fr commit_key(const Fr& key, const Fr& blinder);
+Fr hash_key(const Fr& k_v);
+
+}  // namespace zkdet::core

@@ -1,0 +1,216 @@
+#include "core/exchange.hpp"
+
+#include "crypto/mimc.hpp"
+
+namespace zkdet::core {
+
+namespace {
+
+std::string pi_p_shape(const std::string& predicate_tag, std::size_t n) {
+  return "pi_p/" + predicate_tag + "/" + std::to_string(n);
+}
+
+}  // namespace
+
+std::optional<Offer> KeySecureExchange::make_offer(
+    const OwnedAsset& asset, const Predicate& phi,
+    const std::string& predicate_tag) {
+  gadgets::CircuitBuilder bld = build_exchange_data_circuit(
+      asset.plain, asset.key, asset.nonce, asset.data_blinder, phi);
+  const std::string shape_id = pi_p_shape(predicate_tag, asset.plain.size());
+  const auto& keys = sys_.keys_for(shape_id, bld.cs());
+  auto proof = plonk::prove(keys.pk, bld.cs(), sys_.srs(), bld.witness(),
+                            sys_.rng());
+  if (!proof) return std::nullopt;
+  Offer offer;
+  offer.token_id = asset.token_id;
+  offer.shape_id = shape_id;
+  offer.predicate_tag = predicate_tag;
+  offer.proof_p = *proof;
+  return offer;
+}
+
+bool KeySecureExchange::verify_offer(const Offer& offer) const {
+  const auto info = sys_.nft().token(offer.token_id);
+  const auto* enc = transform_.encryption_record(offer.token_id);
+  if (!info || enc == nullptr) return false;
+  if (enc->data_cid.as_field() != info->uri) return false;
+  const auto blob = sys_.storage().get(enc->data_cid);
+  if (!blob) return false;
+  const auto ct = storage::blob_to_dataset(*blob);
+  if (!ct) return false;
+
+  const plonk::KeyPairResult* keys = sys_.find_keys(offer.shape_id);
+  if (keys == nullptr) return false;
+  std::vector<Fr> publics;
+  publics.reserve(ct->size() + 2);
+  publics.push_back(enc->nonce);
+  publics.push_back(info->data_commitment);
+  publics.insert(publics.end(), ct->begin(), ct->end());
+  return plonk::verify(keys->vk, publics, offer.proof_p);
+}
+
+std::optional<BuyerSession> KeySecureExchange::lock_payment(
+    const crypto::KeyPair& buyer, const Offer& offer, std::uint64_t amount,
+    std::uint64_t timeout_blocks, const chain::Address& seller) {
+  const auto info = sys_.nft().token(offer.token_id);
+  if (!info) return std::nullopt;
+  const chain::Address pay_seller = seller.empty() ? info->owner : seller;
+
+  BuyerSession session;
+  session.token_id = offer.token_id;
+  session.k_v = sys_.rng().random_fr();
+  const Fr h_v = hash_key(session.k_v);
+
+  const auto receipt = sys_.chain().call(
+      buyer, "arbiter.lock",
+      [&](chain::CallContext& ctx) {
+        session.exchange_id =
+            sys_.arbiter().lock(ctx, pay_seller, h_v, info->key_commitment,
+                                timeout_blocks);
+      },
+      /*value=*/amount, /*pay_to=*/sys_.arbiter().address());
+  if (!receipt.success) return std::nullopt;
+  return session;
+}
+
+bool KeySecureExchange::settle(const crypto::KeyPair& seller,
+                               const OwnedAsset& asset,
+                               std::uint64_t exchange_id, const Fr& k_v) {
+  // Seller-side sanity: the buyer's k_v must hash to the on-chain h_v
+  // (an honest seller aborts before proving otherwise — paper V-B).
+  const auto xinfo = sys_.arbiter().exchange(exchange_id);
+  if (!xinfo || hash_key(k_v) != xinfo->h_v) return false;
+  if (xinfo->key_commitment != commit_key(asset.key, asset.key_blinder)) {
+    return false;  // exchange is not about this asset's key
+  }
+
+  const Fr k_c = asset.key + k_v;
+  gadgets::CircuitBuilder bld =
+      build_key_circuit(asset.key, asset.key_blinder, k_v);
+  const auto& keys = sys_.keys_for("pi_k", bld.cs());
+  auto proof = plonk::prove(keys.pk, bld.cs(), sys_.srs(), bld.witness(),
+                            sys_.rng());
+  if (!proof) return false;
+
+  const auto receipt = sys_.chain().call(
+      seller, "arbiter.settle", [&](chain::CallContext& ctx) {
+        sys_.arbiter().settle(ctx, exchange_id, k_c, *proof);
+      });
+  return receipt.success;
+}
+
+std::optional<std::vector<Fr>> KeySecureExchange::recover_data(
+    const BuyerSession& session) const {
+  const auto xinfo = sys_.arbiter().exchange(session.exchange_id);
+  if (!xinfo || xinfo->state != chain::ExchangeState::kSettled) {
+    return std::nullopt;
+  }
+  const Fr k = xinfo->k_c - session.k_v;
+
+  const auto* enc = transform_.encryption_record(session.token_id);
+  if (enc == nullptr) return std::nullopt;
+  const auto blob = sys_.storage().get(enc->data_cid);
+  if (!blob) return std::nullopt;
+  const auto ct = storage::blob_to_dataset(*blob);
+  if (!ct) return std::nullopt;
+  return crypto::mimc_ctr_decrypt(k, enc->nonce, *ct);
+}
+
+bool KeySecureExchange::refund(const crypto::KeyPair& buyer,
+                               std::uint64_t exchange_id) {
+  const auto receipt = sys_.chain().call(
+      buyer, "arbiter.refund", [&](chain::CallContext& ctx) {
+        sys_.arbiter().refund(ctx, exchange_id);
+      });
+  return receipt.success;
+}
+
+std::optional<KeySecureExchange::Sample> KeySecureExchange::disclose_sample(
+    const OwnedAsset& asset, std::size_t index) {
+  if (index >= asset.plain.size()) return std::nullopt;
+  gadgets::CircuitBuilder bld =
+      build_disclosure_circuit(asset.plain, asset.data_blinder, index);
+  const std::string shape_id = "pi_s/" + std::to_string(asset.plain.size()) +
+                               "/" + std::to_string(index);
+  const auto& keys = sys_.keys_for(shape_id, bld.cs());
+  auto proof = plonk::prove(keys.pk, bld.cs(), sys_.srs(), bld.witness(),
+                            sys_.rng());
+  if (!proof) return std::nullopt;
+  Sample s;
+  s.token_id = asset.token_id;
+  s.index = index;
+  s.value = asset.plain[index];
+  s.shape_id = shape_id;
+  s.proof = *proof;
+  return s;
+}
+
+bool KeySecureExchange::verify_sample(const Sample& sample) const {
+  const auto info = sys_.nft().token(sample.token_id);
+  if (!info) return false;
+  const plonk::KeyPairResult* keys = sys_.find_keys(sample.shape_id);
+  if (keys == nullptr) return false;
+  // statement: (c_d from chain, revealed value)
+  return plonk::verify(keys->vk, {info->data_commitment, sample.value},
+                       sample.proof);
+}
+
+// --- ZKCP baseline ---
+
+std::optional<Offer> ZkcpExchange::make_offer(const OwnedAsset& asset,
+                                              const Predicate& phi,
+                                              const std::string& predicate_tag) {
+  // Identical phase-1 relation; reuse the key-secure implementation and
+  // additionally publish h = H(k) as ZKCP's Deliver step requires.
+  KeySecureExchange ks(sys_, transform_);
+  auto offer = ks.make_offer(asset, phi, predicate_tag);
+  if (offer) offer->key_hash = hash_key(asset.key);
+  return offer;
+}
+
+bool ZkcpExchange::verify_offer(const Offer& offer) const {
+  KeySecureExchange ks(sys_, const_cast<TransformationProtocol&>(transform_));
+  return ks.verify_offer(offer);
+}
+
+std::optional<std::uint64_t> ZkcpExchange::lock_payment(
+    const crypto::KeyPair& buyer, const Offer& offer, std::uint64_t amount) {
+  const auto info = sys_.nft().token(offer.token_id);
+  if (!info) return std::nullopt;
+  // In ZKCP the buyer locks against h = H(k) received from the seller
+  // with the offer.
+  std::uint64_t id = 0;
+  const auto receipt = sys_.chain().call(
+      buyer, "zkcp.lock",
+      [&](chain::CallContext& ctx) {
+        id = sys_.zkcp_arbiter().lock(ctx, info->owner, offer.key_hash);
+      },
+      /*value=*/amount, /*pay_to=*/sys_.zkcp_arbiter().address());
+  if (!receipt.success) return std::nullopt;
+  return id;
+}
+
+bool ZkcpExchange::open(const crypto::KeyPair& seller, const OwnedAsset& asset,
+                        std::uint64_t exchange_id) {
+  const auto receipt = sys_.chain().call(
+      seller, "zkcp.open", [&](chain::CallContext& ctx) {
+        sys_.zkcp_arbiter().open(ctx, exchange_id, asset.key);
+      });
+  return receipt.success;
+}
+
+std::optional<std::vector<Fr>> ZkcpExchange::eavesdrop(
+    std::uint64_t exchange_id, std::uint64_t token_id) const {
+  const auto leaked = sys_.zkcp_arbiter().leaked_key(exchange_id);
+  if (!leaked) return std::nullopt;
+  const auto* enc = transform_.encryption_record(token_id);
+  if (enc == nullptr) return std::nullopt;
+  const auto blob = sys_.storage().get(enc->data_cid);
+  if (!blob) return std::nullopt;
+  const auto ct = storage::blob_to_dataset(*blob);
+  if (!ct) return std::nullopt;
+  return crypto::mimc_ctr_decrypt(*leaked, enc->nonce, *ct);
+}
+
+}  // namespace zkdet::core

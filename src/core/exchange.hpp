@@ -1,0 +1,129 @@
+// Data exchange protocols.
+//
+// KeySecureExchange — the paper's two-phase key-secure protocol (IV-F):
+//   Phase 1 (data validation): the seller proves pi_p — the publicly
+//   stored ciphertext encrypts a committed dataset satisfying phi — and
+//   the buyer verifies it off-chain, picks k_v, sends it to the seller
+//   off-chain and locks payment on-chain with h_v = H(k_v).
+//   Phase 2 (key negotiation): the seller publishes k_c = k + k_v with
+//   pi_k; the arbiter contract verifies pi_k on-chain and releases the
+//   payment; the buyer recovers k = k_c - k_v and decrypts. k never
+//   appears on-chain, so the public ciphertext stays private.
+//
+// ZkcpExchange — the classic ZKCP baseline (III-C): same phase 1, but
+// settlement reveals k on-chain; everyone can then decrypt the public
+// ciphertext. Implemented to demonstrate the flaw and as the Fig. 7
+// comparison baseline (its Groth16-style verification carries an
+// ell-term G1 MSM + 3 pairings; see Groth16CostVerifier).
+#pragma once
+
+#include "core/system.hpp"
+#include "core/transformation.hpp"
+
+namespace zkdet::core {
+
+// The seller's public offer: everything a buyer needs to validate the
+// data before paying (paper IV-F data validation phase).
+struct Offer {
+  std::uint64_t token_id = 0;
+  std::string shape_id;       // pi_p circuit shape
+  std::string predicate_tag;  // human-readable phi description
+  plonk::Proof proof_p;
+  Fr key_hash;  // ZKCP baseline only: h = H(k) published by the seller
+};
+
+// The buyer's local session secrets.
+struct BuyerSession {
+  std::uint64_t exchange_id = 0;
+  std::uint64_t token_id = 0;
+  Fr k_v;  // secret; its hash h_v is on-chain
+};
+
+class KeySecureExchange {
+ public:
+  KeySecureExchange(ZkdetSystem& sys, TransformationProtocol& transform)
+      : sys_(sys), transform_(transform) {}
+
+  // Seller: phase-1 proof over the asset's ciphertext and predicate.
+  std::optional<Offer> make_offer(const OwnedAsset& asset,
+                                  const Predicate& phi,
+                                  const std::string& predicate_tag);
+
+  // Buyer: verify pi_p against on-chain commitment + stored ciphertext.
+  [[nodiscard]] bool verify_offer(const Offer& offer) const;
+
+  // Buyer: choose k_v, lock payment with h_v. Returns the session; k_v
+  // must then be sent to the seller off-chain (the caller does this by
+  // handing session.k_v to the seller's settle()). `seller` is the data
+  // seller (key holder) the escrow pays out to; when empty it defaults
+  // to the token's current owner — pass it explicitly when the token
+  // itself already changed hands (e.g. bought at auction) but the key is
+  // still being purchased from the original owner.
+  std::optional<BuyerSession> lock_payment(const crypto::KeyPair& buyer,
+                                           const Offer& offer,
+                                           std::uint64_t amount,
+                                           std::uint64_t timeout_blocks,
+                                           const chain::Address& seller = {});
+
+  // Seller: derive k_c = k + k_v, prove pi_k, settle on-chain. Returns
+  // false if the chain rejects (e.g. forged k_v hash).
+  bool settle(const crypto::KeyPair& seller, const OwnedAsset& asset,
+              std::uint64_t exchange_id, const Fr& k_v);
+
+  // Buyer: read k_c off-chain state, recover k, fetch and decrypt.
+  [[nodiscard]] std::optional<std::vector<Fr>> recover_data(
+      const BuyerSession& session) const;
+
+  // Buyer: reclaim an expired escrow.
+  bool refund(const crypto::KeyPair& buyer, std::uint64_t exchange_id);
+
+  // --- sample disclosure (marketplace extension) ---
+  // Seller: reveal entry `index` of the asset's plaintext with a proof
+  // pi_s that it opens the token's on-chain commitment.
+  struct Sample {
+    std::uint64_t token_id = 0;
+    std::size_t index = 0;
+    Fr value;
+    std::string shape_id;
+    plonk::Proof proof;
+  };
+  std::optional<Sample> disclose_sample(const OwnedAsset& asset,
+                                        std::size_t index);
+  // Anyone: check the revealed entry against the chain.
+  [[nodiscard]] bool verify_sample(const Sample& sample) const;
+
+ private:
+  ZkdetSystem& sys_;
+  TransformationProtocol& transform_;
+};
+
+class ZkcpExchange {
+ public:
+  ZkcpExchange(ZkdetSystem& sys, TransformationProtocol& transform)
+      : sys_(sys), transform_(transform) {}
+
+  // Same data-validation phase as the key-secure protocol.
+  std::optional<Offer> make_offer(const OwnedAsset& asset,
+                                  const Predicate& phi,
+                                  const std::string& predicate_tag) ;
+  [[nodiscard]] bool verify_offer(const Offer& offer) const;
+
+  // Buyer locks against h = H(k).
+  std::optional<std::uint64_t> lock_payment(const crypto::KeyPair& buyer,
+                                            const Offer& offer,
+                                            std::uint64_t amount);
+  // Seller reveals k on-chain to redeem (the leak).
+  bool open(const crypto::KeyPair& seller, const OwnedAsset& asset,
+            std::uint64_t exchange_id);
+
+  // ANY third party can now decrypt the public ciphertext — this is the
+  // vulnerability the key-secure protocol eliminates.
+  [[nodiscard]] std::optional<std::vector<Fr>> eavesdrop(
+      std::uint64_t exchange_id, std::uint64_t token_id) const;
+
+ private:
+  ZkdetSystem& sys_;
+  TransformationProtocol& transform_;
+};
+
+}  // namespace zkdet::core

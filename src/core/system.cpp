@@ -1,0 +1,50 @@
+#include "core/system.hpp"
+
+#include <stdexcept>
+
+#include "core/circuits.hpp"
+
+namespace zkdet::core {
+
+ZkdetSystem::ZkdetSystem(std::size_t max_constraints, std::uint64_t seed)
+    : rng_("zkdet-system", seed),
+      operator_keys_(crypto::KeyPair::generate(rng_)),
+      srs_(plonk::Srs::setup(max_constraints + 16, rng_)),
+      storage_(/*num_nodes=*/4, /*replication=*/2) {
+  chain_.create_account(operator_keys_, 1'000'000'000);
+
+  nft_ = &chain_.deploy<chain::DataNft>(operator_keys_, nullptr);
+  auction_ = &chain_.deploy<chain::ClockAuction>(operator_keys_, nullptr, *nft_);
+
+  // The pi_k circuit shape is fixed; preprocess it now and deploy the
+  // on-chain verifier with its vk baked in.
+  gadgets::CircuitBuilder kb = build_key_circuit(
+      ff::Fr::from_u64(1), ff::Fr::from_u64(2), ff::Fr::from_u64(3));
+  const auto& keys = keys_for("pi_k", kb.cs());
+  key_verifier_ = &chain_.deploy<chain::PlonkVerifierContract>(
+      operator_keys_, nullptr, keys.vk, "PlonkVerifier(pi_k)");
+  arbiter_ = &chain_.deploy<chain::KeySecureArbiter>(operator_keys_, nullptr,
+                                                     *key_verifier_);
+  zkcp_arbiter_ = &chain_.deploy<chain::ZkcpArbiter>(operator_keys_, nullptr);
+}
+
+const plonk::KeyPairResult& ZkdetSystem::keys_for(
+    const std::string& shape_id, const plonk::ConstraintSystem& cs) {
+  const auto it = key_cache_.find(shape_id);
+  if (it != key_cache_.end()) return it->second;
+  auto keys = plonk::preprocess(cs, srs_);
+  if (!keys) {
+    throw std::runtime_error("SRS too small for circuit shape " + shape_id +
+                             " (domain " + std::to_string(cs.domain_size()) +
+                             ")");
+  }
+  return key_cache_.emplace(shape_id, std::move(*keys)).first->second;
+}
+
+const plonk::KeyPairResult* ZkdetSystem::find_keys(
+    const std::string& shape_id) const {
+  const auto it = key_cache_.find(shape_id);
+  return it == key_cache_.end() ? nullptr : &it->second;
+}
+
+}  // namespace zkdet::core

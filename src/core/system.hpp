@@ -1,0 +1,67 @@
+// ZkdetSystem: one fully-deployed ZKDET instance.
+//
+// Bundles the substrates (chain + contracts, storage network, SRS) and
+// the proving-key cache. The universal SRS is set up once (paper VI-B.1)
+// and reused by every circuit; per-shape preprocessing happens on first
+// use and is cached, mirroring how the paper's deployment compiles each
+// Circom circuit once.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "chain/arbiter.hpp"
+#include "chain/auction.hpp"
+#include "chain/chain.hpp"
+#include "chain/nft.hpp"
+#include "chain/verifier_contract.hpp"
+#include "plonk/plonk.hpp"
+#include "storage/storage.hpp"
+
+namespace zkdet::core {
+
+class ZkdetSystem {
+ public:
+  // max_constraints bounds the largest circuit the SRS supports.
+  explicit ZkdetSystem(std::size_t max_constraints, std::uint64_t seed = 7);
+
+  [[nodiscard]] chain::Chain& chain() { return chain_; }
+  [[nodiscard]] storage::StorageNetwork& storage() { return storage_; }
+  [[nodiscard]] chain::DataNft& nft() { return *nft_; }
+  [[nodiscard]] chain::ClockAuction& auction() { return *auction_; }
+  [[nodiscard]] chain::KeySecureArbiter& arbiter() { return *arbiter_; }
+  [[nodiscard]] chain::ZkcpArbiter& zkcp_arbiter() { return *zkcp_arbiter_; }
+  [[nodiscard]] chain::PlonkVerifierContract& key_verifier() {
+    return *key_verifier_;
+  }
+  [[nodiscard]] const plonk::Srs& srs() const { return srs_; }
+  [[nodiscard]] crypto::Drbg& rng() { return rng_; }
+  [[nodiscard]] const crypto::KeyPair& operator_keys() const {
+    return operator_keys_;
+  }
+
+  // Returns cached keys for `shape_id`, preprocessing `cs` on first use.
+  // Different instances of the same logical circuit must produce
+  // identical constraint systems (shape ids encode all size parameters).
+  const plonk::KeyPairResult& keys_for(const std::string& shape_id,
+                                       const plonk::ConstraintSystem& cs);
+  // Lookup-only variant for verifiers; nullptr if never preprocessed.
+  [[nodiscard]] const plonk::KeyPairResult* find_keys(
+      const std::string& shape_id) const;
+
+ private:
+  crypto::Drbg rng_;
+  crypto::KeyPair operator_keys_;
+  plonk::Srs srs_;
+  chain::Chain chain_;
+  storage::StorageNetwork storage_;
+  chain::DataNft* nft_ = nullptr;
+  chain::ClockAuction* auction_ = nullptr;
+  chain::PlonkVerifierContract* key_verifier_ = nullptr;
+  chain::KeySecureArbiter* arbiter_ = nullptr;
+  chain::ZkcpArbiter* zkcp_arbiter_ = nullptr;
+  std::map<std::string, plonk::KeyPairResult> key_cache_;
+};
+
+}  // namespace zkdet::core

@@ -1,0 +1,77 @@
+#include "crypto/mimc.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace zkdet::crypto {
+
+namespace {
+
+Fr field_from_hash(const std::array<std::uint8_t, 32>& h) {
+  // Interpret as a 256-bit integer and reduce mod r; the tiny bias is
+  // irrelevant for round constants.
+  return Fr::reduce_from(ff::u256_from_bytes(h));
+}
+
+}  // namespace
+
+const std::vector<Fr>& mimc_round_constants() {
+  static const std::vector<Fr> table = [] {
+    std::vector<Fr> t;
+    t.reserve(kMimcRounds);
+    t.push_back(Fr::zero());
+    std::array<std::uint8_t, 32> cur = Sha256::digest(std::string("zkdet-mimc7-seed"));
+    for (std::size_t i = 1; i < kMimcRounds; ++i) {
+      cur = Sha256::digest(cur);
+      t.push_back(field_from_hash(cur));
+    }
+    return t;
+  }();
+  return table;
+}
+
+Fr mimc_encrypt_block(const Fr& key, const Fr& msg) {
+  const auto& c = mimc_round_constants();
+  Fr t = msg;
+  for (std::size_t i = 0; i < kMimcRounds; ++i) {
+    const Fr base = t + key + c[i];
+    const Fr b2 = base.square();
+    const Fr b4 = b2.square();
+    t = b4 * b2 * base;  // base^7
+  }
+  return t + key;
+}
+
+std::vector<Fr> mimc_ctr_encrypt(const Fr& key, const Fr& nonce,
+                                 const std::vector<Fr>& plain) {
+  std::vector<Fr> out;
+  out.reserve(plain.size());
+  Fr ctr = nonce;
+  for (const Fr& d : plain) {
+    out.push_back(d + mimc_encrypt_block(key, ctr));
+    ctr += Fr::one();
+  }
+  return out;
+}
+
+std::vector<Fr> mimc_ctr_decrypt(const Fr& key, const Fr& nonce,
+                                 const std::vector<Fr>& cipher) {
+  std::vector<Fr> out;
+  out.reserve(cipher.size());
+  Fr ctr = nonce;
+  for (const Fr& c : cipher) {
+    out.push_back(c - mimc_encrypt_block(key, ctr));
+    ctr += Fr::one();
+  }
+  return out;
+}
+
+Fr mimc_hash(const std::vector<Fr>& msg, const Fr& key) {
+  // Miyaguchi-Preneel: h_{i+1} = E_{h_i}(m_i) + h_i + m_i
+  Fr h = key;
+  for (const Fr& m : msg) {
+    h = mimc_encrypt_block(h, m) + h + m;
+  }
+  return h;
+}
+
+}  // namespace zkdet::crypto

@@ -1,0 +1,42 @@
+// MiMC-p/p block cipher over the BN-254 scalar field (Albrecht et al.,
+// ASIACRYPT'16), in the MiMC-7 instantiation the paper adopts from
+// circomlib: 91 rounds, non-linear permutation x^7.
+//
+//   E_k(m):  t_0 = m;  t_{i+1} = (t_i + k + c_i)^7;  E_k(m) = t_91 + k
+//
+// with c_0 = 0 and round constants c_i derived deterministically from
+// SHA-256 (documented substitution for circomlib's Keccak chain; the
+// constraint structure and count are identical).
+//
+// MiMC-CTR is the dataset encryption mode of the paper (IV-C.1):
+//   cipher_i = d_i + E_k(nonce + i)
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ff/bn254.hpp"
+
+namespace zkdet::crypto {
+
+using ff::Fr;
+
+inline constexpr std::size_t kMimcRounds = 91;
+
+// The 91 round constants (c_0 == 0).
+const std::vector<Fr>& mimc_round_constants();
+
+// One block: E_k(m).
+Fr mimc_encrypt_block(const Fr& key, const Fr& msg);
+
+// MiMC in CTR mode over a vector of field elements.
+std::vector<Fr> mimc_ctr_encrypt(const Fr& key, const Fr& nonce,
+                                 const std::vector<Fr>& plain);
+std::vector<Fr> mimc_ctr_decrypt(const Fr& key, const Fr& nonce,
+                                 const std::vector<Fr>& cipher);
+
+// Keyed MiMC hash (Miyaguchi-Preneel style sponge over blocks) — used as
+// a circuit-friendly PRF for key derivation in the exchange protocol.
+Fr mimc_hash(const std::vector<Fr>& msg, const Fr& key = Fr::zero());
+
+}  // namespace zkdet::crypto

@@ -1,0 +1,127 @@
+#include "crypto/poseidon.hpp"
+
+#include <cassert>
+#include <map>
+#include <mutex>
+
+#include "crypto/sha256.hpp"
+
+namespace zkdet::crypto {
+
+namespace {
+
+// Deterministic field element stream: SHA-256("zkdet-poseidon", t, i).
+Fr derive_constant(std::size_t t, std::uint64_t i) {
+  Sha256 h;
+  h.update(std::string("zkdet-poseidon"));
+  std::array<std::uint8_t, 16> idx{};
+  for (int k = 0; k < 8; ++k) {
+    idx[static_cast<std::size_t>(k)] = static_cast<std::uint8_t>(static_cast<std::uint64_t>(t) >> (k * 8));
+    idx[static_cast<std::size_t>(8 + k)] = static_cast<std::uint8_t>(i >> (k * 8));
+  }
+  h.update(idx);
+  return Fr::reduce_from(ff::u256_from_bytes(h.finalize()));
+}
+
+PoseidonParams make_params(std::size_t t) {
+  PoseidonParams p;
+  p.t = t;
+  p.rf = 8;
+  p.rp = 60;
+  const std::size_t rounds = p.rf + p.rp;
+  p.ark.reserve(rounds * t);
+  for (std::size_t i = 0; i < rounds * t; ++i) {
+    p.ark.push_back(derive_constant(t, i));
+  }
+  // Cauchy MDS: M[i][j] = 1 / (x_i + y_j), x_i = i, y_j = t + j.
+  // All x_i + y_j in [t, 3t-2] are distinct nonzero field elements, so the
+  // matrix is invertible (Cauchy) and has no zero entries.
+  p.mds.reserve(t * t);
+  for (std::size_t i = 0; i < t; ++i) {
+    for (std::size_t j = 0; j < t; ++j) {
+      p.mds.push_back(Fr::from_u64(i + t + j).inverse());
+    }
+  }
+  return p;
+}
+
+Fr sbox(const Fr& x) {
+  const Fr x2 = x.square();
+  return x2.square() * x;  // x^5
+}
+
+}  // namespace
+
+const PoseidonParams& PoseidonParams::get(std::size_t t) {
+  assert(t >= 2 && t <= 8);
+  static std::map<std::size_t, PoseidonParams> cache;
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(t);
+  if (it == cache.end()) it = cache.emplace(t, make_params(t)).first;
+  return it->second;
+}
+
+void poseidon_permute(const PoseidonParams& params, std::vector<Fr>& state) {
+  const std::size_t t = params.t;
+  assert(state.size() == t);
+  const std::size_t half_f = params.rf / 2;
+  const std::size_t rounds = params.rf + params.rp;
+  std::vector<Fr> next(t);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    // AddRoundKey
+    for (std::size_t i = 0; i < t; ++i) state[i] += params.ark[r * t + i];
+    // S-box layer (full on outer rounds, first element only on partial)
+    const bool full = r < half_f || r >= half_f + params.rp;
+    if (full) {
+      for (auto& x : state) x = sbox(x);
+    } else {
+      state[0] = sbox(state[0]);
+    }
+    // MDS mix
+    for (std::size_t i = 0; i < t; ++i) {
+      Fr acc = Fr::zero();
+      for (std::size_t j = 0; j < t; ++j) {
+        acc += params.mds[i * t + j] * state[j];
+      }
+      next[i] = acc;
+    }
+    state.swap(next);
+  }
+}
+
+Fr poseidon_hash(const std::vector<Fr>& input, std::uint64_t domain_tag,
+                 std::size_t t) {
+  const auto& params = PoseidonParams::get(t);
+  const std::size_t rate = t - 1;
+  std::vector<Fr> state(t, Fr::zero());
+  // capacity element carries the domain tag and the input length so that
+  // different-length inputs can never collide by padding.
+  state[t - 1] = Fr::from_u64(domain_tag) +
+                 Fr::from_u64(input.size()) * Fr::from_u64(1ull << 32);
+  std::size_t off = 0;
+  do {
+    for (std::size_t i = 0; i < rate && off < input.size(); ++i, ++off) {
+      state[i] += input[off];
+    }
+    poseidon_permute(params, state);
+  } while (off < input.size());
+  return state[0];
+}
+
+Fr poseidon_hash2(const Fr& left, const Fr& right) {
+  return poseidon_hash({left, right}, /*domain_tag=*/2, /*t=*/3);
+}
+
+Fr PoseidonCommitment::commit_with(const std::vector<Fr>& msg, const Fr& blinder) {
+  std::vector<Fr> in = msg;
+  in.push_back(blinder);
+  return poseidon_hash(in, /*domain_tag=*/0x434f4d, /*t=*/3);  // "COM"
+}
+
+bool PoseidonCommitment::open(const std::vector<Fr>& msg, const Fr& commitment,
+                              const Fr& blinder) {
+  return commit_with(msg, blinder) == commitment;
+}
+
+}  // namespace zkdet::crypto

@@ -1,0 +1,45 @@
+#include "crypto/rng.hpp"
+
+#include <cstring>
+#include <random>
+
+namespace zkdet::crypto {
+
+Drbg::Drbg(std::uint64_t seed) : Drbg("zkdet-drbg", seed) {}
+
+Drbg::Drbg(std::string_view label, std::uint64_t seed) {
+  Sha256 h;
+  h.update(std::string(label));
+  std::array<std::uint8_t, 8> sb{};
+  for (int i = 0; i < 8; ++i) sb[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(seed >> (i * 8));
+  h.update(sb);
+  key_ = h.finalize();
+}
+
+Drbg Drbg::from_os_entropy() {
+  std::random_device rd;
+  const std::uint64_t seed =
+      (static_cast<std::uint64_t>(rd()) << 32) | rd();
+  return Drbg("zkdet-drbg-os", seed);
+}
+
+void Drbg::refill() {
+  Sha256 h;
+  h.update(key_);
+  std::array<std::uint8_t, 8> cb{};
+  for (int i = 0; i < 8; ++i) cb[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(counter_ >> (i * 8));
+  h.update(cb);
+  block_ = h.finalize();
+  ++counter_;
+  offset_ = 0;
+}
+
+Drbg::result_type Drbg::operator()() {
+  if (offset_ + 8 > 32) refill();
+  std::uint64_t out = 0;
+  std::memcpy(&out, block_.data() + offset_, 8);
+  offset_ += 8;
+  return out;
+}
+
+}  // namespace zkdet::crypto

@@ -1,0 +1,41 @@
+// Deterministic random bit generator (SHA-256 in counter mode).
+//
+// One seeded generator per protocol party keeps every test, example and
+// bench reproducible; production use would seed from the OS entropy pool
+// via Drbg::from_os_entropy().
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "crypto/sha256.hpp"
+#include "ff/bn254.hpp"
+
+namespace zkdet::crypto {
+
+class Drbg {
+ public:
+  explicit Drbg(std::uint64_t seed);
+  Drbg(std::string_view label, std::uint64_t seed);
+
+  [[nodiscard]] static Drbg from_os_entropy();
+
+  // UniformRandomBitGenerator interface.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()();
+
+  [[nodiscard]] ff::Fr random_fr() { return ff::random_field<ff::Fr>(*this); }
+
+ private:
+  void refill();
+
+  std::array<std::uint8_t, 32> key_{};
+  std::uint64_t counter_ = 0;
+  std::array<std::uint8_t, 32> block_{};
+  std::size_t offset_ = 32;  // force refill on first use
+};
+
+}  // namespace zkdet::crypto

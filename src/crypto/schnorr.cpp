@@ -1,0 +1,51 @@
+#include "crypto/schnorr.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace zkdet::crypto {
+
+namespace {
+
+Fr challenge(const G1& r, const G1& pk, std::span<const std::uint8_t> msg) {
+  Sha256 h;
+  h.update(std::string("zkdet-schnorr"));
+  const auto rb = ec::g1_to_bytes(r);
+  const auto pb = ec::g1_to_bytes(pk);
+  h.update(rb);
+  h.update(pb);
+  h.update(msg);
+  return Fr::reduce_from(ff::u256_from_bytes(h.finalize()));
+}
+
+}  // namespace
+
+KeyPair KeyPair::generate(Drbg& rng) {
+  KeyPair kp;
+  kp.sk = rng.random_fr();
+  kp.pk = G1::generator().mul(kp.sk);
+  return kp;
+}
+
+Signature schnorr_sign(const KeyPair& keys, std::span<const std::uint8_t> msg,
+                       Drbg& rng) {
+  const Fr k = rng.random_fr();
+  Signature sig;
+  sig.r = G1::generator().mul(k);
+  const Fr e = challenge(sig.r, keys.pk, msg);
+  sig.s = k + e * keys.sk;
+  return sig;
+}
+
+bool schnorr_verify(const G1& pk, std::span<const std::uint8_t> msg,
+                    const Signature& sig) {
+  if (pk.is_identity()) return false;
+  const Fr e = challenge(sig.r, pk, msg);
+  return G1::generator().mul(sig.s) == sig.r + pk.mul(e);
+}
+
+std::string address_of(const G1& pk) {
+  const auto digest = Sha256::digest(ec::g1_to_bytes(pk));
+  return "0x" + hex_encode(std::span<const std::uint8_t>(digest.data(), 20));
+}
+
+}  // namespace zkdet::crypto

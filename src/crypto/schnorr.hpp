@@ -1,0 +1,42 @@
+// Schnorr signatures over BN-254 G1.
+//
+// Transaction authentication for the chain substrate (the substitution
+// for Ethereum's secp256k1 ECDSA documented in DESIGN.md): sk in Fr,
+// pk = sk*G; sign: R = k*G, e = H(R || pk || msg), s = k + e*sk;
+// verify: s*G == R + e*pk.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/rng.hpp"
+#include "ec/curve.hpp"
+
+namespace zkdet::crypto {
+
+using ec::G1;
+using ff::Fr;
+
+struct Signature {
+  G1 r;
+  Fr s;
+};
+
+struct KeyPair {
+  Fr sk;
+  G1 pk;
+
+  static KeyPair generate(Drbg& rng);
+};
+
+Signature schnorr_sign(const KeyPair& keys, std::span<const std::uint8_t> msg,
+                       Drbg& rng);
+bool schnorr_verify(const G1& pk, std::span<const std::uint8_t> msg,
+                    const Signature& sig);
+
+// Short printable account address derived from a public key (first 20
+// bytes of SHA-256(pk), Ethereum-style).
+std::string address_of(const G1& pk);
+
+}  // namespace zkdet::crypto

@@ -1,0 +1,41 @@
+// SHA-256 (FIPS 180-4), from scratch.
+//
+// Used for: Fiat-Shamir transcript hashing, content addressing (CIDs) in
+// the storage substrate, derivation of MiMC/Poseidon round constants,
+// and as the "traditional hash" baseline in the circuit-cost benches.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace zkdet::crypto {
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(std::span<const std::uint8_t> data);
+  void update(const std::string& s);
+  // Finalizes and returns the digest; the object must not be reused.
+  [[nodiscard]] std::array<std::uint8_t, 32> finalize();
+
+  [[nodiscard]] static std::array<std::uint8_t, 32> digest(
+      std::span<const std::uint8_t> data);
+  [[nodiscard]] static std::array<std::uint8_t, 32> digest(const std::string& s);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finalized_ = false;
+};
+
+std::string hex_encode(std::span<const std::uint8_t> data);
+
+}  // namespace zkdet::crypto

@@ -1,0 +1,169 @@
+// Short-Weierstrass curve points (a = 0) in Jacobian coordinates,
+// templated over the coordinate field so that BN-254 G1 (over Fp) and
+// G2 (over Fp2, the sextic twist) share one implementation.
+//
+// Traits contract:
+//   using Field = ...;
+//   static const Field& b();            // curve constant
+//   static const Field& gen_x();        // affine generator
+//   static const Field& gen_y();
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ff/bn254.hpp"
+#include "ff/fp2.hpp"
+
+namespace zkdet::ec {
+
+using ff::Fr;
+using ff::U256;
+
+template <typename Traits>
+struct Point {
+  using F = typename Traits::Field;
+
+  // Jacobian: affine (X/Z^2, Y/Z^3); Z == 0 encodes the identity.
+  F X{};
+  F Y{};
+  F Z{};
+
+  Point() : X(F::zero()), Y(F::one()), Z(F::zero()) {}
+  Point(const F& x, const F& y, const F& z) : X(x), Y(y), Z(z) {}
+
+  [[nodiscard]] static Point identity() { return Point{}; }
+  [[nodiscard]] static Point generator() {
+    return from_affine(Traits::gen_x(), Traits::gen_y());
+  }
+  [[nodiscard]] static Point from_affine(const F& x, const F& y) {
+    return Point{x, y, F::one()};
+  }
+
+  [[nodiscard]] bool is_identity() const { return Z.is_zero(); }
+
+  // Affine coordinates; must not be called on the identity.
+  void to_affine(F& x, F& y) const {
+    assert(!is_identity());
+    const F zinv = Z.inverse();
+    const F zinv2 = zinv.square();
+    x = X * zinv2;
+    y = Y * zinv2 * zinv;
+  }
+
+  [[nodiscard]] bool on_curve() const {
+    if (is_identity()) return true;
+    // Y^2 = X^3 + b Z^6
+    const F z2 = Z.square();
+    const F z6 = z2.square() * z2;
+    return Y.square() == X.square() * X + Traits::b() * z6;
+  }
+
+  bool operator==(const Point& o) const {
+    if (is_identity() || o.is_identity()) {
+      return is_identity() && o.is_identity();
+    }
+    // cross-multiply to compare affine coordinates
+    const F z1_2 = Z.square();
+    const F z2_2 = o.Z.square();
+    if (X * z2_2 != o.X * z1_2) return false;
+    return Y * z2_2 * o.Z == o.Y * z1_2 * Z;
+  }
+  bool operator!=(const Point& o) const { return !(*this == o); }
+
+  [[nodiscard]] Point dbl() const {
+    if (is_identity()) return *this;
+    // dbl-2009-l formulas for a = 0
+    const F A = X.square();
+    const F B = Y.square();
+    const F C = B.square();
+    F D = (X + B).square() - A - C;
+    D = D + D;
+    const F E = A + A + A;
+    const F Fq = E.square();
+    const F X3 = Fq - (D + D);
+    F eight_c = C + C;
+    eight_c = eight_c + eight_c;
+    eight_c = eight_c + eight_c;
+    const F Y3 = E * (D - X3) - eight_c;
+    const F Z3 = (Y * Z) + (Y * Z);
+    return Point{X3, Y3, Z3};
+  }
+
+  [[nodiscard]] Point operator+(const Point& o) const {
+    if (is_identity()) return o;
+    if (o.is_identity()) return *this;
+    // add-2007-bl
+    const F Z1Z1 = Z.square();
+    const F Z2Z2 = o.Z.square();
+    const F U1 = X * Z2Z2;
+    const F U2 = o.X * Z1Z1;
+    const F S1 = Y * o.Z * Z2Z2;
+    const F S2 = o.Y * Z * Z1Z1;
+    if (U1 == U2) {
+      if (S1 == S2) return dbl();
+      return identity();
+    }
+    const F H = U2 - U1;
+    F I = H + H;
+    I = I.square();
+    const F J = H * I;
+    F rr = S2 - S1;
+    rr = rr + rr;
+    const F V = U1 * I;
+    const F X3 = rr.square() - J - V - V;
+    F S1J = S1 * J;
+    const F Y3 = rr * (V - X3) - (S1J + S1J);
+    const F Z3 = ((Z + o.Z).square() - Z1Z1 - Z2Z2) * H;
+    return Point{X3, Y3, Z3};
+  }
+
+  Point& operator+=(const Point& o) { return *this = *this + o; }
+
+  [[nodiscard]] Point operator-() const {
+    if (is_identity()) return *this;
+    return Point{X, -Y, Z};
+  }
+  [[nodiscard]] Point operator-(const Point& o) const { return *this + (-o); }
+
+  [[nodiscard]] Point mul(const U256& k) const {
+    Point acc = identity();
+    for (std::size_t i = k.bit_length(); i-- > 0;) {
+      acc = acc.dbl();
+      if (k.bit(i)) acc += *this;
+    }
+    return acc;
+  }
+  [[nodiscard]] Point mul(const Fr& k) const { return mul(k.to_canonical()); }
+};
+
+struct G1Traits {
+  using Field = ff::Fp;
+  static const Field& b();
+  static const Field& gen_x();
+  static const Field& gen_y();
+};
+
+struct G2Traits {
+  using Field = ff::Fp2;
+  static const Field& b();
+  static const Field& gen_x();
+  static const Field& gen_y();
+};
+
+using G1 = Point<G1Traits>;
+using G2 = Point<G2Traits>;
+
+// 64-byte uncompressed affine serialization of a G1 point (x||y big
+// endian); the identity serializes as all zeros.
+std::vector<std::uint8_t> g1_to_bytes(const G1& p);
+std::vector<std::uint8_t> g2_to_bytes(const G2& p);
+
+// Deserialization; rejects (nullopt) malformed encodings and points
+// that are not on the curve.
+std::optional<G1> g1_from_bytes(std::span<const std::uint8_t> bytes);
+std::optional<G2> g2_from_bytes(std::span<const std::uint8_t> bytes);
+
+}  // namespace zkdet::ec

@@ -1,0 +1,142 @@
+#include "ec/msm.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <thread>
+
+namespace zkdet::ec {
+
+namespace {
+
+std::size_t pick_window(std::size_t n) {
+  if (n < 32) return 3;
+  std::size_t c = 3;
+  while ((1ull << (c + 1)) < n && c < 16) ++c;
+  return c;
+}
+
+template <typename Point>
+Point msm_naive_impl(std::span<const Fr> scalars, std::span<const Point> points) {
+  assert(scalars.size() == points.size());
+  Point acc = Point::identity();
+  for (std::size_t i = 0; i < scalars.size(); ++i) {
+    acc += points[i].mul(scalars[i]);
+  }
+  return acc;
+}
+
+template <typename Point>
+Point msm_impl(std::span<const Fr> scalars, std::span<const Point> points) {
+  assert(scalars.size() == points.size());
+  const std::size_t n = scalars.size();
+  if (n == 0) return Point::identity();
+  if (n < 8) return msm_naive_impl(scalars, points);
+
+  const std::size_t c = pick_window(n);
+  const std::size_t num_windows = (254 + c - 1) / c;
+  std::vector<U256> ks(n);
+  for (std::size_t i = 0; i < n; ++i) ks[i] = scalars[i].to_canonical();
+
+  std::vector<Point> window_sums(num_windows, Point::identity());
+
+  const auto process_window = [&](std::size_t w) {
+    std::vector<Point> buckets((1ull << c) - 1, Point::identity());
+    const std::size_t bit_off = w * c;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t digit = 0;
+      for (std::size_t b = 0; b < c; ++b) {
+        const std::size_t bit = bit_off + b;
+        if (bit < 256 && ks[i].bit(bit)) digit |= (1ull << b);
+      }
+      if (digit != 0) buckets[digit - 1] += points[i];
+    }
+    // running-sum trick: sum_j j * bucket[j]
+    Point running = Point::identity();
+    Point acc = Point::identity();
+    for (std::size_t j = buckets.size(); j-- > 0;) {
+      running += buckets[j];
+      acc += running;
+    }
+    window_sums[w] = acc;
+  };
+
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t workers = std::min(hw, num_windows);
+  if (workers <= 1) {
+    for (std::size_t w = 0; w < num_windows; ++w) process_window(w);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    std::atomic<std::size_t> next{0};
+    for (std::size_t t = 0; t < workers; ++t) {
+      threads.emplace_back([&] {
+        for (;;) {
+          const std::size_t w = next.fetch_add(1);
+          if (w >= num_windows) return;
+          process_window(w);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+
+  Point result = Point::identity();
+  for (std::size_t w = num_windows; w-- > 0;) {
+    for (std::size_t b = 0; b < c; ++b) result = result.dbl();
+    result += window_sums[w];
+  }
+  return result;
+}
+
+// Fixed-base table: table[w][b] = (b+1) * 2^(8w) * G for the generator.
+template <typename Point>
+const std::vector<std::array<Point, 255>>& generator_table() {
+  static const std::vector<std::array<Point, 255>> table = [] {
+    std::vector<std::array<Point, 255>> t(32);
+    Point base = Point::generator();
+    for (std::size_t w = 0; w < 32; ++w) {
+      Point acc = base;
+      for (std::size_t b = 0; b < 255; ++b) {
+        t[w][b] = acc;
+        acc += base;
+      }
+      base = acc;  // 256 * old base
+    }
+    return t;
+  }();
+  return table;
+}
+
+template <typename Point>
+Point fixed_mul(const Fr& k) {
+  const U256 v = k.to_canonical();
+  const auto& table = generator_table<Point>();
+  Point acc = Point::identity();
+  for (std::size_t w = 0; w < 32; ++w) {
+    const std::uint8_t byte =
+        static_cast<std::uint8_t>(v.limb[w / 8] >> ((w % 8) * 8));
+    if (byte != 0) acc += table[w][byte - 1];
+  }
+  return acc;
+}
+
+}  // namespace
+
+G1 msm_naive(std::span<const Fr> scalars, std::span<const G1> points) {
+  return msm_naive_impl(scalars, points);
+}
+
+G1 msm(std::span<const Fr> scalars, std::span<const G1> points) {
+  return msm_impl(scalars, points);
+}
+
+G2 msm_g2(std::span<const Fr> scalars, std::span<const G2> points) {
+  return msm_impl(scalars, points);
+}
+
+G1 g1_mul_generator(const Fr& k) { return fixed_mul<G1>(k); }
+G2 g2_mul_generator(const Fr& k) { return fixed_mul<G2>(k); }
+
+}  // namespace zkdet::ec

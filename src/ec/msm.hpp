@@ -1,0 +1,29 @@
+// Multi-scalar multiplication (Pippenger's bucket method) over G1.
+//
+// The Plonk prover's hot loop is committing polynomials: an n-term MSM
+// against the SRS powers. Buckets are processed per signed window, with
+// windows distributed across hardware threads (each window is
+// independent; only the final Horner-style combine is sequential).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ec/curve.hpp"
+
+namespace zkdet::ec {
+
+// sum_i scalars[i] * points[i]; sizes must match.
+G1 msm(std::span<const Fr> scalars, std::span<const G1> points);
+G2 msm_g2(std::span<const Fr> scalars, std::span<const G2> points);
+
+// Naive double-and-add reference (used by tests to cross-check Pippenger).
+G1 msm_naive(std::span<const Fr> scalars, std::span<const G1> points);
+
+// Windowed fixed-base multiplication of the group generator (tables are
+// built once per process); used by SRS generation and Groth16 setup
+// where thousands of generator multiples are needed.
+G1 g1_mul_generator(const Fr& k);
+G2 g2_mul_generator(const Fr& k);
+
+}  // namespace zkdet::ec

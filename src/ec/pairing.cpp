@@ -1,0 +1,113 @@
+#include "ec/pairing.hpp"
+
+#include <cassert>
+
+#include "ff/bigint.hpp"
+
+namespace zkdet::ec {
+
+using ff::BigUInt;
+using ff::Fp;
+using ff::Fp2;
+using ff::U256;
+
+namespace {
+
+const BigUInt& final_exponent() {
+  static const BigUInt e = [] {
+    BigUInt acc = BigUInt::from_u64(1);
+    for (int i = 0; i < 12; ++i) acc.mul_u256(Fp::MOD);
+    acc.sub_u64(1);
+    U256 rem{};
+    BigUInt q = ff::bigint_div_u256(acc, Fr::MOD, &rem);
+    assert(rem.is_zero() && "r must divide p^12 - 1");
+    return q;
+  }();
+  return e;
+}
+
+struct AffineG1 {
+  Fp x;
+  Fp y;
+};
+
+// Line through T (doubling tangent) evaluated at untwisted Q=(xq w^2, yq w^3):
+//   l = (lambda * x_t - y_t) + (-lambda * xq) w^2 + yq w^3
+void eval_line(const Fp& lambda, const AffineG1& t, const Fp2& xq, const Fp2& yq,
+               Fp2& l0, Fp2& l2, Fp2& l3) {
+  l0 = Fp2{lambda * t.x - t.y, Fp::zero()};
+  l2 = xq.scale(-lambda);
+  l3 = yq;
+}
+
+}  // namespace
+
+Fp12 miller_loop(const G1& p, const G2& q) {
+  if (p.is_identity() || q.is_identity()) return Fp12::one();
+  AffineG1 pa;
+  p.to_affine(pa.x, pa.y);
+  Fp2 xq, yq;
+  q.to_affine(xq, yq);
+
+  const U256 r = Fr::MOD;
+  Fp12 f = Fp12::one();
+  AffineG1 t = pa;
+  bool t_is_identity = false;
+
+  Fp2 l0, l2, l3;
+  for (std::size_t i = r.bit_length() - 1; i-- > 0;) {
+    if (!t_is_identity) {
+      f = f.square();
+      // doubling line at t: lambda = 3 x^2 / 2y
+      const Fp lambda =
+          (t.x.square() * Fp::from_u64(3)) * (t.y.dbl()).inverse();
+      eval_line(lambda, t, xq, yq, l0, l2, l3);
+      f = f.mul_line(l0, l2, l3);
+      // t = 2t (affine)
+      const Fp x3 = lambda.square() - t.x.dbl();
+      const Fp y3 = lambda * (t.x - x3) - t.y;
+      t = {x3, y3};
+    } else {
+      f = f.square();
+    }
+    if (r.bit(i) && !t_is_identity) {
+      if (t.x == pa.x && t.y == -pa.y) {
+        // vertical line (t = -P): value lies in Fp6, killed by the final
+        // exponentiation; the sum is the identity.
+        t_is_identity = true;
+      } else if (t.x == pa.x && t.y == pa.y) {
+        // would be a doubling; cannot occur for 1 < s < r-1
+        assert(false && "unexpected doubling in Miller addition step");
+      } else {
+        const Fp lambda = (pa.y - t.y) * (pa.x - t.x).inverse();
+        eval_line(lambda, t, xq, yq, l0, l2, l3);
+        f = f.mul_line(l0, l2, l3);
+        const Fp x3 = lambda.square() - t.x - pa.x;
+        const Fp y3 = lambda * (t.x - x3) - t.y;
+        t = {x3, y3};
+      }
+    }
+  }
+  assert(t_is_identity && "Miller loop must land on the identity (ord P = r)");
+  return f;
+}
+
+Fp12 final_exponentiation(const Fp12& f) { return f.pow(final_exponent()); }
+
+Fp12 pairing(const G1& p, const G2& q) {
+  return final_exponentiation(miller_loop(p, q));
+}
+
+bool pairing_product_is_one(const G1& a1, const G2& a2, const G1& b1,
+                            const G2& b2) {
+  const Fp12 f = miller_loop(a1, a2) * miller_loop(b1, b2);
+  return final_exponentiation(f).is_one();
+}
+
+bool pairing_product_is_one(std::span<const std::pair<G1, G2>> pairs) {
+  Fp12 f = Fp12::one();
+  for (const auto& [p, q] : pairs) f *= miller_loop(p, q);
+  return final_exponentiation(f).is_one();
+}
+
+}  // namespace zkdet::ec

@@ -1,0 +1,47 @@
+// Reduced Tate pairing on BN-254.
+//
+//   e : G1 x G2 -> mu_r in Fp12,  e(P, Q) = f_{r,P}(psi(Q))^((p^12-1)/r)
+//
+// where psi is the untwist E'(Fp2) -> E(Fp12), (x, y) -> (x w^2, y w^3)
+// with Fp12 = Fp2[w]/(w^6 - xi). The Miller loop runs over the 254-bit
+// group order r; line functions are computed from affine G1 arithmetic
+// (cheap Fp slopes) and evaluated at the untwisted Q as sparse Fp12
+// elements. Vertical lines land in the subfield Fp6 = Fp2[w^2] and are
+// annihilated by the final exponentiation (denominator elimination), so
+// they are skipped. The final exponent (p^12-1)/r is computed once as a
+// big integer and applied by plain square-and-multiply.
+//
+// This is the paper-substrate substitution documented in DESIGN.md:
+// identical bilinear map to the optimal-ate pairing used by Snarkjs,
+// with a simpler, slower Miller loop.
+#pragma once
+
+#include <span>
+#include <utility>
+
+#include "ec/curve.hpp"
+#include "ff/fp12.hpp"
+
+namespace zkdet::ec {
+
+using ff::Fp12;
+
+// Miller loop only (no final exponentiation); multiply several of these
+// together before a single shared final exponentiation.
+Fp12 miller_loop(const G1& p, const G2& q);
+
+// Full reduced Tate pairing. Returns 1 for identity inputs.
+Fp12 pairing(const G1& p, const G2& q);
+
+// Checks e(a1, a2) * e(b1, b2) == 1 with one shared final exponentiation.
+// The standard KZG verification shape: pass b1 = -C.
+bool pairing_product_is_one(const G1& a1, const G2& a2, const G1& b1,
+                            const G2& b2);
+
+// General product check over any number of pairs (Groth16 uses four).
+bool pairing_product_is_one(std::span<const std::pair<G1, G2>> pairs);
+
+// f^((p^12-1)/r)
+Fp12 final_exponentiation(const Fp12& f);
+
+}  // namespace zkdet::ec

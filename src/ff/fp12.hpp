@@ -1,0 +1,57 @@
+// Dodecic extension Fp12 = Fp2[w] / (w^6 - xi), xi = 9 + u.
+//
+// We use the direct sextic representation (six Fp2 coefficients of powers
+// of w) instead of the usual 2-3-2 tower: multiplication is schoolbook
+// with a single reduction w^6 -> xi, and the Frobenius map has the clean
+// closed form (a_i w^i)^p = conj(a_i) * gamma^i * w^i with
+// gamma = xi^((p-1)/6). All Frobenius coefficients are computed at
+// startup from the modulus rather than hand-transcribed.
+//
+// Fp6 = Fp2[w^2] is the subfield spanned by even powers of w; pairing
+// denominator elimination relies on vertical lines landing there.
+#pragma once
+
+#include <array>
+
+#include "ff/bigint.hpp"
+#include "ff/fp2.hpp"
+
+namespace zkdet::ff {
+
+struct Fp12 {
+  std::array<Fp2, 6> c{};  // c[i] is the coefficient of w^i
+
+  [[nodiscard]] static Fp12 zero() { return {}; }
+  [[nodiscard]] static Fp12 one() {
+    Fp12 r;
+    r.c[0] = Fp2::one();
+    return r;
+  }
+
+  [[nodiscard]] bool is_zero() const;
+  [[nodiscard]] bool is_one() const;
+  bool operator==(const Fp12& o) const { return c == o.c; }
+  bool operator!=(const Fp12& o) const { return !(*this == o); }
+
+  Fp12 operator+(const Fp12& o) const;
+  Fp12 operator-(const Fp12& o) const;
+  Fp12 operator*(const Fp12& o) const;
+  Fp12& operator*=(const Fp12& o) { return *this = *this * o; }
+
+  [[nodiscard]] Fp12 square() const { return *this * *this; }
+
+  // x -> x^(p^power) for power in [0, 12).
+  [[nodiscard]] Fp12 frobenius(unsigned power = 1) const;
+
+  // Multiplicative inverse via the Fp12/Fp2 Galois norm; zero maps to zero.
+  [[nodiscard]] Fp12 inverse() const;
+
+  [[nodiscard]] Fp12 pow(const U256& e) const;
+  [[nodiscard]] Fp12 pow(const BigUInt& e) const;
+
+  // Sparse multiply by (l0 + l2 w^2 + l3 w^3): the shape of a pairing
+  // doubling/addition line evaluated at an untwisted G2 point.
+  [[nodiscard]] Fp12 mul_line(const Fp2& l0, const Fp2& l2, const Fp2& l3) const;
+};
+
+}  // namespace zkdet::ff

@@ -1,0 +1,131 @@
+#include "ff/ntt.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace zkdet::ff {
+
+void check_two_adic_root() {
+  static const bool ok = [] {
+    const Fr root = Fr::two_adic_root();
+    Fr x = root;
+    for (std::size_t i = 0; i < Fr::TWO_ADICITY - 1; ++i) x = x.square();
+    // x = root^(2^27) must be -1 (primitive), and x^2 = 1.
+    if (x != -Fr::one()) throw std::logic_error("Fr two-adic root not primitive");
+    return true;
+  }();
+  (void)ok;
+}
+
+EvaluationDomain::EvaluationDomain(std::size_t size) : size_(size) {
+  if (size == 0 || (size & (size - 1)) != 0) {
+    throw std::invalid_argument("domain size must be a power of two");
+  }
+  check_two_adic_root();
+  log_size_ = 0;
+  while ((1ull << log_size_) < size) ++log_size_;
+  if (log_size_ > Fr::TWO_ADICITY) {
+    throw std::invalid_argument("domain larger than 2-adicity allows");
+  }
+  omega_ = Fr::two_adic_root();
+  for (std::size_t i = log_size_; i < Fr::TWO_ADICITY; ++i) {
+    omega_ = omega_.square();
+  }
+  omega_inv_ = omega_.inverse();
+  size_inv_ = Fr::from_u64(size_).inverse();
+  powers_.resize(size_);
+  powers_[0] = Fr::one();
+  for (std::size_t i = 1; i < size_; ++i) powers_[i] = powers_[i - 1] * omega_;
+}
+
+namespace {
+
+void ntt_in_place(std::vector<Fr>& a, const Fr& root, std::size_t log_n) {
+  const std::size_t n = a.size();
+  // bit reversal permutation
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; (j & bit) != 0; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t s = 1; s <= log_n; ++s) {
+    const std::size_t m = 1ull << s;
+    Fr wm = root;
+    for (std::size_t k = s; k < log_n; ++k) wm = wm.square();
+    for (std::size_t start = 0; start < n; start += m) {
+      Fr w = Fr::one();
+      for (std::size_t j = 0; j < m / 2; ++j) {
+        const Fr t = w * a[start + j + m / 2];
+        const Fr u = a[start + j];
+        a[start + j] = u + t;
+        a[start + j + m / 2] = u - t;
+        w *= wm;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void EvaluationDomain::fft(std::vector<Fr>& a) const {
+  assert(a.size() == size_);
+  ntt_in_place(a, omega_, log_size_);
+}
+
+void EvaluationDomain::ifft(std::vector<Fr>& a) const {
+  assert(a.size() == size_);
+  ntt_in_place(a, omega_inv_, log_size_);
+  for (auto& x : a) x *= size_inv_;
+}
+
+void EvaluationDomain::coset_fft(std::vector<Fr>& a, const Fr& shift) const {
+  Fr cur = Fr::one();
+  for (auto& x : a) {
+    x *= cur;
+    cur *= shift;
+  }
+  fft(a);
+}
+
+void EvaluationDomain::coset_ifft(std::vector<Fr>& a, const Fr& shift) const {
+  ifft(a);
+  const Fr sinv = shift.inverse();
+  Fr cur = Fr::one();
+  for (auto& x : a) {
+    x *= cur;
+    cur *= sinv;
+  }
+}
+
+Fr EvaluationDomain::vanishing_at(const Fr& x) const {
+  return x.pow(U256{size_}) - Fr::one();
+}
+
+Fr EvaluationDomain::lagrange_at(std::size_t i, const Fr& x) const {
+  // L_i(x) = omega^i * (x^n - 1) / (n * (x - omega^i))
+  const Fr num = powers_[i] * vanishing_at(x);
+  const Fr den = Fr::from_u64(size_) * (x - powers_[i]);
+  return num * den.inverse();
+}
+
+std::vector<Fr> EvaluationDomain::all_lagrange_at(const Fr& x) const {
+  // Batch-invert the denominators with Montgomery's trick.
+  const Fr zh = vanishing_at(x);
+  std::vector<Fr> dens(size_);
+  const Fr n = Fr::from_u64(size_);
+  for (std::size_t i = 0; i < size_; ++i) dens[i] = n * (x - powers_[i]);
+  // prefix products
+  std::vector<Fr> prefix(size_ + 1);
+  prefix[0] = Fr::one();
+  for (std::size_t i = 0; i < size_; ++i) prefix[i + 1] = prefix[i] * dens[i];
+  Fr inv_all = prefix[size_].inverse();
+  std::vector<Fr> out(size_);
+  for (std::size_t i = size_; i-- > 0;) {
+    out[i] = powers_[i] * zh * prefix[i] * inv_all;
+    inv_all *= dens[i];
+  }
+  return out;
+}
+
+}  // namespace zkdet::ff

@@ -1,0 +1,145 @@
+#include "ff/polynomial.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace zkdet::ff {
+
+Polynomial Polynomial::from_evaluations(std::vector<Fr> evals,
+                                        const EvaluationDomain& domain) {
+  assert(evals.size() == domain.size());
+  domain.ifft(evals);
+  Polynomial p{std::move(evals)};
+  p.trim();
+  return p;
+}
+
+std::size_t Polynomial::degree() const {
+  for (std::size_t i = coeffs_.size(); i-- > 0;) {
+    if (!coeffs_[i].is_zero()) return i;
+  }
+  return 0;
+}
+
+bool Polynomial::is_zero() const {
+  return std::all_of(coeffs_.begin(), coeffs_.end(),
+                     [](const Fr& c) { return c.is_zero(); });
+}
+
+Fr Polynomial::evaluate(const Fr& x) const {
+  Fr acc = Fr::zero();
+  for (std::size_t i = coeffs_.size(); i-- > 0;) {
+    acc = acc * x + coeffs_[i];
+  }
+  return acc;
+}
+
+Polynomial Polynomial::operator+(const Polynomial& o) const {
+  std::vector<Fr> out(std::max(coeffs_.size(), o.coeffs_.size()));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    Fr v = Fr::zero();
+    if (i < coeffs_.size()) v += coeffs_[i];
+    if (i < o.coeffs_.size()) v += o.coeffs_[i];
+    out[i] = v;
+  }
+  return Polynomial{std::move(out)};
+}
+
+Polynomial Polynomial::operator-(const Polynomial& o) const {
+  std::vector<Fr> out(std::max(coeffs_.size(), o.coeffs_.size()));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    Fr v = Fr::zero();
+    if (i < coeffs_.size()) v += coeffs_[i];
+    if (i < o.coeffs_.size()) v -= o.coeffs_[i];
+    out[i] = v;
+  }
+  return Polynomial{std::move(out)};
+}
+
+Polynomial Polynomial::operator*(const Polynomial& o) const {
+  if (is_zero() || o.is_zero()) return zero();
+  const std::size_t out_len = degree() + o.degree() + 1;
+  std::size_t n = 1;
+  while (n < out_len) n <<= 1;
+  EvaluationDomain domain(n);
+  std::vector<Fr> a(coeffs_.begin(), coeffs_.end());
+  std::vector<Fr> b(o.coeffs_.begin(), o.coeffs_.end());
+  a.resize(n, Fr::zero());
+  b.resize(n, Fr::zero());
+  domain.fft(a);
+  domain.fft(b);
+  for (std::size_t i = 0; i < n; ++i) a[i] *= b[i];
+  domain.ifft(a);
+  a.resize(out_len);
+  Polynomial p{std::move(a)};
+  p.trim();
+  return p;
+}
+
+Polynomial Polynomial::scaled(const Fr& s) const {
+  std::vector<Fr> out = coeffs_;
+  for (auto& c : out) c *= s;
+  return Polynomial{std::move(out)};
+}
+
+Polynomial Polynomial::shifted(std::size_t k) const {
+  std::vector<Fr> out(coeffs_.size() + k, Fr::zero());
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) out[i + k] = coeffs_[i];
+  return Polynomial{std::move(out)};
+}
+
+Polynomial Polynomial::dilated(const Fr& s) const {
+  std::vector<Fr> out = coeffs_;
+  Fr cur = Fr::one();
+  for (auto& c : out) {
+    c *= cur;
+    cur *= s;
+  }
+  return Polynomial{std::move(out)};
+}
+
+Polynomial Polynomial::divide_by_linear(const Fr& z) const {
+  if (coeffs_.size() <= 1) return zero();
+  std::vector<Fr> out(coeffs_.size() - 1);
+  Fr acc = Fr::zero();
+  for (std::size_t i = coeffs_.size(); i-- > 1;) {
+    acc = coeffs_[i] + acc * z;
+    out[i - 1] = acc;
+  }
+  return Polynomial{std::move(out)};
+}
+
+Polynomial Polynomial::divide_by_vanishing(std::size_t n,
+                                           Polynomial* remainder) const {
+  // x^n - 1 divides p iff p(omega^i) = 0 on the size-n domain. Long
+  // division by x^n - 1 is a sliding add: q[i] = p[i+n] + q[i+n].
+  if (coeffs_.size() <= n) {
+    if (remainder != nullptr) *remainder = *this;
+    return zero();
+  }
+  std::vector<Fr> q(coeffs_.size() - n, Fr::zero());
+  for (std::size_t i = coeffs_.size() - n; i-- > 0;) {
+    Fr v = coeffs_[i + n];
+    if (i + n < q.size()) v += q[i + n];
+    q[i] = v;
+  }
+  if (remainder != nullptr) {
+    // p = q*(x^n - 1) + rem, so rem[i] = p[i] + q[i] for i < n.
+    std::vector<Fr> rem(n, Fr::zero());
+    for (std::size_t i = 0; i < n && i < coeffs_.size(); ++i) {
+      rem[i] = coeffs_[i] + (i < q.size() ? q[i] : Fr::zero());
+    }
+    Polynomial r{std::move(rem)};
+    r.trim();
+    *remainder = r;
+  }
+  Polynomial qq{std::move(q)};
+  qq.trim();
+  return qq;
+}
+
+void Polynomial::trim() {
+  while (!coeffs_.empty() && coeffs_.back().is_zero()) coeffs_.pop_back();
+}
+
+}  // namespace zkdet::ff

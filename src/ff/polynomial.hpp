@@ -1,0 +1,60 @@
+// Dense univariate polynomials over Fr in coefficient form.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ff/ntt.hpp"
+
+namespace zkdet::ff {
+
+class Polynomial {
+ public:
+  Polynomial() = default;
+  explicit Polynomial(std::vector<Fr> coeffs) : coeffs_(std::move(coeffs)) {}
+
+  [[nodiscard]] static Polynomial zero() { return Polynomial{}; }
+  [[nodiscard]] static Polynomial constant(const Fr& c) {
+    return Polynomial{std::vector<Fr>{c}};
+  }
+  // Interpolates evaluations on `domain` back to coefficients.
+  [[nodiscard]] static Polynomial from_evaluations(std::vector<Fr> evals,
+                                                   const EvaluationDomain& domain);
+
+  [[nodiscard]] const std::vector<Fr>& coeffs() const { return coeffs_; }
+  [[nodiscard]] std::vector<Fr>& coeffs() { return coeffs_; }
+
+  // Degree of the zero polynomial is reported as 0.
+  [[nodiscard]] std::size_t degree() const;
+  [[nodiscard]] bool is_zero() const;
+
+  [[nodiscard]] Fr evaluate(const Fr& x) const;
+
+  Polynomial operator+(const Polynomial& o) const;
+  Polynomial operator-(const Polynomial& o) const;
+  Polynomial operator*(const Polynomial& o) const;  // NTT-based
+  Polynomial& operator+=(const Polynomial& o) { return *this = *this + o; }
+  Polynomial& operator-=(const Polynomial& o) { return *this = *this - o; }
+
+  [[nodiscard]] Polynomial scaled(const Fr& s) const;
+  // Multiply by x^k.
+  [[nodiscard]] Polynomial shifted(std::size_t k) const;
+  // p(s * x) — used to move polynomials between cosets.
+  [[nodiscard]] Polynomial dilated(const Fr& s) const;
+
+  // Synthetic division by (x - z). Requires p(z) == 0 for exactness;
+  // the remainder is discarded (KZG witness polynomials use this).
+  [[nodiscard]] Polynomial divide_by_linear(const Fr& z) const;
+
+  // Division by the vanishing polynomial x^n - 1; remainder returned via
+  // out-param so callers can assert exactness.
+  [[nodiscard]] Polynomial divide_by_vanishing(std::size_t n,
+                                               Polynomial* remainder) const;
+
+  void trim();  // drop high zero coefficients
+
+ private:
+  std::vector<Fr> coeffs_;
+};
+
+}  // namespace zkdet::ff

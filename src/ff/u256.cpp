@@ -1,0 +1,80 @@
+#include "ff/u256.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace zkdet::ff {
+
+U256 u256_from_dec(std::string_view s) {
+  U256 r{};
+  for (const char ch : s) {
+    if (ch < '0' || ch > '9') throw std::invalid_argument("u256_from_dec: bad digit");
+    // r = r * 10 + digit
+    std::uint64_t carry = static_cast<std::uint64_t>(ch - '0');
+    for (std::size_t i = 0; i < 4; ++i) {
+      const unsigned __int128 cur =
+          static_cast<unsigned __int128>(r.limb[i]) * 10 + carry;
+      r.limb[i] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    if (carry != 0) throw std::overflow_error("u256_from_dec: overflow");
+  }
+  return r;
+}
+
+std::string u256_to_hex(const U256& v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(64);
+  bool started = false;
+  for (int i = 3; i >= 0; --i) {
+    for (int nib = 15; nib >= 0; --nib) {
+      const unsigned d =
+          static_cast<unsigned>((v.limb[static_cast<std::size_t>(i)] >> (nib * 4)) & 0xF);
+      if (d != 0) started = true;
+      if (started) out.push_back(digits[d]);
+    }
+  }
+  if (out.empty()) out = "0";
+  return out;
+}
+
+std::string u256_to_dec(const U256& v) {
+  U256 x = v;
+  std::string out;
+  const auto div10 = [](U256& a) -> unsigned {
+    unsigned __int128 rem = 0;
+    for (int i = 3; i >= 0; --i) {
+      const unsigned __int128 cur = (rem << 64) | a.limb[static_cast<std::size_t>(i)];
+      a.limb[static_cast<std::size_t>(i)] = static_cast<std::uint64_t>(cur / 10);
+      rem = cur % 10;
+    }
+    return static_cast<unsigned>(rem);
+  };
+  if (x.is_zero()) return "0";
+  while (!x.is_zero()) out.push_back(static_cast<char>('0' + div10(x)));
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::array<std::uint8_t, 32> u256_to_bytes(const U256& v) {
+  std::array<std::uint8_t, 32> out{};
+  for (std::size_t i = 0; i < 32; ++i) {
+    const std::size_t limb = (31 - i) / 8;
+    const std::size_t byte = (31 - i) % 8;
+    out[i] = static_cast<std::uint8_t>(v.limb[limb] >> (byte * 8));
+  }
+  return out;
+}
+
+U256 u256_from_bytes(const std::array<std::uint8_t, 32>& b) {
+  U256 v{};
+  for (std::size_t i = 0; i < 32; ++i) {
+    const std::size_t limb = (31 - i) / 8;
+    const std::size_t byte = (31 - i) % 8;
+    v.limb[limb] |= static_cast<std::uint64_t>(b[i]) << (byte * 8);
+  }
+  return v;
+}
+
+}  // namespace zkdet::ff

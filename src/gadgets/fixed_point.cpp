@@ -1,0 +1,244 @@
+#include "gadgets/fixed_point.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace zkdet::gadgets {
+
+namespace {
+
+using ff::U256;
+
+// v is known to be a "small" signed integer in the field (|v| < 2^127).
+// Returns its signed value as __int128.
+__int128 to_signed(const Fr& v) {
+  const U256 c = v.to_canonical();
+  // negative iff canonical > r/2
+  U256 half = Fr::MOD;
+  for (std::size_t j = 0; j < 4; ++j) {
+    half.limb[j] >>= 1;
+    if (j + 1 < 4) half.limb[j] |= half.limb[j + 1] << 63;
+  }
+  if (ff::u256_less(half, c)) {
+    U256 neg{};
+    ff::u256_sub(neg, Fr::MOD, c);
+    assert(neg.limb[2] == 0 && neg.limb[3] == 0);
+    return -static_cast<__int128>(
+        (static_cast<unsigned __int128>(neg.limb[1]) << 64) | neg.limb[0]);
+  }
+  assert(c.limb[2] == 0 && c.limb[3] == 0);
+  return static_cast<__int128>(
+      (static_cast<unsigned __int128>(c.limb[1]) << 64) | c.limb[0]);
+}
+
+Fr from_signed(__int128 v) {
+  const bool neg = v < 0;
+  unsigned __int128 mag = neg ? static_cast<unsigned __int128>(-v)
+                              : static_cast<unsigned __int128>(v);
+  const U256 u{static_cast<std::uint64_t>(mag),
+               static_cast<std::uint64_t>(mag >> 64), 0, 0};
+  const Fr f = Fr::from_canonical(u);
+  return neg ? -f : f;
+}
+
+Fr pow2_fr(std::size_t k) {
+  Fr x = Fr::one();
+  for (std::size_t i = 0; i < k; ++i) x += x;
+  return x;
+}
+
+}  // namespace
+
+Fr fix_encode(double v, const FixParams& p) {
+  const double scaled = v * static_cast<double>(1ull << p.frac_bits);
+  return from_signed(static_cast<__int128>(std::llround(scaled)));
+}
+
+double fix_decode(const Fr& v, const FixParams& p) {
+  return static_cast<double>(to_signed(v)) /
+         static_cast<double>(1ull << p.frac_bits);
+}
+
+Wire FixOps::rescale(Wire v, std::size_t shift, std::size_t mag_bits) {
+  assert(mag_bits + 1 < 250 && shift < 64);
+  // w = v + 2^mag_bits is nonnegative, < 2^(mag_bits+1).
+  // Decompose w = q * 2^shift + rem; result = q - 2^(mag_bits - shift).
+  const __int128 sv = to_signed(bld_.value(v));
+  const __int128 offset = static_cast<__int128>(1) << mag_bits;
+  assert(sv > -offset && sv < offset && "fixed-point magnitude overflow");
+  const __int128 w = sv + offset;
+  const __int128 q = w >> shift;
+  const __int128 rem = w - (q << shift);
+
+  const Wire qw = bld_.add_witness(from_signed(q));
+  const Wire rw = bld_.add_witness(from_signed(rem));
+  // v + 2^mag_bits - q*2^shift - rem == 0
+  const Wire recomposed = bld_.linear(pow2_fr(shift), qw, Fr::one(), rw,
+                                      -pow2_fr(mag_bits));
+  bld_.assert_equal(v, recomposed);
+  bld_.assert_range(qw, mag_bits + 1 - shift);
+  bld_.assert_range(rw, shift);
+  return bld_.add_constant(qw, -pow2_fr(mag_bits - shift));
+}
+
+Wire FixOps::mul(Wire a, Wire b) {
+  const Wire prod = bld_.mul(a, b);
+  return rescale(prod, p_.frac_bits, 2 * p_.value_bits());
+}
+
+Wire FixOps::mul_const(Wire a, double c) {
+  const Wire prod = bld_.scale(a, fix_encode(c, p_));
+  return rescale(prod, p_.frac_bits, 2 * p_.value_bits());
+}
+
+Wire FixOps::inner(std::span<const Wire> a, std::span<const Wire> b) {
+  assert(a.size() == b.size());
+  Wire acc = bld_.zero();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = bld_.mul_add(a[i], b[i], acc);
+  }
+  // Accumulated scale 2^(2*frac); one rescale. Allow log2(n) extra bits.
+  std::size_t extra = 0;
+  while ((1ull << extra) < std::max<std::size_t>(a.size(), 1)) ++extra;
+  return rescale(acc, p_.frac_bits, 2 * p_.value_bits() + extra);
+}
+
+Wire FixOps::div_nonneg(Wire a, Wire b) {
+  const std::size_t vb = p_.value_bits();
+  bld_.assert_range(a, vb);  // a >= 0 (and bounded)
+  bld_.assert_range(b, vb);
+  // b > 0: b - 1 must be in range too.
+  bld_.assert_range(bld_.add_constant(b, -Fr::one()), vb);
+  // q = floor(a * 2^frac / b): a*2^frac = q*b + rem, rem < b.
+  const __int128 av = to_signed(bld_.value(a));
+  const __int128 bv = to_signed(bld_.value(b));
+  assert(av >= 0 && bv > 0);
+  const __int128 num = av << p_.frac_bits;
+  const __int128 q = num / bv;
+  const __int128 rem = num % bv;
+  const Wire qw = bld_.add_witness(from_signed(q));
+  const Wire rw = bld_.add_witness(from_signed(rem));
+  // a * 2^frac - q*b - rem == 0
+  const Wire qb = bld_.mul(qw, b);
+  const Wire lhs = bld_.scale(a, pow2_fr(p_.frac_bits));
+  const Wire rhs = bld_.add(qb, rw);
+  bld_.assert_equal(lhs, rhs);
+  bld_.assert_less_than(rw, b, vb + p_.frac_bits);
+  bld_.assert_range(qw, vb + p_.frac_bits);
+  return qw;
+}
+
+Wire FixOps::shift_pos(Wire x) {
+  return bld_.add_constant(x, pow2_fr(p_.value_bits()));
+}
+
+Wire FixOps::sign_bit(Wire a) {
+  const std::size_t vb = p_.value_bits();
+  const Wire w = bld_.add_constant(a, pow2_fr(vb));
+  const std::vector<Wire> bits = bld_.to_bits(w, vb + 1);
+  return bits[vb];
+}
+
+Wire FixOps::relu(Wire a) {
+  const Wire nonneg = sign_bit(a);
+  return bld_.select(nonneg, a, bld_.zero());
+}
+
+Wire FixOps::abs(Wire a) {
+  const Wire nonneg = sign_bit(a);
+  return bld_.select(nonneg, a, bld_.neg(a));
+}
+
+void FixOps::assert_nonneg(Wire a) { bld_.assert_range(a, p_.value_bits()); }
+
+Wire FixOps::affine_const(std::span<const Wire> x, std::span<const double> w,
+                          double bias) {
+  assert(x.size() == w.size());
+  // Accumulate at scale 2^(2*frac): constant coefficients are encoded at
+  // scale 2^frac and multiply scale-2^frac wires; one rescale at the end.
+  Wire acc = bld_.constant(fix_encode(bias, p_) * pow2_fr(p_.frac_bits));
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    acc = bld_.linear(Fr::one(), acc, fix_encode(w[j], p_), x[j], Fr::zero());
+  }
+  std::size_t extra = 1;
+  while ((1ull << extra) < std::max<std::size_t>(x.size() + 1, 2)) ++extra;
+  return rescale(acc, p_.frac_bits, 2 * p_.value_bits() + extra);
+}
+
+Wire FixOps::piecewise_linear(Wire x, double x0, double x1,
+                              std::size_t log2_segments, double (*f)(double)) {
+  const std::size_t fb = p_.frac_bits;
+  // The knot range in raw units must be a power of two so the segment
+  // index is literally a bit-slice of (x - x0).
+  const double range = x1 - x0;
+  const __int128 range_raw = static_cast<__int128>(std::llround(range)) << fb;
+  std::size_t range_bits = 0;
+  while ((static_cast<__int128>(1) << range_bits) < range_raw) ++range_bits;
+  assert((static_cast<__int128>(1) << range_bits) == range_raw &&
+         "x1 - x0 must be a power of two");
+  assert(log2_segments <= range_bits);
+  const std::size_t step_bits = range_bits - log2_segments;
+  const double step = range / static_cast<double>(1ull << log2_segments);
+
+  // Clamp x into [x0, x1 - 1 raw unit].
+  const std::size_t cmp_bits = p_.value_bits() + 2;
+  const Wire lo = constant(x0);
+  const Wire hi = constant(x1);
+  const Wire below = bld_.less_than(shift_pos(x), shift_pos(lo), cmp_bits);
+  Wire xc = bld_.select(below, lo, x);
+  const Wire above =
+      bld_.logic_not(bld_.less_than(shift_pos(xc), shift_pos(hi), cmp_bits));
+  const Wire hi_minus = bld_.add_constant(hi, -Fr::one());
+  xc = bld_.select(above, hi_minus, xc);
+
+  // w = xc - x0 in [0, 2^range_bits); segment index = high bits, offset
+  // within the segment = low bits.
+  const Wire w = bld_.sub(xc, lo);
+  const std::vector<Wire> bits = bld_.to_bits(w, range_bits);
+  const std::span<const Wire> low(bits.data(), step_bits);
+  const Wire offset = bld_.from_bits(low);
+
+  // Indicator tree: inds[i] == 1 iff segment index == i. Bits are
+  // consumed low-to-high and each round appends the bit=1 block above
+  // the bit=0 block, so slot j ends up with index-bit b == (j >> b) & 1 —
+  // the identity mapping onto segment numbers.
+  std::vector<Wire> inds{bld_.one()};
+  for (std::size_t b = 0; b < log2_segments; ++b) {
+    const Wire bit = bits[step_bits + b];
+    const Wire not_bit = bld_.logic_not(bit);
+    std::vector<Wire> next;
+    next.reserve(inds.size() * 2);
+    for (const Wire ind : inds) next.push_back(bld_.mul(ind, not_bit));
+    for (const Wire ind : inds) next.push_back(bld_.mul(ind, bit));
+    inds = std::move(next);
+  }
+
+  // y = y_i + slope_i * offset, accumulated at scale 2^(2*frac).
+  const std::size_t num_segments = 1ull << log2_segments;
+  Wire acc = bld_.zero();
+  for (std::size_t i = 0; i < num_segments; ++i) {
+    const double knot_x = x0 + static_cast<double>(i) * step;
+    const double y_i = f(knot_x);
+    const double slope_i = (f(knot_x + step) - y_i) / step;
+    const Wire seg =
+        bld_.linear(fix_encode(slope_i, p_), offset, Fr::zero(), bld_.zero(),
+                    fix_encode(y_i, p_) * pow2_fr(fb));
+    acc = bld_.add(acc, bld_.mul(inds[i], seg));
+  }
+  return rescale(acc, fb, 2 * p_.value_bits() + 4);
+}
+
+namespace {
+double sigmoid_fn(double t) { return 1.0 / (1.0 + std::exp(-t)); }
+double exp_fn(double t) { return std::exp(t); }
+}  // namespace
+
+Wire FixOps::sigmoid(Wire x) {
+  return piecewise_linear(x, -8.0, 8.0, /*log2_segments=*/5, &sigmoid_fn);
+}
+
+Wire FixOps::exp(Wire x) {
+  return piecewise_linear(x, -12.0, 4.0, /*log2_segments=*/6, &exp_fn);
+}
+
+}  // namespace zkdet::gadgets

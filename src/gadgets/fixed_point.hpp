@@ -1,0 +1,93 @@
+// Signed fixed-point arithmetic in-circuit.
+//
+// The paper's IV-E applications (logistic regression, transformer
+// layers) compute over reals; in the field they are represented as
+// x * 2^frac_bits with |x| < 2^int_bits, negatives as field negatives.
+// Multiplication/division rescale through witness quotient+remainder
+// pairs whose ranges are enforced by bit decomposition — the standard
+// zk fixed-point construction ("linearization" in the paper's gadget
+// list). Nonlinear functions (sigmoid, exp) are clamped piecewise-linear
+// approximations over constant knot tables, the in-circuit counterpart
+// of the paper's "logarithmic computation" gadgets.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "gadgets/builder.hpp"
+
+namespace zkdet::gadgets {
+
+struct FixParams {
+  std::size_t frac_bits = 16;
+  std::size_t int_bits = 24;  // magnitude bound 2^int_bits on real values
+  [[nodiscard]] std::size_t value_bits() const { return frac_bits + int_bits; }
+};
+
+// Native-side encode/decode.
+Fr fix_encode(double v, const FixParams& p);
+double fix_decode(const Fr& v, const FixParams& p);
+
+class FixOps {
+ public:
+  FixOps(CircuitBuilder& bld, FixParams params) : bld_(bld), p_(params) {}
+
+  [[nodiscard]] const FixParams& params() const { return p_; }
+  [[nodiscard]] CircuitBuilder& builder() { return bld_; }
+
+  Wire constant(double v) { return bld_.constant(fix_encode(v, p_)); }
+  [[nodiscard]] double decode(Wire w) const {
+    return fix_decode(bld_.value(w), p_);
+  }
+
+  Wire add(Wire a, Wire b) { return bld_.add(a, b); }
+  Wire sub(Wire a, Wire b) { return bld_.sub(a, b); }
+  Wire neg(Wire a) { return bld_.neg(a); }
+
+  // Rescaled product (floor division by 2^frac_bits).
+  Wire mul(Wire a, Wire b);
+  Wire mul_const(Wire a, double c);
+  Wire square(Wire a) { return mul(a, a); }
+
+  // Fixed-point dot product with a single final rescale.
+  Wire inner(std::span<const Wire> a, std::span<const Wire> b);
+
+  // a / b for a >= 0, b > 0 (both enforced).
+  Wire div_nonneg(Wire a, Wire b);
+
+  Wire relu(Wire a);
+  Wire abs(Wire a);
+  // 1 if a >= 0 (boolean wire).
+  Wire sign_bit(Wire a);
+  void assert_nonneg(Wire a);
+
+  // Affine map with constant coefficients: sum_j w_j x_j + bias, one
+  // rescale total (the workhorse of the ML application circuits).
+  Wire affine_const(std::span<const Wire> x, std::span<const double> w,
+                    double bias);
+
+  // Piecewise-linear approximation of f on [x0, x1] with 2^log2_segments
+  // uniform segments, clamping outside the range. Requires
+  // (x1 - x0) * 2^frac_bits and the per-segment step to be powers of two
+  // so the segment index is a bit-slice of x - x0. Cost is
+  // O(2^log2_segments) constant-mux gates, not O(segments) comparators.
+  Wire piecewise_linear(Wire x, double x0, double x1,
+                        std::size_t log2_segments, double (*f)(double));
+
+  // sigmoid(x) = 1/(1+e^-x), PL-approximated on [-8, 8] (32 segments).
+  Wire sigmoid(Wire x);
+  // e^x, PL-approximated on [-12, 4] (64 segments), clamped.
+  Wire exp(Wire x);
+
+ private:
+  // Divides `v` (known |value| < 2^mag_bits, scale irrelevant) by
+  // 2^shift, flooring; enforced by q/r decomposition.
+  Wire rescale(Wire v, std::size_t shift, std::size_t mag_bits);
+  // Shifts a signed value into the nonnegative domain for comparisons.
+  Wire shift_pos(Wire x);
+
+  CircuitBuilder& bld_;
+  FixParams p_;
+};
+
+}  // namespace zkdet::gadgets

@@ -1,0 +1,122 @@
+#include "gadgets/hash_gadgets.hpp"
+
+#include <cassert>
+
+namespace zkdet::gadgets {
+
+namespace {
+
+// x^7 via x2 = x^2, x4 = x2^2, x6 = x4*x2, x7 = x6*x: 4 mul gates.
+Wire pow7(CircuitBuilder& bld, Wire x) {
+  const Wire x2 = bld.mul(x, x);
+  const Wire x4 = bld.mul(x2, x2);
+  const Wire x6 = bld.mul(x4, x2);
+  return bld.mul(x6, x);
+}
+
+// x^5: 3 mul gates.
+Wire pow5(CircuitBuilder& bld, Wire x) {
+  const Wire x2 = bld.mul(x, x);
+  const Wire x4 = bld.mul(x2, x2);
+  return bld.mul(x4, x);
+}
+
+}  // namespace
+
+Wire mimc_block_gadget(CircuitBuilder& bld, Wire key, Wire msg) {
+  const auto& consts = crypto::mimc_round_constants();
+  Wire t = msg;
+  for (std::size_t i = 0; i < crypto::kMimcRounds; ++i) {
+    // base = t + key + c_i (one linear gate)
+    const Wire base = bld.linear(Fr::one(), t, Fr::one(), key, consts[i]);
+    t = pow7(bld, base);
+  }
+  return bld.add(t, key);
+}
+
+std::vector<Wire> mimc_ctr_encrypt_gadget(CircuitBuilder& bld, Wire key,
+                                          Wire nonce,
+                                          std::span<const Wire> plain) {
+  std::vector<Wire> cipher;
+  cipher.reserve(plain.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    const Wire ctr = bld.add_constant(nonce, Fr::from_u64(i));
+    const Wire pad = mimc_block_gadget(bld, key, ctr);
+    cipher.push_back(bld.add(plain[i], pad));
+  }
+  return cipher;
+}
+
+void poseidon_permute_gadget(CircuitBuilder& bld, std::vector<Wire>& state) {
+  const std::size_t t = state.size();
+  const auto& params = crypto::PoseidonParams::get(t);
+  const std::size_t half_f = params.rf / 2;
+  const std::size_t rounds = params.rf + params.rp;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (std::size_t i = 0; i < t; ++i) {
+      state[i] = bld.add_constant(state[i], params.ark[r * t + i]);
+    }
+    const bool full = r < half_f || r >= half_f + params.rp;
+    if (full) {
+      for (auto& x : state) x = pow5(bld, x);
+    } else {
+      state[0] = pow5(bld, state[0]);
+    }
+    std::vector<Wire> next(t);
+    for (std::size_t i = 0; i < t; ++i) {
+      Wire acc = bld.zero();
+      for (std::size_t j = 0; j < t; ++j) {
+        acc = bld.linear(Fr::one(), acc, params.mds[i * t + j], state[j],
+                         Fr::zero());
+      }
+      next[i] = acc;
+    }
+    state = std::move(next);
+  }
+}
+
+Wire poseidon_hash_gadget(CircuitBuilder& bld, std::span<const Wire> input,
+                          std::uint64_t domain_tag) {
+  const std::size_t t = 3;
+  const std::size_t rate = t - 1;
+  std::vector<Wire> state(t, bld.zero());
+  const Fr cap = Fr::from_u64(domain_tag) +
+                 Fr::from_u64(input.size()) * Fr::from_u64(1ull << 32);
+  state[t - 1] = bld.constant(cap);
+  std::size_t off = 0;
+  do {
+    for (std::size_t i = 0; i < rate && off < input.size(); ++i, ++off) {
+      state[i] = bld.add(state[i], input[off]);
+    }
+    poseidon_permute_gadget(bld, state);
+  } while (off < input.size());
+  return state[0];
+}
+
+Wire poseidon_hash2_gadget(CircuitBuilder& bld, Wire left, Wire right) {
+  const Wire in[2] = {left, right};
+  return poseidon_hash_gadget(bld, in, /*domain_tag=*/2);
+}
+
+Wire poseidon_commit_gadget(CircuitBuilder& bld, std::span<const Wire> msg,
+                            Wire blinder) {
+  std::vector<Wire> in(msg.begin(), msg.end());
+  in.push_back(blinder);
+  return poseidon_hash_gadget(bld, in, /*domain_tag=*/0x434f4d);
+}
+
+Wire merkle_root_gadget(CircuitBuilder& bld, Wire leaf,
+                        std::span<const Wire> siblings,
+                        std::span<const Wire> directions) {
+  assert(siblings.size() == directions.size());
+  Wire cur = leaf;
+  for (std::size_t i = 0; i < siblings.size(); ++i) {
+    // direction 0: cur is the left child; 1: cur is the right child.
+    const Wire left = bld.select(directions[i], siblings[i], cur);
+    const Wire right = bld.select(directions[i], cur, siblings[i]);
+    cur = poseidon_hash2_gadget(bld, left, right);
+  }
+  return cur;
+}
+
+}  // namespace zkdet::gadgets

@@ -1,0 +1,37 @@
+#include "plonk/constraint_system.hpp"
+
+#include <cassert>
+
+namespace zkdet::plonk {
+
+std::size_t ConstraintSystem::domain_size() const {
+  std::size_t n = 8;
+  while (n < num_rows()) n <<= 1;
+  return n;
+}
+
+bool ConstraintSystem::is_satisfied(const std::vector<Fr>& witness) const {
+  if (witness.size() < num_vars_) return false;
+  if (!witness[kZeroVar].is_zero()) return false;
+  for (const Gate& g : gates_) {
+    const Fr a = witness[g.a];
+    const Fr b = witness[g.b];
+    const Fr c = witness[g.c];
+    const Fr v = g.qm * a * b + g.ql * a + g.qr * b + g.qo * c + g.qc;
+    if (!v.is_zero()) return false;
+  }
+  return true;
+}
+
+std::vector<Fr> ConstraintSystem::extract_public_inputs(
+    const std::vector<Fr>& witness) const {
+  std::vector<Fr> out;
+  out.reserve(public_vars_.size());
+  for (const Var v : public_vars_) {
+    assert(v < witness.size());
+    out.push_back(witness[v]);
+  }
+  return out;
+}
+
+}  // namespace zkdet::plonk

@@ -1,0 +1,74 @@
+// Plonk constraint system: a list of gates over a shared set of wires.
+//
+// Each gate enforces   qM*a*b + qL*a + qR*b + qO*c + qC + PI = 0
+// where a, b, c are values of the *variables* referenced by the gate's
+// three slots. Copy constraints are implicit: every slot referencing the
+// same variable is wired into one permutation cycle during
+// preprocessing, which is exactly Plonk's sigma argument.
+//
+// Variable 0 is the reserved constant-zero variable; unused gate slots
+// point at it. Public inputs occupy the first ell gates (qL = 1) and are
+// folded into the PI polynomial, matching the paper's convention.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ff/bn254.hpp"
+
+namespace zkdet::plonk {
+
+using ff::Fr;
+using ff::U256;
+
+using Var = std::uint32_t;
+
+struct Gate {
+  Fr qm{}, ql{}, qr{}, qo{}, qc{};
+  Var a = 0, b = 0, c = 0;
+};
+
+class ConstraintSystem {
+ public:
+  ConstraintSystem() = default;
+
+  // Allocates a fresh variable; the witness vector must supply a value
+  // for every allocated variable.
+  Var add_variable() { return num_vars_++; }
+
+  static constexpr Var kZeroVar = 0;
+
+  void add_gate(const Gate& g) { gates_.push_back(g); }
+
+  // Declares `v` a public input. Order of calls defines the public input
+  // vector layout. Must be called before preprocessing.
+  void set_public(Var v) { public_vars_.push_back(v); }
+
+  [[nodiscard]] std::size_t num_variables() const { return num_vars_; }
+  [[nodiscard]] const std::vector<Gate>& gates() const { return gates_; }
+  [[nodiscard]] const std::vector<Var>& public_vars() const { return public_vars_; }
+
+  // Total rows once the ell public-input gates are prepended.
+  [[nodiscard]] std::size_t num_rows() const {
+    return gates_.size() + public_vars_.size();
+  }
+
+  // Smallest power-of-two domain that fits all rows (>= 8 so blinding
+  // degrees stay below domain size).
+  [[nodiscard]] std::size_t domain_size() const;
+
+  // Debug aid: checks every gate and public binding under `witness`
+  // (witness[i] is the value of variable i; witness[0] must be zero).
+  [[nodiscard]] bool is_satisfied(const std::vector<Fr>& witness) const;
+
+  // Extracts the public input values in declaration order.
+  [[nodiscard]] std::vector<Fr> extract_public_inputs(
+      const std::vector<Fr>& witness) const;
+
+ private:
+  std::uint32_t num_vars_ = 1;  // variable 0 reserved as constant zero
+  std::vector<Gate> gates_;
+  std::vector<Var> public_vars_;
+};
+
+}  // namespace zkdet::plonk

@@ -1,0 +1,582 @@
+#include "plonk/plonk.hpp"
+
+#include <cassert>
+
+#include "ec/pairing.hpp"
+
+namespace zkdet::plonk {
+
+namespace {
+
+constexpr std::uint64_t kK1 = 7;
+constexpr std::uint64_t kK2 = 13;
+
+// Rows of the padded circuit: ell public-input gates, then user gates,
+// then all-zero padding. Returns per-row selectors and wire variables.
+struct Layout {
+  std::vector<Fr> qm, ql, qr, qo, qc;
+  std::vector<Var> wa, wb, wc;
+};
+
+Layout build_layout(const ConstraintSystem& cs, std::size_t n) {
+  Layout l;
+  l.qm.assign(n, Fr::zero());
+  l.ql.assign(n, Fr::zero());
+  l.qr.assign(n, Fr::zero());
+  l.qo.assign(n, Fr::zero());
+  l.qc.assign(n, Fr::zero());
+  l.wa.assign(n, ConstraintSystem::kZeroVar);
+  l.wb.assign(n, ConstraintSystem::kZeroVar);
+  l.wc.assign(n, ConstraintSystem::kZeroVar);
+  const auto& pubs = cs.public_vars();
+  for (std::size_t i = 0; i < pubs.size(); ++i) {
+    l.ql[i] = Fr::one();
+    l.wa[i] = pubs[i];
+  }
+  const auto& gates = cs.gates();
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const std::size_t row = pubs.size() + i;
+    l.qm[row] = gates[i].qm;
+    l.ql[row] = gates[i].ql;
+    l.qr[row] = gates[i].qr;
+    l.qo[row] = gates[i].qo;
+    l.qc[row] = gates[i].qc;
+    l.wa[row] = gates[i].a;
+    l.wb[row] = gates[i].b;
+    l.wc[row] = gates[i].c;
+  }
+  return l;
+}
+
+// Batch inversion (Montgomery's trick); zero entries are not allowed.
+std::vector<Fr> batch_inverse(const std::vector<Fr>& xs) {
+  std::vector<Fr> prefix(xs.size() + 1);
+  prefix[0] = Fr::one();
+  for (std::size_t i = 0; i < xs.size(); ++i) prefix[i + 1] = prefix[i] * xs[i];
+  Fr inv = prefix[xs.size()].inverse();
+  std::vector<Fr> out(xs.size());
+  for (std::size_t i = xs.size(); i-- > 0;) {
+    out[i] = prefix[i] * inv;
+    inv *= xs[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Proof::to_bytes() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(size_bytes());
+  const auto put_g1 = [&out](const G1& p) {
+    const auto b = ec::g1_to_bytes(p);
+    out.insert(out.end(), b.begin(), b.end());
+  };
+  const auto put_fr = [&out](const Fr& v) {
+    const auto b = ff::u256_to_bytes(v.to_canonical());
+    out.insert(out.end(), b.begin(), b.end());
+  };
+  put_g1(cm_a);
+  put_g1(cm_b);
+  put_g1(cm_c);
+  put_g1(cm_z);
+  put_g1(cm_t_lo);
+  put_g1(cm_t_mid);
+  put_g1(cm_t_hi);
+  put_g1(w_zeta);
+  put_g1(w_zeta_omega);
+  put_fr(eval_a);
+  put_fr(eval_b);
+  put_fr(eval_c);
+  put_fr(eval_s1);
+  put_fr(eval_s2);
+  put_fr(eval_z_omega);
+  return out;
+}
+
+std::optional<Proof> Proof::from_bytes(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() != size_bytes()) return std::nullopt;
+  Proof p;
+  std::size_t off = 0;
+  const auto get_g1 = [&](G1& out) {
+    const auto g = ec::g1_from_bytes(bytes.subspan(off, 64));
+    off += 64;
+    if (!g) return false;
+    out = *g;
+    return true;
+  };
+  const auto get_fr = [&](Fr& out) {
+    std::array<std::uint8_t, 32> buf{};
+    std::copy(bytes.begin() + static_cast<std::ptrdiff_t>(off),
+              bytes.begin() + static_cast<std::ptrdiff_t>(off + 32),
+              buf.begin());
+    off += 32;
+    const ff::U256 v = ff::u256_from_bytes(buf);
+    if (ff::u256_geq(v, Fr::MOD)) return false;
+    out = Fr::from_canonical(v);
+    return true;
+  };
+  for (G1* g : {&p.cm_a, &p.cm_b, &p.cm_c, &p.cm_z, &p.cm_t_lo, &p.cm_t_mid,
+                &p.cm_t_hi, &p.w_zeta, &p.w_zeta_omega}) {
+    if (!get_g1(*g)) return std::nullopt;
+  }
+  for (Fr* f : {&p.eval_a, &p.eval_b, &p.eval_c, &p.eval_s1, &p.eval_s2,
+                &p.eval_z_omega}) {
+    if (!get_fr(*f)) return std::nullopt;
+  }
+  return p;
+}
+
+void VerifyingKey::bind_transcript(Transcript& t) const {
+  t.absorb_u64(n);
+  t.absorb_u64(ell);
+  t.absorb_fr(k1);
+  t.absorb_fr(k2);
+  for (const G1* cm : {&cm_qm, &cm_ql, &cm_qr, &cm_qo, &cm_qc, &cm_s1, &cm_s2,
+                       &cm_s3}) {
+    t.absorb_g1(*cm);
+  }
+}
+
+std::optional<KeyPairResult> preprocess(const ConstraintSystem& cs,
+                                        const Srs& srs) {
+  const std::size_t n = cs.domain_size();
+  if (srs.max_degree() < n + 8) return std::nullopt;
+
+  ProvingKey pk;
+  pk.n = n;
+  pk.ell = cs.public_vars().size();
+  pk.k1 = Fr::from_u64(kK1);
+  pk.k2 = Fr::from_u64(kK2);
+  pk.domain = std::make_shared<EvaluationDomain>(n);
+  pk.ext_domain = std::make_shared<EvaluationDomain>(8 * n);
+  pk.coset_shift = Fr::generator();
+
+  // Cosets {H, k1 H, k2 H} must be pairwise disjoint for the copy
+  // constraint encoding to be injective.
+  const U256 n_u{n};
+  assert(pk.k1.pow(n_u) != Fr::one());
+  assert(pk.k2.pow(n_u) != Fr::one());
+  assert((pk.k2 * pk.k1.inverse()).pow(n_u) != Fr::one());
+
+  const Layout layout = build_layout(cs, n);
+  pk.wire_a = layout.wa;
+  pk.wire_b = layout.wb;
+  pk.wire_c = layout.wc;
+
+  pk.qm = Polynomial::from_evaluations(layout.qm, *pk.domain);
+  pk.ql = Polynomial::from_evaluations(layout.ql, *pk.domain);
+  pk.qr = Polynomial::from_evaluations(layout.qr, *pk.domain);
+  pk.qo = Polynomial::from_evaluations(layout.qo, *pk.domain);
+  pk.qc = Polynomial::from_evaluations(layout.qc, *pk.domain);
+
+  // Permutation: slot (col, row) has linear index col*n + row. Gather the
+  // slots of each variable and rotate within each cycle.
+  const std::size_t slots = 3 * n;
+  std::vector<std::uint32_t> next(slots);
+  {
+    std::vector<std::vector<std::uint32_t>> by_var(cs.num_variables());
+    for (std::size_t row = 0; row < n; ++row) {
+      by_var[layout.wa[row]].push_back(static_cast<std::uint32_t>(row));
+      by_var[layout.wb[row]].push_back(static_cast<std::uint32_t>(n + row));
+      by_var[layout.wc[row]].push_back(static_cast<std::uint32_t>(2 * n + row));
+    }
+    for (const auto& cycle : by_var) {
+      for (std::size_t j = 0; j < cycle.size(); ++j) {
+        next[cycle[j]] = cycle[(j + 1) % cycle.size()];
+      }
+    }
+  }
+  const auto encode = [&](std::uint32_t slot) {
+    const std::size_t col = slot / n;
+    const std::size_t row = slot % n;
+    const Fr& w = pk.domain->element(row);
+    if (col == 0) return w;
+    if (col == 1) return pk.k1 * w;
+    return pk.k2 * w;
+  };
+  std::vector<Fr> s1e(n), s2e(n), s3e(n);
+  for (std::size_t row = 0; row < n; ++row) {
+    s1e[row] = encode(next[row]);
+    s2e[row] = encode(next[n + row]);
+    s3e[row] = encode(next[2 * n + row]);
+  }
+  pk.s1_evals = s1e;
+  pk.s2_evals = s2e;
+  pk.s3_evals = s3e;
+  pk.s1 = Polynomial::from_evaluations(std::move(s1e), *pk.domain);
+  pk.s2 = Polynomial::from_evaluations(std::move(s2e), *pk.domain);
+  pk.s3 = Polynomial::from_evaluations(std::move(s3e), *pk.domain);
+
+  VerifyingKey vk;
+  vk.n = n;
+  vk.ell = pk.ell;
+  vk.k1 = pk.k1;
+  vk.k2 = pk.k2;
+  vk.cm_qm = srs.commit(pk.qm);
+  vk.cm_ql = srs.commit(pk.ql);
+  vk.cm_qr = srs.commit(pk.qr);
+  vk.cm_qo = srs.commit(pk.qo);
+  vk.cm_qc = srs.commit(pk.qc);
+  vk.cm_s1 = srs.commit(pk.s1);
+  vk.cm_s2 = srs.commit(pk.s2);
+  vk.cm_s3 = srs.commit(pk.s3);
+  vk.g2_gen = srs.g2_gen;
+  vk.g2_tau = srs.g2_tau;
+  pk.vk = vk;
+
+  return KeyPairResult{std::move(pk), std::move(vk)};
+}
+
+std::optional<Proof> prove(const ProvingKey& pk, const ConstraintSystem& cs,
+                           const Srs& srs, const std::vector<Fr>& witness,
+                           crypto::Drbg& rng) {
+  if (!cs.is_satisfied(witness)) return std::nullopt;
+  const std::size_t n = pk.n;
+  const EvaluationDomain& dom = *pk.domain;
+  const EvaluationDomain& ext = *pk.ext_domain;
+  const Fr shift = pk.coset_shift;
+
+  // --- wire values per row ---
+  std::vector<Fr> wa(n), wb(n), wc(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    wa[i] = witness[pk.wire_a[i]];
+    wb[i] = witness[pk.wire_b[i]];
+    wc[i] = witness[pk.wire_c[i]];
+  }
+
+  // --- public input polynomial: PI(w^i) = -x_i on the first ell rows ---
+  const std::vector<Fr> pub = cs.extract_public_inputs(witness);
+  std::vector<Fr> pi_evals(n, Fr::zero());
+  for (std::size_t i = 0; i < pub.size(); ++i) pi_evals[i] = -pub[i];
+  const Polynomial pi_poly = Polynomial::from_evaluations(pi_evals, dom);
+
+  Transcript transcript("zkdet-plonk");
+  pk.vk.bind_transcript(transcript);
+  for (const Fr& x : pub) transcript.absorb_fr(x);
+
+  // --- round 1: blinded wire polynomials ---
+  const auto blind2 = [&](std::vector<Fr> evals, const Fr& b1, const Fr& b2) {
+    Polynomial p = Polynomial::from_evaluations(std::move(evals), dom);
+    std::vector<Fr>& c = p.coeffs();
+    c.resize(std::max<std::size_t>(c.size(), n + 2), Fr::zero());
+    c[0] -= b2;
+    c[1] -= b1;
+    c[n] += b2;
+    c[n + 1] += b1;
+    return p;
+  };
+  const Fr b1 = rng.random_fr(), b2 = rng.random_fr(), b3 = rng.random_fr();
+  const Fr b4 = rng.random_fr(), b5 = rng.random_fr(), b6 = rng.random_fr();
+  const Polynomial a_poly = blind2(wa, b1, b2);
+  const Polynomial b_poly = blind2(wb, b3, b4);
+  const Polynomial c_poly = blind2(wc, b5, b6);
+
+  Proof proof;
+  proof.cm_a = srs.commit(a_poly);
+  proof.cm_b = srs.commit(b_poly);
+  proof.cm_c = srs.commit(c_poly);
+  transcript.absorb_g1(proof.cm_a);
+  transcript.absorb_g1(proof.cm_b);
+  transcript.absorb_g1(proof.cm_c);
+
+  // --- round 2: permutation grand product ---
+  const Fr beta = transcript.challenge("beta");
+  const Fr gamma = transcript.challenge("gamma");
+
+  std::vector<Fr> denoms(n);
+  std::vector<Fr> numers(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Fr& w = dom.element(i);
+    numers[i] = (wa[i] + beta * w + gamma) * (wb[i] + beta * pk.k1 * w + gamma) *
+                (wc[i] + beta * pk.k2 * w + gamma);
+    denoms[i] = (wa[i] + beta * pk.s1_evals[i] + gamma) *
+                (wb[i] + beta * pk.s2_evals[i] + gamma) *
+                (wc[i] + beta * pk.s3_evals[i] + gamma);
+  }
+  const std::vector<Fr> dinv = batch_inverse(denoms);
+  std::vector<Fr> z_evals(n);
+  z_evals[0] = Fr::one();
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    z_evals[i + 1] = z_evals[i] * numers[i] * dinv[i];
+  }
+  assert((z_evals[n - 1] * numers[n - 1] * dinv[n - 1]) == Fr::one() &&
+         "grand product must close");
+
+  const Fr b7 = rng.random_fr(), b8 = rng.random_fr(), b9 = rng.random_fr();
+  Polynomial z_poly = Polynomial::from_evaluations(z_evals, dom);
+  {
+    std::vector<Fr>& c = z_poly.coeffs();
+    c.resize(std::max<std::size_t>(c.size(), n + 3), Fr::zero());
+    c[0] -= b9;
+    c[1] -= b8;
+    c[2] -= b7;
+    c[n] += b9;
+    c[n + 1] += b8;
+    c[n + 2] += b7;
+  }
+  proof.cm_z = srs.commit(z_poly);
+  transcript.absorb_g1(proof.cm_z);
+
+  // --- round 3: quotient polynomial on an 8n coset ---
+  const Fr alpha = transcript.challenge("alpha");
+
+  const auto extend = [&](const Polynomial& p) {
+    std::vector<Fr> c = p.coeffs();
+    c.resize(ext.size(), Fr::zero());
+    ext.coset_fft(c, shift);
+    return c;
+  };
+  const std::vector<Fr> a_ext = extend(a_poly);
+  const std::vector<Fr> b_ext = extend(b_poly);
+  const std::vector<Fr> c_ext = extend(c_poly);
+  const std::vector<Fr> z_ext = extend(z_poly);
+  const std::vector<Fr> qm_ext = extend(pk.qm);
+  const std::vector<Fr> ql_ext = extend(pk.ql);
+  const std::vector<Fr> qr_ext = extend(pk.qr);
+  const std::vector<Fr> qo_ext = extend(pk.qo);
+  const std::vector<Fr> qc_ext = extend(pk.qc);
+  const std::vector<Fr> s1_ext = extend(pk.s1);
+  const std::vector<Fr> s2_ext = extend(pk.s2);
+  const std::vector<Fr> s3_ext = extend(pk.s3);
+  const std::vector<Fr> pi_ext = extend(pi_poly);
+  const std::vector<Fr> l1_ext =
+      extend(Polynomial{std::vector<Fr>(n, Fr::from_u64(n).inverse())});
+
+  const std::size_t m = ext.size();  // 8n
+  const std::size_t stride = m / n;  // z(omega X) = rotate by stride
+
+  // Z_H(shift * w8^i) cycles with period `stride`.
+  std::vector<Fr> zh_inv_cycle(stride);
+  {
+    const Fr shift_n = shift.pow(U256{n});
+    const Fr w8n = ext.element(n);  // primitive `stride`-th root
+    std::vector<Fr> vals(stride);
+    Fr cur = Fr::one();
+    for (std::size_t j = 0; j < stride; ++j) {
+      vals[j] = shift_n * cur - Fr::one();
+      cur *= w8n;
+    }
+    zh_inv_cycle = batch_inverse(vals);
+  }
+
+  std::vector<Fr> t_ext(m);
+  const Fr alpha2 = alpha * alpha;
+  for (std::size_t i = 0; i < m; ++i) {
+    const Fr x = shift * ext.element(i);
+    const Fr& av = a_ext[i];
+    const Fr& bv = b_ext[i];
+    const Fr& cv = c_ext[i];
+    const Fr& zv = z_ext[i];
+    const Fr& zwv = z_ext[(i + stride) % m];
+
+    Fr num = qm_ext[i] * av * bv + ql_ext[i] * av + qr_ext[i] * bv +
+             qo_ext[i] * cv + qc_ext[i] + pi_ext[i];
+    num += alpha * ((av + beta * x + gamma) * (bv + beta * pk.k1 * x + gamma) *
+                        (cv + beta * pk.k2 * x + gamma) * zv -
+                    (av + beta * s1_ext[i] + gamma) *
+                        (bv + beta * s2_ext[i] + gamma) *
+                        (cv + beta * s3_ext[i] + gamma) * zwv);
+    num += alpha2 * (zv - Fr::one()) * l1_ext[i];
+    t_ext[i] = num * zh_inv_cycle[i % stride];
+  }
+  ext.coset_ifft(t_ext, shift);
+  Polynomial t_poly{std::move(t_ext)};
+  t_poly.trim();
+  assert(t_poly.degree() <= 3 * n + 5 && "quotient degree overflow");
+
+  // Split into three chunks of (at most) n coefficients, with the extra
+  // cross-boundary blinders b10, b11 for hiding.
+  const Fr b10 = rng.random_fr(), b11 = rng.random_fr();
+  std::vector<Fr> tc = t_poly.coeffs();
+  tc.resize(3 * n + 6, Fr::zero());
+  std::vector<Fr> t_lo(tc.begin(), tc.begin() + static_cast<std::ptrdiff_t>(n));
+  std::vector<Fr> t_mid(tc.begin() + static_cast<std::ptrdiff_t>(n),
+                        tc.begin() + static_cast<std::ptrdiff_t>(2 * n));
+  std::vector<Fr> t_hi(tc.begin() + static_cast<std::ptrdiff_t>(2 * n), tc.end());
+  t_lo.push_back(b10);   // + b10 X^n
+  t_mid[0] -= b10;
+  t_mid.push_back(b11);  // + b11 X^n
+  t_hi[0] -= b11;
+  proof.cm_t_lo = srs.commit(t_lo);
+  proof.cm_t_mid = srs.commit(t_mid);
+  proof.cm_t_hi = srs.commit(t_hi);
+  transcript.absorb_g1(proof.cm_t_lo);
+  transcript.absorb_g1(proof.cm_t_mid);
+  transcript.absorb_g1(proof.cm_t_hi);
+
+  // --- round 4: evaluations at zeta ---
+  const Fr zeta = transcript.challenge("zeta");
+  proof.eval_a = a_poly.evaluate(zeta);
+  proof.eval_b = b_poly.evaluate(zeta);
+  proof.eval_c = c_poly.evaluate(zeta);
+  proof.eval_s1 = pk.s1.evaluate(zeta);
+  proof.eval_s2 = pk.s2.evaluate(zeta);
+  proof.eval_z_omega = z_poly.evaluate(zeta * dom.omega());
+  transcript.absorb_fr(proof.eval_a);
+  transcript.absorb_fr(proof.eval_b);
+  transcript.absorb_fr(proof.eval_c);
+  transcript.absorb_fr(proof.eval_s1);
+  transcript.absorb_fr(proof.eval_s2);
+  transcript.absorb_fr(proof.eval_z_omega);
+
+  // --- round 5: linearization polynomial and opening proofs ---
+  const Fr v = transcript.challenge("v");
+
+  const Fr zeta_n = zeta.pow(U256{n});
+  const Fr zh_zeta = zeta_n - Fr::one();
+  const Fr l1_zeta =
+      zh_zeta * (Fr::from_u64(n) * (zeta - Fr::one())).inverse();
+  const Fr pi_zeta = pi_poly.evaluate(zeta);
+
+  Polynomial r_poly = pk.qm.scaled(proof.eval_a * proof.eval_b);
+  r_poly += pk.ql.scaled(proof.eval_a);
+  r_poly += pk.qr.scaled(proof.eval_b);
+  r_poly += pk.qo.scaled(proof.eval_c);
+  r_poly += pk.qc;
+  r_poly += Polynomial::constant(pi_zeta);
+
+  const Fr id_prod = (proof.eval_a + beta * zeta + gamma) *
+                     (proof.eval_b + beta * pk.k1 * zeta + gamma) *
+                     (proof.eval_c + beta * pk.k2 * zeta + gamma);
+  r_poly += z_poly.scaled(alpha * id_prod);
+
+  const Fr sig_ab = (proof.eval_a + beta * proof.eval_s1 + gamma) *
+                    (proof.eval_b + beta * proof.eval_s2 + gamma);
+  // -(alpha * sig_ab * z_omega) * (c_bar + gamma + beta * s3(X))
+  r_poly -= (pk.s3.scaled(beta) +
+             Polynomial::constant(proof.eval_c + gamma))
+                .scaled(alpha * sig_ab * proof.eval_z_omega);
+
+  r_poly += z_poly.scaled(alpha2 * l1_zeta);
+  r_poly -= Polynomial::constant(alpha2 * l1_zeta);
+
+  r_poly -= (Polynomial{t_lo} + Polynomial{t_mid}.scaled(zeta_n) +
+             Polynomial{t_hi}.scaled(zeta_n * zeta_n))
+                .scaled(zh_zeta);
+
+  assert(r_poly.evaluate(zeta).is_zero() && "linearization must vanish");
+
+  Polynomial w_zeta_num = r_poly;
+  const Polynomial* opened[5] = {&a_poly, &b_poly, &c_poly, &pk.s1, &pk.s2};
+  const Fr evals[5] = {proof.eval_a, proof.eval_b, proof.eval_c, proof.eval_s1,
+                       proof.eval_s2};
+  Fr vpow = v;
+  for (int i = 0; i < 5; ++i) {
+    w_zeta_num += (*opened[i] - Polynomial::constant(evals[i])).scaled(vpow);
+    vpow *= v;
+  }
+  const Polynomial w_zeta_poly = w_zeta_num.divide_by_linear(zeta);
+  const Polynomial w_zeta_omega_poly =
+      (z_poly - Polynomial::constant(proof.eval_z_omega))
+          .divide_by_linear(zeta * dom.omega());
+  proof.w_zeta = srs.commit(w_zeta_poly);
+  proof.w_zeta_omega = srs.commit(w_zeta_omega_poly);
+
+  return proof;
+}
+
+bool verify(const VerifyingKey& vk, const std::vector<Fr>& public_inputs,
+            const Proof& proof) {
+  if (public_inputs.size() != vk.ell) return false;
+  const std::size_t n = vk.n;
+
+  // Commitments must be on the curve (cheap structural validation).
+  for (const G1* p : {&proof.cm_a, &proof.cm_b, &proof.cm_c, &proof.cm_z,
+                      &proof.cm_t_lo, &proof.cm_t_mid, &proof.cm_t_hi,
+                      &proof.w_zeta, &proof.w_zeta_omega}) {
+    if (!p->on_curve()) return false;
+  }
+
+  Transcript transcript("zkdet-plonk");
+  vk.bind_transcript(transcript);
+  for (const Fr& x : public_inputs) transcript.absorb_fr(x);
+  transcript.absorb_g1(proof.cm_a);
+  transcript.absorb_g1(proof.cm_b);
+  transcript.absorb_g1(proof.cm_c);
+  const Fr beta = transcript.challenge("beta");
+  const Fr gamma = transcript.challenge("gamma");
+  transcript.absorb_g1(proof.cm_z);
+  const Fr alpha = transcript.challenge("alpha");
+  transcript.absorb_g1(proof.cm_t_lo);
+  transcript.absorb_g1(proof.cm_t_mid);
+  transcript.absorb_g1(proof.cm_t_hi);
+  const Fr zeta = transcript.challenge("zeta");
+  transcript.absorb_fr(proof.eval_a);
+  transcript.absorb_fr(proof.eval_b);
+  transcript.absorb_fr(proof.eval_c);
+  transcript.absorb_fr(proof.eval_s1);
+  transcript.absorb_fr(proof.eval_s2);
+  transcript.absorb_fr(proof.eval_z_omega);
+  const Fr v = transcript.challenge("v");
+  transcript.absorb_g1(proof.w_zeta);
+  transcript.absorb_g1(proof.w_zeta_omega);
+  const Fr u = transcript.challenge("u");
+
+  const Fr zeta_n = zeta.pow(U256{n});
+  const Fr zh_zeta = zeta_n - Fr::one();
+  if (zh_zeta.is_zero()) return false;  // zeta in H: reject (negligible)
+  const Fr l1_zeta =
+      zh_zeta * (Fr::from_u64(n) * (zeta - Fr::one())).inverse();
+
+  // PI(zeta) = sum_i -x_i * L_i(zeta) — O(ell) field work with a single
+  // batched inversion.
+  Fr pi_zeta = Fr::zero();
+  if (!public_inputs.empty()) {
+    // L_i(zeta) = w^i * Z_H(zeta) / (n (zeta - w^i))
+    EvaluationDomain dom(n);
+    const Fr n_inv = Fr::from_u64(n).inverse();
+    std::vector<Fr> dens(public_inputs.size());
+    for (std::size_t i = 0; i < public_inputs.size(); ++i) {
+      dens[i] = zeta - dom.element(i);
+    }
+    const std::vector<Fr> inv = batch_inverse(dens);
+    for (std::size_t i = 0; i < public_inputs.size(); ++i) {
+      pi_zeta -= public_inputs[i] * dom.element(i) * zh_zeta * n_inv * inv[i];
+    }
+  }
+
+  const Fr alpha2 = alpha * alpha;
+  const Fr sig_ab = (proof.eval_a + beta * proof.eval_s1 + gamma) *
+                    (proof.eval_b + beta * proof.eval_s2 + gamma);
+  const Fr r0 = pi_zeta - l1_zeta * alpha2 -
+                alpha * sig_ab * (proof.eval_c + gamma) * proof.eval_z_omega;
+
+  const Fr id_prod = (proof.eval_a + beta * zeta + gamma) *
+                     (proof.eval_b + beta * vk.k1 * zeta + gamma) *
+                     (proof.eval_c + beta * vk.k2 * zeta + gamma);
+
+  G1 d = vk.cm_qm.mul(proof.eval_a * proof.eval_b);
+  d += vk.cm_ql.mul(proof.eval_a);
+  d += vk.cm_qr.mul(proof.eval_b);
+  d += vk.cm_qo.mul(proof.eval_c);
+  d += vk.cm_qc;
+  d += proof.cm_z.mul(alpha * id_prod + alpha2 * l1_zeta + u);
+  d = d - vk.cm_s3.mul(alpha * beta * sig_ab * proof.eval_z_omega);
+  d = d - (proof.cm_t_lo + proof.cm_t_mid.mul(zeta_n) +
+           proof.cm_t_hi.mul(zeta_n * zeta_n))
+              .mul(zh_zeta);
+
+  G1 f = d;
+  const G1* cms[5] = {&proof.cm_a, &proof.cm_b, &proof.cm_c, &vk.cm_s1,
+                      &vk.cm_s2};
+  const Fr evals[5] = {proof.eval_a, proof.eval_b, proof.eval_c, proof.eval_s1,
+                       proof.eval_s2};
+  Fr vpow = v;
+  Fr e_scalar = -r0;
+  for (int i = 0; i < 5; ++i) {
+    f += cms[i]->mul(vpow);
+    e_scalar += vpow * evals[i];
+    vpow *= v;
+  }
+  e_scalar += u * proof.eval_z_omega;
+  const G1 e = G1::generator().mul(e_scalar);
+
+  EvaluationDomain dom(n);
+  const Fr omega = dom.omega();
+  const G1 lhs_g1 = proof.w_zeta + proof.w_zeta_omega.mul(u);
+  const G1 rhs_g1 = proof.w_zeta.mul(zeta) +
+                    proof.w_zeta_omega.mul(u * zeta * omega) + f - e;
+  return ec::pairing_product_is_one(lhs_g1, vk.g2_tau, -rhs_g1, vk.g2_gen);
+}
+
+}  // namespace zkdet::plonk

@@ -1,0 +1,97 @@
+// Plonk (GWC19, ePrint 2019/953) over BN-254 with KZG commitments.
+//
+// The paper's NIZK backend: universal SRS, O(n log n) prover, constant
+// proof size (9 G1 + 6 Fr = 768 bytes raw) and constant-time verifier
+// (2 pairings + O(1) group operations + an O(ell) field-only public
+// input evaluation) — the properties Figs. 5-7 measure.
+//
+// preprocess() builds the proving/verifying keys for a constraint
+// system; prove()/verify() implement the 5-round protocol made
+// non-interactive with a SHA-256 Fiat-Shamir transcript.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "plonk/constraint_system.hpp"
+#include "plonk/srs.hpp"
+#include "plonk/transcript.hpp"
+#include "ff/ntt.hpp"
+#include "ff/polynomial.hpp"
+
+namespace zkdet::plonk {
+
+using ff::EvaluationDomain;
+using ff::Polynomial;
+
+struct Proof {
+  G1 cm_a, cm_b, cm_c;          // wire commitments
+  G1 cm_z;                      // permutation grand product
+  G1 cm_t_lo, cm_t_mid, cm_t_hi;  // split quotient
+  G1 w_zeta, w_zeta_omega;      // KZG opening proofs
+  Fr eval_a, eval_b, eval_c;    // wire evaluations at zeta
+  Fr eval_s1, eval_s2;          // sigma evaluations at zeta
+  Fr eval_z_omega;              // z(zeta * omega)
+
+  // Raw serialized size: 9 uncompressed G1 + 6 Fr.
+  [[nodiscard]] static constexpr std::size_t size_bytes() {
+    return 9 * 64 + 6 * 32;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> to_bytes() const;
+  // Rejects wrong-length encodings, off-curve points and non-canonical
+  // field elements.
+  [[nodiscard]] static std::optional<Proof> from_bytes(
+      std::span<const std::uint8_t> bytes);
+};
+
+struct VerifyingKey {
+  std::size_t n = 0;    // domain size
+  std::size_t ell = 0;  // number of public inputs
+  Fr k1, k2;            // wire cosets
+  G1 cm_qm, cm_ql, cm_qr, cm_qo, cm_qc;
+  G1 cm_s1, cm_s2, cm_s3;
+  G2 g2_gen, g2_tau;
+
+  void bind_transcript(Transcript& t) const;
+};
+
+struct ProvingKey {
+  std::size_t n = 0;
+  std::size_t ell = 0;
+  Fr k1, k2;
+  std::shared_ptr<EvaluationDomain> domain;      // size n
+  std::shared_ptr<EvaluationDomain> ext_domain;  // size 8n (quotient coset)
+  Fr coset_shift;
+
+  Polynomial qm, ql, qr, qo, qc;  // selector polynomials
+  Polynomial s1, s2, s3;          // sigma polynomials
+  std::vector<Fr> s1_evals, s2_evals, s3_evals;  // on the n-domain
+
+  // Per-row variable ids for the three wire columns (padded to n rows).
+  std::vector<Var> wire_a, wire_b, wire_c;
+
+  VerifyingKey vk;
+};
+
+struct KeyPairResult {
+  ProvingKey pk;
+  VerifyingKey vk;
+};
+
+// Builds keys for `cs` against `srs`. Fails (nullopt) if the SRS is too
+// small for the circuit's padded domain.
+std::optional<KeyPairResult> preprocess(const ConstraintSystem& cs,
+                                        const Srs& srs);
+
+// Produces a proof for `witness` (witness[i] = value of variable i).
+// The witness must satisfy the circuit; violations are detected and
+// reported as nullopt rather than producing an invalid proof.
+std::optional<Proof> prove(const ProvingKey& pk, const ConstraintSystem& cs,
+                           const Srs& srs, const std::vector<Fr>& witness,
+                           crypto::Drbg& rng);
+
+// Constant-time (in circuit size) verification.
+bool verify(const VerifyingKey& vk, const std::vector<Fr>& public_inputs,
+            const Proof& proof);
+
+}  // namespace zkdet::plonk

@@ -1,0 +1,30 @@
+#include "plonk/srs.hpp"
+
+#include <cassert>
+
+namespace zkdet::plonk {
+
+Srs Srs::setup(std::size_t max_degree, crypto::Drbg& rng) {
+  Srs srs;
+  const Fr tau = rng.random_fr();  // toxic waste; dropped on return
+  srs.g1_powers.reserve(max_degree + 1);
+  Fr cur = Fr::one();
+  for (std::size_t i = 0; i <= max_degree; ++i) {
+    srs.g1_powers.push_back(ec::g1_mul_generator(cur));
+    cur *= tau;
+  }
+  srs.g2_gen = G2::generator();
+  srs.g2_tau = srs.g2_gen.mul(tau);
+  return srs;
+}
+
+
+G1 Srs::commit(const Polynomial& p) const { return commit(p.coeffs()); }
+
+G1 Srs::commit(std::span<const Fr> coeffs) const {
+  assert(coeffs.size() <= g1_powers.size());
+  return ec::msm(coeffs,
+                 std::span<const G1>(g1_powers.data(), coeffs.size()));
+}
+
+}  // namespace zkdet::plonk

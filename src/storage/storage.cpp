@@ -1,0 +1,103 @@
+#include "storage/storage.hpp"
+
+#include <cassert>
+
+namespace zkdet::storage {
+
+std::optional<Blob> StorageNode::fetch(const Cid& cid) const {
+  const auto it = blobs_.find(cid);
+  if (it == blobs_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool StorageNode::corrupt(const Cid& cid) {
+  const auto it = blobs_.find(cid);
+  if (it == blobs_.end()) return false;
+  if (it->second.empty()) {
+    it->second.push_back(0xFF);
+  } else {
+    it->second[0] ^= 0xFF;
+  }
+  return true;
+}
+
+StorageNetwork::StorageNetwork(std::size_t num_nodes, std::size_t replication)
+    : replication_(std::min(replication, num_nodes)) {
+  assert(num_nodes > 0);
+  nodes_.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    nodes_.emplace_back("node-" + std::to_string(i));
+  }
+}
+
+std::vector<std::size_t> StorageNetwork::placement(const Cid& cid) const {
+  // Rendezvous placement: first `replication` node indices derived from
+  // the CID bytes.
+  std::vector<std::size_t> out;
+  std::size_t seed = 0;
+  for (const auto b : cid.digest) seed = seed * 131 + b;
+  for (std::size_t k = 0; k < replication_; ++k) {
+    out.push_back((seed + k * 0x9e3779b9ull) % nodes_.size());
+  }
+  return out;
+}
+
+Cid StorageNetwork::put(Blob blob) {
+  const Cid cid = Cid::of(blob);
+  for (const std::size_t idx : placement(cid)) {
+    nodes_[idx].store(cid, blob);
+  }
+  return cid;
+}
+
+std::optional<Blob> StorageNetwork::get(const Cid& cid) const {
+  // Try placement nodes first, then fall back to a full sweep (a node
+  // may have re-pinned the blob).
+  const auto try_node = [&](const StorageNode& n) -> std::optional<Blob> {
+    auto blob = n.fetch(cid);
+    if (!blob) return std::nullopt;
+    if (Cid::of(*blob) != cid) {
+      ++tampered_;  // corrupted copy: reject, keep looking
+      return std::nullopt;
+    }
+    return blob;
+  };
+  for (const std::size_t idx : placement(cid)) {
+    if (auto b = try_node(nodes_[idx])) return b;
+  }
+  for (const auto& n : nodes_) {
+    if (auto b = try_node(n)) return b;
+  }
+  return std::nullopt;
+}
+
+void StorageNetwork::unpin(const Cid& cid) {
+  for (auto& n : nodes_) n.erase(cid);
+}
+
+Blob dataset_to_blob(const std::vector<ff::Fr>& data) {
+  Blob out;
+  out.reserve(data.size() * 32);
+  for (const auto& d : data) {
+    const auto b = ff::u256_to_bytes(d.to_canonical());
+    out.insert(out.end(), b.begin(), b.end());
+  }
+  return out;
+}
+
+std::optional<std::vector<ff::Fr>> blob_to_dataset(const Blob& blob) {
+  if (blob.size() % 32 != 0) return std::nullopt;
+  std::vector<ff::Fr> out;
+  out.reserve(blob.size() / 32);
+  for (std::size_t off = 0; off < blob.size(); off += 32) {
+    std::array<std::uint8_t, 32> b{};
+    std::copy(blob.begin() + static_cast<std::ptrdiff_t>(off),
+              blob.begin() + static_cast<std::ptrdiff_t>(off + 32), b.begin());
+    const ff::U256 v = ff::u256_from_bytes(b);
+    if (ff::u256_geq(v, ff::Fr::MOD)) return std::nullopt;  // not canonical
+    out.push_back(ff::Fr::from_canonical(v));
+  }
+  return out;
+}
+
+}  // namespace zkdet::storage

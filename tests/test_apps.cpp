@@ -1,0 +1,149 @@
+// IV-E applications: logistic regression and transformer training proofs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/apps.hpp"
+#include "core/transformation.hpp"
+
+namespace zkdet::core {
+namespace {
+
+using crypto::Drbg;
+using crypto::KeyPair;
+using ff::Fr;
+using gadgets::FixOps;
+using gadgets::FixParams;
+using gadgets::fix_decode;
+
+TEST(LrDataset, SynthesizeShapes) {
+  Drbg rng(1);
+  const LrDataset d = LrDataset::synthesize(50, 3, rng);
+  EXPECT_EQ(d.n, 50u);
+  EXPECT_EQ(d.k, 3u);
+  EXPECT_EQ(d.x.size(), 150u);
+  EXPECT_EQ(d.y.size(), 50u);
+  for (const double y : d.y) EXPECT_TRUE(y == 0.0 || y == 1.0);
+  const FixParams p;
+  EXPECT_EQ(d.encode(p).size(), 200u);
+}
+
+TEST(LrModel, TrainingReducesLoss) {
+  Drbg rng(2);
+  const LrDataset d = LrDataset::synthesize(100, 3, rng);
+  const LrModel untrained{std::vector<double>(4, 0.0)};
+  const LrModel trained = LrModel::train(d, 0.5, 200);
+  EXPECT_LT(trained.loss(d), untrained.loss(d));
+  EXPECT_GT(trained.accuracy(d), 0.7);
+}
+
+TEST(LrApp, StepGadgetMatchesNativeUpdate) {
+  Drbg rng(3);
+  const std::size_t n = 8, k = 2;
+  const LrDataset d = LrDataset::synthesize(n, k, rng);
+  const LrModel model = LrModel::train(d, 0.25, 100);
+  const FixParams p;
+  gadgets::CircuitBuilder bld;
+  std::vector<gadgets::Wire> src;
+  for (const Fr& v : d.encode(p)) src.push_back(bld.add_witness(v));
+  const TransformGadget g = lr_step_gadget(n, k, 0.25, model, 1.0, p);
+  const std::vector<gadgets::Wire> out = g(bld, src);
+  ASSERT_EQ(out.size(), k + 1);
+  EXPECT_TRUE(bld.witness_consistent());
+  // The fixed-point circuit update should land near the double-precision
+  // one (sigmoid is PL-approximated, so allow loose tolerance).
+  for (std::size_t j = 0; j <= k; ++j) {
+    const double got = fix_decode(bld.value(out[j]), p);
+    EXPECT_NEAR(got, model.beta[j], 0.15) << "param " << j;
+  }
+}
+
+TEST(LrApp, ConvergenceBoundEnforced) {
+  Drbg rng(4);
+  const std::size_t n = 8, k = 2;
+  const LrDataset d = LrDataset::synthesize(n, k, rng);
+  // Untrained model with a huge step: ||beta' - beta||^2 exceeds a tiny
+  // epsilon, so the convergence assertion must fail.
+  LrModel far{std::vector<double>(k + 1, 0.0)};
+  const FixParams p;
+  gadgets::CircuitBuilder bld;
+  std::vector<gadgets::Wire> src;
+  for (const Fr& v : d.encode(p)) src.push_back(bld.add_witness(v));
+  const TransformGadget g = lr_step_gadget(n, k, 50.0, far, 1e-6, p);
+  (void)g(bld, src);
+  EXPECT_FALSE(bld.witness_consistent());
+}
+
+TEST(TransformerWeights, RandomShapes) {
+  Drbg rng(5);
+  const TransformerWeights w = TransformerWeights::random(4, 8, rng);
+  EXPECT_EQ(w.wq.size(), 16u);
+  EXPECT_EQ(w.w1.size(), 32u);
+  EXPECT_EQ(w.parameter_count(), 3u * 16 + 32 + 8 + 32 + 4);
+}
+
+TEST(TransformerApp, GadgetMatchesNativeForward) {
+  Drbg rng(6);
+  const std::size_t L = 2, d = 2, h = 4;
+  const TransformerWeights w = TransformerWeights::random(d, h, rng);
+  std::vector<double> input;
+  for (std::size_t i = 0; i < L * d; ++i) {
+    input.push_back((static_cast<double>(rng() % 2001) - 1000.0) / 1000.0);
+  }
+  const std::vector<double> native = transformer_forward(w, input, L);
+  ASSERT_EQ(native.size(), L * d);
+
+  const FixParams p;
+  gadgets::CircuitBuilder bld;
+  std::vector<gadgets::Wire> src;
+  for (const double v : input) {
+    src.push_back(bld.add_witness(gadgets::fix_encode(v, p)));
+  }
+  const TransformGadget g = transformer_gadget(L, w, p);
+  const std::vector<gadgets::Wire> out = g(bld, src);
+  ASSERT_EQ(out.size(), L * d);
+  EXPECT_TRUE(bld.witness_consistent());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(fix_decode(bld.value(out[i]), p), native[i], 0.05)
+        << "output " << i;
+  }
+}
+
+TEST(TransformerApp, OutputDependsOnWeights) {
+  Drbg rng(7);
+  const std::size_t L = 2, d = 2, h = 2;
+  const TransformerWeights w1 = TransformerWeights::random(d, h, rng);
+  const TransformerWeights w2 = TransformerWeights::random(d, h, rng);
+  const std::vector<double> input{0.5, -0.25, 0.75, 0.1};
+  EXPECT_NE(transformer_forward(w1, input, L),
+            transformer_forward(w2, input, L));
+}
+
+// End-to-end: sell a trained model as a processing-derived data asset.
+TEST(AppsEndToEnd, LrTrainingAsProcessingTransform) {
+  static ZkdetSystem sys(1 << 15, 21);
+  TransformationProtocol tp(sys);
+  Drbg rng(8);
+  const KeyPair owner = KeyPair::generate(rng);
+  sys.chain().create_account(owner, 10000);
+
+  const std::size_t n = 4, k = 2;
+  const LrDataset data = LrDataset::synthesize(n, k, rng);
+  const LrModel model = LrModel::train(data, 0.25, 100);
+  const FixParams p;
+
+  auto src = tp.publish(owner, data.encode(p));
+  ASSERT_TRUE(src);
+  auto derived = tp.process(owner, *src,
+                            lr_step_gadget(n, k, 0.25, model, 1.0, p),
+                            "lr/4x2");
+  ASSERT_TRUE(derived);
+  EXPECT_EQ(derived->plain.size(), k + 1);
+  EXPECT_TRUE(tp.verify_transformation(derived->token_id));
+  EXPECT_TRUE(tp.verify_provenance_chain(derived->token_id));
+  const auto info = sys.nft().token(derived->token_id);
+  EXPECT_EQ(info->formula, chain::Formula::kProcessing);
+}
+
+}  // namespace
+}  // namespace zkdet::core

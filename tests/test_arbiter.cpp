@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "chain/arbiter.hpp"
+#include "core/circuits.hpp"
+#include "core/system.hpp"
+
+namespace zkdet::chain {
+namespace {
+
+using core::build_key_circuit;
+using core::commit_key;
+using core::hash_key;
+using crypto::Drbg;
+using crypto::KeyPair;
+using ff::Fr;
+
+// One shared system (SRS + pi_k keys + contracts) for all arbiter tests.
+struct ArbiterFixture : ::testing::Test {
+  static core::ZkdetSystem& sys() {
+    static core::ZkdetSystem s(1 << 12, 5);
+    return s;
+  }
+
+  Drbg rng{7};
+  KeyPair seller_keys = KeyPair::generate(rng);
+  KeyPair buyer_keys = KeyPair::generate(rng);
+  Address seller = sys().chain().create_account(seller_keys, 100000);
+  Address buyer = sys().chain().create_account(buyer_keys, 100000);
+
+  // Asset-key material for a fake exchange.
+  Fr k = rng.random_fr();
+  Fr o = rng.random_fr();
+  Fr key_cm = commit_key(k, o);
+
+  std::uint64_t lock(std::uint64_t amount, const Fr& h_v,
+                     std::uint64_t timeout = 50) {
+    std::uint64_t id = 0;
+    const Receipt r = sys().chain().call(
+        buyer_keys, "lock",
+        [&](CallContext& ctx) {
+          id = sys().arbiter().lock(ctx, seller, h_v, key_cm, timeout);
+        },
+        amount, sys().arbiter().address());
+    EXPECT_TRUE(r.success) << r.error;
+    return id;
+  }
+
+  std::optional<plonk::Proof> prove_key(const Fr& k_v) {
+    gadgets::CircuitBuilder bld = build_key_circuit(k, o, k_v);
+    const auto& keys = sys().keys_for("pi_k", bld.cs());
+    return plonk::prove(keys.pk, bld.cs(), sys().srs(), bld.witness(), rng);
+  }
+};
+
+TEST_F(ArbiterFixture, HonestSettleTransfersPayment) {
+  const Fr k_v = rng.random_fr();
+  const std::uint64_t id = lock(700, hash_key(k_v));
+  const std::uint64_t seller_before = sys().chain().balance(seller);
+  auto proof = prove_key(k_v);
+  ASSERT_TRUE(proof);
+  const Fr k_c = k + k_v;
+  const Receipt r = sys().chain().call(
+      seller_keys, "settle", [&](CallContext& ctx) {
+        sys().arbiter().settle(ctx, id, k_c, *proof);
+      });
+  EXPECT_TRUE(r.success) << r.error;
+  EXPECT_EQ(sys().chain().balance(seller), seller_before + 700);
+  const auto info = sys().arbiter().exchange(id);
+  EXPECT_EQ(info->state, ExchangeState::kSettled);
+  EXPECT_EQ(info->k_c, k_c);  // buyer reads k_c off-chain
+  // the raw key never appears in the exchange record
+  EXPECT_NE(info->k_c, k);
+}
+
+TEST_F(ArbiterFixture, SettleWithWrongKcRejected) {
+  const Fr k_v = rng.random_fr();
+  const std::uint64_t id = lock(500, hash_key(k_v));
+  auto proof = prove_key(k_v);
+  ASSERT_TRUE(proof);
+  const Receipt r = sys().chain().call(
+      seller_keys, "settle-bad", [&](CallContext& ctx) {
+        sys().arbiter().settle(ctx, id, k + k_v + Fr::one(), *proof);
+      });
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(sys().arbiter().exchange(id)->state, ExchangeState::kLocked);
+}
+
+TEST_F(ArbiterFixture, SettleWithForeignKeyRejected) {
+  // A seller who does not know the committed key cannot settle: the
+  // proof is generated for a different key and fails against c.
+  const Fr k_v = rng.random_fr();
+  const std::uint64_t id = lock(500, hash_key(k_v));
+  const Fr wrong_k = rng.random_fr();
+  gadgets::CircuitBuilder bld = build_key_circuit(wrong_k, o, k_v);
+  const auto& keys = sys().keys_for("pi_k", bld.cs());
+  auto proof = plonk::prove(keys.pk, bld.cs(), sys().srs(), bld.witness(), rng);
+  ASSERT_TRUE(proof);
+  const Receipt r = sys().chain().call(
+      seller_keys, "settle-foreign", [&](CallContext& ctx) {
+        sys().arbiter().settle(ctx, id, wrong_k + k_v, *proof);
+      });
+  EXPECT_FALSE(r.success);  // public input c mismatches the proof
+}
+
+TEST_F(ArbiterFixture, OnlySellerMaySettle) {
+  const Fr k_v = rng.random_fr();
+  const std::uint64_t id = lock(500, hash_key(k_v));
+  auto proof = prove_key(k_v);
+  const Receipt r = sys().chain().call(
+      buyer_keys, "settle-as-buyer", [&](CallContext& ctx) {
+        sys().arbiter().settle(ctx, id, k + k_v, *proof);
+      });
+  EXPECT_FALSE(r.success);
+}
+
+TEST_F(ArbiterFixture, RefundAfterDeadline) {
+  const Fr k_v = rng.random_fr();
+  const std::uint64_t id = lock(300, hash_key(k_v), /*timeout=*/3);
+  const std::uint64_t buyer_after_lock = sys().chain().balance(buyer);
+  // too early
+  Receipt r = sys().chain().call(buyer_keys, "refund-early",
+                                 [&](CallContext& ctx) {
+                                   sys().arbiter().refund(ctx, id);
+                                 });
+  EXPECT_FALSE(r.success);
+  sys().chain().advance_blocks(5);
+  r = sys().chain().call(buyer_keys, "refund", [&](CallContext& ctx) {
+    sys().arbiter().refund(ctx, id);
+  });
+  EXPECT_TRUE(r.success) << r.error;
+  EXPECT_EQ(sys().chain().balance(buyer), buyer_after_lock + 300);
+  EXPECT_EQ(sys().arbiter().exchange(id)->state, ExchangeState::kRefunded);
+}
+
+TEST_F(ArbiterFixture, RefundOnlyByBuyer) {
+  const Fr k_v = rng.random_fr();
+  const std::uint64_t id = lock(300, hash_key(k_v), 1);
+  sys().chain().advance_blocks(3);
+  const Receipt r = sys().chain().call(
+      seller_keys, "refund-as-seller",
+      [&](CallContext& ctx) { sys().arbiter().refund(ctx, id); });
+  EXPECT_FALSE(r.success);
+}
+
+TEST_F(ArbiterFixture, SettleAfterRefundRejected) {
+  const Fr k_v = rng.random_fr();
+  const std::uint64_t id = lock(300, hash_key(k_v), 1);
+  sys().chain().advance_blocks(3);
+  sys().chain().call(buyer_keys, "refund", [&](CallContext& ctx) {
+    sys().arbiter().refund(ctx, id);
+  });
+  auto proof = prove_key(k_v);
+  const Receipt r = sys().chain().call(
+      seller_keys, "settle-late", [&](CallContext& ctx) {
+        sys().arbiter().settle(ctx, id, k + k_v, *proof);
+      });
+  EXPECT_FALSE(r.success);
+}
+
+TEST_F(ArbiterFixture, LockRequiresPayment) {
+  const Receipt r = sys().chain().call(
+      buyer_keys, "lock-zero", [&](CallContext& ctx) {
+        sys().arbiter().lock(ctx, seller, Fr::one(), key_cm, 10);
+      });
+  EXPECT_FALSE(r.success);
+}
+
+TEST_F(ArbiterFixture, ZkcpOpenLeaksKey) {
+  const Fr h = crypto::poseidon_hash({k}, core::kKeyHashTag);
+  std::uint64_t id = 0;
+  Receipt r = sys().chain().call(
+      buyer_keys, "zkcp-lock",
+      [&](CallContext& ctx) {
+        id = sys().zkcp_arbiter().lock(ctx, seller, h);
+      },
+      400, sys().zkcp_arbiter().address());
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_FALSE(sys().zkcp_arbiter().leaked_key(id).has_value());
+  r = sys().chain().call(seller_keys, "zkcp-open", [&](CallContext& ctx) {
+    sys().zkcp_arbiter().open(ctx, id, k);
+  });
+  ASSERT_TRUE(r.success) << r.error;
+  // the key is now public chain state — the ZKCP flaw
+  const auto leaked = sys().zkcp_arbiter().leaked_key(id);
+  ASSERT_TRUE(leaked.has_value());
+  EXPECT_EQ(*leaked, k);
+}
+
+TEST_F(ArbiterFixture, ZkcpOpenWithWrongKeyRejected) {
+  const Fr h = crypto::poseidon_hash({k}, core::kKeyHashTag);
+  std::uint64_t id = 0;
+  sys().chain().call(
+      buyer_keys, "zkcp-lock",
+      [&](CallContext& ctx) {
+        id = sys().zkcp_arbiter().lock(ctx, seller, h);
+      },
+      400, sys().zkcp_arbiter().address());
+  const Receipt r = sys().chain().call(
+      seller_keys, "zkcp-open-bad", [&](CallContext& ctx) {
+        sys().zkcp_arbiter().open(ctx, id, k + Fr::one());
+      });
+  EXPECT_FALSE(r.success);
+}
+
+TEST_F(ArbiterFixture, VerifierContractChargesGas) {
+  const Fr k_v = rng.random_fr();
+  gadgets::CircuitBuilder bld = build_key_circuit(k, o, k_v);
+  const auto& keys = sys().keys_for("pi_k", bld.cs());
+  auto proof = plonk::prove(keys.pk, bld.cs(), sys().srs(), bld.witness(), rng);
+  ASSERT_TRUE(proof);
+  std::uint64_t gas = 0;
+  bool ok = false;
+  sys().chain().call(seller_keys, "verify", [&](CallContext& ctx) {
+    const std::uint64_t g0 = ctx.gas().used();
+    ok = sys().key_verifier().verify(
+        ctx, {k + k_v, commit_key(k, o), hash_key(k_v)}, *proof);
+    gas = ctx.gas().used() - g0;
+  });
+  EXPECT_TRUE(ok);
+  // EIP-1108 floor: pairing (45k + 2*34k) + 18 muls (108k)
+  EXPECT_GT(gas, 200'000u);
+  EXPECT_LT(gas, 400'000u);
+}
+
+}  // namespace
+}  // namespace zkdet::chain

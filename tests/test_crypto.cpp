@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include "crypto/mimc.hpp"
+#include "crypto/poseidon.hpp"
+#include "crypto/rng.hpp"
+#include "crypto/schnorr.hpp"
+#include "crypto/sha256.hpp"
+
+namespace zkdet::crypto {
+namespace {
+
+using ff::Fr;
+
+// --- SHA-256 against FIPS 180-4 known-answer vectors ---
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex_encode(Sha256::digest(std::string(""))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex_encode(Sha256::digest(std::string("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex_encode(Sha256::digest(std::string(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex_encode(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog";
+  Sha256 h;
+  for (const char c : msg) {
+    h.update(std::string(1, c));
+  }
+  EXPECT_EQ(h.finalize(), Sha256::digest(msg));
+}
+
+TEST(Sha256, PaddingBoundaries) {
+  // lengths around the 55/56/64-byte padding boundaries must all differ
+  std::vector<std::array<std::uint8_t, 32>> digests;
+  for (const std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u}) {
+    digests.push_back(Sha256::digest(std::string(len, 'x')));
+  }
+  for (std::size_t i = 0; i < digests.size(); ++i) {
+    for (std::size_t j = i + 1; j < digests.size(); ++j) {
+      EXPECT_NE(digests[i], digests[j]);
+    }
+  }
+}
+
+// --- DRBG ---
+
+TEST(Drbg, Deterministic) {
+  Drbg a(42);
+  Drbg b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Drbg, SeedsDiffer) {
+  Drbg a(1);
+  Drbg b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a() != b());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Drbg, RandomFrInField) {
+  Drbg rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const Fr x = rng.random_fr();
+    EXPECT_TRUE(ff::u256_less(x.to_canonical(), Fr::MOD));
+  }
+}
+
+// --- MiMC ---
+
+TEST(Mimc, RoundConstantsStable) {
+  const auto& c = mimc_round_constants();
+  ASSERT_EQ(c.size(), kMimcRounds);
+  EXPECT_TRUE(c[0].is_zero());
+  EXPECT_FALSE(c[1].is_zero());
+  // deterministic across calls
+  EXPECT_EQ(c[5], mimc_round_constants()[5]);
+}
+
+TEST(Mimc, BlockDeterministic) {
+  const Fr k = Fr::from_u64(7);
+  const Fr m = Fr::from_u64(9);
+  EXPECT_EQ(mimc_encrypt_block(k, m), mimc_encrypt_block(k, m));
+  EXPECT_NE(mimc_encrypt_block(k, m), mimc_encrypt_block(k + Fr::one(), m));
+  EXPECT_NE(mimc_encrypt_block(k, m), mimc_encrypt_block(k, m + Fr::one()));
+}
+
+TEST(Mimc, CtrRoundtrip) {
+  Drbg rng(4);
+  std::vector<Fr> plain;
+  for (int i = 0; i < 20; ++i) plain.push_back(rng.random_fr());
+  const Fr key = rng.random_fr();
+  const Fr nonce = rng.random_fr();
+  const auto ct = mimc_ctr_encrypt(key, nonce, plain);
+  EXPECT_EQ(ct.size(), plain.size());
+  EXPECT_EQ(mimc_ctr_decrypt(key, nonce, ct), plain);
+}
+
+TEST(Mimc, CtrWrongKeyGarbles) {
+  Drbg rng(5);
+  std::vector<Fr> plain{rng.random_fr(), rng.random_fr()};
+  const Fr key = rng.random_fr();
+  const Fr nonce = rng.random_fr();
+  const auto ct = mimc_ctr_encrypt(key, nonce, plain);
+  EXPECT_NE(mimc_ctr_decrypt(key + Fr::one(), nonce, ct), plain);
+  EXPECT_NE(mimc_ctr_decrypt(key, nonce + Fr::one(), ct), plain);
+}
+
+TEST(Mimc, CtrBlocksDifferAcrossPositions) {
+  // identical plaintext blocks must encrypt differently (CTR property)
+  const std::vector<Fr> plain(4, Fr::from_u64(5));
+  const auto ct = mimc_ctr_encrypt(Fr::from_u64(1), Fr::from_u64(2), plain);
+  EXPECT_NE(ct[0], ct[1]);
+  EXPECT_NE(ct[1], ct[2]);
+}
+
+TEST(Mimc, HashBasics) {
+  const Fr h1 = mimc_hash({Fr::from_u64(1), Fr::from_u64(2)});
+  const Fr h2 = mimc_hash({Fr::from_u64(2), Fr::from_u64(1)});
+  EXPECT_NE(h1, h2);
+  EXPECT_EQ(h1, mimc_hash({Fr::from_u64(1), Fr::from_u64(2)}));
+}
+
+// --- Poseidon ---
+
+TEST(Poseidon, PermutationDeterministic) {
+  const auto& params = PoseidonParams::get(3);
+  EXPECT_EQ(params.t, 3u);
+  EXPECT_EQ(params.rf, 8u);
+  EXPECT_EQ(params.rp, 60u);
+  std::vector<Fr> s1{Fr::from_u64(1), Fr::from_u64(2), Fr::from_u64(3)};
+  std::vector<Fr> s2 = s1;
+  poseidon_permute(params, s1);
+  poseidon_permute(params, s2);
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(s1[0], Fr::from_u64(1));  // state actually mixed
+}
+
+TEST(Poseidon, HashLengthDomainSeparation) {
+  // H(m) != H(m || 0) — the capacity encodes the length.
+  const Fr a = poseidon_hash({Fr::from_u64(1)});
+  const Fr b = poseidon_hash({Fr::from_u64(1), Fr::zero()});
+  EXPECT_NE(a, b);
+}
+
+TEST(Poseidon, TagDomainSeparation) {
+  const Fr a = poseidon_hash({Fr::from_u64(1)}, 1);
+  const Fr b = poseidon_hash({Fr::from_u64(1)}, 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(Poseidon, Hash2) {
+  const Fr l = Fr::from_u64(10);
+  const Fr r = Fr::from_u64(20);
+  EXPECT_NE(poseidon_hash2(l, r), poseidon_hash2(r, l));
+  EXPECT_EQ(poseidon_hash2(l, r), poseidon_hash2(l, r));
+}
+
+TEST(Poseidon, WidthsProduceDifferentParams) {
+  const auto& p2 = PoseidonParams::get(2);
+  const auto& p4 = PoseidonParams::get(4);
+  EXPECT_EQ(p2.mds.size(), 4u);
+  EXPECT_EQ(p4.mds.size(), 16u);
+  EXPECT_NE(p2.ark[0], p4.ark[0]);
+}
+
+TEST(Poseidon, MdsHasNoZeroEntries) {
+  for (const std::size_t t : {2u, 3u, 5u}) {
+    for (const Fr& x : PoseidonParams::get(t).mds) EXPECT_FALSE(x.is_zero());
+  }
+}
+
+TEST(PoseidonCommitment, OpenAcceptsHonest) {
+  Drbg rng(6);
+  const std::vector<Fr> msg{Fr::from_u64(1), Fr::from_u64(2)};
+  const auto [c, o] = PoseidonCommitment::commit(msg, rng);
+  EXPECT_TRUE(PoseidonCommitment::open(msg, c, o));
+}
+
+TEST(PoseidonCommitment, BindingRejections) {
+  Drbg rng(7);
+  const std::vector<Fr> msg{Fr::from_u64(1), Fr::from_u64(2)};
+  const auto [c, o] = PoseidonCommitment::commit(msg, rng);
+  EXPECT_FALSE(PoseidonCommitment::open({Fr::from_u64(1), Fr::from_u64(3)}, c, o));
+  EXPECT_FALSE(PoseidonCommitment::open(msg, c + Fr::one(), o));
+  EXPECT_FALSE(PoseidonCommitment::open(msg, c, o + Fr::one()));
+}
+
+TEST(PoseidonCommitment, HidingBlindersChangeCommitment) {
+  const std::vector<Fr> msg{Fr::from_u64(9)};
+  const Fr c1 = PoseidonCommitment::commit_with(msg, Fr::from_u64(1));
+  const Fr c2 = PoseidonCommitment::commit_with(msg, Fr::from_u64(2));
+  EXPECT_NE(c1, c2);
+}
+
+// --- Schnorr ---
+
+TEST(Schnorr, SignVerify) {
+  Drbg rng(8);
+  const KeyPair kp = KeyPair::generate(rng);
+  const std::vector<std::uint8_t> msg{1, 2, 3, 4};
+  const Signature sig = schnorr_sign(kp, msg, rng);
+  EXPECT_TRUE(schnorr_verify(kp.pk, msg, sig));
+}
+
+TEST(Schnorr, RejectsTamperedMessage) {
+  Drbg rng(9);
+  const KeyPair kp = KeyPair::generate(rng);
+  const std::vector<std::uint8_t> msg{1, 2, 3, 4};
+  const Signature sig = schnorr_sign(kp, msg, rng);
+  const std::vector<std::uint8_t> other{1, 2, 3, 5};
+  EXPECT_FALSE(schnorr_verify(kp.pk, other, sig));
+}
+
+TEST(Schnorr, RejectsWrongKey) {
+  Drbg rng(10);
+  const KeyPair kp = KeyPair::generate(rng);
+  const KeyPair other = KeyPair::generate(rng);
+  const std::vector<std::uint8_t> msg{42};
+  const Signature sig = schnorr_sign(kp, msg, rng);
+  EXPECT_FALSE(schnorr_verify(other.pk, msg, sig));
+}
+
+TEST(Schnorr, RejectsTamperedSignature) {
+  Drbg rng(11);
+  const KeyPair kp = KeyPair::generate(rng);
+  const std::vector<std::uint8_t> msg{42};
+  Signature sig = schnorr_sign(kp, msg, rng);
+  sig.s += Fr::one();
+  EXPECT_FALSE(schnorr_verify(kp.pk, msg, sig));
+  Signature sig2 = schnorr_sign(kp, msg, rng);
+  sig2.r = sig2.r + ec::G1::generator();
+  EXPECT_FALSE(schnorr_verify(kp.pk, msg, sig2));
+}
+
+TEST(Schnorr, RejectsIdentityKey) {
+  Drbg rng(12);
+  const KeyPair kp = KeyPair::generate(rng);
+  const std::vector<std::uint8_t> msg{42};
+  const Signature sig = schnorr_sign(kp, msg, rng);
+  EXPECT_FALSE(schnorr_verify(ec::G1::identity(), msg, sig));
+}
+
+TEST(Schnorr, AddressFormat) {
+  Drbg rng(13);
+  const KeyPair kp = KeyPair::generate(rng);
+  const std::string addr = address_of(kp.pk);
+  EXPECT_EQ(addr.size(), 2u + 40u);
+  EXPECT_EQ(addr.substr(0, 2), "0x");
+  EXPECT_EQ(address_of(kp.pk), addr);  // stable
+}
+
+}  // namespace
+}  // namespace zkdet::crypto

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ff/fp12.hpp"
+
+namespace zkdet::ff {
+namespace {
+
+Fp2 random_fp2(std::mt19937_64& rng) {
+  return Fp2{random_field<Fp>(rng), random_field<Fp>(rng)};
+}
+
+Fp12 random_fp12(std::mt19937_64& rng) {
+  Fp12 x;
+  for (auto& c : x.c) c = random_fp2(rng);
+  return x;
+}
+
+TEST(Fp2, FieldAxioms) {
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const Fp2 a = random_fp2(rng);
+    const Fp2 b = random_fp2(rng);
+    const Fp2 c = random_fp2(rng);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a.square(), a * a);
+  }
+}
+
+TEST(Fp2, UnitSquaresToMinusOne) {
+  const Fp2 u{Fp::zero(), Fp::one()};
+  const Fp2 minus_one{-Fp::one(), Fp::zero()};
+  EXPECT_EQ(u.square(), minus_one);
+}
+
+TEST(Fp2, Inverse) {
+  std::mt19937_64 rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const Fp2 a = random_fp2(rng);
+    if (a.is_zero()) continue;
+    EXPECT_EQ(a * a.inverse(), Fp2::one());
+  }
+  EXPECT_TRUE(Fp2::zero().inverse().is_zero());
+}
+
+TEST(Fp2, ConjugateIsFrobenius) {
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 10; ++i) {
+    const Fp2 a = random_fp2(rng);
+    EXPECT_EQ(a.frobenius(), a.pow(Fp::MOD));
+  }
+}
+
+TEST(Fp2, ConjugateMultiplicative) {
+  std::mt19937_64 rng(4);
+  const Fp2 a = random_fp2(rng);
+  const Fp2 b = random_fp2(rng);
+  EXPECT_EQ((a * b).conjugate(), a.conjugate() * b.conjugate());
+}
+
+TEST(Fp12, RingAxioms) {
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 20; ++i) {
+    const Fp12 a = random_fp12(rng);
+    const Fp12 b = random_fp12(rng);
+    const Fp12 c = random_fp12(rng);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a * Fp12::one(), a);
+  }
+}
+
+TEST(Fp12, Inverse) {
+  std::mt19937_64 rng(6);
+  for (int i = 0; i < 20; ++i) {
+    const Fp12 a = random_fp12(rng);
+    if (a.is_zero()) continue;
+    EXPECT_EQ(a * a.inverse(), Fp12::one());
+  }
+}
+
+TEST(Fp12, FrobeniusIsPthPower) {
+  std::mt19937_64 rng(7);
+  const Fp12 a = random_fp12(rng);
+  EXPECT_EQ(a.frobenius(1), a.pow(Fp::MOD));
+}
+
+TEST(Fp12, FrobeniusOrder12) {
+  std::mt19937_64 rng(8);
+  const Fp12 a = random_fp12(rng);
+  EXPECT_EQ(a.frobenius(12), a);
+  EXPECT_NE(a.frobenius(6), a);  // overwhelmingly likely for random a
+}
+
+TEST(Fp12, FrobeniusIsRingHomomorphism) {
+  std::mt19937_64 rng(9);
+  const Fp12 a = random_fp12(rng);
+  const Fp12 b = random_fp12(rng);
+  EXPECT_EQ((a * b).frobenius(1), a.frobenius(1) * b.frobenius(1));
+  EXPECT_EQ((a + b).frobenius(1), a.frobenius(1) + b.frobenius(1));
+}
+
+TEST(Fp12, MulLineMatchesFullMul) {
+  std::mt19937_64 rng(10);
+  for (int i = 0; i < 20; ++i) {
+    const Fp12 a = random_fp12(rng);
+    const Fp2 l0 = random_fp2(rng);
+    const Fp2 l2 = random_fp2(rng);
+    const Fp2 l3 = random_fp2(rng);
+    Fp12 line;
+    line.c[0] = l0;
+    line.c[2] = l2;
+    line.c[3] = l3;
+    EXPECT_EQ(a.mul_line(l0, l2, l3), a * line);
+  }
+}
+
+TEST(Fp12, PowSmallExponents) {
+  std::mt19937_64 rng(11);
+  const Fp12 a = random_fp12(rng);
+  EXPECT_EQ(a.pow(U256{0}), Fp12::one());
+  EXPECT_EQ(a.pow(U256{1}), a);
+  EXPECT_EQ(a.pow(U256{2}), a.square());
+  EXPECT_EQ(a.pow(U256{3}), a * a * a);
+}
+
+TEST(Fp12, PowBigUIntMatchesU256) {
+  std::mt19937_64 rng(12);
+  const Fp12 a = random_fp12(rng);
+  const U256 e{0xdeadbeef12345678ull, 0x42, 0, 0};
+  EXPECT_EQ(a.pow(e), a.pow(BigUInt::from_u256(e)));
+}
+
+}  // namespace
+}  // namespace zkdet::ff

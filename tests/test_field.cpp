@@ -1,0 +1,194 @@
+#include "ff/bn254.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ff/bigint.hpp"
+
+namespace zkdet::ff {
+namespace {
+
+TEST(Field, Identities) {
+  EXPECT_TRUE(Fr::zero().is_zero());
+  EXPECT_EQ(Fr::one() * Fr::one(), Fr::one());
+  EXPECT_EQ(Fr::one() + Fr::zero(), Fr::one());
+  EXPECT_EQ(Fr::from_u64(5) - Fr::from_u64(5), Fr::zero());
+}
+
+TEST(Field, CanonicalRoundtrip) {
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const Fr x = random_field<Fr>(rng);
+    EXPECT_EQ(Fr::from_canonical(x.to_canonical()), x);
+  }
+}
+
+TEST(Field, FromDecMatchesFromU64) {
+  EXPECT_EQ(Fr::from_dec("123456789"), Fr::from_u64(123456789));
+  EXPECT_EQ(Fp::from_dec("0"), Fp::zero());
+}
+
+TEST(Field, FromDecReducesModulus) {
+  // r itself reduces to zero
+  EXPECT_EQ(Fr::from_dec("218882428718392752222464057452572750885483644004160"
+                         "34343698204186575808495617"),
+            Fr::zero());
+}
+
+TEST(Field, AdditionIsCommutativeAssociative) {
+  std::mt19937_64 rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const Fr a = random_field<Fr>(rng);
+    const Fr b = random_field<Fr>(rng);
+    const Fr c = random_field<Fr>(rng);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+  }
+}
+
+TEST(Field, MultiplicationDistributes) {
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const Fr a = random_field<Fr>(rng);
+    const Fr b = random_field<Fr>(rng);
+    const Fr c = random_field<Fr>(rng);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+  }
+}
+
+TEST(Field, NegationAndSubtraction) {
+  std::mt19937_64 rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const Fr a = random_field<Fr>(rng);
+    EXPECT_TRUE((a + (-a)).is_zero());
+    EXPECT_EQ(Fr::zero() - a, -a);
+  }
+  EXPECT_EQ(-Fr::zero(), Fr::zero());
+}
+
+TEST(Field, InverseProperty) {
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 100; ++i) {
+    Fr a = random_field<Fr>(rng);
+    if (a.is_zero()) continue;
+    EXPECT_EQ(a * a.inverse(), Fr::one());
+  }
+  // inverse of zero defined as zero
+  EXPECT_TRUE(Fr::zero().inverse().is_zero());
+}
+
+TEST(Field, SquareMatchesMul) {
+  std::mt19937_64 rng(6);
+  for (int i = 0; i < 100; ++i) {
+    const Fr a = random_field<Fr>(rng);
+    EXPECT_EQ(a.square(), a * a);
+    EXPECT_EQ(a.dbl(), a + a);
+  }
+}
+
+TEST(Field, PowMatchesRepeatedMul) {
+  const Fr a = Fr::from_u64(3);
+  Fr expected = Fr::one();
+  for (std::uint64_t e = 0; e < 20; ++e) {
+    EXPECT_EQ(a.pow(U256{e}), expected);
+    expected *= a;
+  }
+}
+
+TEST(Field, FermatLittleTheorem) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 20; ++i) {
+    const Fr a = random_field<Fr>(rng);
+    if (a.is_zero()) continue;
+    U256 e;
+    u256_sub(e, Fr::MOD, U256{1});
+    EXPECT_EQ(a.pow(e), Fr::one());  // a^(r-1) = 1
+  }
+}
+
+TEST(Field, GeneratorHasFullOrderSignals) {
+  // 5^((r-1)/2) must be -1 for a generator (odd part check is implied by
+  // the two-adic root test below).
+  U256 e;
+  u256_sub(e, Fr::MOD, U256{1});
+  for (std::size_t j = 0; j < 4; ++j) {
+    e.limb[j] >>= 1;
+    if (j + 1 < 4) e.limb[j] |= e.limb[j + 1] << 63;
+  }
+  EXPECT_EQ(Fr::generator().pow(e), -Fr::one());
+}
+
+TEST(Field, TwoAdicRoot) {
+  const Fr root = Fr::two_adic_root();
+  Fr x = root;
+  for (std::size_t i = 0; i < Fr::TWO_ADICITY - 1; ++i) x = x.square();
+  EXPECT_EQ(x, -Fr::one());
+  EXPECT_EQ(x.square(), Fr::one());
+}
+
+TEST(Field, BaseFieldModulusDiffersFromScalar) {
+  EXPECT_NE(Fp::MOD, Fr::MOD);
+  // p > r for BN254
+  EXPECT_TRUE(u256_less(Fr::MOD, Fp::MOD));
+}
+
+TEST(Field, ReduceFromLargeValue) {
+  U256 big = Fr::MOD;
+  U256 plus5{};
+  u256_add(plus5, big, U256{5});
+  EXPECT_EQ(Fr::reduce_from(plus5), Fr::from_u64(5));
+}
+
+TEST(BigUInt, MulAndDivide) {
+  BigUInt n = BigUInt::from_u64(1);
+  const U256 p = Fp::MOD;
+  for (int i = 0; i < 3; ++i) n.mul_u256(p);
+  // n = p^3; divide back down
+  U256 rem{};
+  BigUInt q = bigint_div_u256(n, p, &rem);
+  EXPECT_TRUE(rem.is_zero());
+  U256 rem2{};
+  BigUInt q2 = bigint_div_u256(q, p, &rem2);
+  EXPECT_TRUE(rem2.is_zero());
+  U256 rem3{};
+  BigUInt q3 = bigint_div_u256(q2, p, &rem3);
+  EXPECT_TRUE(rem3.is_zero());
+  EXPECT_EQ(q3.bit_length(), 1u);  // quotient 1
+}
+
+TEST(BigUInt, DivisionRemainder) {
+  BigUInt n = BigUInt::from_u64(1000);
+  U256 rem{};
+  BigUInt q = bigint_div_u256(n, U256{7}, &rem);
+  EXPECT_EQ(rem, U256{6});  // 1000 = 142*7 + 6
+  EXPECT_TRUE(q.bit(1));    // 142 = 0b10001110
+  EXPECT_EQ(q.bit_length(), 8u);
+}
+
+TEST(BigUInt, SubU64) {
+  BigUInt n = BigUInt::from_u64(0);
+  n.limbs = {0, 1};  // 2^64
+  n.sub_u64(1);
+  EXPECT_EQ(n.limbs[0], ~0ull);
+  EXPECT_EQ(n.limbs[1], 0u);
+}
+
+class FieldSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FieldSeedSweep, MulInverseRandom) {
+  std::mt19937_64 rng(GetParam());
+  const Fr a = random_field<Fr>(rng);
+  const Fr b = random_field<Fr>(rng);
+  if (b.is_zero()) return;
+  const Fr q = a * b.inverse();
+  EXPECT_EQ(q * b, a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FieldSeedSweep,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace zkdet::ff

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gadgets/fixed_point.hpp"
+
+namespace zkdet::gadgets {
+namespace {
+
+using ff::Fr;
+
+const FixParams kP{};  // 16.24 default
+
+TEST(FixedPoint, EncodeDecodeRoundtrip) {
+  for (const double v : {0.0, 1.0, -1.0, 3.14159, -2.71828, 1000.5, -999.25}) {
+    EXPECT_NEAR(fix_decode(fix_encode(v, kP), kP), v, 1e-4) << v;
+  }
+}
+
+TEST(FixedPoint, EncodeIsLinear) {
+  const Fr a = fix_encode(1.5, kP);
+  const Fr b = fix_encode(2.25, kP);
+  EXPECT_EQ(a + b, fix_encode(3.75, kP));
+  EXPECT_EQ(-a, fix_encode(-1.5, kP));
+}
+
+struct BinCase {
+  double a, b;
+};
+
+class FixMulSweep : public ::testing::TestWithParam<BinCase> {};
+
+TEST_P(FixMulSweep, MulMatchesDouble) {
+  const auto [av, bv] = GetParam();
+  CircuitBuilder bld;
+  FixOps fx(bld, kP);
+  const Wire a = bld.add_witness(fix_encode(av, kP));
+  const Wire b = bld.add_witness(fix_encode(bv, kP));
+  const Wire c = fx.mul(a, b);
+  EXPECT_NEAR(fx.decode(c), av * bv, 1e-3);
+  EXPECT_TRUE(bld.witness_consistent());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, FixMulSweep,
+    ::testing::Values(BinCase{2.0, 3.0}, BinCase{-2.0, 3.0},
+                      BinCase{-2.5, -4.0}, BinCase{0.0, 5.0},
+                      BinCase{0.125, 0.125}, BinCase{100.0, -0.01},
+                      BinCase{1000.0, 1000.0}));
+
+TEST(FixedPoint, MulConst) {
+  CircuitBuilder bld;
+  FixOps fx(bld, kP);
+  const Wire a = bld.add_witness(fix_encode(3.0, kP));
+  EXPECT_NEAR(fx.decode(fx.mul_const(a, -1.5)), -4.5, 1e-3);
+  EXPECT_TRUE(bld.witness_consistent());
+}
+
+TEST(FixedPoint, SquareIsNonNegative) {
+  CircuitBuilder bld;
+  FixOps fx(bld, kP);
+  const Wire a = bld.add_witness(fix_encode(-3.0, kP));
+  EXPECT_NEAR(fx.decode(fx.square(a)), 9.0, 1e-3);
+  EXPECT_TRUE(bld.witness_consistent());
+}
+
+TEST(FixedPoint, Inner) {
+  CircuitBuilder bld;
+  FixOps fx(bld, kP);
+  std::vector<Wire> a, b;
+  const double av[] = {1.5, -2.0, 0.5};
+  const double bv[] = {2.0, 1.0, -4.0};
+  double expect = 0;
+  for (int i = 0; i < 3; ++i) {
+    a.push_back(bld.add_witness(fix_encode(av[i], kP)));
+    b.push_back(bld.add_witness(fix_encode(bv[i], kP)));
+    expect += av[i] * bv[i];
+  }
+  EXPECT_NEAR(fx.decode(fx.inner(a, b)), expect, 1e-3);
+  EXPECT_TRUE(bld.witness_consistent());
+}
+
+TEST(FixedPoint, AffineConst) {
+  CircuitBuilder bld;
+  FixOps fx(bld, kP);
+  std::vector<Wire> x;
+  const double xs[] = {1.0, -2.0, 3.0};
+  const double ws[] = {0.5, 0.25, -1.0};
+  for (const double v : xs) x.push_back(bld.add_witness(fix_encode(v, kP)));
+  const Wire out = fx.affine_const(x, ws, 10.0);
+  EXPECT_NEAR(fx.decode(out), 0.5 - 0.5 - 3.0 + 10.0, 1e-3);
+  EXPECT_TRUE(bld.witness_consistent());
+}
+
+TEST(FixedPoint, DivNonneg) {
+  CircuitBuilder bld;
+  FixOps fx(bld, kP);
+  const Wire a = bld.add_witness(fix_encode(7.5, kP));
+  const Wire b = bld.add_witness(fix_encode(2.5, kP));
+  EXPECT_NEAR(fx.decode(fx.div_nonneg(a, b)), 3.0, 1e-3);
+  EXPECT_TRUE(bld.witness_consistent());
+}
+
+TEST(FixedPoint, DivByTiny) {
+  CircuitBuilder bld;
+  FixOps fx(bld, kP);
+  const Wire a = bld.add_witness(fix_encode(1.0, kP));
+  const Wire b = bld.add_witness(fix_encode(0.25, kP));
+  EXPECT_NEAR(fx.decode(fx.div_nonneg(a, b)), 4.0, 1e-3);
+  EXPECT_TRUE(bld.witness_consistent());
+}
+
+TEST(FixedPoint, ReluAbsSign) {
+  CircuitBuilder bld;
+  FixOps fx(bld, kP);
+  const Wire pos = bld.add_witness(fix_encode(2.5, kP));
+  const Wire neg = bld.add_witness(fix_encode(-2.5, kP));
+  EXPECT_NEAR(fx.decode(fx.relu(pos)), 2.5, 1e-4);
+  EXPECT_NEAR(fx.decode(fx.relu(neg)), 0.0, 1e-4);
+  EXPECT_NEAR(fx.decode(fx.abs(neg)), 2.5, 1e-4);
+  EXPECT_EQ(bld.value(fx.sign_bit(pos)), Fr::one());
+  EXPECT_EQ(bld.value(fx.sign_bit(neg)), Fr::zero());
+  EXPECT_TRUE(bld.witness_consistent());
+}
+
+TEST(FixedPoint, ReluAtZero) {
+  CircuitBuilder bld;
+  FixOps fx(bld, kP);
+  const Wire z = bld.add_witness(fix_encode(0.0, kP));
+  EXPECT_NEAR(fx.decode(fx.relu(z)), 0.0, 1e-9);
+  EXPECT_TRUE(bld.witness_consistent());
+}
+
+TEST(FixedPoint, AssertNonnegRejectsNegative) {
+  CircuitBuilder bld;
+  FixOps fx(bld, kP);
+  const Wire neg = bld.add_witness(fix_encode(-1.0, kP));
+  fx.assert_nonneg(neg);
+  EXPECT_FALSE(bld.witness_consistent());
+}
+
+class SigmoidSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SigmoidSweep, ApproximatesSigmoid) {
+  const double x = GetParam();
+  CircuitBuilder bld;
+  FixOps fx(bld, kP);
+  const Wire xw = bld.add_witness(fix_encode(x, kP));
+  const Wire y = fx.sigmoid(xw);
+  const double expect = 1.0 / (1.0 + std::exp(-x));
+  EXPECT_NEAR(fx.decode(y), expect, 0.02) << x;
+  EXPECT_TRUE(bld.witness_consistent());
+}
+
+INSTANTIATE_TEST_SUITE_P(Points, SigmoidSweep,
+                         ::testing::Values(-20.0, -8.0, -3.5, -1.0, -0.1, 0.0,
+                                           0.1, 1.0, 3.5, 7.9, 20.0));
+
+class ExpSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExpSweep, ApproximatesExp) {
+  const double x = GetParam();
+  CircuitBuilder bld;
+  FixOps fx(bld, kP);
+  const Wire xw = bld.add_witness(fix_encode(x, kP));
+  const Wire y = fx.exp(xw);
+  EXPECT_NEAR(fx.decode(y), std::exp(x), std::exp(x) * 0.05 + 0.02) << x;
+  EXPECT_TRUE(bld.witness_consistent());
+}
+
+INSTANTIATE_TEST_SUITE_P(Points, ExpSweep,
+                         ::testing::Values(-11.0, -5.0, -1.0, 0.0, 0.5, 1.0,
+                                           2.0, 3.9));
+
+TEST(FixedPoint, ExpClampsOutOfRange) {
+  CircuitBuilder bld;
+  FixOps fx(bld, kP);
+  const Wire big = bld.add_witness(fix_encode(10.0, kP));  // above domain
+  const Wire y = fx.exp(big);
+  EXPECT_NEAR(fx.decode(y), std::exp(4.0), std::exp(4.0) * 0.05);
+  EXPECT_TRUE(bld.witness_consistent());
+}
+
+TEST(FixedPoint, RescaleCannotBeForged) {
+  // Tampering the quotient witness of a mul must break a constraint.
+  CircuitBuilder bld;
+  FixOps fx(bld, kP);
+  const Wire a = bld.add_witness(fix_encode(2.0, kP));
+  const Wire b = bld.add_witness(fix_encode(3.0, kP));
+  const Wire c = fx.mul(a, b);
+  std::vector<Fr> forged = bld.witness();
+  forged[c.var] += Fr::one();
+  EXPECT_FALSE(bld.cs().is_satisfied(forged));
+}
+
+}  // namespace
+}  // namespace zkdet::gadgets

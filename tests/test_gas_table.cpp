@@ -1,0 +1,149 @@
+// Regression tests pinning the Table II gas reproduction: each metered
+// operation must stay within a tolerance band of the paper's Rinkeby
+// measurement (so accidental changes to the gas schedule or contract
+// storage layout show up as test failures, not silent bench drift).
+#include <gtest/gtest.h>
+
+#include "chain/nft.hpp"
+#include "chain/verifier_contract.hpp"
+#include "core/circuits.hpp"
+#include "plonk/plonk.hpp"
+
+namespace zkdet::chain {
+namespace {
+
+using crypto::Drbg;
+using crypto::KeyPair;
+using ff::Fr;
+
+void expect_within(std::uint64_t measured, std::uint64_t paper,
+                   double tolerance) {
+  const double ratio =
+      static_cast<double>(measured) / static_cast<double>(paper);
+  EXPECT_GE(ratio, 1.0 - tolerance) << measured << " vs " << paper;
+  EXPECT_LE(ratio, 1.0 + tolerance) << measured << " vs " << paper;
+}
+
+struct GasTableFixture : ::testing::Test {
+  Drbg rng{1};
+  Chain chain;
+  KeyPair alice = KeyPair::generate(rng);
+  KeyPair bob = KeyPair::generate(rng);
+  Address alice_addr = chain.create_account(alice, 1'000'000);
+  Address bob_addr = chain.create_account(bob, 1'000'000);
+  Receipt deploy_receipt;
+  DataNft& nft = chain.deploy<DataNft>(alice, &deploy_receipt);
+
+  std::uint64_t mint_as(const KeyPair& who, std::uint64_t tag,
+                        Receipt* receipt = nullptr) {
+    std::uint64_t id = 0;
+    const Receipt r = chain.call(who, "mint", [&](CallContext& ctx) {
+      id = nft.mint(ctx, Fr::from_u64(tag), Fr::from_u64(tag + 1),
+                    Fr::from_u64(tag + 2));
+    });
+    if (receipt != nullptr) *receipt = r;
+    return id;
+  }
+
+  void warm_up() {
+    mint_as(alice, 1);
+    mint_as(bob, 2);
+  }
+};
+
+TEST_F(GasTableFixture, NftDeployment) {
+  expect_within(deploy_receipt.gas_used, 1'020'954, 0.05);
+}
+
+TEST_F(GasTableFixture, VerifierDeployment) {
+  const plonk::Srs srs = plonk::Srs::setup((1 << 12) + 16, rng);
+  gadgets::CircuitBuilder kb =
+      core::build_key_circuit(Fr::one(), Fr::from_u64(2), Fr::from_u64(3));
+  const auto keys = plonk::preprocess(kb.cs(), srs);
+  ASSERT_TRUE(keys);
+  Receipt r;
+  chain.deploy<PlonkVerifierContract>(alice, &r, keys->vk);
+  expect_within(r.gas_used, 1'644'969, 0.05);
+}
+
+TEST_F(GasTableFixture, SteadyStateMint) {
+  warm_up();
+  Receipt r;
+  mint_as(alice, 100, &r);
+  expect_within(r.gas_used, 106'048, 0.15);
+}
+
+TEST_F(GasTableFixture, Transfer) {
+  warm_up();
+  const std::uint64_t id = mint_as(alice, 100);
+  const Receipt r = chain.call(alice, "xfer", [&](CallContext& ctx) {
+    nft.transfer_from(ctx, alice_addr, bob_addr, id);
+  });
+  expect_within(r.gas_used, 36'574, 0.15);
+}
+
+TEST_F(GasTableFixture, Burn) {
+  warm_up();
+  const std::uint64_t id = mint_as(alice, 100);
+  const Receipt r = chain.call(alice, "burn", [&](CallContext& ctx) {
+    nft.burn(ctx, id);
+  });
+  expect_within(r.gas_used, 50'084, 0.15);
+}
+
+TEST_F(GasTableFixture, TransformationRegistration) {
+  warm_up();
+  const std::uint64_t a = mint_as(alice, 100);
+  const std::uint64_t b = mint_as(alice, 200);
+  const std::uint64_t d1 = mint_as(alice, 300);
+  const std::uint64_t d2 = mint_as(alice, 400);
+  const std::uint64_t d3 = mint_as(alice, 500);
+
+  const Receipt agg = chain.call(alice, "agg", [&](CallContext& ctx) {
+    nft.record_transformation(ctx, d1, Formula::kAggregation, {a, b});
+  });
+  expect_within(agg.gas_used, 96'780, 0.15);
+
+  const Receipt part = chain.call(alice, "part", [&](CallContext& ctx) {
+    nft.record_transformation(ctx, d2, Formula::kPartition, {a});
+  });
+  expect_within(part.gas_used, 83'124, 0.15);
+
+  const Receipt dup = chain.call(alice, "dup", [&](CallContext& ctx) {
+    nft.record_transformation(ctx, d3, Formula::kDuplication, {a});
+  });
+  expect_within(dup.gas_used, 94'012, 0.15);
+}
+
+TEST_F(GasTableFixture, RecordTransformationGuards) {
+  const std::uint64_t a = mint_as(alice, 100);
+  const std::uint64_t d = mint_as(alice, 200);
+  // only once
+  Receipt r = chain.call(alice, "rec", [&](CallContext& ctx) {
+    nft.record_transformation(ctx, d, Formula::kDuplication, {a});
+  });
+  EXPECT_TRUE(r.success) << r.error;
+  r = chain.call(alice, "rec-again", [&](CallContext& ctx) {
+    nft.record_transformation(ctx, d, Formula::kDuplication, {a});
+  });
+  EXPECT_FALSE(r.success);
+  // only the owner
+  const std::uint64_t d2 = mint_as(alice, 300);
+  r = chain.call(bob, "rec-foreign", [&](CallContext& ctx) {
+    nft.record_transformation(ctx, d2, Formula::kDuplication, {a});
+  });
+  EXPECT_FALSE(r.success);
+  // no self-parenting
+  r = chain.call(alice, "rec-self", [&](CallContext& ctx) {
+    nft.record_transformation(ctx, d2, Formula::kDuplication, {d2});
+  });
+  EXPECT_FALSE(r.success);
+  // no empty parents
+  r = chain.call(alice, "rec-empty", [&](CallContext& ctx) {
+    nft.record_transformation(ctx, d2, Formula::kDuplication, {});
+  });
+  EXPECT_FALSE(r.success);
+}
+
+}  // namespace
+}  // namespace zkdet::chain

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "gadgets/builder.hpp"
+#include "gadgets/hash_gadgets.hpp"
+#include "plonk/groth16.hpp"
+#include "plonk/plonk.hpp"
+
+namespace zkdet::plonk::groth16 {
+namespace {
+
+using crypto::Drbg;
+using ff::Fr;
+
+// x = w^3 + w + 5 (same circuit family as the Plonk tests).
+struct CubicCircuit {
+  ConstraintSystem cs;
+  std::vector<Fr> witness;
+
+  explicit CubicCircuit(std::uint64_t w_val) {
+    const Var w = cs.add_variable();
+    const Var w2 = cs.add_variable();
+    const Var w3 = cs.add_variable();
+    const Var x = cs.add_variable();
+    cs.set_public(x);
+    cs.add_gate({Fr::one(), Fr::zero(), Fr::zero(), -Fr::one(), Fr::zero(), w,
+                 w, w2});
+    cs.add_gate({Fr::one(), Fr::zero(), Fr::zero(), -Fr::one(), Fr::zero(), w2,
+                 w, w3});
+    cs.add_gate({Fr::zero(), Fr::one(), Fr::one(), -Fr::one(), Fr::from_u64(5),
+                 w3, w, x});
+    const Fr wf = Fr::from_u64(w_val);
+    witness = {Fr::zero(), wf, wf * wf, wf * wf * wf,
+               wf * wf * wf + wf + Fr::from_u64(5)};
+  }
+};
+
+TEST(Groth16, RoundtripCubic) {
+  Drbg rng(1);
+  CubicCircuit c(3);
+  auto keys = setup(c.cs, rng);
+  ASSERT_TRUE(keys);
+  auto proof = prove(keys->pk, c.cs, c.witness, rng);
+  ASSERT_TRUE(proof);
+  EXPECT_TRUE(verify(keys->vk, {c.witness[4]}, *proof));
+}
+
+TEST(Groth16, WrongPublicInputRejected) {
+  Drbg rng(2);
+  CubicCircuit c(3);
+  auto keys = setup(c.cs, rng);
+  auto proof = prove(keys->pk, c.cs, c.witness, rng);
+  ASSERT_TRUE(proof);
+  EXPECT_FALSE(verify(keys->vk, {c.witness[4] + Fr::one()}, *proof));
+  EXPECT_FALSE(verify(keys->vk, {}, *proof));
+  EXPECT_FALSE(verify(keys->vk, {c.witness[4], Fr::one()}, *proof));
+}
+
+TEST(Groth16, TamperedProofRejected) {
+  Drbg rng(3);
+  CubicCircuit c(3);
+  auto keys = setup(c.cs, rng);
+  auto proof = prove(keys->pk, c.cs, c.witness, rng);
+  ASSERT_TRUE(proof);
+  const std::vector<Fr> pub{c.witness[4]};
+  Proof bad = *proof;
+  bad.a = bad.a + ec::G1::generator();
+  EXPECT_FALSE(verify(keys->vk, pub, bad));
+  bad = *proof;
+  bad.b = bad.b + ec::G2::generator();
+  EXPECT_FALSE(verify(keys->vk, pub, bad));
+  bad = *proof;
+  bad.c = bad.c + ec::G1::generator();
+  EXPECT_FALSE(verify(keys->vk, pub, bad));
+}
+
+TEST(Groth16, UnsatisfiedWitnessRejectedByProver) {
+  Drbg rng(4);
+  CubicCircuit c(3);
+  auto keys = setup(c.cs, rng);
+  c.witness[4] += Fr::one();
+  EXPECT_FALSE(prove(keys->pk, c.cs, c.witness, rng).has_value());
+}
+
+TEST(Groth16, ProofsAreRandomized) {
+  Drbg rng(5);
+  CubicCircuit c(3);
+  auto keys = setup(c.cs, rng);
+  auto p1 = prove(keys->pk, c.cs, c.witness, rng);
+  auto p2 = prove(keys->pk, c.cs, c.witness, rng);
+  ASSERT_TRUE(p1 && p2);
+  EXPECT_NE(p1->a, p2->a);  // fresh (r, s) each time
+  EXPECT_TRUE(verify(keys->vk, {c.witness[4]}, *p1));
+  EXPECT_TRUE(verify(keys->vk, {c.witness[4]}, *p2));
+}
+
+TEST(Groth16, ProofSizeSmallerThanPlonk) {
+  EXPECT_EQ(Proof::size_bytes(), 256u);
+  EXPECT_LT(Proof::size_bytes(), plonk::Proof::size_bytes());
+}
+
+TEST(Groth16, GadgetCircuitRoundtrip) {
+  // Same builder front end as the Plonk stack: Poseidon preimage.
+  Drbg rng(6);
+  gadgets::CircuitBuilder bld;
+  const gadgets::Wire pre = bld.add_witness(Fr::from_u64(1234));
+  const gadgets::Wire h = gadgets::poseidon_hash2_gadget(bld, pre, pre);
+  const gadgets::Wire pub = bld.add_public_input(bld.value(h));
+  bld.assert_equal(h, pub);
+  auto keys = setup(bld.cs(), rng);
+  ASSERT_TRUE(keys);
+  auto proof = prove(keys->pk, bld.cs(), bld.witness(), rng);
+  ASSERT_TRUE(proof);
+  const auto pubs = bld.cs().extract_public_inputs(bld.witness());
+  EXPECT_TRUE(verify(keys->vk, pubs, *proof));
+  EXPECT_FALSE(verify(keys->vk, {pubs[0] + Fr::one()}, *proof));
+}
+
+TEST(Groth16, CrossSystemSameCircuit) {
+  // The same constraint system proves under both Plonk and Groth16.
+  Drbg rng(7);
+  CubicCircuit c(6);
+  const Srs srs = Srs::setup(64, rng);
+  auto pkeys = plonk::preprocess(c.cs, srs);
+  auto gkeys = setup(c.cs, rng);
+  ASSERT_TRUE(pkeys && gkeys);
+  auto pproof = plonk::prove(pkeys->pk, c.cs, srs, c.witness, rng);
+  auto gproof = prove(gkeys->pk, c.cs, c.witness, rng);
+  ASSERT_TRUE(pproof && gproof);
+  EXPECT_TRUE(plonk::verify(pkeys->vk, {c.witness[4]}, *pproof));
+  EXPECT_TRUE(verify(gkeys->vk, {c.witness[4]}, *gproof));
+}
+
+TEST(Groth16, KeysFromOtherCircuitRejectProof) {
+  // Per-circuit setup: keys for a different circuit shape must not
+  // verify (the trusted-setup limitation Plonk's universal SRS avoids).
+  Drbg rng(8);
+  CubicCircuit c(3);
+  auto keys = setup(c.cs, rng);
+  // different circuit: w^2 = x
+  ConstraintSystem cs2;
+  const Var w = cs2.add_variable();
+  const Var x = cs2.add_variable();
+  cs2.set_public(x);
+  cs2.add_gate({Fr::one(), Fr::zero(), Fr::zero(), -Fr::one(), Fr::zero(), w,
+                w, x});
+  auto keys2 = setup(cs2, rng);
+  auto proof2 = prove(keys2->pk, cs2,
+                      {Fr::zero(), Fr::from_u64(4), Fr::from_u64(16)}, rng);
+  ASSERT_TRUE(proof2);
+  EXPECT_TRUE(verify(keys2->vk, {Fr::from_u64(16)}, *proof2));
+  EXPECT_FALSE(verify(keys->vk, {Fr::from_u64(16)}, *proof2));
+}
+
+class Groth16Sweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Groth16Sweep, RandomCubicInstances) {
+  Drbg rng(GetParam());
+  CubicCircuit c(GetParam() * 31 + 7);
+  auto keys = setup(c.cs, rng);
+  ASSERT_TRUE(keys);
+  auto proof = prove(keys->pk, c.cs, c.witness, rng);
+  ASSERT_TRUE(proof);
+  EXPECT_TRUE(verify(keys->vk, {c.witness[4]}, *proof));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Groth16Sweep, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace zkdet::plonk::groth16

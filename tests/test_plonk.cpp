@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include "plonk/plonk.hpp"
+
+#include "ec/pairing.hpp"
+
+namespace zkdet::plonk {
+namespace {
+
+using crypto::Drbg;
+using ff::Fr;
+
+// x = w^3 + w + 5 with public x.
+struct CubicCircuit {
+  ConstraintSystem cs;
+  std::vector<Fr> witness;
+
+  explicit CubicCircuit(std::uint64_t w_val) {
+    const Var w = cs.add_variable();
+    const Var w2 = cs.add_variable();
+    const Var w3 = cs.add_variable();
+    const Var x = cs.add_variable();
+    cs.set_public(x);
+    cs.add_gate({Fr::one(), Fr::zero(), Fr::zero(), -Fr::one(), Fr::zero(), w,
+                 w, w2});
+    cs.add_gate({Fr::one(), Fr::zero(), Fr::zero(), -Fr::one(), Fr::zero(), w2,
+                 w, w3});
+    cs.add_gate({Fr::zero(), Fr::one(), Fr::one(), -Fr::one(), Fr::from_u64(5),
+                 w3, w, x});
+    const Fr wf = Fr::from_u64(w_val);
+    witness = {Fr::zero(), wf, wf * wf, wf * wf * wf,
+               wf * wf * wf + wf + Fr::from_u64(5)};
+  }
+};
+
+class PlonkFixture : public ::testing::Test {
+ protected:
+  static const Srs& srs() {
+    static const Srs s = [] {
+      Drbg rng(1);
+      return Srs::setup(1 << 11, rng);
+    }();
+    return s;
+  }
+};
+
+TEST_F(PlonkFixture, RoundtripCubic) {
+  CubicCircuit c(3);
+  ASSERT_TRUE(c.cs.is_satisfied(c.witness));
+  auto keys = preprocess(c.cs, srs());
+  ASSERT_TRUE(keys.has_value());
+  Drbg rng(2);
+  auto proof = prove(keys->pk, c.cs, srs(), c.witness, rng);
+  ASSERT_TRUE(proof.has_value());
+  EXPECT_TRUE(verify(keys->vk, {c.witness[4]}, *proof));
+}
+
+TEST_F(PlonkFixture, WrongPublicInputRejected) {
+  CubicCircuit c(3);
+  auto keys = preprocess(c.cs, srs());
+  Drbg rng(3);
+  auto proof = prove(keys->pk, c.cs, srs(), c.witness, rng);
+  ASSERT_TRUE(proof.has_value());
+  EXPECT_FALSE(verify(keys->vk, {c.witness[4] + Fr::one()}, *proof));
+  EXPECT_FALSE(verify(keys->vk, {}, *proof));
+  EXPECT_FALSE(verify(keys->vk, {c.witness[4], Fr::one()}, *proof));
+}
+
+TEST_F(PlonkFixture, UnsatisfiedWitnessRejectedByProver) {
+  CubicCircuit c(3);
+  auto keys = preprocess(c.cs, srs());
+  c.witness[4] += Fr::one();
+  Drbg rng(4);
+  EXPECT_FALSE(prove(keys->pk, c.cs, srs(), c.witness, rng).has_value());
+}
+
+TEST_F(PlonkFixture, EveryProofFieldIsBindings) {
+  CubicCircuit c(3);
+  auto keys = preprocess(c.cs, srs());
+  Drbg rng(5);
+  auto proof = prove(keys->pk, c.cs, srs(), c.witness, rng);
+  ASSERT_TRUE(proof.has_value());
+  const std::vector<Fr> pub{c.witness[4]};
+  const auto tamper_g1 = [&](ec::G1 Proof::* field) {
+    Proof bad = *proof;
+    bad.*field = (bad.*field) + ec::G1::generator();
+    return verify(keys->vk, pub, bad);
+  };
+  EXPECT_FALSE(tamper_g1(&Proof::cm_a));
+  EXPECT_FALSE(tamper_g1(&Proof::cm_b));
+  EXPECT_FALSE(tamper_g1(&Proof::cm_c));
+  EXPECT_FALSE(tamper_g1(&Proof::cm_z));
+  EXPECT_FALSE(tamper_g1(&Proof::cm_t_lo));
+  EXPECT_FALSE(tamper_g1(&Proof::cm_t_mid));
+  EXPECT_FALSE(tamper_g1(&Proof::cm_t_hi));
+  EXPECT_FALSE(tamper_g1(&Proof::w_zeta));
+  EXPECT_FALSE(tamper_g1(&Proof::w_zeta_omega));
+  const auto tamper_fr = [&](Fr Proof::* field) {
+    Proof bad = *proof;
+    bad.*field += Fr::one();
+    return verify(keys->vk, pub, bad);
+  };
+  EXPECT_FALSE(tamper_fr(&Proof::eval_a));
+  EXPECT_FALSE(tamper_fr(&Proof::eval_b));
+  EXPECT_FALSE(tamper_fr(&Proof::eval_c));
+  EXPECT_FALSE(tamper_fr(&Proof::eval_s1));
+  EXPECT_FALSE(tamper_fr(&Proof::eval_s2));
+  EXPECT_FALSE(tamper_fr(&Proof::eval_z_omega));
+}
+
+TEST_F(PlonkFixture, ProofIsConstantSize) {
+  CubicCircuit c(3);
+  auto keys = preprocess(c.cs, srs());
+  Drbg rng(6);
+  auto proof = prove(keys->pk, c.cs, srs(), c.witness, rng);
+  ASSERT_TRUE(proof.has_value());
+  EXPECT_EQ(proof->to_bytes().size(), Proof::size_bytes());
+  EXPECT_EQ(Proof::size_bytes(), 9u * 64u + 6u * 32u);
+}
+
+TEST_F(PlonkFixture, ProofsAreRandomized) {
+  // zero-knowledge smoke: two proofs of the same statement differ.
+  CubicCircuit c(3);
+  auto keys = preprocess(c.cs, srs());
+  Drbg rng1(7), rng2(8);
+  auto p1 = prove(keys->pk, c.cs, srs(), c.witness, rng1);
+  auto p2 = prove(keys->pk, c.cs, srs(), c.witness, rng2);
+  ASSERT_TRUE(p1 && p2);
+  EXPECT_NE(p1->to_bytes(), p2->to_bytes());
+  EXPECT_TRUE(verify(keys->vk, {c.witness[4]}, *p1));
+  EXPECT_TRUE(verify(keys->vk, {c.witness[4]}, *p2));
+}
+
+TEST_F(PlonkFixture, DifferentWitnessSamePublicBothVerify) {
+  // The relation w^2 = x has two witnesses w and -w; both must prove.
+  ConstraintSystem cs;
+  const Var w = cs.add_variable();
+  const Var x = cs.add_variable();
+  cs.set_public(x);
+  cs.add_gate({Fr::one(), Fr::zero(), Fr::zero(), -Fr::one(), Fr::zero(), w, w,
+               x});
+  auto keys = preprocess(cs, srs());
+  ASSERT_TRUE(keys);
+  Drbg rng(9);
+  const Fr wv = Fr::from_u64(6);
+  const Fr xv = wv * wv;
+  auto p1 = prove(keys->pk, cs, srs(), {Fr::zero(), wv, xv}, rng);
+  auto p2 = prove(keys->pk, cs, srs(), {Fr::zero(), -wv, xv}, rng);
+  ASSERT_TRUE(p1 && p2);
+  EXPECT_TRUE(verify(keys->vk, {xv}, *p1));
+  EXPECT_TRUE(verify(keys->vk, {xv}, *p2));
+}
+
+TEST_F(PlonkFixture, SrsTooSmallFailsGracefully) {
+  ConstraintSystem cs;
+  const Var a = cs.add_variable();
+  for (int i = 0; i < 3000; ++i) {
+    cs.add_gate({Fr::zero(), Fr::one(), Fr::zero(), Fr::zero(), Fr::zero(), a,
+                 0, 0});
+  }
+  // domain 4096 > srs 2048
+  EXPECT_FALSE(preprocess(cs, srs()).has_value());
+}
+
+TEST_F(PlonkFixture, ManyPublicInputs) {
+  ConstraintSystem cs;
+  std::vector<Var> pubs;
+  std::vector<Fr> wit{Fr::zero()};
+  Fr sum = Fr::zero();
+  for (int i = 0; i < 20; ++i) {
+    const Var v = cs.add_variable();
+    cs.set_public(v);
+    pubs.push_back(v);
+    wit.push_back(Fr::from_u64(static_cast<std::uint64_t>(i) * 3 + 1));
+    sum += wit.back();
+  }
+  // sum constraint via chain
+  Var acc = pubs[0];
+  for (std::size_t i = 1; i < pubs.size(); ++i) {
+    const Var nxt = cs.add_variable();
+    cs.add_gate({Fr::zero(), Fr::one(), Fr::one(), -Fr::one(), Fr::zero(), acc,
+                 pubs[i], nxt});
+    wit.push_back(wit[acc] + wit[pubs[i]]);
+    acc = nxt;
+  }
+  const Var total = cs.add_variable();
+  cs.set_public(total);
+  wit.push_back(sum);
+  cs.add_gate({Fr::zero(), Fr::one(), -Fr::one(), Fr::zero(), Fr::zero(), acc,
+               total, 0});
+
+  auto keys = preprocess(cs, srs());
+  ASSERT_TRUE(keys);
+  Drbg rng(10);
+  ASSERT_TRUE(cs.is_satisfied(wit));
+  auto proof = prove(keys->pk, cs, srs(), wit, rng);
+  ASSERT_TRUE(proof);
+  std::vector<Fr> pub_vals = cs.extract_public_inputs(wit);
+  EXPECT_EQ(pub_vals.size(), 21u);
+  EXPECT_TRUE(verify(keys->vk, pub_vals, *proof));
+  pub_vals[20] += Fr::one();
+  EXPECT_FALSE(verify(keys->vk, pub_vals, *proof));
+}
+
+TEST(ConstraintSystem, SatisfiabilityChecks) {
+  ConstraintSystem cs;
+  const Var a = cs.add_variable();
+  const Var b = cs.add_variable();
+  cs.add_gate({Fr::one(), Fr::zero(), Fr::zero(), -Fr::one(), Fr::zero(), a, a,
+               b});
+  EXPECT_TRUE(cs.is_satisfied({Fr::zero(), Fr::from_u64(3), Fr::from_u64(9)}));
+  EXPECT_FALSE(cs.is_satisfied({Fr::zero(), Fr::from_u64(3), Fr::from_u64(8)}));
+  // nonzero zero-var rejected
+  EXPECT_FALSE(cs.is_satisfied({Fr::one(), Fr::from_u64(3), Fr::from_u64(9)}));
+  // short witness rejected
+  EXPECT_FALSE(cs.is_satisfied({Fr::zero()}));
+}
+
+TEST(ConstraintSystem, DomainSizePadding) {
+  ConstraintSystem cs;
+  EXPECT_EQ(cs.domain_size(), 8u);
+  const Var a = cs.add_variable();
+  for (int i = 0; i < 9; ++i) {
+    cs.add_gate({Fr::zero(), Fr::one(), Fr::zero(), Fr::zero(), Fr::zero(), a,
+                 0, 0});
+  }
+  EXPECT_EQ(cs.domain_size(), 16u);
+}
+
+TEST(Transcript, DeterministicAndOrderSensitive) {
+  Transcript t1("test");
+  Transcript t2("test");
+  t1.absorb_u64(5);
+  t2.absorb_u64(5);
+  EXPECT_EQ(t1.challenge("c"), t2.challenge("c"));
+  Transcript t3("test");
+  t3.absorb_u64(6);
+  EXPECT_NE(t1.challenge("d"), t3.challenge("d"));
+}
+
+TEST(Transcript, LabelSeparation) {
+  Transcript t1("test");
+  Transcript t2("test");
+  EXPECT_NE(t1.challenge("alpha"), t2.challenge("beta"));
+}
+
+TEST(Srs, CommitmentIsHomomorphic) {
+  Drbg rng(11);
+  const Srs srs = Srs::setup(16, rng);
+  const ff::Polynomial p{{Fr::from_u64(1), Fr::from_u64(2)}};
+  const ff::Polynomial q{{Fr::from_u64(5), Fr::zero(), Fr::from_u64(3)}};
+  EXPECT_EQ(srs.commit(p + q), srs.commit(p) + srs.commit(q));
+}
+
+TEST(Srs, PowersConsistent) {
+  Drbg rng(12);
+  const Srs srs = Srs::setup(8, rng);
+  EXPECT_EQ(srs.g1_powers.size(), 9u);
+  EXPECT_EQ(srs.g1_powers[0], ec::G1::generator());
+  // e(tau^i G, H) == e(tau^(i-1) G, tau H)
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_TRUE(ec::pairing_product_is_one(
+        srs.g1_powers[static_cast<std::size_t>(i)], srs.g2_gen,
+        -srs.g1_powers[static_cast<std::size_t>(i - 1)], srs.g2_tau));
+  }
+}
+
+}  // namespace
+}  // namespace zkdet::plonk

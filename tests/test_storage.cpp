@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "crypto/rng.hpp"
+#include "storage/storage.hpp"
+
+namespace zkdet::storage {
+namespace {
+
+using ff::Fr;
+
+Blob make_blob(std::initializer_list<std::uint8_t> bytes) { return Blob(bytes); }
+
+TEST(Cid, ContentAddressing) {
+  const Blob a = make_blob({1, 2, 3});
+  const Blob b = make_blob({1, 2, 4});
+  EXPECT_EQ(Cid::of(a), Cid::of(a));
+  EXPECT_NE(Cid::of(a), Cid::of(b));
+  EXPECT_EQ(Cid::of(a).to_string().substr(0, 4), "cid:");
+}
+
+TEST(Cid, FieldImageStable) {
+  const Cid c = Cid::of(make_blob({9, 9}));
+  EXPECT_EQ(c.as_field(), c.as_field());
+  EXPECT_FALSE(c.as_field().is_zero());
+}
+
+TEST(StorageNetwork, PutGetRoundtrip) {
+  StorageNetwork net(4, 2);
+  const Blob blob = make_blob({10, 20, 30});
+  const Cid cid = net.put(blob);
+  const auto got = net.get(cid);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, blob);
+}
+
+TEST(StorageNetwork, MissingCidReturnsNothing) {
+  StorageNetwork net(4, 2);
+  const Cid cid = Cid::of(make_blob({1}));
+  EXPECT_FALSE(net.get(cid).has_value());
+}
+
+TEST(StorageNetwork, ReplicationSurvivesNodeLoss) {
+  StorageNetwork net(4, 2);
+  const Blob blob = make_blob({42});
+  const Cid cid = net.put(blob);
+  // erase from one node; a replica must still serve it
+  std::size_t erased = 0;
+  for (std::size_t i = 0; i < net.num_nodes() && erased == 0; ++i) {
+    if (net.node(i).erase(cid)) erased = 1;
+  }
+  EXPECT_EQ(erased, 1u);
+  EXPECT_TRUE(net.get(cid).has_value());
+}
+
+TEST(StorageNetwork, TamperedCopyDetectedAndSkipped) {
+  StorageNetwork net(4, 2);
+  const Blob blob = make_blob({1, 2, 3, 4});
+  const Cid cid = net.put(blob);
+  // corrupt every copy
+  std::size_t corrupted = 0;
+  for (std::size_t i = 0; i < net.num_nodes(); ++i) {
+    if (net.node(i).corrupt(cid)) ++corrupted;
+  }
+  EXPECT_GE(corrupted, 1u);
+  EXPECT_FALSE(net.get(cid).has_value());       // all copies rejected
+  EXPECT_GE(net.tamper_detections(), corrupted);  // and detected
+}
+
+TEST(StorageNetwork, PartialTamperStillServes) {
+  StorageNetwork net(6, 3);
+  const Blob blob = make_blob({7, 7, 7});
+  const Cid cid = net.put(blob);
+  // corrupt exactly one copy
+  for (std::size_t i = 0; i < net.num_nodes(); ++i) {
+    if (net.node(i).corrupt(cid)) break;
+  }
+  const auto got = net.get(cid);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, blob);
+}
+
+TEST(StorageNetwork, UnpinRemovesEverywhere) {
+  StorageNetwork net(4, 4);
+  const Cid cid = net.put(make_blob({5}));
+  EXPECT_TRUE(net.get(cid).has_value());
+  net.unpin(cid);
+  EXPECT_FALSE(net.get(cid).has_value());
+}
+
+TEST(StorageNetwork, IdenticalContentDeduplicates) {
+  StorageNetwork net(4, 2);
+  const Cid c1 = net.put(make_blob({1, 2}));
+  const Cid c2 = net.put(make_blob({1, 2}));
+  EXPECT_EQ(c1, c2);
+}
+
+TEST(DatasetSerialization, Roundtrip) {
+  crypto::Drbg rng(1);
+  std::vector<Fr> data;
+  for (int i = 0; i < 10; ++i) data.push_back(rng.random_fr());
+  const Blob blob = dataset_to_blob(data);
+  EXPECT_EQ(blob.size(), 320u);
+  const auto back = blob_to_dataset(blob);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(DatasetSerialization, RejectsBadLength) {
+  EXPECT_FALSE(blob_to_dataset(make_blob({1, 2, 3})).has_value());
+}
+
+TEST(DatasetSerialization, RejectsNonCanonical) {
+  // 32 bytes of 0xFF is >= r: not a canonical field element
+  Blob blob(32, 0xFF);
+  EXPECT_FALSE(blob_to_dataset(blob).has_value());
+}
+
+TEST(DatasetSerialization, EmptyDataset) {
+  const Blob blob = dataset_to_blob({});
+  EXPECT_TRUE(blob.empty());
+  const auto back = blob_to_dataset(blob);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+}  // namespace
+}  // namespace zkdet::storage

@@ -1,0 +1,63 @@
+// ZkdetSystem deployment and key-cache behavior.
+#include <gtest/gtest.h>
+
+#include "core/circuits.hpp"
+#include "core/system.hpp"
+
+namespace zkdet::core {
+namespace {
+
+using ff::Fr;
+
+struct SystemFixture : ::testing::Test {
+  static ZkdetSystem& sys() {
+    static ZkdetSystem s(1 << 12, 99);
+    return s;
+  }
+};
+
+TEST_F(SystemFixture, DeploysAllContracts) {
+  EXPECT_EQ(sys().nft().name(), "DataNFT");
+  EXPECT_EQ(sys().auction().name(), "ClockAuction");
+  EXPECT_EQ(sys().arbiter().name(), "KeySecureArbiter");
+  EXPECT_EQ(sys().zkcp_arbiter().name(), "ZkcpArbiter");
+  EXPECT_EQ(sys().key_verifier().name(), "PlonkVerifier(pi_k)");
+  // deployments are recorded as blocks
+  EXPECT_GE(sys().chain().blocks().size(), 6u);
+  EXPECT_TRUE(sys().chain().validate_chain());
+}
+
+TEST_F(SystemFixture, PiKShapePreprocessedAtBoot) {
+  // The key circuit's keys exist without anyone proving yet.
+  EXPECT_NE(sys().find_keys("pi_k"), nullptr);
+  EXPECT_EQ(sys().find_keys("nonexistent-shape"), nullptr);
+}
+
+TEST_F(SystemFixture, KeyCacheReturnsSameInstance) {
+  gadgets::CircuitBuilder a =
+      build_key_circuit(Fr::one(), Fr::from_u64(2), Fr::from_u64(3));
+  const auto& k1 = sys().keys_for("pi_k", a.cs());
+  const auto& k2 = sys().keys_for("pi_k", a.cs());
+  EXPECT_EQ(&k1, &k2);  // cached, not re-preprocessed
+}
+
+TEST_F(SystemFixture, OversizedCircuitThrows) {
+  gadgets::CircuitBuilder bld;
+  gadgets::Wire x = bld.add_witness(Fr::one());
+  for (int i = 0; i < 5000; ++i) x = bld.add_constant(x, Fr::one());
+  EXPECT_THROW(sys().keys_for("too-big", bld.cs()), std::runtime_error);
+}
+
+TEST_F(SystemFixture, SrsSupportsStatedBound) {
+  EXPECT_GE(sys().srs().max_degree(), (1u << 12) + 8u);
+}
+
+TEST_F(SystemFixture, VerifierVkMatchesCachedKeys) {
+  const auto* keys = sys().find_keys("pi_k");
+  ASSERT_NE(keys, nullptr);
+  EXPECT_EQ(sys().key_verifier().vk().n, keys->vk.n);
+  EXPECT_EQ(sys().key_verifier().vk().ell, keys->vk.ell);
+}
+
+}  // namespace
+}  // namespace zkdet::core

@@ -1,0 +1,144 @@
+#include "ff/u256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace zkdet::ff {
+namespace {
+
+TEST(U256, ZeroAndComparisons) {
+  U256 zero{};
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.bit_length(), 0u);
+  U256 one{1};
+  EXPECT_FALSE(one.is_zero());
+  EXPECT_TRUE(u256_less(zero, one));
+  EXPECT_FALSE(u256_less(one, one));
+  EXPECT_TRUE(u256_geq(one, one));
+  EXPECT_TRUE(u256_geq(one, zero));
+}
+
+TEST(U256, BitAccess) {
+  U256 v{0b1010};
+  EXPECT_FALSE(v.bit(0));
+  EXPECT_TRUE(v.bit(1));
+  EXPECT_FALSE(v.bit(2));
+  EXPECT_TRUE(v.bit(3));
+  EXPECT_EQ(v.bit_length(), 4u);
+  U256 high{0, 0, 0, 1};
+  EXPECT_TRUE(high.bit(192));
+  EXPECT_EQ(high.bit_length(), 193u);
+}
+
+TEST(U256, AddSubRoundtrip) {
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 200; ++i) {
+    U256 a{rng(), rng(), rng(), rng() >> 1};
+    U256 b{rng(), rng(), rng(), rng() >> 1};
+    U256 sum{}, back{};
+    const std::uint64_t carry = u256_add(sum, a, b);
+    EXPECT_EQ(carry, 0u);
+    const std::uint64_t borrow = u256_sub(back, sum, b);
+    EXPECT_EQ(borrow, 0u);
+    EXPECT_EQ(back, a);
+  }
+}
+
+TEST(U256, SubUnderflowSetsBorrow) {
+  U256 a{1};
+  U256 b{2};
+  U256 out{};
+  EXPECT_EQ(u256_sub(out, a, b), 1u);
+}
+
+TEST(U256, AddCarryPropagates) {
+  U256 a{~0ull, ~0ull, ~0ull, ~0ull};
+  U256 out{};
+  EXPECT_EQ(u256_add(out, a, U256{1}), 1u);
+  EXPECT_TRUE(out.is_zero());
+}
+
+TEST(U256, MulWideSmall) {
+  const auto r = u256_mul_wide(U256{7}, U256{6});
+  EXPECT_EQ(r[0], 42u);
+  for (std::size_t i = 1; i < 8; ++i) EXPECT_EQ(r[i], 0u);
+}
+
+TEST(U256, MulWideCross) {
+  // (2^64)(2^64) = 2^128
+  const auto r = u256_mul_wide(U256{0, 1, 0, 0}, U256{0, 1, 0, 0});
+  EXPECT_EQ(r[2], 1u);
+  EXPECT_EQ(r[0], 0u);
+  EXPECT_EQ(r[1], 0u);
+}
+
+TEST(U256, Pow2kMod) {
+  const U256 m{97};
+  // 2^10 mod 97 = 1024 mod 97 = 54
+  EXPECT_EQ(u256_pow2k_mod(10, m), U256{54});
+  EXPECT_EQ(u256_pow2k_mod(0, m), U256{1});
+}
+
+TEST(U256, MontInv64KnownModuli) {
+  // For odd m, m * mont_inv64(m) == -1 mod 2^64.
+  for (const std::uint64_t m : {1ull, 3ull, 0x43e1f593f0000001ull,
+                                0x3c208c16d87cfd47ull, ~0ull}) {
+    EXPECT_EQ(static_cast<std::uint64_t>(m * mont_inv64(m)),
+              static_cast<std::uint64_t>(-1))
+        << m;
+  }
+}
+
+TEST(U256, MontInv64Property) {
+  std::mt19937_64 rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t m = rng() | 1;  // odd
+    const std::uint64_t inv = mont_inv64(m);
+    EXPECT_EQ(static_cast<std::uint64_t>(m * inv), static_cast<std::uint64_t>(-1));
+  }
+}
+
+TEST(U256, DecimalRoundtrip) {
+  const char* cases[] = {
+      "0", "1", "42", "18446744073709551616",
+      "21888242871839275222246405745257275088548364400416034343698204186575808"
+      "495617"};
+  for (const char* s : cases) {
+    EXPECT_EQ(u256_to_dec(u256_from_dec(s)), s);
+  }
+}
+
+TEST(U256, DecimalRejectsGarbage) {
+  EXPECT_THROW(u256_from_dec("12a"), std::invalid_argument);
+  EXPECT_THROW(u256_from_dec("-5"), std::invalid_argument);
+}
+
+TEST(U256, DecimalOverflowThrows) {
+  const std::string too_big(100, '9');
+  EXPECT_THROW(u256_from_dec(too_big), std::overflow_error);
+}
+
+TEST(U256, HexEncoding) {
+  EXPECT_EQ(u256_to_hex(U256{0}), "0");
+  EXPECT_EQ(u256_to_hex(U256{255}), "ff");
+  EXPECT_EQ(u256_to_hex(U256{0, 1, 0, 0}), "10000000000000000");
+}
+
+TEST(U256, BytesRoundtrip) {
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const U256 v{rng(), rng(), rng(), rng()};
+    EXPECT_EQ(u256_from_bytes(u256_to_bytes(v)), v);
+  }
+}
+
+TEST(U256, BytesAreBigEndian) {
+  const auto b = u256_to_bytes(U256{0x0102});
+  EXPECT_EQ(b[31], 0x02);
+  EXPECT_EQ(b[30], 0x01);
+  EXPECT_EQ(b[0], 0x00);
+}
+
+}  // namespace
+}  // namespace zkdet::ff
