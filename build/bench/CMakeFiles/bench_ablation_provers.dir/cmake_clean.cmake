@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_provers.dir/bench_ablation_provers.cpp.o"
+  "CMakeFiles/bench_ablation_provers.dir/bench_ablation_provers.cpp.o.d"
+  "bench_ablation_provers"
+  "bench_ablation_provers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_provers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_setup.dir/bench_fig5_setup.cpp.o"
+  "CMakeFiles/bench_fig5_setup.dir/bench_fig5_setup.cpp.o.d"
+  "bench_fig5_setup"
+  "bench_fig5_setup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_proofgen.dir/bench_fig6_proofgen.cpp.o"
+  "CMakeFiles/bench_fig6_proofgen.dir/bench_fig6_proofgen.cpp.o.d"
+  "bench_fig6_proofgen"
+  "bench_fig6_proofgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_proofgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

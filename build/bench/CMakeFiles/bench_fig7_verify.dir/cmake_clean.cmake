@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_verify.dir/bench_fig7_verify.cpp.o"
+  "CMakeFiles/bench_fig7_verify.dir/bench_fig7_verify.cpp.o.d"
+  "bench_fig7_verify"
+  "bench_fig7_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

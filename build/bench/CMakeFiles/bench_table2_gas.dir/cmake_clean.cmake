@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_gas.dir/bench_table2_gas.cpp.o"
+  "CMakeFiles/bench_table2_gas.dir/bench_table2_gas.cpp.o.d"
+  "bench_table2_gas"
+  "bench_table2_gas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_gas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_market.dir/model_market.cpp.o"
+  "CMakeFiles/model_market.dir/model_market.cpp.o.d"
+  "model_market"
+  "model_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

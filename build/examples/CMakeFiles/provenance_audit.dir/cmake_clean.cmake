@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provenance_audit.dir/provenance_audit.cpp.o"
+  "CMakeFiles/provenance_audit.dir/provenance_audit.cpp.o.d"
+  "provenance_audit"
+  "provenance_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provenance_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

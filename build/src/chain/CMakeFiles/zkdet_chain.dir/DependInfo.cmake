@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/arbiter.cpp" "src/chain/CMakeFiles/zkdet_chain.dir/arbiter.cpp.o" "gcc" "src/chain/CMakeFiles/zkdet_chain.dir/arbiter.cpp.o.d"
+  "/root/repo/src/chain/auction.cpp" "src/chain/CMakeFiles/zkdet_chain.dir/auction.cpp.o" "gcc" "src/chain/CMakeFiles/zkdet_chain.dir/auction.cpp.o.d"
+  "/root/repo/src/chain/chain.cpp" "src/chain/CMakeFiles/zkdet_chain.dir/chain.cpp.o" "gcc" "src/chain/CMakeFiles/zkdet_chain.dir/chain.cpp.o.d"
+  "/root/repo/src/chain/nft.cpp" "src/chain/CMakeFiles/zkdet_chain.dir/nft.cpp.o" "gcc" "src/chain/CMakeFiles/zkdet_chain.dir/nft.cpp.o.d"
+  "/root/repo/src/chain/verifier_contract.cpp" "src/chain/CMakeFiles/zkdet_chain.dir/verifier_contract.cpp.o" "gcc" "src/chain/CMakeFiles/zkdet_chain.dir/verifier_contract.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/zkdet_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/plonk/CMakeFiles/zkdet_plonk.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/zkdet_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/ff/CMakeFiles/zkdet_ff.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

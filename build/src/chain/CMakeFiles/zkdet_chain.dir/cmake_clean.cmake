@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zkdet_chain.dir/arbiter.cpp.o"
+  "CMakeFiles/zkdet_chain.dir/arbiter.cpp.o.d"
+  "CMakeFiles/zkdet_chain.dir/auction.cpp.o"
+  "CMakeFiles/zkdet_chain.dir/auction.cpp.o.d"
+  "CMakeFiles/zkdet_chain.dir/chain.cpp.o"
+  "CMakeFiles/zkdet_chain.dir/chain.cpp.o.d"
+  "CMakeFiles/zkdet_chain.dir/nft.cpp.o"
+  "CMakeFiles/zkdet_chain.dir/nft.cpp.o.d"
+  "CMakeFiles/zkdet_chain.dir/verifier_contract.cpp.o"
+  "CMakeFiles/zkdet_chain.dir/verifier_contract.cpp.o.d"
+  "libzkdet_chain.a"
+  "libzkdet_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zkdet_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

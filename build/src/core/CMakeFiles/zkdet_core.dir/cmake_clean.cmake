@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zkdet_core.dir/apps.cpp.o"
+  "CMakeFiles/zkdet_core.dir/apps.cpp.o.d"
+  "CMakeFiles/zkdet_core.dir/circuits.cpp.o"
+  "CMakeFiles/zkdet_core.dir/circuits.cpp.o.d"
+  "CMakeFiles/zkdet_core.dir/exchange.cpp.o"
+  "CMakeFiles/zkdet_core.dir/exchange.cpp.o.d"
+  "CMakeFiles/zkdet_core.dir/system.cpp.o"
+  "CMakeFiles/zkdet_core.dir/system.cpp.o.d"
+  "CMakeFiles/zkdet_core.dir/transformation.cpp.o"
+  "CMakeFiles/zkdet_core.dir/transformation.cpp.o.d"
+  "libzkdet_core.a"
+  "libzkdet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zkdet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

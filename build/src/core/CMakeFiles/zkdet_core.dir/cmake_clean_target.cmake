@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libzkdet_core.a"
+)

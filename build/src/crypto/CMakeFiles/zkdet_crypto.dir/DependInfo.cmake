@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/mimc.cpp" "src/crypto/CMakeFiles/zkdet_crypto.dir/mimc.cpp.o" "gcc" "src/crypto/CMakeFiles/zkdet_crypto.dir/mimc.cpp.o.d"
+  "/root/repo/src/crypto/poseidon.cpp" "src/crypto/CMakeFiles/zkdet_crypto.dir/poseidon.cpp.o" "gcc" "src/crypto/CMakeFiles/zkdet_crypto.dir/poseidon.cpp.o.d"
+  "/root/repo/src/crypto/rng.cpp" "src/crypto/CMakeFiles/zkdet_crypto.dir/rng.cpp.o" "gcc" "src/crypto/CMakeFiles/zkdet_crypto.dir/rng.cpp.o.d"
+  "/root/repo/src/crypto/schnorr.cpp" "src/crypto/CMakeFiles/zkdet_crypto.dir/schnorr.cpp.o" "gcc" "src/crypto/CMakeFiles/zkdet_crypto.dir/schnorr.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/zkdet_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/zkdet_crypto.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ff/CMakeFiles/zkdet_ff.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/zkdet_ec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zkdet_crypto.dir/mimc.cpp.o"
+  "CMakeFiles/zkdet_crypto.dir/mimc.cpp.o.d"
+  "CMakeFiles/zkdet_crypto.dir/poseidon.cpp.o"
+  "CMakeFiles/zkdet_crypto.dir/poseidon.cpp.o.d"
+  "CMakeFiles/zkdet_crypto.dir/rng.cpp.o"
+  "CMakeFiles/zkdet_crypto.dir/rng.cpp.o.d"
+  "CMakeFiles/zkdet_crypto.dir/schnorr.cpp.o"
+  "CMakeFiles/zkdet_crypto.dir/schnorr.cpp.o.d"
+  "CMakeFiles/zkdet_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/zkdet_crypto.dir/sha256.cpp.o.d"
+  "libzkdet_crypto.a"
+  "libzkdet_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zkdet_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ec/curve.cpp" "src/ec/CMakeFiles/zkdet_ec.dir/curve.cpp.o" "gcc" "src/ec/CMakeFiles/zkdet_ec.dir/curve.cpp.o.d"
+  "/root/repo/src/ec/msm.cpp" "src/ec/CMakeFiles/zkdet_ec.dir/msm.cpp.o" "gcc" "src/ec/CMakeFiles/zkdet_ec.dir/msm.cpp.o.d"
+  "/root/repo/src/ec/pairing.cpp" "src/ec/CMakeFiles/zkdet_ec.dir/pairing.cpp.o" "gcc" "src/ec/CMakeFiles/zkdet_ec.dir/pairing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ff/CMakeFiles/zkdet_ff.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

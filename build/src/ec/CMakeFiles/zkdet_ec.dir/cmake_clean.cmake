@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zkdet_ec.dir/curve.cpp.o"
+  "CMakeFiles/zkdet_ec.dir/curve.cpp.o.d"
+  "CMakeFiles/zkdet_ec.dir/msm.cpp.o"
+  "CMakeFiles/zkdet_ec.dir/msm.cpp.o.d"
+  "CMakeFiles/zkdet_ec.dir/pairing.cpp.o"
+  "CMakeFiles/zkdet_ec.dir/pairing.cpp.o.d"
+  "libzkdet_ec.a"
+  "libzkdet_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zkdet_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ff/bigint.cpp" "src/ff/CMakeFiles/zkdet_ff.dir/bigint.cpp.o" "gcc" "src/ff/CMakeFiles/zkdet_ff.dir/bigint.cpp.o.d"
+  "/root/repo/src/ff/fp12.cpp" "src/ff/CMakeFiles/zkdet_ff.dir/fp12.cpp.o" "gcc" "src/ff/CMakeFiles/zkdet_ff.dir/fp12.cpp.o.d"
+  "/root/repo/src/ff/ntt.cpp" "src/ff/CMakeFiles/zkdet_ff.dir/ntt.cpp.o" "gcc" "src/ff/CMakeFiles/zkdet_ff.dir/ntt.cpp.o.d"
+  "/root/repo/src/ff/polynomial.cpp" "src/ff/CMakeFiles/zkdet_ff.dir/polynomial.cpp.o" "gcc" "src/ff/CMakeFiles/zkdet_ff.dir/polynomial.cpp.o.d"
+  "/root/repo/src/ff/u256.cpp" "src/ff/CMakeFiles/zkdet_ff.dir/u256.cpp.o" "gcc" "src/ff/CMakeFiles/zkdet_ff.dir/u256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

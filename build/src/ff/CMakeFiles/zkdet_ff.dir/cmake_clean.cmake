@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zkdet_ff.dir/bigint.cpp.o"
+  "CMakeFiles/zkdet_ff.dir/bigint.cpp.o.d"
+  "CMakeFiles/zkdet_ff.dir/fp12.cpp.o"
+  "CMakeFiles/zkdet_ff.dir/fp12.cpp.o.d"
+  "CMakeFiles/zkdet_ff.dir/ntt.cpp.o"
+  "CMakeFiles/zkdet_ff.dir/ntt.cpp.o.d"
+  "CMakeFiles/zkdet_ff.dir/polynomial.cpp.o"
+  "CMakeFiles/zkdet_ff.dir/polynomial.cpp.o.d"
+  "CMakeFiles/zkdet_ff.dir/u256.cpp.o"
+  "CMakeFiles/zkdet_ff.dir/u256.cpp.o.d"
+  "libzkdet_ff.a"
+  "libzkdet_ff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zkdet_ff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zkdet_gadgets.dir/builder.cpp.o"
+  "CMakeFiles/zkdet_gadgets.dir/builder.cpp.o.d"
+  "CMakeFiles/zkdet_gadgets.dir/fixed_point.cpp.o"
+  "CMakeFiles/zkdet_gadgets.dir/fixed_point.cpp.o.d"
+  "CMakeFiles/zkdet_gadgets.dir/hash_gadgets.cpp.o"
+  "CMakeFiles/zkdet_gadgets.dir/hash_gadgets.cpp.o.d"
+  "libzkdet_gadgets.a"
+  "libzkdet_gadgets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zkdet_gadgets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

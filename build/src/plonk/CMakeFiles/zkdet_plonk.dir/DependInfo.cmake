@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plonk/constraint_system.cpp" "src/plonk/CMakeFiles/zkdet_plonk.dir/constraint_system.cpp.o" "gcc" "src/plonk/CMakeFiles/zkdet_plonk.dir/constraint_system.cpp.o.d"
+  "/root/repo/src/plonk/groth16.cpp" "src/plonk/CMakeFiles/zkdet_plonk.dir/groth16.cpp.o" "gcc" "src/plonk/CMakeFiles/zkdet_plonk.dir/groth16.cpp.o.d"
+  "/root/repo/src/plonk/plonk.cpp" "src/plonk/CMakeFiles/zkdet_plonk.dir/plonk.cpp.o" "gcc" "src/plonk/CMakeFiles/zkdet_plonk.dir/plonk.cpp.o.d"
+  "/root/repo/src/plonk/srs.cpp" "src/plonk/CMakeFiles/zkdet_plonk.dir/srs.cpp.o" "gcc" "src/plonk/CMakeFiles/zkdet_plonk.dir/srs.cpp.o.d"
+  "/root/repo/src/plonk/transcript.cpp" "src/plonk/CMakeFiles/zkdet_plonk.dir/transcript.cpp.o" "gcc" "src/plonk/CMakeFiles/zkdet_plonk.dir/transcript.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ff/CMakeFiles/zkdet_ff.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/zkdet_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/zkdet_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zkdet_plonk.dir/constraint_system.cpp.o"
+  "CMakeFiles/zkdet_plonk.dir/constraint_system.cpp.o.d"
+  "CMakeFiles/zkdet_plonk.dir/groth16.cpp.o"
+  "CMakeFiles/zkdet_plonk.dir/groth16.cpp.o.d"
+  "CMakeFiles/zkdet_plonk.dir/plonk.cpp.o"
+  "CMakeFiles/zkdet_plonk.dir/plonk.cpp.o.d"
+  "CMakeFiles/zkdet_plonk.dir/srs.cpp.o"
+  "CMakeFiles/zkdet_plonk.dir/srs.cpp.o.d"
+  "CMakeFiles/zkdet_plonk.dir/transcript.cpp.o"
+  "CMakeFiles/zkdet_plonk.dir/transcript.cpp.o.d"
+  "libzkdet_plonk.a"
+  "libzkdet_plonk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zkdet_plonk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

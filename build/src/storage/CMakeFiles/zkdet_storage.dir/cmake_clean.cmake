@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zkdet_storage.dir/storage.cpp.o"
+  "CMakeFiles/zkdet_storage.dir/storage.cpp.o.d"
+  "libzkdet_storage.a"
+  "libzkdet_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zkdet_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

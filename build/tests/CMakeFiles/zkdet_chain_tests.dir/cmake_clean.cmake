@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zkdet_chain_tests.dir/test_arbiter.cpp.o"
+  "CMakeFiles/zkdet_chain_tests.dir/test_arbiter.cpp.o.d"
+  "CMakeFiles/zkdet_chain_tests.dir/test_chain.cpp.o"
+  "CMakeFiles/zkdet_chain_tests.dir/test_chain.cpp.o.d"
+  "CMakeFiles/zkdet_chain_tests.dir/test_gas_table.cpp.o"
+  "CMakeFiles/zkdet_chain_tests.dir/test_gas_table.cpp.o.d"
+  "CMakeFiles/zkdet_chain_tests.dir/test_storage.cpp.o"
+  "CMakeFiles/zkdet_chain_tests.dir/test_storage.cpp.o.d"
+  "zkdet_chain_tests"
+  "zkdet_chain_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zkdet_chain_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_apps.cpp" "tests/CMakeFiles/zkdet_core_tests.dir/test_apps.cpp.o" "gcc" "tests/CMakeFiles/zkdet_core_tests.dir/test_apps.cpp.o.d"
+  "/root/repo/tests/test_circuits.cpp" "tests/CMakeFiles/zkdet_core_tests.dir/test_circuits.cpp.o" "gcc" "tests/CMakeFiles/zkdet_core_tests.dir/test_circuits.cpp.o.d"
+  "/root/repo/tests/test_protocols.cpp" "tests/CMakeFiles/zkdet_core_tests.dir/test_protocols.cpp.o" "gcc" "tests/CMakeFiles/zkdet_core_tests.dir/test_protocols.cpp.o.d"
+  "/root/repo/tests/test_system.cpp" "tests/CMakeFiles/zkdet_core_tests.dir/test_system.cpp.o" "gcc" "tests/CMakeFiles/zkdet_core_tests.dir/test_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/zkdet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gadgets/CMakeFiles/zkdet_gadgets.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/zkdet_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/plonk/CMakeFiles/zkdet_plonk.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/zkdet_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/zkdet_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/zkdet_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/ff/CMakeFiles/zkdet_ff.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

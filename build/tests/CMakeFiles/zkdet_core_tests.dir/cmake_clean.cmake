@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zkdet_core_tests.dir/test_apps.cpp.o"
+  "CMakeFiles/zkdet_core_tests.dir/test_apps.cpp.o.d"
+  "CMakeFiles/zkdet_core_tests.dir/test_circuits.cpp.o"
+  "CMakeFiles/zkdet_core_tests.dir/test_circuits.cpp.o.d"
+  "CMakeFiles/zkdet_core_tests.dir/test_protocols.cpp.o"
+  "CMakeFiles/zkdet_core_tests.dir/test_protocols.cpp.o.d"
+  "CMakeFiles/zkdet_core_tests.dir/test_system.cpp.o"
+  "CMakeFiles/zkdet_core_tests.dir/test_system.cpp.o.d"
+  "zkdet_core_tests"
+  "zkdet_core_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zkdet_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zkdet_crypto_tests.dir/test_crypto.cpp.o"
+  "CMakeFiles/zkdet_crypto_tests.dir/test_crypto.cpp.o.d"
+  "zkdet_crypto_tests"
+  "zkdet_crypto_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zkdet_crypto_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

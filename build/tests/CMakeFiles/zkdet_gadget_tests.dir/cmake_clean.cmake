@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zkdet_gadget_tests.dir/test_fixed_point.cpp.o"
+  "CMakeFiles/zkdet_gadget_tests.dir/test_fixed_point.cpp.o.d"
+  "CMakeFiles/zkdet_gadget_tests.dir/test_gadgets.cpp.o"
+  "CMakeFiles/zkdet_gadget_tests.dir/test_gadgets.cpp.o.d"
+  "zkdet_gadget_tests"
+  "zkdet_gadget_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zkdet_gadget_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zkdet_math_tests.dir/test_curve.cpp.o"
+  "CMakeFiles/zkdet_math_tests.dir/test_curve.cpp.o.d"
+  "CMakeFiles/zkdet_math_tests.dir/test_ec_extra.cpp.o"
+  "CMakeFiles/zkdet_math_tests.dir/test_ec_extra.cpp.o.d"
+  "CMakeFiles/zkdet_math_tests.dir/test_extensions.cpp.o"
+  "CMakeFiles/zkdet_math_tests.dir/test_extensions.cpp.o.d"
+  "CMakeFiles/zkdet_math_tests.dir/test_field.cpp.o"
+  "CMakeFiles/zkdet_math_tests.dir/test_field.cpp.o.d"
+  "CMakeFiles/zkdet_math_tests.dir/test_ntt_poly.cpp.o"
+  "CMakeFiles/zkdet_math_tests.dir/test_ntt_poly.cpp.o.d"
+  "CMakeFiles/zkdet_math_tests.dir/test_u256.cpp.o"
+  "CMakeFiles/zkdet_math_tests.dir/test_u256.cpp.o.d"
+  "zkdet_math_tests"
+  "zkdet_math_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zkdet_math_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

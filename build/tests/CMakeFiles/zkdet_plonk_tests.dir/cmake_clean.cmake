@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zkdet_plonk_tests.dir/test_groth16.cpp.o"
+  "CMakeFiles/zkdet_plonk_tests.dir/test_groth16.cpp.o.d"
+  "CMakeFiles/zkdet_plonk_tests.dir/test_plonk.cpp.o"
+  "CMakeFiles/zkdet_plonk_tests.dir/test_plonk.cpp.o.d"
+  "CMakeFiles/zkdet_plonk_tests.dir/test_plonk_random.cpp.o"
+  "CMakeFiles/zkdet_plonk_tests.dir/test_plonk_random.cpp.o.d"
+  "zkdet_plonk_tests"
+  "zkdet_plonk_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zkdet_plonk_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

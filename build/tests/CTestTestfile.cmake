@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(zkdet_math_tests "/root/repo/build/tests/zkdet_math_tests")
+set_tests_properties(zkdet_math_tests PROPERTIES  TIMEOUT "3600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;zkdet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(zkdet_crypto_tests "/root/repo/build/tests/zkdet_crypto_tests")
+set_tests_properties(zkdet_crypto_tests PROPERTIES  TIMEOUT "3600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;19;zkdet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(zkdet_plonk_tests "/root/repo/build/tests/zkdet_plonk_tests")
+set_tests_properties(zkdet_plonk_tests PROPERTIES  TIMEOUT "3600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;20;zkdet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(zkdet_gadget_tests "/root/repo/build/tests/zkdet_gadget_tests")
+set_tests_properties(zkdet_gadget_tests PROPERTIES  TIMEOUT "3600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;21;zkdet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(zkdet_chain_tests "/root/repo/build/tests/zkdet_chain_tests")
+set_tests_properties(zkdet_chain_tests PROPERTIES  TIMEOUT "3600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;22;zkdet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(zkdet_core_tests "/root/repo/build/tests/zkdet_core_tests")
+set_tests_properties(zkdet_core_tests PROPERTIES  TIMEOUT "3600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;23;zkdet_test;/root/repo/tests/CMakeLists.txt;0;")
