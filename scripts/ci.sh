@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verify (build + full ctest), then a
+# ThreadSanitizer pass over the concurrent-runtime tests.
+#
+# Usage: scripts/ci.sh [--skip-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_TSAN=0
+[[ "${1:-}" == "--skip-tsan" ]] && SKIP_TSAN=1
+
+echo "=== tier-1: build + full test suite ==="
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+
+if [[ "$SKIP_TSAN" == "1" ]]; then
+  echo "=== TSan pass skipped (--skip-tsan) ==="
+  exit 0
+fi
+
+echo "=== TSan: runtime tests under -DZKDET_SANITIZE=thread ==="
+cmake -B build-tsan -S . -DZKDET_SANITIZE=thread
+cmake --build build-tsan -j --target zkdet_runtime_tests
+ctest --test-dir build-tsan -R zkdet_runtime_tests --output-on-failure
+
+echo "=== CI OK ==="

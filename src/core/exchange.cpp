@@ -18,9 +18,7 @@ std::optional<Offer> KeySecureExchange::make_offer(
   gadgets::CircuitBuilder bld = build_exchange_data_circuit(
       asset.plain, asset.key, asset.nonce, asset.data_blinder, phi);
   const std::string shape_id = pi_p_shape(predicate_tag, asset.plain.size());
-  const auto& keys = sys_.keys_for(shape_id, bld.cs());
-  auto proof = plonk::prove(keys.pk, bld.cs(), sys_.srs(), bld.witness(),
-                            sys_.rng());
+  auto proof = sys_.prove(shape_id, bld.cs(), bld.witness());
   if (!proof) return std::nullopt;
   Offer offer;
   offer.token_id = asset.token_id;
@@ -88,9 +86,7 @@ bool KeySecureExchange::settle(const crypto::KeyPair& seller,
   const Fr k_c = asset.key + k_v;
   gadgets::CircuitBuilder bld =
       build_key_circuit(asset.key, asset.key_blinder, k_v);
-  const auto& keys = sys_.keys_for("pi_k", bld.cs());
-  auto proof = plonk::prove(keys.pk, bld.cs(), sys_.srs(), bld.witness(),
-                            sys_.rng());
+  auto proof = sys_.prove("pi_k", bld.cs(), bld.witness());
   if (!proof) return false;
 
   const auto receipt = sys_.chain().call(
@@ -133,9 +129,7 @@ std::optional<KeySecureExchange::Sample> KeySecureExchange::disclose_sample(
       build_disclosure_circuit(asset.plain, asset.data_blinder, index);
   const std::string shape_id = "pi_s/" + std::to_string(asset.plain.size()) +
                                "/" + std::to_string(index);
-  const auto& keys = sys_.keys_for(shape_id, bld.cs());
-  auto proof = plonk::prove(keys.pk, bld.cs(), sys_.srs(), bld.witness(),
-                            sys_.rng());
+  auto proof = sys_.prove(shape_id, bld.cs(), bld.witness());
   if (!proof) return std::nullopt;
   Sample s;
   s.token_id = asset.token_id;

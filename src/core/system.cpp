@@ -10,6 +10,7 @@ ZkdetSystem::ZkdetSystem(std::size_t max_constraints, std::uint64_t seed)
     : rng_("zkdet-system", seed),
       operator_keys_(crypto::KeyPair::generate(rng_)),
       srs_(plonk::Srs::setup(max_constraints + 16, rng_)),
+      prover_(srs_),
       storage_(/*num_nodes=*/4, /*replication=*/2) {
   chain_.create_account(operator_keys_, 1'000'000'000);
 
@@ -30,21 +31,38 @@ ZkdetSystem::ZkdetSystem(std::size_t max_constraints, std::uint64_t seed)
 
 const plonk::KeyPairResult& ZkdetSystem::keys_for(
     const std::string& shape_id, const plonk::ConstraintSystem& cs) {
-  const auto it = key_cache_.find(shape_id);
-  if (it != key_cache_.end()) return it->second;
-  auto keys = plonk::preprocess(cs, srs_);
+  const auto it = key_pins_.find(shape_id);
+  if (it != key_pins_.end()) return *it->second;
+  auto keys = prover_.keys_for(shape_id, cs);
   if (!keys) {
     throw std::runtime_error("SRS too small for circuit shape " + shape_id +
                              " (domain " + std::to_string(cs.domain_size()) +
                              ")");
   }
-  return key_cache_.emplace(shape_id, std::move(*keys)).first->second;
+  return *key_pins_.emplace(shape_id, std::move(keys)).first->second;
 }
 
 const plonk::KeyPairResult* ZkdetSystem::find_keys(
     const std::string& shape_id) const {
-  const auto it = key_cache_.find(shape_id);
-  return it == key_cache_.end() ? nullptr : &it->second;
+  const auto it = key_pins_.find(shape_id);
+  if (it != key_pins_.end()) return it->second.get();
+  // Preprocessed through the service but not yet pinned (e.g. by a
+  // worker running a proof job): pin now so the pointer stays valid.
+  auto keys = prover_.find_keys(shape_id);
+  if (!keys) return nullptr;
+  return key_pins_.emplace(shape_id, std::move(keys)).first->second.get();
+}
+
+std::optional<plonk::Proof> ZkdetSystem::prove(
+    const std::string& shape_id, const plonk::ConstraintSystem& cs,
+    std::vector<ff::Fr> witness) {
+  keys_for(shape_id, cs);  // preprocess + pin on the caller's thread
+  runtime::ProofJob job;
+  job.circuit_id = shape_id;
+  job.cs = std::make_shared<const plonk::ConstraintSystem>(cs);
+  job.witness = std::move(witness);
+  job.rng = crypto::Drbg("zkdet-proof-job", rng_());
+  return prover_.prove(std::move(job));
 }
 
 }  // namespace zkdet::core

@@ -17,6 +17,7 @@
 #include "chain/nft.hpp"
 #include "chain/verifier_contract.hpp"
 #include "plonk/plonk.hpp"
+#include "runtime/prover_service.hpp"
 #include "storage/storage.hpp"
 
 namespace zkdet::core {
@@ -40,20 +41,33 @@ class ZkdetSystem {
   [[nodiscard]] const crypto::KeyPair& operator_keys() const {
     return operator_keys_;
   }
+  // The async proof-job service every protocol-layer proof runs through.
+  [[nodiscard]] runtime::ProverService& prover() { return prover_; }
 
   // Returns cached keys for `shape_id`, preprocessing `cs` on first use.
   // Different instances of the same logical circuit must produce
   // identical constraint systems (shape ids encode all size parameters).
+  // Keys returned here are pinned for the system's lifetime, so the
+  // reference stays valid even if the service's LRU later evicts.
   const plonk::KeyPairResult& keys_for(const std::string& shape_id,
                                        const plonk::ConstraintSystem& cs);
   // Lookup-only variant for verifiers; nullptr if never preprocessed.
   [[nodiscard]] const plonk::KeyPairResult* find_keys(
       const std::string& shape_id) const;
 
+  // Proves `cs` under `witness` as a queued job on the shared pool
+  // (preprocessing + pinning the shape first). Each job gets its own
+  // blinder rng derived from the system rng at submission, so results
+  // are reproducible for a fixed system seed and call order.
+  std::optional<plonk::Proof> prove(const std::string& shape_id,
+                                    const plonk::ConstraintSystem& cs,
+                                    std::vector<ff::Fr> witness);
+
  private:
   crypto::Drbg rng_;
   crypto::KeyPair operator_keys_;
   plonk::Srs srs_;
+  runtime::ProverService prover_;
   chain::Chain chain_;
   storage::StorageNetwork storage_;
   chain::DataNft* nft_ = nullptr;
@@ -61,7 +75,9 @@ class ZkdetSystem {
   chain::PlonkVerifierContract* key_verifier_ = nullptr;
   chain::KeySecureArbiter* arbiter_ = nullptr;
   chain::ZkcpArbiter* zkcp_arbiter_ = nullptr;
-  std::map<std::string, plonk::KeyPairResult> key_cache_;
+  // Lifetime pins for keys handed out by reference/pointer.
+  mutable std::map<std::string, std::shared_ptr<const plonk::KeyPairResult>>
+      key_pins_;
 };
 
 }  // namespace zkdet::core

@@ -12,9 +12,9 @@ using storage::Cid;
 
 std::optional<plonk::Proof> TransformationProtocol::prove_shape(
     const std::string& shape_id, const CircuitBuilder& bld) {
-  const auto& keys = sys_.keys_for(shape_id, bld.cs());
-  return plonk::prove(keys.pk, bld.cs(), sys_.srs(), bld.witness(),
-                      sys_.rng());
+  // Routed through the runtime's proof-job service: queued on the shared
+  // pool, keys cached per shape.
+  return sys_.prove(shape_id, bld.cs(), bld.witness());
 }
 
 bool TransformationProtocol::verify_shape(const std::string& shape_id,

@@ -1,9 +1,10 @@
 #include "ec/msm.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cassert>
-#include <thread>
+
+#include "runtime/stats.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace zkdet::ec {
 
@@ -26,12 +27,17 @@ Point msm_naive_impl(std::span<const Fr> scalars, std::span<const Point> points)
   return acc;
 }
 
+// Below this input size one bucket pass is cheaper than dispatching
+// window tasks to the pool; run the windows serially.
+constexpr std::size_t kMsmParallelThreshold = 256;
+
 template <typename Point>
 Point msm_impl(std::span<const Fr> scalars, std::span<const Point> points) {
   assert(scalars.size() == points.size());
   const std::size_t n = scalars.size();
   if (n == 0) return Point::identity();
   if (n < 8) return msm_naive_impl(scalars, points);
+  runtime::ScopedTimer timer(runtime::counters::msm_ns);
 
   const std::size_t c = pick_window(n);
   const std::size_t num_windows = (254 + c - 1) / c;
@@ -61,25 +67,15 @@ Point msm_impl(std::span<const Fr> scalars, std::span<const Point> points) {
     window_sums[w] = acc;
   };
 
-  const std::size_t hw =
-      std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  const std::size_t workers = std::min(hw, num_windows);
-  if (workers <= 1) {
+  // Windows are independent; large inputs share the process-wide pool
+  // (one chunk per window) instead of spawning threads per call.
+  auto& pool = runtime::ThreadPool::instance();
+  if (n < kMsmParallelThreshold || pool.concurrency() <= 1) {
     for (std::size_t w = 0; w < num_windows; ++w) process_window(w);
   } else {
-    std::vector<std::thread> threads;
-    threads.reserve(workers);
-    std::atomic<std::size_t> next{0};
-    for (std::size_t t = 0; t < workers; ++t) {
-      threads.emplace_back([&] {
-        for (;;) {
-          const std::size_t w = next.fetch_add(1);
-          if (w >= num_windows) return;
-          process_window(w);
-        }
-      });
-    }
-    for (auto& th : threads) th.join();
+    pool.parallel_for(num_windows, 1, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t w = lo; w < hi; ++w) process_window(w);
+    });
   }
 
   Point result = Point::identity();

@@ -1,9 +1,10 @@
 // Multi-scalar multiplication (Pippenger's bucket method) over G1.
 //
 // The Plonk prover's hot loop is committing polynomials: an n-term MSM
-// against the SRS powers. Buckets are processed per signed window, with
-// windows distributed across hardware threads (each window is
-// independent; only the final Horner-style combine is sequential).
+// against the SRS powers. Buckets are processed per window, with windows
+// distributed over the shared runtime::ThreadPool above a size threshold
+// (each window is independent; only the final Horner-style combine is
+// sequential). Small inputs run serially — task dispatch would dominate.
 #pragma once
 
 #include <span>

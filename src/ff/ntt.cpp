@@ -1,7 +1,11 @@
 #include "ff/ntt.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
+
+#include "runtime/stats.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace zkdet::ff {
 
@@ -40,7 +44,25 @@ EvaluationDomain::EvaluationDomain(std::size_t size) : size_(size) {
 
 namespace {
 
+// Below this size a transform is microseconds of work; parallel dispatch
+// would cost more than it saves.
+constexpr std::size_t kNttParallelSize = 1ull << 12;
+
+// One block's butterflies for the j-range [j0, j1), with w = wm^j0.
+void butterflies(std::vector<Fr>& a, const Fr& wm, std::size_t start,
+                 std::size_t half, std::size_t j0, std::size_t j1) {
+  Fr w = j0 == 0 ? Fr::one() : wm.pow(U256{j0});
+  for (std::size_t j = j0; j < j1; ++j) {
+    const Fr t = w * a[start + j + half];
+    const Fr u = a[start + j];
+    a[start + j] = u + t;
+    a[start + j + half] = u - t;
+    w *= wm;
+  }
+}
+
 void ntt_in_place(std::vector<Fr>& a, const Fr& root, std::size_t log_n) {
+  runtime::ScopedTimer timer(runtime::counters::ntt_ns);
   const std::size_t n = a.size();
   // bit reversal permutation
   for (std::size_t i = 1, j = 0; i < n; ++i) {
@@ -49,21 +71,63 @@ void ntt_in_place(std::vector<Fr>& a, const Fr& root, std::size_t log_n) {
     j ^= bit;
     if (i < j) std::swap(a[i], a[j]);
   }
+  auto& pool = runtime::ThreadPool::instance();
+  const bool parallel = n >= kNttParallelSize && pool.concurrency() > 1;
   for (std::size_t s = 1; s <= log_n; ++s) {
     const std::size_t m = 1ull << s;
+    const std::size_t half = m / 2;
+    const std::size_t blocks = n / m;
     Fr wm = root;
     for (std::size_t k = s; k < log_n; ++k) wm = wm.square();
-    for (std::size_t start = 0; start < n; start += m) {
-      Fr w = Fr::one();
-      for (std::size_t j = 0; j < m / 2; ++j) {
-        const Fr t = w * a[start + j + m / 2];
-        const Fr u = a[start + j];
-        a[start + j] = u + t;
-        a[start + j + m / 2] = u - t;
-        w *= wm;
+    if (!parallel) {
+      for (std::size_t start = 0; start < n; start += m) {
+        butterflies(a, wm, start, half, 0, half);
       }
+    } else if (blocks >= pool.concurrency()) {
+      // Early layers: many independent blocks — one chunk = some blocks.
+      pool.parallel_for(blocks, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t b = lo; b < hi; ++b) {
+          butterflies(a, wm, b * m, half, 0, half);
+        }
+      });
+    } else {
+      // Late layers: few wide blocks — split each block's j-range; a
+      // chunk's starting twiddle is recovered with one pow.
+      const std::size_t piece =
+          std::max<std::size_t>(1024, half / (4 * pool.concurrency()));
+      const std::size_t per_block = (half + piece - 1) / piece;
+      pool.parallel_for(blocks * per_block, 1,
+                        [&](std::size_t lo, std::size_t hi) {
+                          for (std::size_t t = lo; t < hi; ++t) {
+                            const std::size_t b = t / per_block;
+                            const std::size_t j0 = (t % per_block) * piece;
+                            butterflies(a, wm, b * m, half, j0,
+                                        std::min(half, j0 + piece));
+                          }
+                        });
     }
   }
+}
+
+// a[i] *= base^i, chunked: each chunk recovers its starting power with
+// one pow, so the loop parallelizes without a sequential carry.
+void scale_by_powers(std::vector<Fr>& a, const Fr& base) {
+  auto& pool = runtime::ThreadPool::instance();
+  if (a.size() < kNttParallelSize || pool.concurrency() <= 1) {
+    Fr cur = Fr::one();
+    for (auto& x : a) {
+      x *= cur;
+      cur *= base;
+    }
+    return;
+  }
+  pool.parallel_for(a.size(), [&](std::size_t lo, std::size_t hi) {
+    Fr cur = lo == 0 ? Fr::one() : base.pow(U256{lo});
+    for (std::size_t i = lo; i < hi; ++i) {
+      a[i] *= cur;
+      cur *= base;
+    }
+  });
 }
 
 }  // namespace
@@ -76,26 +140,21 @@ void EvaluationDomain::fft(std::vector<Fr>& a) const {
 void EvaluationDomain::ifft(std::vector<Fr>& a) const {
   assert(a.size() == size_);
   ntt_in_place(a, omega_inv_, log_size_);
-  for (auto& x : a) x *= size_inv_;
+  const Fr s = size_inv_;
+  runtime::ThreadPool::instance().parallel_for(
+      a.size(), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) a[i] *= s;
+      });
 }
 
 void EvaluationDomain::coset_fft(std::vector<Fr>& a, const Fr& shift) const {
-  Fr cur = Fr::one();
-  for (auto& x : a) {
-    x *= cur;
-    cur *= shift;
-  }
+  scale_by_powers(a, shift);
   fft(a);
 }
 
 void EvaluationDomain::coset_ifft(std::vector<Fr>& a, const Fr& shift) const {
   ifft(a);
-  const Fr sinv = shift.inverse();
-  Fr cur = Fr::one();
-  for (auto& x : a) {
-    x *= cur;
-    cur *= sinv;
-  }
+  scale_by_powers(a, shift.inverse());
 }
 
 Fr EvaluationDomain::vanishing_at(const Fr& x) const {

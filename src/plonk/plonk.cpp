@@ -1,8 +1,11 @@
 #include "plonk/plonk.hpp"
 
+#include <array>
 #include <cassert>
 
 #include "ec/pairing.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace zkdet::plonk {
 
@@ -141,6 +144,7 @@ std::optional<KeyPairResult> preprocess(const ConstraintSystem& cs,
                                         const Srs& srs) {
   const std::size_t n = cs.domain_size();
   if (srs.max_degree() < n + 8) return std::nullopt;
+  runtime::ScopedTimer preprocess_timer(runtime::counters::preprocess_ns);
 
   ProvingKey pk;
   pk.n = n;
@@ -212,14 +216,17 @@ std::optional<KeyPairResult> preprocess(const ConstraintSystem& cs,
   vk.ell = pk.ell;
   vk.k1 = pk.k1;
   vk.k2 = pk.k2;
-  vk.cm_qm = srs.commit(pk.qm);
-  vk.cm_ql = srs.commit(pk.ql);
-  vk.cm_qr = srs.commit(pk.qr);
-  vk.cm_qo = srs.commit(pk.qo);
-  vk.cm_qc = srs.commit(pk.qc);
-  vk.cm_s1 = srs.commit(pk.s1);
-  vk.cm_s2 = srs.commit(pk.s2);
-  vk.cm_s3 = srs.commit(pk.s3);
+  {
+    // Eight independent SRS-sized commitments: the bulk of preprocessing.
+    const Polynomial* polys[8] = {&pk.qm, &pk.ql, &pk.qr, &pk.qo,
+                                  &pk.qc, &pk.s1, &pk.s2, &pk.s3};
+    G1* cms[8] = {&vk.cm_qm, &vk.cm_ql, &vk.cm_qr, &vk.cm_qo,
+                  &vk.cm_qc, &vk.cm_s1, &vk.cm_s2, &vk.cm_s3};
+    runtime::ThreadPool::instance().parallel_for(
+        8, 1, [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) *cms[i] = srs.commit(*polys[i]);
+        });
+  }
   vk.g2_gen = srs.g2_gen;
   vk.g2_tau = srs.g2_tau;
   pk.vk = vk;
@@ -231,6 +238,8 @@ std::optional<Proof> prove(const ProvingKey& pk, const ConstraintSystem& cs,
                            const Srs& srs, const std::vector<Fr>& witness,
                            crypto::Drbg& rng) {
   if (!cs.is_satisfied(witness)) return std::nullopt;
+  runtime::ScopedTimer prove_timer(runtime::counters::prove_ns);
+  auto& pool = runtime::ThreadPool::instance();
   const std::size_t n = pk.n;
   const EvaluationDomain& dom = *pk.domain;
   const EvaluationDomain& ext = *pk.ext_domain;
@@ -238,11 +247,13 @@ std::optional<Proof> prove(const ProvingKey& pk, const ConstraintSystem& cs,
 
   // --- wire values per row ---
   std::vector<Fr> wa(n), wb(n), wc(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    wa[i] = witness[pk.wire_a[i]];
-    wb[i] = witness[pk.wire_b[i]];
-    wc[i] = witness[pk.wire_c[i]];
-  }
+  pool.parallel_for(n, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      wa[i] = witness[pk.wire_a[i]];
+      wb[i] = witness[pk.wire_b[i]];
+      wc[i] = witness[pk.wire_c[i]];
+    }
+  });
 
   // --- public input polynomial: PI(w^i) = -x_i on the first ell rows ---
   const std::vector<Fr> pub = cs.extract_public_inputs(witness);
@@ -265,16 +276,29 @@ std::optional<Proof> prove(const ProvingKey& pk, const ConstraintSystem& cs,
     c[n + 1] += b1;
     return p;
   };
+  // Blinders are drawn on the job thread before the parallel region so
+  // the rng stream is independent of scheduling.
   const Fr b1 = rng.random_fr(), b2 = rng.random_fr(), b3 = rng.random_fr();
   const Fr b4 = rng.random_fr(), b5 = rng.random_fr(), b6 = rng.random_fr();
-  const Polynomial a_poly = blind2(wa, b1, b2);
-  const Polynomial b_poly = blind2(wb, b3, b4);
-  const Polynomial c_poly = blind2(wc, b5, b6);
+  const std::vector<Fr>* wires[3] = {&wa, &wb, &wc};
+  const Fr wire_blinds[3][2] = {{b1, b2}, {b3, b4}, {b5, b6}};
+  std::array<Polynomial, 3> wire_polys;
+  std::array<G1, 3> wire_cms;
+  pool.parallel_for(3, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      wire_polys[i] =
+          blind2(*wires[i], wire_blinds[i][0], wire_blinds[i][1]);
+      wire_cms[i] = srs.commit(wire_polys[i]);
+    }
+  });
+  const Polynomial& a_poly = wire_polys[0];
+  const Polynomial& b_poly = wire_polys[1];
+  const Polynomial& c_poly = wire_polys[2];
 
   Proof proof;
-  proof.cm_a = srs.commit(a_poly);
-  proof.cm_b = srs.commit(b_poly);
-  proof.cm_c = srs.commit(c_poly);
+  proof.cm_a = wire_cms[0];
+  proof.cm_b = wire_cms[1];
+  proof.cm_c = wire_cms[2];
   transcript.absorb_g1(proof.cm_a);
   transcript.absorb_g1(proof.cm_b);
   transcript.absorb_g1(proof.cm_c);
@@ -285,14 +309,17 @@ std::optional<Proof> prove(const ProvingKey& pk, const ConstraintSystem& cs,
 
   std::vector<Fr> denoms(n);
   std::vector<Fr> numers(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const Fr& w = dom.element(i);
-    numers[i] = (wa[i] + beta * w + gamma) * (wb[i] + beta * pk.k1 * w + gamma) *
-                (wc[i] + beta * pk.k2 * w + gamma);
-    denoms[i] = (wa[i] + beta * pk.s1_evals[i] + gamma) *
-                (wb[i] + beta * pk.s2_evals[i] + gamma) *
-                (wc[i] + beta * pk.s3_evals[i] + gamma);
-  }
+  pool.parallel_for(n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const Fr& w = dom.element(i);
+      numers[i] = (wa[i] + beta * w + gamma) *
+                  (wb[i] + beta * pk.k1 * w + gamma) *
+                  (wc[i] + beta * pk.k2 * w + gamma);
+      denoms[i] = (wa[i] + beta * pk.s1_evals[i] + gamma) *
+                  (wb[i] + beta * pk.s2_evals[i] + gamma) *
+                  (wc[i] + beta * pk.s3_evals[i] + gamma);
+    }
+  });
   const std::vector<Fr> dinv = batch_inverse(denoms);
   std::vector<Fr> z_evals(n);
   z_evals[0] = Fr::one();
@@ -326,21 +353,30 @@ std::optional<Proof> prove(const ProvingKey& pk, const ConstraintSystem& cs,
     ext.coset_fft(c, shift);
     return c;
   };
-  const std::vector<Fr> a_ext = extend(a_poly);
-  const std::vector<Fr> b_ext = extend(b_poly);
-  const std::vector<Fr> c_ext = extend(c_poly);
-  const std::vector<Fr> z_ext = extend(z_poly);
-  const std::vector<Fr> qm_ext = extend(pk.qm);
-  const std::vector<Fr> ql_ext = extend(pk.ql);
-  const std::vector<Fr> qr_ext = extend(pk.qr);
-  const std::vector<Fr> qo_ext = extend(pk.qo);
-  const std::vector<Fr> qc_ext = extend(pk.qc);
-  const std::vector<Fr> s1_ext = extend(pk.s1);
-  const std::vector<Fr> s2_ext = extend(pk.s2);
-  const std::vector<Fr> s3_ext = extend(pk.s3);
-  const std::vector<Fr> pi_ext = extend(pi_poly);
-  const std::vector<Fr> l1_ext =
-      extend(Polynomial{std::vector<Fr>(n, Fr::from_u64(n).inverse())});
+  // The 14 coset extensions are independent; run them as one parallel
+  // region (each inner FFT further splits when workers are idle).
+  const Polynomial l1_poly{std::vector<Fr>(n, Fr::from_u64(n).inverse())};
+  const Polynomial* ext_srcs[14] = {
+      &a_poly, &b_poly, &c_poly, &z_poly, &pk.qm, &pk.ql,  &pk.qr,
+      &pk.qo,  &pk.qc,  &pk.s1,  &pk.s2,  &pk.s3, &pi_poly, &l1_poly};
+  std::array<std::vector<Fr>, 14> exts;
+  pool.parallel_for(14, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) exts[i] = extend(*ext_srcs[i]);
+  });
+  const std::vector<Fr>& a_ext = exts[0];
+  const std::vector<Fr>& b_ext = exts[1];
+  const std::vector<Fr>& c_ext = exts[2];
+  const std::vector<Fr>& z_ext = exts[3];
+  const std::vector<Fr>& qm_ext = exts[4];
+  const std::vector<Fr>& ql_ext = exts[5];
+  const std::vector<Fr>& qr_ext = exts[6];
+  const std::vector<Fr>& qo_ext = exts[7];
+  const std::vector<Fr>& qc_ext = exts[8];
+  const std::vector<Fr>& s1_ext = exts[9];
+  const std::vector<Fr>& s2_ext = exts[10];
+  const std::vector<Fr>& s3_ext = exts[11];
+  const std::vector<Fr>& pi_ext = exts[12];
+  const std::vector<Fr>& l1_ext = exts[13];
 
   const std::size_t m = ext.size();  // 8n
   const std::size_t stride = m / n;  // z(omega X) = rotate by stride
@@ -361,23 +397,29 @@ std::optional<Proof> prove(const ProvingKey& pk, const ConstraintSystem& cs,
 
   std::vector<Fr> t_ext(m);
   const Fr alpha2 = alpha * alpha;
-  for (std::size_t i = 0; i < m; ++i) {
-    const Fr x = shift * ext.element(i);
-    const Fr& av = a_ext[i];
-    const Fr& bv = b_ext[i];
-    const Fr& cv = c_ext[i];
-    const Fr& zv = z_ext[i];
-    const Fr& zwv = z_ext[(i + stride) % m];
+  {
+    runtime::ScopedTimer quotient_timer(runtime::counters::quotient_ns);
+    pool.parallel_for(m, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const Fr x = shift * ext.element(i);
+        const Fr& av = a_ext[i];
+        const Fr& bv = b_ext[i];
+        const Fr& cv = c_ext[i];
+        const Fr& zv = z_ext[i];
+        const Fr& zwv = z_ext[(i + stride) % m];
 
-    Fr num = qm_ext[i] * av * bv + ql_ext[i] * av + qr_ext[i] * bv +
-             qo_ext[i] * cv + qc_ext[i] + pi_ext[i];
-    num += alpha * ((av + beta * x + gamma) * (bv + beta * pk.k1 * x + gamma) *
-                        (cv + beta * pk.k2 * x + gamma) * zv -
-                    (av + beta * s1_ext[i] + gamma) *
-                        (bv + beta * s2_ext[i] + gamma) *
-                        (cv + beta * s3_ext[i] + gamma) * zwv);
-    num += alpha2 * (zv - Fr::one()) * l1_ext[i];
-    t_ext[i] = num * zh_inv_cycle[i % stride];
+        Fr num = qm_ext[i] * av * bv + ql_ext[i] * av + qr_ext[i] * bv +
+                 qo_ext[i] * cv + qc_ext[i] + pi_ext[i];
+        num += alpha *
+               ((av + beta * x + gamma) * (bv + beta * pk.k1 * x + gamma) *
+                    (cv + beta * pk.k2 * x + gamma) * zv -
+                (av + beta * s1_ext[i] + gamma) *
+                    (bv + beta * s2_ext[i] + gamma) *
+                    (cv + beta * s3_ext[i] + gamma) * zwv);
+        num += alpha2 * (zv - Fr::one()) * l1_ext[i];
+        t_ext[i] = num * zh_inv_cycle[i % stride];
+      }
+    });
   }
   ext.coset_ifft(t_ext, shift);
   Polynomial t_poly{std::move(t_ext)};
@@ -397,21 +439,40 @@ std::optional<Proof> prove(const ProvingKey& pk, const ConstraintSystem& cs,
   t_mid[0] -= b10;
   t_mid.push_back(b11);  // + b11 X^n
   t_hi[0] -= b11;
-  proof.cm_t_lo = srs.commit(t_lo);
-  proof.cm_t_mid = srs.commit(t_mid);
-  proof.cm_t_hi = srs.commit(t_hi);
+  {
+    const std::vector<Fr>* chunks[3] = {&t_lo, &t_mid, &t_hi};
+    std::array<G1, 3> t_cms;
+    pool.parallel_for(3, 1, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) t_cms[i] = srs.commit(*chunks[i]);
+    });
+    proof.cm_t_lo = t_cms[0];
+    proof.cm_t_mid = t_cms[1];
+    proof.cm_t_hi = t_cms[2];
+  }
   transcript.absorb_g1(proof.cm_t_lo);
   transcript.absorb_g1(proof.cm_t_mid);
   transcript.absorb_g1(proof.cm_t_hi);
 
   // --- round 4: evaluations at zeta ---
   const Fr zeta = transcript.challenge("zeta");
-  proof.eval_a = a_poly.evaluate(zeta);
-  proof.eval_b = b_poly.evaluate(zeta);
-  proof.eval_c = c_poly.evaluate(zeta);
-  proof.eval_s1 = pk.s1.evaluate(zeta);
-  proof.eval_s2 = pk.s2.evaluate(zeta);
-  proof.eval_z_omega = z_poly.evaluate(zeta * dom.omega());
+  {
+    const Polynomial* eval_srcs[6] = {&a_poly, &b_poly, &c_poly,
+                                      &pk.s1,  &pk.s2,  &z_poly};
+    const Fr zeta_omega = zeta * dom.omega();
+    const Fr points[6] = {zeta, zeta, zeta, zeta, zeta, zeta_omega};
+    std::array<Fr, 6> evals_out;
+    pool.parallel_for(6, 1, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        evals_out[i] = eval_srcs[i]->evaluate(points[i]);
+      }
+    });
+    proof.eval_a = evals_out[0];
+    proof.eval_b = evals_out[1];
+    proof.eval_c = evals_out[2];
+    proof.eval_s1 = evals_out[3];
+    proof.eval_s2 = evals_out[4];
+    proof.eval_z_omega = evals_out[5];
+  }
   transcript.absorb_fr(proof.eval_a);
   transcript.absorb_fr(proof.eval_b);
   transcript.absorb_fr(proof.eval_c);
@@ -465,26 +526,35 @@ std::optional<Proof> prove(const ProvingKey& pk, const ConstraintSystem& cs,
     w_zeta_num += (*opened[i] - Polynomial::constant(evals[i])).scaled(vpow);
     vpow *= v;
   }
-  const Polynomial w_zeta_poly = w_zeta_num.divide_by_linear(zeta);
-  const Polynomial w_zeta_omega_poly =
-      (z_poly - Polynomial::constant(proof.eval_z_omega))
-          .divide_by_linear(zeta * dom.omega());
-  proof.w_zeta = srs.commit(w_zeta_poly);
-  proof.w_zeta_omega = srs.commit(w_zeta_omega_poly);
+  std::array<G1, 2> opening_cms;
+  pool.parallel_for(2, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (i == 0) {
+        opening_cms[0] = srs.commit(w_zeta_num.divide_by_linear(zeta));
+      } else {
+        opening_cms[1] =
+            srs.commit((z_poly - Polynomial::constant(proof.eval_z_omega))
+                           .divide_by_linear(zeta * dom.omega()));
+      }
+    }
+  });
+  proof.w_zeta = opening_cms[0];
+  proof.w_zeta_omega = opening_cms[1];
 
   return proof;
 }
 
-bool verify(const VerifyingKey& vk, const std::vector<Fr>& public_inputs,
-            const Proof& proof) {
-  if (public_inputs.size() != vk.ell) return false;
+std::optional<PairingCheck> verify_prepare(
+    const VerifyingKey& vk, const std::vector<Fr>& public_inputs,
+    const Proof& proof) {
+  if (public_inputs.size() != vk.ell) return std::nullopt;
   const std::size_t n = vk.n;
 
   // Commitments must be on the curve (cheap structural validation).
   for (const G1* p : {&proof.cm_a, &proof.cm_b, &proof.cm_c, &proof.cm_z,
                       &proof.cm_t_lo, &proof.cm_t_mid, &proof.cm_t_hi,
                       &proof.w_zeta, &proof.w_zeta_omega}) {
-    if (!p->on_curve()) return false;
+    if (!p->on_curve()) return std::nullopt;
   }
 
   Transcript transcript("zkdet-plonk");
@@ -514,7 +584,7 @@ bool verify(const VerifyingKey& vk, const std::vector<Fr>& public_inputs,
 
   const Fr zeta_n = zeta.pow(U256{n});
   const Fr zh_zeta = zeta_n - Fr::one();
-  if (zh_zeta.is_zero()) return false;  // zeta in H: reject (negligible)
+  if (zh_zeta.is_zero()) return std::nullopt;  // zeta in H: reject (negligible)
   const Fr l1_zeta =
       zh_zeta * (Fr::from_u64(n) * (zeta - Fr::one())).inverse();
 
@@ -573,10 +643,61 @@ bool verify(const VerifyingKey& vk, const std::vector<Fr>& public_inputs,
 
   EvaluationDomain dom(n);
   const Fr omega = dom.omega();
-  const G1 lhs_g1 = proof.w_zeta + proof.w_zeta_omega.mul(u);
-  const G1 rhs_g1 = proof.w_zeta.mul(zeta) +
-                    proof.w_zeta_omega.mul(u * zeta * omega) + f - e;
-  return ec::pairing_product_is_one(lhs_g1, vk.g2_tau, -rhs_g1, vk.g2_gen);
+  PairingCheck check;
+  check.lhs = proof.w_zeta + proof.w_zeta_omega.mul(u);
+  check.rhs = proof.w_zeta.mul(zeta) +
+              proof.w_zeta_omega.mul(u * zeta * omega) + f - e;
+  return check;
+}
+
+bool verify(const VerifyingKey& vk, const std::vector<Fr>& public_inputs,
+            const Proof& proof) {
+  runtime::ScopedTimer verify_timer(runtime::counters::verify_ns);
+  const auto check = verify_prepare(vk, public_inputs, proof);
+  if (!check) return false;
+  return ec::pairing_product_is_one(check->lhs, vk.g2_tau, -check->rhs,
+                                    vk.g2_gen);
+}
+
+bool batch_verify(std::span<const BatchEntry> entries) {
+  if (entries.empty()) return true;
+  const VerifyingKey& vk0 = *entries[0].vk;
+  for (const BatchEntry& e : entries) {
+    // The folded check is only sound when every entry shares the SRS.
+    if (!(e.vk->g2_gen == vk0.g2_gen) || !(e.vk->g2_tau == vk0.g2_tau)) {
+      return false;
+    }
+  }
+
+  // Per-proof scalar work is independent; prepare in parallel.
+  std::vector<std::optional<PairingCheck>> checks(entries.size());
+  runtime::ThreadPool::instance().parallel_for(
+      entries.size(), 1, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          checks[i] = verify_prepare(*entries[i].vk, *entries[i].public_inputs,
+                                     *entries[i].proof);
+        }
+      });
+  for (const auto& c : checks) {
+    if (!c) return false;
+  }
+
+  // Fold with weights bound to the whole batch: r_0 = 1, r_i from a
+  // transcript that absorbed every statement and proof.
+  Transcript t("zkdet-batch-verify");
+  for (const BatchEntry& e : entries) {
+    e.vk->bind_transcript(t);
+    for (const Fr& x : *e.public_inputs) t.absorb_fr(x);
+    t.absorb_bytes(e.proof->to_bytes());
+  }
+  G1 lhs = checks[0]->lhs;
+  G1 rhs = checks[0]->rhs;
+  for (std::size_t i = 1; i < checks.size(); ++i) {
+    const Fr r = t.challenge("batch-r");
+    lhs += checks[i]->lhs.mul(r);
+    rhs += checks[i]->rhs.mul(r);
+  }
+  return ec::pairing_product_is_one(lhs, vk0.g2_tau, -rhs, vk0.g2_gen);
 }
 
 }  // namespace zkdet::plonk

@@ -94,4 +94,32 @@ std::optional<Proof> prove(const ProvingKey& pk, const ConstraintSystem& cs,
 bool verify(const VerifyingKey& vk, const std::vector<Fr>& public_inputs,
             const Proof& proof);
 
+// The deferred pairing check a proof reduces to after all transcript and
+// scalar work: accept iff e(lhs, [tau]_2) * e(-rhs, [1]_2) == 1.
+struct PairingCheck {
+  G1 lhs, rhs;
+};
+
+// Runs every verification step except the final pairing; nullopt on any
+// structural failure (wrong public input count, off-curve point, zeta in
+// the domain). verify() == prepare + one pairing product.
+std::optional<PairingCheck> verify_prepare(const VerifyingKey& vk,
+                                           const std::vector<Fr>& public_inputs,
+                                           const Proof& proof);
+
+// One proof in a batch-verification call. Pointed-to data must outlive
+// the call; verifying keys may differ per entry but must share the SRS
+// (identical [1]_2 / [tau]_2).
+struct BatchEntry {
+  const VerifyingKey* vk = nullptr;
+  const std::vector<Fr>* public_inputs = nullptr;
+  const Proof* proof = nullptr;
+};
+
+// Accepts iff every entry verifies. The per-proof pairing checks are
+// folded with Fiat-Shamir-derived random weights into a single 2-pairing
+// product, sharing the pairing-side work across the batch. A forged
+// proof escapes only with probability ~1/r.
+bool batch_verify(std::span<const BatchEntry> entries);
+
 }  // namespace zkdet::plonk

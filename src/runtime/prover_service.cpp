@@ -1,0 +1,106 @@
+#include "runtime/prover_service.hpp"
+
+#include "runtime/stats.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace zkdet::runtime {
+
+ProverService::ProverService(const plonk::Srs& srs,
+                             std::size_t key_cache_capacity)
+    : srs_(srs), capacity_(std::max<std::size_t>(1, key_cache_capacity)) {}
+
+std::shared_ptr<const plonk::KeyPairResult> ProverService::keys_for(
+    const std::string& circuit_id, const plonk::ConstraintSystem& cs) {
+  std::shared_future<KeyPtr> wait_on;
+  std::promise<KeyPtr> mine;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    const auto it = index_.find(circuit_id);
+    if (it != index_.end()) {
+      counters::key_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      lru_.splice(lru_.begin(), lru_, it->second);  // touch
+      return it->second->second;
+    }
+    const auto fl = inflight_.find(circuit_id);
+    if (fl != inflight_.end()) {
+      counters::key_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      wait_on = fl->second;
+    } else {
+      counters::key_cache_misses.fetch_add(1, std::memory_order_relaxed);
+      inflight_.emplace(circuit_id, mine.get_future().share());
+    }
+  }
+  if (wait_on.valid()) return wait_on.get();
+
+  // We own the miss: preprocess outside the lock.
+  KeyPtr keys;
+  if (auto result = plonk::preprocess(cs, srs_)) {
+    keys = std::make_shared<const plonk::KeyPairResult>(std::move(*result));
+  }
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    inflight_.erase(circuit_id);
+    if (keys) {
+      lru_.emplace_front(circuit_id, keys);
+      index_[circuit_id] = lru_.begin();
+      while (lru_.size() > capacity_) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+        counters::key_cache_evictions.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  mine.set_value(keys);
+  return keys;
+}
+
+std::shared_ptr<const plonk::KeyPairResult> ProverService::find_keys(
+    const std::string& circuit_id) const {
+  std::lock_guard<std::mutex> lk(m_);
+  const auto it = index_.find(circuit_id);
+  return it == index_.end() ? nullptr : it->second->second;
+}
+
+std::future<std::optional<plonk::Proof>> ProverService::submit(ProofJob job) {
+  counters::jobs_submitted.fetch_add(1, std::memory_order_relaxed);
+  auto run = [this, job = std::move(job)]() mutable
+      -> std::optional<plonk::Proof> {
+    const auto keys = keys_for(job.circuit_id, *job.cs);
+    std::optional<plonk::Proof> proof;
+    if (keys) {
+      proof = plonk::prove(keys->pk, *job.cs, srs_, job.witness, job.rng);
+    }
+    counters::jobs_completed.fetch_add(1, std::memory_order_relaxed);
+    if (!proof) counters::jobs_failed.fetch_add(1, std::memory_order_relaxed);
+    return proof;
+  };
+  auto task = std::make_shared<
+      std::packaged_task<std::optional<plonk::Proof>()>>(std::move(run));
+  auto fut = task->get_future();
+  auto& pool = ThreadPool::instance();
+  if (pool.concurrency() <= 1 || ThreadPool::on_worker_thread()) {
+    (*task)();  // no workers, or we are one: run inline instead of blocking
+  } else {
+    pool.submit([task] { (*task)(); });
+  }
+  return fut;
+}
+
+std::optional<plonk::Proof> ProverService::prove(ProofJob job) {
+  return submit(std::move(job)).get();
+}
+
+bool ProverService::batch_verify(std::span<const plonk::BatchEntry> entries) {
+  counters::batch_verifications.fetch_add(1, std::memory_order_relaxed);
+  counters::proofs_verified.fetch_add(entries.size(),
+                                      std::memory_order_relaxed);
+  ScopedTimer timer(counters::verify_ns);
+  return plonk::batch_verify(entries);
+}
+
+std::size_t ProverService::key_cache_size() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return lru_.size();
+}
+
+}  // namespace zkdet::runtime

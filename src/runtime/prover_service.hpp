@@ -1,0 +1,96 @@
+// Asynchronous proof-job service with a proving/verifying-key cache.
+//
+// ProverService turns plonk::prove into a queued job: submit() enqueues
+// the job on the shared ThreadPool and returns a future; the expensive
+// per-circuit preprocessing (SRS-sized selector/sigma commitments) is
+// paid once per circuit id and cached in an LRU, so a marketplace
+// serving many proofs over a few circuit shapes amortizes setup the way
+// the paper's deployment compiles each Circom circuit once.
+//
+// Determinism contract: a job carries its own Drbg, so the blinder
+// stream consumed by a proof is a function of the job alone — the same
+// (circuit, witness, rng seed) yields byte-identical proofs at any
+// worker count (tests/test_runtime.cpp asserts this at 1/2/8).
+//
+// batch_verify() shares the pairing-side work across proofs: each proof
+// reduces to one KZG pairing check e(L_i, [tau]_2) * e(-R_i, [1]_2) = 1;
+// a random linear combination collapses N such checks into a single
+// 2-pairing product (2 pairings total instead of 2N).
+#pragma once
+
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/rng.hpp"
+#include "plonk/plonk.hpp"
+
+namespace zkdet::runtime {
+
+// One unit of proving work. `cs` is shared immutably with the worker;
+// `rng` seeds the proof's blinders (copied in, consumed by the job).
+struct ProofJob {
+  std::string circuit_id;  // key cache key; must encode all size params
+  std::shared_ptr<const plonk::ConstraintSystem> cs;
+  std::vector<ff::Fr> witness;
+  crypto::Drbg rng{0};
+};
+
+class ProverService {
+ public:
+  // `srs` must outlive the service. `key_cache_capacity` bounds the
+  // number of cached per-circuit key pairs (LRU eviction).
+  explicit ProverService(const plonk::Srs& srs,
+                         std::size_t key_cache_capacity = 128);
+
+  // Returns the cached keys for `circuit_id`, preprocessing `cs` on
+  // first use. Concurrent misses for the same id deduplicate: one
+  // caller preprocesses, the rest wait on its result. Returns nullptr
+  // when the SRS is too small for the circuit.
+  std::shared_ptr<const plonk::KeyPairResult> keys_for(
+      const std::string& circuit_id, const plonk::ConstraintSystem& cs);
+
+  // Lookup-only (no preprocessing, no LRU touch); nullptr when absent.
+  [[nodiscard]] std::shared_ptr<const plonk::KeyPairResult> find_keys(
+      const std::string& circuit_id) const;
+
+  // Enqueues the job on the shared ThreadPool. The future resolves to
+  // nullopt when the witness does not satisfy the circuit or the SRS is
+  // too small. Runs inline when the pool is single-threaded or the
+  // caller is itself a pool worker (a blocking wait there would starve
+  // the pool).
+  std::future<std::optional<plonk::Proof>> submit(ProofJob job);
+
+  // submit() + wait.
+  std::optional<plonk::Proof> prove(ProofJob job);
+
+  // Verifies all (vk, publics, proof) triples with one shared pairing
+  // product; all verifying keys must come from the same SRS. Empty
+  // input verifies trivially.
+  static bool batch_verify(std::span<const plonk::BatchEntry> entries);
+
+  [[nodiscard]] std::size_t key_cache_size() const;
+  [[nodiscard]] std::size_t key_cache_capacity() const { return capacity_; }
+
+ private:
+  using KeyPtr = std::shared_ptr<const plonk::KeyPairResult>;
+
+  const plonk::Srs& srs_;
+  const std::size_t capacity_;
+
+  mutable std::mutex m_;
+  // LRU: front = most recently used.
+  std::list<std::pair<std::string, KeyPtr>> lru_;
+  std::unordered_map<std::string, std::list<std::pair<std::string, KeyPtr>>::iterator>
+      index_;
+  // De-duplicates concurrent preprocessing of the same circuit id.
+  std::unordered_map<std::string, std::shared_future<KeyPtr>> inflight_;
+};
+
+}  // namespace zkdet::runtime

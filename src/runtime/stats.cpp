@@ -1,0 +1,71 @@
+#include "runtime/stats.hpp"
+
+namespace zkdet::runtime {
+
+namespace counters {
+std::atomic<std::uint64_t> jobs_submitted{0};
+std::atomic<std::uint64_t> jobs_completed{0};
+std::atomic<std::uint64_t> jobs_failed{0};
+std::atomic<std::uint64_t> key_cache_hits{0};
+std::atomic<std::uint64_t> key_cache_misses{0};
+std::atomic<std::uint64_t> key_cache_evictions{0};
+std::atomic<std::uint64_t> proofs_verified{0};
+std::atomic<std::uint64_t> batch_verifications{0};
+std::atomic<std::uint64_t> parallel_regions{0};
+std::atomic<std::uint64_t> chunks_executed{0};
+std::atomic<std::uint64_t> chunks_stolen{0};
+std::atomic<std::uint64_t> msm_ns{0};
+std::atomic<std::uint64_t> ntt_ns{0};
+std::atomic<std::uint64_t> quotient_ns{0};
+std::atomic<std::uint64_t> preprocess_ns{0};
+std::atomic<std::uint64_t> prove_ns{0};
+std::atomic<std::uint64_t> verify_ns{0};
+}  // namespace counters
+
+StatsSnapshot stats() {
+  StatsSnapshot s;
+  s.jobs_submitted = counters::jobs_submitted.load(std::memory_order_relaxed);
+  s.jobs_completed = counters::jobs_completed.load(std::memory_order_relaxed);
+  s.jobs_failed = counters::jobs_failed.load(std::memory_order_relaxed);
+  s.key_cache_hits = counters::key_cache_hits.load(std::memory_order_relaxed);
+  s.key_cache_misses =
+      counters::key_cache_misses.load(std::memory_order_relaxed);
+  s.key_cache_evictions =
+      counters::key_cache_evictions.load(std::memory_order_relaxed);
+  s.proofs_verified = counters::proofs_verified.load(std::memory_order_relaxed);
+  s.batch_verifications =
+      counters::batch_verifications.load(std::memory_order_relaxed);
+  s.parallel_regions =
+      counters::parallel_regions.load(std::memory_order_relaxed);
+  s.chunks_executed = counters::chunks_executed.load(std::memory_order_relaxed);
+  s.chunks_stolen = counters::chunks_stolen.load(std::memory_order_relaxed);
+  s.msm_ns = counters::msm_ns.load(std::memory_order_relaxed);
+  s.ntt_ns = counters::ntt_ns.load(std::memory_order_relaxed);
+  s.quotient_ns = counters::quotient_ns.load(std::memory_order_relaxed);
+  s.preprocess_ns = counters::preprocess_ns.load(std::memory_order_relaxed);
+  s.prove_ns = counters::prove_ns.load(std::memory_order_relaxed);
+  s.verify_ns = counters::verify_ns.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_stats() {
+  counters::jobs_submitted.store(0, std::memory_order_relaxed);
+  counters::jobs_completed.store(0, std::memory_order_relaxed);
+  counters::jobs_failed.store(0, std::memory_order_relaxed);
+  counters::key_cache_hits.store(0, std::memory_order_relaxed);
+  counters::key_cache_misses.store(0, std::memory_order_relaxed);
+  counters::key_cache_evictions.store(0, std::memory_order_relaxed);
+  counters::proofs_verified.store(0, std::memory_order_relaxed);
+  counters::batch_verifications.store(0, std::memory_order_relaxed);
+  counters::parallel_regions.store(0, std::memory_order_relaxed);
+  counters::chunks_executed.store(0, std::memory_order_relaxed);
+  counters::chunks_stolen.store(0, std::memory_order_relaxed);
+  counters::msm_ns.store(0, std::memory_order_relaxed);
+  counters::ntt_ns.store(0, std::memory_order_relaxed);
+  counters::quotient_ns.store(0, std::memory_order_relaxed);
+  counters::preprocess_ns.store(0, std::memory_order_relaxed);
+  counters::prove_ns.store(0, std::memory_order_relaxed);
+  counters::verify_ns.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace zkdet::runtime

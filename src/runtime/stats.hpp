@@ -1,0 +1,90 @@
+// Lightweight runtime metrics for the concurrent proving substrate.
+//
+// Everything is a process-global relaxed atomic counter: cheap enough to
+// leave enabled in release builds, precise enough for the benches and
+// the cache-behaviour tests. stats() takes a consistent-enough snapshot
+// (each field individually atomic); reset_stats() zeroes all counters.
+//
+// Wall-time counters accumulate nanoseconds measured on the thread that
+// performed the stage, so with W workers the per-stage sums can exceed
+// elapsed real time (they are CPU-stage time, not wall time).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace zkdet::runtime {
+
+struct StatsSnapshot {
+  // ProverService job lifecycle.
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_failed = 0;
+  // Proving/verifying-key LRU cache.
+  std::uint64_t key_cache_hits = 0;
+  std::uint64_t key_cache_misses = 0;
+  std::uint64_t key_cache_evictions = 0;
+  // Batch verification.
+  std::uint64_t proofs_verified = 0;
+  std::uint64_t batch_verifications = 0;
+  // Thread pool.
+  std::uint64_t parallel_regions = 0;
+  std::uint64_t chunks_executed = 0;
+  std::uint64_t chunks_stolen = 0;  // chunks run by a thread other than the caller
+  // Per-stage wall time (ns, summed per executing thread).
+  std::uint64_t msm_ns = 0;
+  std::uint64_t ntt_ns = 0;
+  std::uint64_t quotient_ns = 0;
+  std::uint64_t preprocess_ns = 0;
+  std::uint64_t prove_ns = 0;
+  std::uint64_t verify_ns = 0;
+};
+
+// Snapshot of all counters since process start / last reset.
+[[nodiscard]] StatsSnapshot stats();
+void reset_stats();
+
+// Raw counters; hot paths bump these directly. Relaxed ordering is fine:
+// the counters carry no synchronization duties.
+namespace counters {
+extern std::atomic<std::uint64_t> jobs_submitted;
+extern std::atomic<std::uint64_t> jobs_completed;
+extern std::atomic<std::uint64_t> jobs_failed;
+extern std::atomic<std::uint64_t> key_cache_hits;
+extern std::atomic<std::uint64_t> key_cache_misses;
+extern std::atomic<std::uint64_t> key_cache_evictions;
+extern std::atomic<std::uint64_t> proofs_verified;
+extern std::atomic<std::uint64_t> batch_verifications;
+extern std::atomic<std::uint64_t> parallel_regions;
+extern std::atomic<std::uint64_t> chunks_executed;
+extern std::atomic<std::uint64_t> chunks_stolen;
+extern std::atomic<std::uint64_t> msm_ns;
+extern std::atomic<std::uint64_t> ntt_ns;
+extern std::atomic<std::uint64_t> quotient_ns;
+extern std::atomic<std::uint64_t> preprocess_ns;
+extern std::atomic<std::uint64_t> prove_ns;
+extern std::atomic<std::uint64_t> verify_ns;
+}  // namespace counters
+
+// Adds the scope's elapsed nanoseconds to `sink` on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::atomic<std::uint64_t>& sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    sink_.fetch_add(static_cast<std::uint64_t>(ns),
+                    std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t>& sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace zkdet::runtime

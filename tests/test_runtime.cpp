@@ -1,0 +1,273 @@
+// Concurrent proving runtime: thread pool semantics, proof determinism
+// across worker counts, job-service stress, key-cache accounting, and
+// batched verification.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <future>
+#include <numeric>
+#include <vector>
+
+#include "core/circuits.hpp"
+#include "crypto/rng.hpp"
+#include "ec/msm.hpp"
+#include "ff/ntt.hpp"
+#include "plonk/plonk.hpp"
+#include "runtime/prover_service.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace {
+
+using namespace zkdet;
+using ff::Fr;
+using runtime::ProofJob;
+using runtime::ProverService;
+using runtime::ThreadPool;
+
+// Shared SRS: large enough for the pi_k circuit family used throughout.
+const plonk::Srs& srs() {
+  static crypto::Drbg rng("test-runtime-srs", 99);
+  static const plonk::Srs s = plonk::Srs::setup((1 << 12) + 16, rng);
+  return s;
+}
+
+gadgets::CircuitBuilder key_circuit(std::uint64_t key, std::uint64_t blinder,
+                                    std::uint64_t k_v) {
+  return core::build_key_circuit(Fr::from_u64(key), Fr::from_u64(blinder),
+                                 Fr::from_u64(k_v));
+}
+
+// Every test leaves the pool single-threaded so suites stay independent.
+class RuntimeTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ThreadPool::instance().configure(1); }
+};
+
+TEST_F(RuntimeTest, ParallelForCoversRangeExactlyOnce) {
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    ThreadPool::instance().configure(workers);
+    const std::size_t n = 10'007;  // prime: chunks never divide evenly
+    std::vector<int> hits(n, 0);
+    ThreadPool::instance().parallel_for(
+        n, 7, [&](std::size_t b, std::size_t e) {
+          for (std::size_t i = b; i < e; ++i) ++hits[i];
+        });
+    const long total = std::accumulate(hits.begin(), hits.end(), 0L);
+    EXPECT_EQ(total, static_cast<long>(n)) << "workers=" << workers;
+    EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                            [](int h) { return h == 1; }))
+        << "workers=" << workers;
+  }
+}
+
+TEST_F(RuntimeTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool::instance().configure(4);
+  const std::size_t outer = 8, inner = 1000;
+  std::vector<std::uint64_t> sums(outer, 0);
+  ThreadPool::instance().parallel_for(
+      outer, 1, [&](std::size_t b, std::size_t e) {
+        for (std::size_t o = b; o < e; ++o) {
+          std::vector<std::uint64_t> parts(inner, 0);
+          ThreadPool::instance().parallel_for(
+              inner, 64, [&](std::size_t ib, std::size_t ie) {
+                for (std::size_t i = ib; i < ie; ++i) parts[i] = i;
+              });
+          sums[o] = std::accumulate(parts.begin(), parts.end(), 0ull);
+        }
+      });
+  for (std::size_t o = 0; o < outer; ++o) {
+    EXPECT_EQ(sums[o], inner * (inner - 1) / 2);
+  }
+}
+
+TEST_F(RuntimeTest, ParallelForPropagatesExceptions) {
+  ThreadPool::instance().configure(4);
+  EXPECT_THROW(ThreadPool::instance().parallel_for(
+                   100, 1,
+                   [&](std::size_t b, std::size_t) {
+                     if (b == 42) throw std::runtime_error("chunk failure");
+                   }),
+               std::runtime_error);
+}
+
+TEST_F(RuntimeTest, MsmOnPoolMatchesNaive) {
+  ThreadPool::instance().configure(4);
+  crypto::Drbg rng("msm-pool", 5);
+  const std::size_t n = 600;  // above the serial-fallback threshold
+  std::vector<Fr> scalars(n);
+  std::vector<ec::G1> points(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scalars[i] = rng.random_fr();
+    points[i] = ec::g1_mul_generator(rng.random_fr());
+  }
+  EXPECT_EQ(ec::msm(scalars, points), ec::msm_naive(scalars, points));
+}
+
+TEST_F(RuntimeTest, NttIdenticalAcrossWorkerCounts) {
+  crypto::Drbg rng("ntt-workers", 6);
+  const std::size_t n = 1ull << 13;  // above the parallel threshold
+  std::vector<Fr> input(n);
+  for (auto& x : input) x = rng.random_fr();
+  const ff::EvaluationDomain dom(n);
+
+  ThreadPool::instance().configure(1);
+  std::vector<Fr> serial = input;
+  dom.coset_fft(serial, Fr::generator());
+  for (const std::size_t workers : {2u, 8u}) {
+    ThreadPool::instance().configure(workers);
+    std::vector<Fr> par = input;
+    dom.coset_fft(par, Fr::generator());
+    EXPECT_EQ(par, serial) << "workers=" << workers;
+    dom.coset_ifft(par, Fr::generator());
+    EXPECT_EQ(par, input) << "round-trip, workers=" << workers;
+  }
+}
+
+// The acceptance property: the same (circuit, witness, job rng) yields
+// byte-identical proofs no matter how many workers run the stages.
+TEST_F(RuntimeTest, ProofsByteIdenticalAtOneTwoEightWorkers) {
+  const gadgets::CircuitBuilder bld = key_circuit(11, 22, 33);
+  std::vector<std::uint8_t> reference;
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    ThreadPool::instance().configure(workers);
+    ProverService svc(srs());
+    ProofJob job;
+    job.circuit_id = "pi_k";
+    job.cs = std::make_shared<const plonk::ConstraintSystem>(bld.cs());
+    job.witness = bld.witness();
+    job.rng = crypto::Drbg(42);
+    const auto proof = svc.prove(std::move(job));
+    ASSERT_TRUE(proof.has_value()) << "workers=" << workers;
+    const auto keys = svc.find_keys("pi_k");
+    ASSERT_NE(keys, nullptr);
+    EXPECT_TRUE(plonk::verify(
+        keys->vk, bld.cs().extract_public_inputs(bld.witness()), *proof));
+    const auto bytes = proof->to_bytes();
+    if (reference.empty()) {
+      reference = bytes;
+    } else {
+      EXPECT_EQ(bytes, reference) << "workers=" << workers;
+    }
+  }
+}
+
+TEST_F(RuntimeTest, StressThirtyTwoConcurrentJobs) {
+  ThreadPool::instance().configure(8);
+  runtime::reset_stats();
+  ProverService svc(srs());
+
+  constexpr std::size_t kJobs = 32;
+  std::vector<gadgets::CircuitBuilder> builders;
+  builders.reserve(kJobs);
+  std::vector<std::future<std::optional<plonk::Proof>>> futures;
+  futures.reserve(kJobs);
+  for (std::size_t j = 0; j < kJobs; ++j) {
+    // Two circuit ids, alternating: exercises both cache contention on a
+    // shared shape and concurrent first-use preprocessing.
+    builders.push_back(key_circuit(100 + j, 200 + j, 300 + j));
+    ProofJob job;
+    job.circuit_id = (j % 2 == 0) ? "pi_k/even" : "pi_k/odd";
+    job.cs =
+        std::make_shared<const plonk::ConstraintSystem>(builders[j].cs());
+    job.witness = builders[j].witness();
+    job.rng = crypto::Drbg(1000 + j);
+    futures.push_back(svc.submit(std::move(job)));
+  }
+  for (std::size_t j = 0; j < kJobs; ++j) {
+    const auto proof = futures[j].get();
+    ASSERT_TRUE(proof.has_value()) << "job " << j;
+    const auto keys =
+        svc.find_keys((j % 2 == 0) ? "pi_k/even" : "pi_k/odd");
+    ASSERT_NE(keys, nullptr);
+    EXPECT_TRUE(plonk::verify(
+        keys->vk, builders[j].cs().extract_public_inputs(builders[j].witness()),
+        *proof))
+        << "job " << j;
+  }
+
+  const auto s = runtime::stats();
+  EXPECT_EQ(s.jobs_submitted, kJobs);
+  EXPECT_EQ(s.jobs_completed, kJobs);
+  EXPECT_EQ(s.jobs_failed, 0u);
+  // 32 jobs over 2 circuit ids: exactly 2 preprocessing misses.
+  EXPECT_EQ(s.key_cache_misses, 2u);
+  EXPECT_EQ(s.key_cache_hits, kJobs - 2);
+}
+
+TEST_F(RuntimeTest, KeyCacheHitsMissesAndLruEviction) {
+  ThreadPool::instance().configure(1);
+  runtime::reset_stats();
+  ProverService svc(srs(), /*key_cache_capacity=*/2);
+
+  const auto a = key_circuit(1, 2, 3);
+  const auto b = key_circuit(4, 5, 6);
+  const auto c = key_circuit(7, 8, 9);
+
+  EXPECT_NE(svc.keys_for("a", a.cs()), nullptr);  // miss
+  EXPECT_NE(svc.keys_for("a", a.cs()), nullptr);  // hit
+  EXPECT_NE(svc.keys_for("b", b.cs()), nullptr);  // miss
+  EXPECT_NE(svc.keys_for("c", c.cs()), nullptr);  // miss -> evicts "a"
+
+  EXPECT_EQ(svc.key_cache_size(), 2u);
+  EXPECT_EQ(svc.find_keys("a"), nullptr);  // evicted (least recently used)
+  EXPECT_NE(svc.find_keys("b"), nullptr);
+  EXPECT_NE(svc.find_keys("c"), nullptr);
+
+  const auto s = runtime::stats();
+  EXPECT_EQ(s.key_cache_misses, 3u);
+  EXPECT_EQ(s.key_cache_hits, 1u);
+  EXPECT_EQ(s.key_cache_evictions, 1u);
+
+  // Re-requesting the evicted shape preprocesses again.
+  EXPECT_NE(svc.keys_for("a", a.cs()), nullptr);
+  EXPECT_EQ(runtime::stats().key_cache_misses, 4u);
+}
+
+TEST_F(RuntimeTest, BatchVerifySharesOnePairingProduct) {
+  ThreadPool::instance().configure(2);
+  ProverService svc(srs());
+
+  constexpr std::size_t kProofs = 3;
+  std::vector<gadgets::CircuitBuilder> builders;
+  std::vector<plonk::Proof> proofs;
+  std::vector<std::vector<Fr>> publics;
+  for (std::size_t j = 0; j < kProofs; ++j) {
+    builders.push_back(key_circuit(10 + j, 20 + j, 30 + j));
+    ProofJob job;
+    job.circuit_id = "pi_k";
+    job.cs =
+        std::make_shared<const plonk::ConstraintSystem>(builders[j].cs());
+    job.witness = builders[j].witness();
+    job.rng = crypto::Drbg(7 + j);
+    const auto proof = svc.prove(std::move(job));
+    ASSERT_TRUE(proof.has_value());
+    proofs.push_back(*proof);
+    publics.push_back(
+        builders[j].cs().extract_public_inputs(builders[j].witness()));
+  }
+  const auto keys = svc.find_keys("pi_k");
+  ASSERT_NE(keys, nullptr);
+
+  std::vector<plonk::BatchEntry> entries;
+  for (std::size_t j = 0; j < kProofs; ++j) {
+    entries.push_back({&keys->vk, &publics[j], &proofs[j]});
+  }
+  EXPECT_TRUE(ProverService::batch_verify(entries));
+  EXPECT_TRUE(ProverService::batch_verify({}));  // empty batch is vacuous
+
+  // One corrupted statement must sink the whole batch.
+  std::vector<Fr> tampered = publics[1];
+  tampered[0] += Fr::one();
+  entries[1].public_inputs = &tampered;
+  EXPECT_FALSE(ProverService::batch_verify(entries));
+  entries[1].public_inputs = &publics[1];
+
+  // One corrupted proof must sink the whole batch too.
+  plonk::Proof bad = proofs[2];
+  bad.eval_a += Fr::one();
+  entries[2].proof = &bad;
+  EXPECT_FALSE(ProverService::batch_verify(entries));
+}
+
+}  // namespace
