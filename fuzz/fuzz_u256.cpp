@@ -1,0 +1,95 @@
+// Fuzz target: u256 / bigint parsing and arithmetic round-trips.
+//
+// The parsers are the first line of defense for every externally
+// supplied scalar (proof bytes, decimal constants); this harness feeds
+// them arbitrary bytes and checks the algebraic round-trip invariants
+// on whatever survives.
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "ff/bigint.hpp"
+#include "ff/bn254.hpp"
+#include "ff/u256.hpp"
+
+using namespace zkdet::ff;
+
+namespace {
+
+U256 u256_from_raw(const std::uint8_t* data) {
+  std::array<std::uint8_t, 32> buf{};
+  std::memcpy(buf.data(), data, 32);
+  return u256_from_bytes(buf);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  const std::uint8_t selector = data[0];
+  ++data;
+  --size;
+
+  switch (selector % 4) {
+    case 0: {
+      // Decimal parser: must either parse or throw, never corrupt.
+      const std::string s(reinterpret_cast<const char*>(data),
+                          std::min<std::size_t>(size, 100));
+      try {
+        const U256 v = u256_from_dec(s);
+        // Round-trip: to_dec(from_dec(s)) re-parses to the same value.
+        if (u256_from_dec(u256_to_dec(v)) != v) __builtin_trap();
+      } catch (const std::invalid_argument&) {
+      } catch (const std::overflow_error&) {
+      }
+      break;
+    }
+    case 1: {
+      // Byte round-trip.
+      if (size < 32) break;
+      const U256 v = u256_from_raw(data);
+      if (u256_from_bytes(u256_to_bytes(v)) != v) __builtin_trap();
+      if (u256_from_dec(u256_to_dec(v)) != v) __builtin_trap();
+      break;
+    }
+    case 2: {
+      // Field reduction: reduce_from lands in canonical range; add/sub
+      // round-trips.
+      if (size < 64) break;
+      const U256 a = u256_from_raw(data);
+      const U256 b = u256_from_raw(data + 32);
+      const Fr fa = Fr::reduce_from(a);
+      const Fr fb = Fr::reduce_from(b);
+      if (!u256_less(fa.to_canonical(), Fr::MOD)) __builtin_trap();
+      if ((fa + fb - fb) != fa) __builtin_trap();
+      if (!fb.is_zero() && (fa * fb * fb.inverse()) != fa) __builtin_trap();
+      break;
+    }
+    default: {
+      // BigUInt: mul/div exactness. q = (x * d) / d must return x with
+      // zero remainder for any odd divisor.
+      if (size < 64) break;
+      const U256 x = u256_from_raw(data);
+      U256 d = u256_from_raw(data + 32);
+      d.limb[0] |= 1;  // bigint_div_u256 requires an odd divisor
+      BigUInt n = BigUInt::from_u256(x);
+      n.mul_u256(d);
+      U256 rem{};
+      const BigUInt q = bigint_div_u256(n, d, &rem);
+      if (!rem.is_zero()) __builtin_trap();
+      BigUInt back = q;
+      back.mul_u256(d);
+      for (std::size_t i = 0; i < back.limbs.size(); ++i) {
+        const std::uint64_t expect =
+            i < n.limbs.size() ? n.limbs[i] : 0;
+        if (back.limbs[i] != expect) __builtin_trap();
+      }
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Standalone driver for the fuzz harnesses when the toolchain has no
+// libFuzzer (-fsanitize=fuzzer is Clang-only; this tree also builds
+// with GCC). Behavior:
+//
+//   fuzz_target file1 [file2 ...]   replay corpus files once each
+//   fuzz_target                     timed random smoke run; duration
+//                                   from ZKDET_FUZZ_SECONDS (default 10)
+//
+// The random mode uses a fixed-seed xorshift generator: deterministic
+// across runs, so a CI failure is reproducible by rerunning the binary.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+std::uint64_t xorshift(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Dash-arguments are libFuzzer flags (e.g. -max_total_time=10); ignore
+  // them so scripts/ci.sh can invoke Clang and GCC builds identically.
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') files.push_back(argv[i]);
+  }
+  if (!files.empty()) {
+    for (const char* name : files) {
+      std::ifstream in(name, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", name);
+        return 1;
+      }
+      std::vector<char> buf((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+      LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(buf.data()),
+                             buf.size());
+    }
+    std::printf("replayed %zu file(s)\n", files.size());
+    return 0;
+  }
+
+  double seconds = 10.0;
+  if (const char* env = std::getenv("ZKDET_FUZZ_SECONDS")) {
+    seconds = std::atof(env);
+  }
+  // ZKDET_FUZZ_DUMP=path: persist each input before running it, so the
+  // input that crashed the process is on disk for replay.
+  const char* dump = std::getenv("ZKDET_FUZZ_DUMP");
+  std::uint64_t rng = 0x5eed5eed5eed5eedull;
+  std::vector<std::uint8_t> buf;
+  std::uint64_t iterations = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (;;) {
+    const std::size_t size = xorshift(rng) % 512;
+    buf.resize(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      buf[i] = static_cast<std::uint8_t>(xorshift(rng));
+    }
+    if (dump != nullptr) {
+      std::ofstream out(dump, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(buf.data()),
+                static_cast<std::streamsize>(buf.size()));
+    }
+    LLVMFuzzerTestOneInput(buf.data(), buf.size());
+    ++iterations;
+    if ((iterations & 0xFF) == 0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (elapsed.count() >= seconds) break;
+    }
+  }
+  std::printf("smoke: %llu iterations, no crashes\n",
+              static_cast<unsigned long long>(iterations));
+  return 0;
+}

@@ -1,27 +1,80 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 verify (build + full ctest), then a
-# ThreadSanitizer pass over the concurrent-runtime tests.
+# CI entry point. Stages, in order:
 #
-# Usage: scripts/ci.sh [--skip-tsan]
+#   lint      scripts/lint_zkdet.py (tree + self-test); clang-tidy when
+#             the binary exists (config in .clang-tidy), skipped otherwise
+#   tier-1    default build + full ctest            (build/)
+#   checked   -DZKDET_CHECKED=ON full ctest         (build-checked/)
+#   asan      -DZKDET_SANITIZE=address,undefined    (build-asan/)
+#   tsan      -DZKDET_SANITIZE=thread, FULL suite   (build-tsan/)
+#   fuzz      -DZKDET_FUZZ=ON, 10s smoke per target (build-fuzz/)
+#
+# Usage: scripts/ci.sh [--quick] [--skip-tsan]
+#   --quick      lint + tier-1 only (pre-push sanity; minutes, not hours)
+#   --skip-tsan  everything except the TSan stage (it is the slowest)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+QUICK=0
 SKIP_TSAN=0
-[[ "${1:-}" == "--skip-tsan" ]] && SKIP_TSAN=1
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    --skip-tsan) SKIP_TSAN=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "=== lint: zkdet rules ==="
+python3 scripts/lint_zkdet.py
+python3 scripts/lint_zkdet.py --self-test
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "=== lint: clang-tidy ==="
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  # Narrowing/init checks on the arithmetic substrate; full-tree tidy is
+  # too slow for every CI run.
+  clang-tidy -p build --quiet src/ff/*.cpp src/ec/*.cpp
+else
+  echo "=== lint: clang-tidy not installed, skipping ==="
+fi
 
 echo "=== tier-1: build + full test suite ==="
 cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 
-if [[ "$SKIP_TSAN" == "1" ]]; then
-  echo "=== TSan pass skipped (--skip-tsan) ==="
+if [[ "$QUICK" == "1" ]]; then
+  echo "=== quick mode: remaining stages skipped ==="
+  echo "=== CI OK (quick) ==="
   exit 0
 fi
 
-echo "=== TSan: runtime tests under -DZKDET_SANITIZE=thread ==="
-cmake -B build-tsan -S . -DZKDET_SANITIZE=thread
-cmake --build build-tsan -j --target zkdet_runtime_tests
-ctest --test-dir build-tsan -R zkdet_runtime_tests --output-on-failure
+echo "=== checked: full suite under -DZKDET_CHECKED=ON ==="
+cmake -B build-checked -S . -DZKDET_CHECKED=ON
+cmake --build build-checked -j
+ctest --test-dir build-checked --output-on-failure -j
+
+echo "=== asan+ubsan: full suite under -DZKDET_SANITIZE=address,undefined ==="
+cmake -B build-asan -S . -DZKDET_SANITIZE=address,undefined -DZKDET_CHECKED=ON
+cmake --build build-asan -j
+ctest --test-dir build-asan --output-on-failure -j
+
+if [[ "$SKIP_TSAN" == "1" ]]; then
+  echo "=== TSan stage skipped (--skip-tsan) ==="
+else
+  echo "=== tsan: full suite under -DZKDET_SANITIZE=thread ==="
+  cmake -B build-tsan -S . -DZKDET_SANITIZE=thread
+  cmake --build build-tsan -j
+  ctest --test-dir build-tsan --output-on-failure -j
+fi
+
+echo "=== fuzz: 10s smoke per target ==="
+cmake -B build-fuzz -S . -DZKDET_FUZZ=ON
+cmake --build build-fuzz -j --target zkdet_fuzz_u256 --target zkdet_fuzz_transcript
+# ZKDET_FUZZ_SECONDS drives the GCC standalone driver; -max_total_time
+# drives Clang/libFuzzer builds (the standalone driver ignores dash-args).
+FUZZ_SECS="${ZKDET_FUZZ_SECONDS:-10}"
+ZKDET_FUZZ_SECONDS="$FUZZ_SECS" ./build-fuzz/fuzz/zkdet_fuzz_u256 "-max_total_time=$FUZZ_SECS"
+ZKDET_FUZZ_SECONDS="$FUZZ_SECS" ./build-fuzz/fuzz/zkdet_fuzz_transcript "-max_total_time=$FUZZ_SECS"
 
 echo "=== CI OK ==="

@@ -1,0 +1,260 @@
+#!/usr/bin/env python3
+"""zkdet-specific static lint.
+
+Mechanical rules that the generic toolchain cannot express, enforcing
+the repo's correctness architecture (see DESIGN.md, "Correctness &
+analysis tooling"):
+
+  thread-outside-runtime   std::thread / std::jthread / pthread_create
+                           only inside src/runtime (everything else goes
+                           through the shared ThreadPool).
+  raw-assert               no raw assert()/abort() outside tests/ — all
+                           invariants ride the ZKDET_CHECK/ASSERT/DCHECK
+                           tiers so the pluggable failure handler sees
+                           them (static_assert is fine).
+  nondeterminism           no rand()/srand()/random_device/clock reads in
+                           prover or transcript paths (src/ff, src/ec,
+                           src/plonk, src/gadgets): proofs must be
+                           byte-identical across runs and worker counts.
+  narrowing-cast           no casts to sub-64-bit integer types in the
+                           arithmetic substrate (src/ff, src/ec) without
+                           an explicit reviewed annotation; silent limb
+                           truncation is how canonical-form bugs start.
+
+Suppression: append  // zkdet-lint: allow(<rule>)  to the offending
+line (or the line above) after review.
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+
+--self-test runs the built-in corpus of seeded violations and verifies
+every rule both fires and respects suppressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+import tempfile
+
+REPO_SCOPES = ("src", "bench", "examples", "fuzz")
+CPP_EXTENSIONS = {".cpp", ".hpp", ".h", ".cc", ".cxx"}
+
+ALLOW_RE = re.compile(r"//\s*zkdet-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+# Strip string literals and comments before matching so rule regexes do
+# not fire on prose. Order matters: raw strings, strings, chars, then
+# comments.
+STRIP_RES = [
+    re.compile(r'R"\w*\(.*?\)\w*"', re.DOTALL),
+    re.compile(r'"(?:[^"\\\n]|\\.)*"'),
+    re.compile(r"'(?:[^'\\\n]|\\.)*'"),
+    re.compile(r"//[^\n]*"),
+    re.compile(r"/\*.*?\*/", re.DOTALL),
+]
+
+
+class Rule:
+    def __init__(self, name, pattern, applies, why):
+        self.name = name
+        self.pattern = re.compile(pattern)
+        self.applies = applies  # path predicate (repo-relative, POSIX)
+        self.why = why
+
+
+def _in(prefixes):
+    return lambda p: any(p.startswith(pre) for pre in prefixes)
+
+
+def _in_src_except_runtime(p):
+    return p.startswith("src/") and not p.startswith("src/runtime/")
+
+
+def _outside_tests(p):
+    return not p.startswith("tests/")
+
+
+RULES = [
+    Rule(
+        "thread-outside-runtime",
+        r"\bstd::(thread|jthread)\b|\bpthread_create\b",
+        _in_src_except_runtime,
+        "spawn work through runtime::ThreadPool, not ad-hoc threads",
+    ),
+    Rule(
+        "raw-assert",
+        r"(?<!static_)(?<!\w)assert\s*\(|(?<!\w)abort\s*\(",
+        _outside_tests,
+        "use ZKDET_CHECK / ZKDET_ASSERT / ZKDET_DCHECK (src/check/check.hpp)",
+    ),
+    Rule(
+        "nondeterminism",
+        r"(?<!\w)s?rand\s*\(|\brandom_device\b|\brand_r\b"
+        r"|\bstd::chrono::(system|steady|high_resolution)_clock\b"
+        r"|(?<!\w)time\s*\(",
+        _in(("src/ff/", "src/ec/", "src/plonk/", "src/gadgets/")),
+        "prover/transcript paths must be deterministic; take randomness "
+        "from crypto::Drbg passed in by the caller",
+    ),
+    Rule(
+        "narrowing-cast",
+        r"static_cast<\s*(?:std::)?(?:u?int(?:8|16|32)_t|char|short|unsigned"
+        r"(?:\s+(?:char|short|int))?|int)\s*>"
+        r"|\(\s*(?:std::)?(?:u?int(?:8|16|32)_t|unsigned\s+char|unsigned\s+short"
+        r"|char|short)\s*\)\s*[\w(]",
+        _in(("src/ff/", "src/ec/")),
+        "review sub-64-bit truncation in the arithmetic substrate and "
+        "annotate it with // zkdet-lint: allow(narrowing-cast)",
+    ),
+]
+
+
+def strip_noncode(text: str) -> str:
+    """Blank out strings and comments, preserving line structure."""
+
+    def blank(match: re.Match) -> str:
+        return re.sub(r"[^\n]", " ", match.group(0))
+
+    for pattern in STRIP_RES:
+        text = pattern.sub(blank, text)
+    return text
+
+
+def allowed_rules(line: str) -> set[str]:
+    m = ALLOW_RE.search(line)
+    if not m:
+        return set()
+    return {r.strip() for r in m.group(1).split(",")}
+
+
+def lint_file(root: pathlib.Path, path: pathlib.Path) -> list[tuple]:
+    rel = path.relative_to(root).as_posix()
+    rules = [r for r in RULES if r.applies(rel)]
+    if not rules:
+        return []
+    raw_lines = path.read_text(errors="replace").splitlines()
+    code_lines = strip_noncode("\n".join(raw_lines)).splitlines()
+    findings = []
+    for lineno, code in enumerate(code_lines, start=1):
+        for rule in rules:
+            if not rule.pattern.search(code):
+                continue
+            allows = allowed_rules(raw_lines[lineno - 1])
+            if lineno >= 2:
+                allows |= allowed_rules(raw_lines[lineno - 2])
+            if rule.name in allows:
+                continue
+            findings.append((rel, lineno, rule, raw_lines[lineno - 1].strip()))
+    return findings
+
+
+def lint_tree(root: pathlib.Path) -> list[tuple]:
+    findings = []
+    for scope in REPO_SCOPES:
+        base = root / scope
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in CPP_EXTENSIONS and path.is_file():
+                findings.extend(lint_file(root, path))
+    return findings
+
+
+def report(findings: list[tuple]) -> None:
+    for rel, lineno, rule, line in findings:
+        print(f"{rel}:{lineno}: [{rule.name}] {line}")
+        print(f"    {rule.why}")
+
+
+# --- self-test ----------------------------------------------------------
+
+SELF_TEST_CASES = [
+    # (path, contents, rule expected to fire — or None for a clean file)
+    ("src/core/foo.cpp", "#include <thread>\nstd::thread t(f);\n",
+     "thread-outside-runtime"),
+    ("src/runtime/pool.cpp", "std::thread worker(loop);\n", None),
+    ("src/ff/bar.cpp", "void f() { assert(x > 0); }\n", "raw-assert"),
+    ("src/ff/ok.cpp", "static_assert(sizeof(int) == 4);\n", None),
+    ("src/chain/die.cpp", "void f() { abort(); }\n", "raw-assert"),
+    ("tests/test_x.cpp", "void f() { assert(true); }\n", None),
+    ("src/plonk/bad_rng.cpp", "int r = rand();\n", "nondeterminism"),
+    ("src/plonk/clock.cpp",
+     "auto t = std::chrono::steady_clock::now();\n", "nondeterminism"),
+    ("src/core/clock_ok.cpp",
+     "auto t = std::chrono::steady_clock::now();\n", None),  # out of scope
+    ("src/ec/narrow.cpp", "auto x = static_cast<std::uint8_t>(v);\n",
+     "narrowing-cast"),
+    ("src/ec/narrow_ok.cpp",
+     "auto x = static_cast<std::uint8_t>(v);"
+     "  // zkdet-lint: allow(narrowing-cast)\n", None),
+    ("src/ff/wide_ok.cpp", "auto x = static_cast<std::uint64_t>(v);\n", None),
+    ("src/gadgets/comment_ok.cpp", "// assert(false) in prose is fine\n",
+     None),
+    ("src/ff/string_ok.cpp", 'const char* s = "assert(x)";\n', None),
+    ("src/crypto/prev_line.cpp",
+     "// zkdet-lint: allow(raw-assert)\nabort();\n", None),
+]
+
+
+def self_test() -> int:
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="zkdet-lint-") as tmp:
+        root = pathlib.Path(tmp)
+        for rel, contents, _ in SELF_TEST_CASES:
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(contents)
+        findings = lint_tree(root)
+        fired = {(f[0], f[2].name) for f in findings}
+        for rel, _, expected in SELF_TEST_CASES:
+            if expected is None:
+                hits = [name for (path, name) in fired if path == rel]
+                if hits:
+                    print(f"self-test FAIL: {rel} unexpectedly flagged {hits}")
+                    failures += 1
+            elif (rel, expected) not in fired:
+                print(f"self-test FAIL: {rel} did not trigger {expected}")
+                failures += 1
+    if failures == 0:
+        print(f"self-test OK: {len(SELF_TEST_CASES)} cases")
+        return 0
+    return 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*",
+                        help="files to lint (default: whole tree)")
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the seeded-violation corpus and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = pathlib.Path(args.root).resolve() if args.root else \
+        pathlib.Path(__file__).resolve().parent.parent
+    if args.paths:
+        findings = []
+        for p in args.paths:
+            path = pathlib.Path(p).resolve()
+            if not path.is_file():
+                print(f"not a file: {p}", file=sys.stderr)
+                return 2
+            findings.extend(lint_file(root, path))
+    else:
+        findings = lint_tree(root)
+
+    if findings:
+        report(findings)
+        print(f"\n{len(findings)} finding(s)")
+        return 1
+    print("lint OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

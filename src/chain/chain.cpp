@@ -1,6 +1,5 @@
 #include "chain/chain.hpp"
 
-#include <cassert>
 
 #include "crypto/sha256.hpp"
 

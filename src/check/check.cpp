@@ -1,0 +1,50 @@
+#include "check/check.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace zkdet::check {
+
+namespace {
+
+void abort_handler(const std::string& report) {
+  std::fputs(report.c_str(), stderr);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();  // zkdet-lint: allow(raw-assert) -- the handler of last resort
+}
+
+std::atomic<FailureHandler> g_handler{&abort_handler};
+
+}  // namespace
+
+FailureHandler set_failure_handler(FailureHandler h) {
+  return g_handler.exchange(h != nullptr ? h : &abort_handler);
+}
+
+void throw_handler(const std::string& report) { throw CheckFailure(report); }
+
+ScopedThrowHandler::ScopedThrowHandler()
+    : prev_(set_failure_handler(&throw_handler)) {}
+
+ScopedThrowHandler::~ScopedThrowHandler() { set_failure_handler(prev_); }
+
+void fail(const char* expr, const char* file, int line,
+          const std::string& message) {
+  std::string report = "ZKDET check failed: ";
+  report += expr;
+  report += "\n  at ";
+  report += file;
+  report += ':';
+  report += std::to_string(line);
+  if (!message.empty()) {
+    report += "\n  ";
+    report += message;
+  }
+  g_handler.load()(report);
+  // A handler that returns leaves nothing sound to resume; stop here.
+  std::abort();  // zkdet-lint: allow(raw-assert)
+}
+
+}  // namespace zkdet::check

@@ -1,0 +1,106 @@
+// Invariant-checking macros with a pluggable failure handler.
+//
+// Three tiers, by cost and build mode:
+//
+//   ZKDET_CHECK(cond, msg...)   always compiled; API-boundary and
+//                               soundness-critical validation (cheap
+//                               relative to the operation it guards).
+//   ZKDET_ASSERT(cond, msg...)  compiled only under -DZKDET_CHECKED=ON;
+//                               expensive internal invariants (subgroup
+//                               membership sweeps, permutation audits,
+//                               per-element canonicality scans).
+//   ZKDET_DCHECK(cond, msg...)  compiled in debug builds (!NDEBUG) and
+//                               under ZKDET_CHECKED; replacement for the
+//                               old raw assert() sites.
+//
+// On failure every tier routes through the installed FailureHandler.
+// The default handler prints the failure and aborts (release posture:
+// a broken arithmetic invariant must not produce an unsound proof).
+// Tests install a throwing handler (ScopedThrowHandler) so negative
+// paths are observable as exceptions instead of process death.
+//
+// Message arguments are streamed: ZKDET_CHECK(a == b, "got ", a.to_hex()).
+// They are only evaluated on failure.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace zkdet::check {
+
+// Thrown by the throwing handler (and by ScopedThrowHandler scopes).
+struct CheckFailure : std::logic_error {
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+// A handler receives the formatted failure report. It must not return;
+// if it does, the process is aborted anyway (fail() is [[noreturn]]).
+using FailureHandler = void (*)(const std::string& report);
+
+// Installs `h` (nullptr restores the default abort handler); returns
+// the previously installed handler. Thread-safe (atomic swap).
+FailureHandler set_failure_handler(FailureHandler h);
+
+// Handler that throws CheckFailure{report}.
+void throw_handler(const std::string& report);
+
+// RAII: route check failures into CheckFailure exceptions for a scope.
+// Used by tests that exercise negative paths.
+class ScopedThrowHandler {
+ public:
+  ScopedThrowHandler();
+  ~ScopedThrowHandler();
+  ScopedThrowHandler(const ScopedThrowHandler&) = delete;
+  ScopedThrowHandler& operator=(const ScopedThrowHandler&) = delete;
+
+ private:
+  FailureHandler prev_;
+};
+
+// Formats the report and invokes the installed handler; aborts if the
+// handler returns.
+[[noreturn]] void fail(const char* expr, const char* file, int line,
+                       const std::string& message);
+
+namespace detail {
+
+inline std::string format_message() { return {}; }
+
+template <typename... Args>
+std::string format_message(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+}  // namespace detail
+}  // namespace zkdet::check
+
+#define ZKDET_CHECK(cond, ...)                                         \
+  do {                                                                 \
+    if (!(cond)) [[unlikely]] {                                        \
+      ::zkdet::check::fail(#cond, __FILE__, __LINE__,                  \
+                           ::zkdet::check::detail::format_message(     \
+                               __VA_ARGS__));                          \
+    }                                                                  \
+  } while (0)
+
+// Disabled tiers must not evaluate their arguments but must still keep
+// them ODR-used and warning-free.
+#define ZKDET_CHECK_DISABLED_(cond, ...)                               \
+  do {                                                                 \
+    (void)sizeof(static_cast<bool>(cond));                             \
+  } while (0)
+
+#ifdef ZKDET_CHECKED
+#define ZKDET_ASSERT(cond, ...) ZKDET_CHECK(cond, __VA_ARGS__)
+#else
+#define ZKDET_ASSERT(cond, ...) ZKDET_CHECK_DISABLED_(cond, __VA_ARGS__)
+#endif
+
+#if defined(ZKDET_CHECKED) || !defined(NDEBUG)
+#define ZKDET_DCHECK(cond, ...) ZKDET_CHECK(cond, __VA_ARGS__)
+#else
+#define ZKDET_DCHECK(cond, ...) ZKDET_CHECK_DISABLED_(cond, __VA_ARGS__)
+#endif

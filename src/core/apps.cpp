@@ -1,6 +1,6 @@
 #include "core/apps.hpp"
 
-#include <cassert>
+#include "check/check.hpp"
 #include <cmath>
 
 namespace zkdet::core {
@@ -104,7 +104,8 @@ TransformGadget lr_step_gadget(std::size_t n, std::size_t k, double alpha,
   return [n, k, alpha, model = std::move(model), epsilon,
           params](CircuitBuilder& bld,
                   std::span<const Wire> source) -> std::vector<Wire> {
-    assert(source.size() == n * (k + 1));
+    ZKDET_CHECK(source.size() == n * (k + 1),
+                "lr_step: source must be n rows of k features + label");
     FixOps fx(bld, params);
 
     // beta enters as auxiliary witness (the prover's current iterate).
@@ -200,7 +201,8 @@ std::vector<double> transformer_forward(const TransformerWeights& w,
                                         const std::vector<double>& input,
                                         std::size_t seq_len) {
   const std::size_t d = w.d;
-  assert(input.size() == seq_len * d);
+  ZKDET_CHECK(input.size() == seq_len * d,
+              "transformer_forward: input is seq_len x d");
   const auto matvec = [&](const std::vector<double>& m,
                           const double* v, std::size_t rows,
                           std::size_t cols, const double* bias) {
@@ -249,7 +251,8 @@ TransformGadget transformer_gadget(std::size_t seq_len, TransformerWeights w,
           params](CircuitBuilder& bld,
                   std::span<const Wire> source) -> std::vector<Wire> {
     const std::size_t d = w.d;
-    assert(source.size() == seq_len * d);
+    ZKDET_CHECK(source.size() == seq_len * d,
+                "transformer gadget: source is seq_len x d");
     FixOps fx(bld, params);
 
     // Column c of a d x cols matrix as a double span.

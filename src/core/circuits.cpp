@@ -1,6 +1,6 @@
 #include "core/circuits.hpp"
 
-#include <cassert>
+#include "check/check.hpp"
 
 #include "crypto/poseidon.hpp"
 
@@ -75,7 +75,8 @@ CircuitBuilder build_duplication_circuit(const std::vector<Fr>& source,
 CircuitBuilder build_aggregation_circuit(
     const std::vector<std::vector<Fr>>& sources, const std::vector<Fr>& o_s,
     const Fr& o_d) {
-  assert(sources.size() == o_s.size() && !sources.empty());
+  ZKDET_CHECK(sources.size() == o_s.size() && !sources.empty(),
+              "aggregation: one blinder per non-empty source list");
   CircuitBuilder bld;
   std::vector<Wire> all;
   for (std::size_t k = 0; k < sources.size(); ++k) {
@@ -95,13 +96,14 @@ CircuitBuilder build_partition_circuit(const std::vector<Fr>& source,
                                        const std::vector<std::size_t>& sizes,
                                        const Fr& o_s,
                                        const std::vector<Fr>& o_d) {
-  assert(sizes.size() == o_d.size());
+  ZKDET_CHECK(sizes.size() == o_d.size(),
+              "partition: one blinder per part");
   std::size_t total = 0;
   for (const std::size_t s : sizes) {
-    assert(s > 0 && "empty parts are not a valid partition");
+    ZKDET_CHECK(s > 0, "empty parts are not a valid partition");
     total += s;
   }
-  assert(total == source.size() && "partition must be exhaustive");
+  ZKDET_CHECK(total == source.size(), "partition must be exhaustive");
 
   CircuitBuilder bld;
   const std::vector<Wire> s_w = witness_wires(bld, source);
@@ -152,7 +154,7 @@ CircuitBuilder build_exchange_data_circuit(const std::vector<Fr>& plain,
 
 CircuitBuilder build_disclosure_circuit(const std::vector<Fr>& plain,
                                         const Fr& blinder, std::size_t index) {
-  assert(index < plain.size());
+  ZKDET_CHECK(index < plain.size(), "disclosure index out of range");
   CircuitBuilder bld;
   const std::vector<Wire> plain_w = witness_wires(bld, plain);
   const Wire blinder_w = bld.add_witness(blinder);

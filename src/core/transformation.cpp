@@ -1,6 +1,5 @@
 #include "core/transformation.hpp"
 
-#include <cassert>
 
 #include "crypto/mimc.hpp"
 

@@ -1,6 +1,6 @@
 #include "crypto/poseidon.hpp"
 
-#include <cassert>
+#include "check/check.hpp"
 #include <map>
 #include <mutex>
 
@@ -53,7 +53,7 @@ Fr sbox(const Fr& x) {
 }  // namespace
 
 const PoseidonParams& PoseidonParams::get(std::size_t t) {
-  assert(t >= 2 && t <= 8);
+  ZKDET_CHECK(t >= 2 && t <= 8, "Poseidon width t=", t, " unsupported");
   static std::map<std::size_t, PoseidonParams> cache;
   static std::mutex mu;
   std::lock_guard<std::mutex> lock(mu);
@@ -64,7 +64,7 @@ const PoseidonParams& PoseidonParams::get(std::size_t t) {
 
 void poseidon_permute(const PoseidonParams& params, std::vector<Fr>& state) {
   const std::size_t t = params.t;
-  assert(state.size() == t);
+  ZKDET_CHECK(state.size() == t, "Poseidon state width mismatch");
   const std::size_t half_f = params.rf / 2;
   const std::size_t rounds = params.rf + params.rp;
   std::vector<Fr> next(t);

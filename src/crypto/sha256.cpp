@@ -1,6 +1,6 @@
 #include "crypto/sha256.hpp"
 
-#include <cassert>
+#include "check/check.hpp"
 #include <cstring>
 
 namespace zkdet::crypto {
@@ -75,7 +75,7 @@ void Sha256::process_block(const std::uint8_t* block) {
 }
 
 void Sha256::update(std::span<const std::uint8_t> data) {
-  assert(!finalized_);
+  ZKDET_CHECK(!finalized_, "Sha256::update after finalize");
   total_len_ += data.size();
   std::size_t off = 0;
   while (off < data.size()) {
@@ -97,7 +97,7 @@ void Sha256::update(const std::string& s) {
 }
 
 std::array<std::uint8_t, 32> Sha256::finalize() {
-  assert(!finalized_);
+  ZKDET_CHECK(!finalized_, "Sha256::finalize called twice");
   const std::uint64_t bit_len = total_len_ * 8;
   const std::uint8_t pad = 0x80;
   update(std::span<const std::uint8_t>(&pad, 1));

@@ -95,6 +95,9 @@ std::optional<G2> g2_from_bytes(std::span<const std::uint8_t> bytes) {
   if (!xa || !xb || !ya || !yb) return std::nullopt;
   const G2 p = G2::from_affine(Fp2{*xa, *xb}, Fp2{*ya, *yb});
   if (!p.on_curve()) return std::nullopt;
+  // The twist has a large cofactor: on-curve alone admits points outside
+  // the order-r subgroup, which would break pairing soundness downstream.
+  if (!p.mul(ff::Fr::MOD).is_identity()) return std::nullopt;
   return p;
 }
 

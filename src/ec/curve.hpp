@@ -9,11 +9,11 @@
 //   static const Field& gen_y();
 #pragma once
 
-#include <cassert>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "check/check.hpp"
 #include "ff/bn254.hpp"
 #include "ff/fp2.hpp"
 
@@ -46,7 +46,7 @@ struct Point {
 
   // Affine coordinates; must not be called on the identity.
   void to_affine(F& x, F& y) const {
-    assert(!is_identity());
+    ZKDET_CHECK(!is_identity(), "to_affine called on the identity");
     const F zinv = Z.inverse();
     const F zinv2 = zinv.square();
     x = X * zinv2;

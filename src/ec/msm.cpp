@@ -1,7 +1,7 @@
 #include "ec/msm.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include "check/check.hpp"
 
 #include "runtime/stats.hpp"
 #include "runtime/thread_pool.hpp"
@@ -19,7 +19,8 @@ std::size_t pick_window(std::size_t n) {
 
 template <typename Point>
 Point msm_naive_impl(std::span<const Fr> scalars, std::span<const Point> points) {
-  assert(scalars.size() == points.size());
+  ZKDET_CHECK(scalars.size() == points.size(),
+              "msm: scalar/point count mismatch");
   Point acc = Point::identity();
   for (std::size_t i = 0; i < scalars.size(); ++i) {
     acc += points[i].mul(scalars[i]);
@@ -33,7 +34,8 @@ constexpr std::size_t kMsmParallelThreshold = 256;
 
 template <typename Point>
 Point msm_impl(std::span<const Fr> scalars, std::span<const Point> points) {
-  assert(scalars.size() == points.size());
+  ZKDET_CHECK(scalars.size() == points.size(),
+              "msm: scalar/point count mismatch");
   const std::size_t n = scalars.size();
   if (n == 0) return Point::identity();
   if (n < 8) return msm_naive_impl(scalars, points);
@@ -111,7 +113,7 @@ Point fixed_mul(const Fr& k) {
   const auto& table = generator_table<Point>();
   Point acc = Point::identity();
   for (std::size_t w = 0; w < 32; ++w) {
-    const std::uint8_t byte =
+    const std::uint8_t byte =  // zkdet-lint: allow(narrowing-cast) window extract
         static_cast<std::uint8_t>(v.limb[w / 8] >> ((w % 8) * 8));
     if (byte != 0) acc += table[w][byte - 1];
   }

@@ -1,7 +1,7 @@
 #include "ec/pairing.hpp"
 
-#include <cassert>
-
+#include "check/check.hpp"
+#include "check/invariants.hpp"
 #include "ff/bigint.hpp"
 
 namespace zkdet::ec {
@@ -20,7 +20,7 @@ const BigUInt& final_exponent() {
     acc.sub_u64(1);
     U256 rem{};
     BigUInt q = ff::bigint_div_u256(acc, Fr::MOD, &rem);
-    assert(rem.is_zero() && "r must divide p^12 - 1");
+    ZKDET_CHECK(rem.is_zero(), "r must divide p^12 - 1");
     return q;
   }();
   return e;
@@ -43,6 +43,13 @@ void eval_line(const Fp& lambda, const AffineG1& t, const Fp2& xq, const Fp2& yq
 }  // namespace
 
 Fp12 miller_loop(const G1& p, const G2& q) {
+  // Always-on input validation: an off-curve or wrong-subgroup point
+  // yields a well-defined rejection instead of a silently wrong pairing
+  // value (bilinearity only holds on the order-r subgroups).
+  ZKDET_CHECK(check::in_g1(p), "miller_loop: G1 input not on the curve");
+  ZKDET_CHECK(check::on_g2_curve(q), "miller_loop: G2 input not on the twist");
+  ZKDET_CHECK(check::in_g2_subgroup(q),
+              "miller_loop: G2 input outside the order-r subgroup");
   if (p.is_identity() || q.is_identity()) return Fp12::one();
   AffineG1 pa;
   p.to_affine(pa.x, pa.y);
@@ -77,7 +84,7 @@ Fp12 miller_loop(const G1& p, const G2& q) {
         t_is_identity = true;
       } else if (t.x == pa.x && t.y == pa.y) {
         // would be a doubling; cannot occur for 1 < s < r-1
-        assert(false && "unexpected doubling in Miller addition step");
+        ZKDET_CHECK(false, "unexpected doubling in Miller addition step");
       } else {
         const Fp lambda = (pa.y - t.y) * (pa.x - t.x).inverse();
         eval_line(lambda, t, xq, yq, l0, l2, l3);
@@ -88,7 +95,8 @@ Fp12 miller_loop(const G1& p, const G2& q) {
       }
     }
   }
-  assert(t_is_identity && "Miller loop must land on the identity (ord P = r)");
+  ZKDET_CHECK(t_is_identity,
+              "Miller loop must land on the identity (ord P = r)");
   return f;
 }
 

@@ -1,6 +1,6 @@
 #include "ff/bigint.hpp"
 
-#include <cassert>
+#include "check/check.hpp"
 
 namespace zkdet::ff {
 
@@ -64,26 +64,29 @@ void BigUInt::sub_u64(std::uint64_t v) {
     limbs[i] = static_cast<std::uint64_t>(d);
     borrow = (d >> 64) != 0 ? 1 : 0;
   }
-  assert(borrow == 0 && "BigUInt::sub_u64 underflow");
+  ZKDET_CHECK(borrow == 0, "BigUInt::sub_u64 underflow");
 }
 
 BigUInt bigint_div_u256(const BigUInt& n, const U256& d, U256* remainder_out) {
-  assert(!d.is_zero());
+  ZKDET_CHECK(!d.is_zero(), "bigint_div_u256: division by zero");
   const std::size_t nbits = n.bit_length();
   BigUInt q;
   q.limbs.assign((nbits + 63) / 64 + 1, 0);
   U256 rem{};
   for (std::size_t i = nbits; i-- > 0;) {
-    // rem = (rem << 1) | n.bit(i); rem stays < d < 2^255 so no overflow.
+    // rem = (rem << 1) | n.bit(i). rem < d can reach 257 bits here when
+    // d >= 2^255; the doubling carry stands in for bit 256, and since
+    // 2*rem + 1 < 2*d a single subtraction restores rem < d (the borrow
+    // cancels the carry).
     U256 shifted{};
-    u256_add(shifted, rem, rem);
+    std::uint64_t carry = u256_add(shifted, rem, rem);
     if (n.bit(i)) {
       U256 tmp{};
-      u256_add(tmp, shifted, U256{1});
+      carry += u256_add(tmp, shifted, U256{1});
       shifted = tmp;
     }
     rem = shifted;
-    if (u256_geq(rem, d)) {
+    if (carry != 0 || u256_geq(rem, d)) {
       u256_sub(rem, rem, d);
       q.limbs[i / 64] |= (1ull << (i % 64));
     }

@@ -1,7 +1,9 @@
 #include "ff/ntt.hpp"
 
+#include "check/check.hpp"
+#include "check/invariants.hpp"
+
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
 
 #include "runtime/stats.hpp"
@@ -31,6 +33,8 @@ EvaluationDomain::EvaluationDomain(std::size_t size) : size_(size) {
   if (log_size_ > Fr::TWO_ADICITY) {
     throw std::invalid_argument("domain larger than 2-adicity allows");
   }
+  ZKDET_DCHECK(check::valid_ntt_domain(size),
+               "domain precondition checker disagrees with constructor");
   omega_ = Fr::two_adic_root();
   for (std::size_t i = log_size_; i < Fr::TWO_ADICITY; ++i) {
     omega_ = omega_.square();
@@ -133,12 +137,14 @@ void scale_by_powers(std::vector<Fr>& a, const Fr& base) {
 }  // namespace
 
 void EvaluationDomain::fft(std::vector<Fr>& a) const {
-  assert(a.size() == size_);
+  ZKDET_CHECK(a.size() == size_, "fft: vector size ", a.size(),
+              " does not match domain size ", size_);
   ntt_in_place(a, omega_, log_size_);
 }
 
 void EvaluationDomain::ifft(std::vector<Fr>& a) const {
-  assert(a.size() == size_);
+  ZKDET_CHECK(a.size() == size_, "ifft: vector size ", a.size(),
+              " does not match domain size ", size_);
   ntt_in_place(a, omega_inv_, log_size_);
   const Fr s = size_inv_;
   runtime::ThreadPool::instance().parallel_for(

@@ -1,13 +1,15 @@
 #include "ff/polynomial.hpp"
 
+#include "check/check.hpp"
+
 #include <algorithm>
-#include <cassert>
 
 namespace zkdet::ff {
 
 Polynomial Polynomial::from_evaluations(std::vector<Fr> evals,
                                         const EvaluationDomain& domain) {
-  assert(evals.size() == domain.size());
+  ZKDET_CHECK(evals.size() == domain.size(),
+              "evaluation count must match the domain size");
   domain.ifft(evals);
   Polynomial p{std::move(evals)};
   p.trim();

@@ -29,7 +29,7 @@ std::string u256_to_hex(const U256& v) {
   bool started = false;
   for (int i = 3; i >= 0; --i) {
     for (int nib = 15; nib >= 0; --nib) {
-      const unsigned d =
+      const unsigned d =  // zkdet-lint: allow(narrowing-cast) masked to 4 bits
           static_cast<unsigned>((v.limb[static_cast<std::size_t>(i)] >> (nib * 4)) & 0xF);
       if (d != 0) started = true;
       if (started) out.push_back(digits[d]);
@@ -49,9 +49,10 @@ std::string u256_to_dec(const U256& v) {
       a.limb[static_cast<std::size_t>(i)] = static_cast<std::uint64_t>(cur / 10);
       rem = cur % 10;
     }
-    return static_cast<unsigned>(rem);
+    return static_cast<unsigned>(rem);  // zkdet-lint: allow(narrowing-cast) rem < 10
   };
   if (x.is_zero()) return "0";
+  // zkdet-lint: allow(narrowing-cast) digit in ['0','9']
   while (!x.is_zero()) out.push_back(static_cast<char>('0' + div10(x)));
   std::reverse(out.begin(), out.end());
   return out;
@@ -62,6 +63,7 @@ std::array<std::uint8_t, 32> u256_to_bytes(const U256& v) {
   for (std::size_t i = 0; i < 32; ++i) {
     const std::size_t limb = (31 - i) / 8;
     const std::size_t byte = (31 - i) % 8;
+    // zkdet-lint: allow(narrowing-cast) intentional byte extraction
     out[i] = static_cast<std::uint8_t>(v.limb[limb] >> (byte * 8));
   }
   return out;

@@ -1,6 +1,6 @@
 #include "gadgets/builder.hpp"
 
-#include <cassert>
+#include "check/check.hpp"
 
 namespace zkdet::gadgets {
 
@@ -8,7 +8,7 @@ CircuitBuilder::CircuitBuilder() { values_.push_back(Fr::zero()); }
 
 Wire CircuitBuilder::new_wire(const Fr& value) {
   const Var v = cs_.add_variable();
-  assert(v == values_.size());
+  ZKDET_DCHECK(v == values_.size(), "builder/constraint-system var id skew");
   values_.push_back(value);
   return Wire{v};
 }
@@ -85,7 +85,7 @@ Wire CircuitBuilder::sum(std::span<const Wire> xs) {
 
 Wire CircuitBuilder::inner_product(std::span<const Wire> xs,
                                    std::span<const Wire> ys) {
-  assert(xs.size() == ys.size());
+  ZKDET_CHECK(xs.size() == ys.size(), "inner_product length mismatch");
   Wire acc = zero();
   for (std::size_t i = 0; i < xs.size(); ++i) {
     acc = mul_add(xs[i], ys[i], acc);
@@ -161,7 +161,7 @@ Wire CircuitBuilder::is_zero(Wire a) {
 }
 
 std::vector<Wire> CircuitBuilder::to_bits(Wire a, std::size_t nbits) {
-  assert(nbits > 0 && nbits <= 128);
+  ZKDET_CHECK(nbits > 0 && nbits <= 128, "to_bits width out of range");
   const ff::U256 canonical = value(a).to_canonical();
   std::vector<Wire> bits;
   bits.reserve(nbits);
@@ -187,7 +187,7 @@ Wire CircuitBuilder::from_bits(std::span<const Wire> bits) {
 }
 
 Wire CircuitBuilder::less_than(Wire a, Wire b, std::size_t nbits) {
-  assert(nbits + 1 <= 128);
+  ZKDET_CHECK(nbits + 1 <= 128, "less_than width out of range");
   assert_range(a, nbits);
   assert_range(b, nbits);
   // diff = b - a + 2^nbits in (0, 2^(nbits+1)); its top bit is 1 iff

@@ -1,7 +1,8 @@
 #include "gadgets/fixed_point.hpp"
 
-#include <cassert>
 #include <cmath>
+
+#include "check/check.hpp"
 
 namespace zkdet::gadgets {
 
@@ -22,11 +23,13 @@ __int128 to_signed(const Fr& v) {
   if (ff::u256_less(half, c)) {
     U256 neg{};
     ff::u256_sub(neg, Fr::MOD, c);
-    assert(neg.limb[2] == 0 && neg.limb[3] == 0);
+    ZKDET_DCHECK(neg.limb[2] == 0 && neg.limb[3] == 0,
+                 "fixed-point value exceeds 128 bits");
     return -static_cast<__int128>(
         (static_cast<unsigned __int128>(neg.limb[1]) << 64) | neg.limb[0]);
   }
-  assert(c.limb[2] == 0 && c.limb[3] == 0);
+  ZKDET_DCHECK(c.limb[2] == 0 && c.limb[3] == 0,
+               "fixed-point value exceeds 128 bits");
   return static_cast<__int128>(
       (static_cast<unsigned __int128>(c.limb[1]) << 64) | c.limb[0]);
 }
@@ -60,12 +63,13 @@ double fix_decode(const Fr& v, const FixParams& p) {
 }
 
 Wire FixOps::rescale(Wire v, std::size_t shift, std::size_t mag_bits) {
-  assert(mag_bits + 1 < 250 && shift < 64);
+  ZKDET_CHECK(mag_bits + 1 < 250 && shift < 64,
+              "rescale parameters out of range");
   // w = v + 2^mag_bits is nonnegative, < 2^(mag_bits+1).
   // Decompose w = q * 2^shift + rem; result = q - 2^(mag_bits - shift).
   const __int128 sv = to_signed(bld_.value(v));
   const __int128 offset = static_cast<__int128>(1) << mag_bits;
-  assert(sv > -offset && sv < offset && "fixed-point magnitude overflow");
+  ZKDET_CHECK(sv > -offset && sv < offset, "fixed-point magnitude overflow");
   const __int128 w = sv + offset;
   const __int128 q = w >> shift;
   const __int128 rem = w - (q << shift);
@@ -92,7 +96,7 @@ Wire FixOps::mul_const(Wire a, double c) {
 }
 
 Wire FixOps::inner(std::span<const Wire> a, std::span<const Wire> b) {
-  assert(a.size() == b.size());
+  ZKDET_CHECK(a.size() == b.size(), "inner product length mismatch");
   Wire acc = bld_.zero();
   for (std::size_t i = 0; i < a.size(); ++i) {
     acc = bld_.mul_add(a[i], b[i], acc);
@@ -112,7 +116,7 @@ Wire FixOps::div_nonneg(Wire a, Wire b) {
   // q = floor(a * 2^frac / b): a*2^frac = q*b + rem, rem < b.
   const __int128 av = to_signed(bld_.value(a));
   const __int128 bv = to_signed(bld_.value(b));
-  assert(av >= 0 && bv > 0);
+  ZKDET_CHECK(av >= 0 && bv > 0, "div_nonneg: operands out of range");
   const __int128 num = av << p_.frac_bits;
   const __int128 q = num / bv;
   const __int128 rem = num % bv;
@@ -153,7 +157,7 @@ void FixOps::assert_nonneg(Wire a) { bld_.assert_range(a, p_.value_bits()); }
 
 Wire FixOps::affine_const(std::span<const Wire> x, std::span<const double> w,
                           double bias) {
-  assert(x.size() == w.size());
+  ZKDET_CHECK(x.size() == w.size(), "affine_const length mismatch");
   // Accumulate at scale 2^(2*frac): constant coefficients are encoded at
   // scale 2^frac and multiply scale-2^frac wires; one rescale at the end.
   Wire acc = bld_.constant(fix_encode(bias, p_) * pow2_fr(p_.frac_bits));
@@ -174,9 +178,10 @@ Wire FixOps::piecewise_linear(Wire x, double x0, double x1,
   const __int128 range_raw = static_cast<__int128>(std::llround(range)) << fb;
   std::size_t range_bits = 0;
   while ((static_cast<__int128>(1) << range_bits) < range_raw) ++range_bits;
-  assert((static_cast<__int128>(1) << range_bits) == range_raw &&
-         "x1 - x0 must be a power of two");
-  assert(log2_segments <= range_bits);
+  ZKDET_CHECK((static_cast<__int128>(1) << range_bits) == range_raw,
+              "x1 - x0 must be a power of two");
+  ZKDET_CHECK(log2_segments <= range_bits,
+              "more segments than raw range steps");
   const std::size_t step_bits = range_bits - log2_segments;
   const double step = range / static_cast<double>(1ull << log2_segments);
 

@@ -1,6 +1,6 @@
 #include "gadgets/hash_gadgets.hpp"
 
-#include <cassert>
+#include "check/check.hpp"
 
 namespace zkdet::gadgets {
 
@@ -108,7 +108,8 @@ Wire poseidon_commit_gadget(CircuitBuilder& bld, std::span<const Wire> msg,
 Wire merkle_root_gadget(CircuitBuilder& bld, Wire leaf,
                         std::span<const Wire> siblings,
                         std::span<const Wire> directions) {
-  assert(siblings.size() == directions.size());
+  ZKDET_CHECK(siblings.size() == directions.size(),
+              "merkle gadget: siblings/directions length mismatch");
   Wire cur = leaf;
   for (std::size_t i = 0; i < siblings.size(); ++i) {
     // direction 0: cur is the left child; 1: cur is the right child.

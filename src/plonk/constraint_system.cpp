@@ -1,6 +1,6 @@
 #include "plonk/constraint_system.hpp"
 
-#include <cassert>
+#include "check/check.hpp"
 
 namespace zkdet::plonk {
 
@@ -28,7 +28,7 @@ std::vector<Fr> ConstraintSystem::extract_public_inputs(
   std::vector<Fr> out;
   out.reserve(public_vars_.size());
   for (const Var v : public_vars_) {
-    assert(v < witness.size());
+    ZKDET_DCHECK(v < witness.size(), "public var out of witness range");
     out.push_back(witness[v]);
   }
   return out;

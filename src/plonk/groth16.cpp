@@ -1,6 +1,6 @@
 #include "plonk/groth16.hpp"
 
-#include <cassert>
+#include "check/check.hpp"
 
 #include "ec/msm.hpp"
 #include "ec/pairing.hpp"
@@ -168,7 +168,8 @@ std::optional<Proof> prove(const ProvingKey& pk, const ConstraintSystem& cs,
                            const std::vector<Fr>& witness, crypto::Drbg& rng) {
   if (!cs.is_satisfied(witness)) return std::nullopt;
   const R1cs r1cs(cs);
-  assert(r1cs.num_statement == pk.num_statement);
+  ZKDET_CHECK(r1cs.num_statement == pk.num_statement,
+              "proving key was built for a different statement size");
   const std::vector<Fr> w = r1cs.full_witness(cs, witness);
   const std::size_t n = pk.domain_size;
   const EvaluationDomain domain(n);
@@ -214,7 +215,7 @@ std::optional<Proof> prove(const ProvingKey& pk, const ConstraintSystem& cs,
   ext.coset_ifft(h, shift);
   // degree of H is at most n-2
   for (std::size_t i = pk.h_query.size(); i < h.size(); ++i) {
-    assert(h[i].is_zero() && "H degree overflow");
+    ZKDET_ASSERT(h[i].is_zero(), "H degree overflow");
   }
   h.resize(pk.h_query.size());
 

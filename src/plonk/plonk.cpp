@@ -1,7 +1,9 @@
 #include "plonk/plonk.hpp"
 
 #include <array>
-#include <cassert>
+
+#include "check/check.hpp"
+#include "check/invariants.hpp"
 
 #include "ec/pairing.hpp"
 #include "runtime/stats.hpp"
@@ -158,9 +160,10 @@ std::optional<KeyPairResult> preprocess(const ConstraintSystem& cs,
   // Cosets {H, k1 H, k2 H} must be pairwise disjoint for the copy
   // constraint encoding to be injective.
   const U256 n_u{n};
-  assert(pk.k1.pow(n_u) != Fr::one());
-  assert(pk.k2.pow(n_u) != Fr::one());
-  assert((pk.k2 * pk.k1.inverse()).pow(n_u) != Fr::one());
+  ZKDET_CHECK(pk.k1.pow(n_u) != Fr::one(), "k1 H intersects H");
+  ZKDET_CHECK(pk.k2.pow(n_u) != Fr::one(), "k2 H intersects H");
+  ZKDET_CHECK((pk.k2 * pk.k1.inverse()).pow(n_u) != Fr::one(),
+              "k1 H intersects k2 H");
 
   const Layout layout = build_layout(cs, n);
   pk.wire_a = layout.wa;
@@ -190,6 +193,10 @@ std::optional<KeyPairResult> preprocess(const ConstraintSystem& cs,
       }
     }
   }
+  // Cycle rotation must land on a genuine permutation of the 3n slots;
+  // a repeated or dropped slot silently voids the copy constraints.
+  ZKDET_ASSERT(check::is_permutation(std::span<const std::uint32_t>(next), slots),
+               "sigma is not a permutation of the wire slots");
   const auto encode = [&](std::uint32_t slot) {
     const std::size_t col = slot / n;
     const std::size_t row = slot % n;
@@ -326,8 +333,9 @@ std::optional<Proof> prove(const ProvingKey& pk, const ConstraintSystem& cs,
   for (std::size_t i = 0; i + 1 < n; ++i) {
     z_evals[i + 1] = z_evals[i] * numers[i] * dinv[i];
   }
-  assert((z_evals[n - 1] * numers[n - 1] * dinv[n - 1]) == Fr::one() &&
-         "grand product must close");
+  ZKDET_ASSERT(
+      check::grand_product_closes(z_evals[n - 1] * numers[n - 1] * dinv[n - 1]),
+      "permutation grand product must close");
 
   const Fr b7 = rng.random_fr(), b8 = rng.random_fr(), b9 = rng.random_fr();
   Polynomial z_poly = Polynomial::from_evaluations(z_evals, dom);
@@ -424,7 +432,7 @@ std::optional<Proof> prove(const ProvingKey& pk, const ConstraintSystem& cs,
   ext.coset_ifft(t_ext, shift);
   Polynomial t_poly{std::move(t_ext)};
   t_poly.trim();
-  assert(t_poly.degree() <= 3 * n + 5 && "quotient degree overflow");
+  ZKDET_ASSERT(t_poly.degree() <= 3 * n + 5, "quotient degree overflow");
 
   // Split into three chunks of (at most) n coefficients, with the extra
   // cross-boundary blinders b10, b11 for hiding.
@@ -515,7 +523,7 @@ std::optional<Proof> prove(const ProvingKey& pk, const ConstraintSystem& cs,
              Polynomial{t_hi}.scaled(zeta_n * zeta_n))
                 .scaled(zh_zeta);
 
-  assert(r_poly.evaluate(zeta).is_zero() && "linearization must vanish");
+  ZKDET_ASSERT(r_poly.evaluate(zeta).is_zero(), "linearization must vanish");
 
   Polynomial w_zeta_num = r_poly;
   const Polynomial* opened[5] = {&a_poly, &b_poly, &c_poly, &pk.s1, &pk.s2};
@@ -550,11 +558,17 @@ std::optional<PairingCheck> verify_prepare(
   if (public_inputs.size() != vk.ell) return std::nullopt;
   const std::size_t n = vk.n;
 
-  // Commitments must be on the curve (cheap structural validation).
+  // Commitments must be on the curve (cheap structural validation; G1
+  // has cofactor 1, so on-curve is the full subgroup check).
   for (const G1* p : {&proof.cm_a, &proof.cm_b, &proof.cm_c, &proof.cm_z,
                       &proof.cm_t_lo, &proof.cm_t_mid, &proof.cm_t_hi,
                       &proof.w_zeta, &proof.w_zeta_omega}) {
-    if (!p->on_curve()) return std::nullopt;
+    if (!check::in_g1(*p)) return std::nullopt;
+  }
+  // A verifying key with G2 elements off the twist or outside the
+  // order-r subgroup cannot anchor a sound pairing check.
+  if (!check::in_g2(vk.g2_gen) || !check::in_g2(vk.g2_tau)) {
+    return std::nullopt;
   }
 
   Transcript transcript("zkdet-plonk");

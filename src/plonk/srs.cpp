@@ -1,6 +1,6 @@
 #include "plonk/srs.hpp"
 
-#include <cassert>
+#include "check/check.hpp"
 
 namespace zkdet::plonk {
 
@@ -22,7 +22,9 @@ Srs Srs::setup(std::size_t max_degree, crypto::Drbg& rng) {
 G1 Srs::commit(const Polynomial& p) const { return commit(p.coeffs()); }
 
 G1 Srs::commit(std::span<const Fr> coeffs) const {
-  assert(coeffs.size() <= g1_powers.size());
+  ZKDET_CHECK(coeffs.size() <= g1_powers.size(),
+              "SRS too small: committing to degree ", coeffs.size() - 1,
+              " with ", g1_powers.size(), " powers");
   return ec::msm(coeffs,
                  std::span<const G1>(g1_powers.data(), coeffs.size()));
 }

@@ -1,6 +1,6 @@
 #include "storage/storage.hpp"
 
-#include <cassert>
+#include "check/check.hpp"
 
 namespace zkdet::storage {
 
@@ -23,7 +23,7 @@ bool StorageNode::corrupt(const Cid& cid) {
 
 StorageNetwork::StorageNetwork(std::size_t num_nodes, std::size_t replication)
     : replication_(std::min(replication, num_nodes)) {
-  assert(num_nodes > 0);
+  ZKDET_CHECK(num_nodes > 0, "StorageNetwork needs at least one node");
   nodes_.reserve(num_nodes);
   for (std::size_t i = 0; i < num_nodes; ++i) {
     nodes_.emplace_back("node-" + std::to_string(i));

@@ -159,6 +159,28 @@ TEST(BigUInt, MulAndDivide) {
   EXPECT_EQ(q3.bit_length(), 1u);  // quotient 1
 }
 
+TEST(BigUInt, DivisionByFull256BitDivisor) {
+  // Divisors with the top bit set used to overflow the shift-subtract
+  // remainder (rem < d can exceed 2^255); found by fuzz_u256.
+  const U256 d{0x4773a10690536de1ull, 0x1d7bb3f81dbf08e6ull,
+               0x9d42b4777f4d0d75ull, 0xdfde7dfff2a166b4ull};
+  const U256 x{0xd5429235bf24984full, 0x67dd1a329c0f8394ull,
+               0xd7de0f6de56c68acull, 0x8a73554957bf8a0full};
+  BigUInt n = BigUInt::from_u256(x);
+  n.mul_u256(d);
+  U256 rem{};
+  const BigUInt q = bigint_div_u256(n, d, &rem);
+  EXPECT_TRUE(rem.is_zero());
+  BigUInt back = q;
+  back.mul_u256(d);
+  for (std::size_t i = 0; i < std::max(back.limbs.size(), n.limbs.size());
+       ++i) {
+    const std::uint64_t b = i < back.limbs.size() ? back.limbs[i] : 0;
+    const std::uint64_t e = i < n.limbs.size() ? n.limbs[i] : 0;
+    EXPECT_EQ(b, e) << "limb " << i;
+  }
+}
+
 TEST(BigUInt, DivisionRemainder) {
   BigUInt n = BigUInt::from_u64(1000);
   U256 rem{};
