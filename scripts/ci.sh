@@ -5,6 +5,9 @@
 #             the binary exists (config in .clang-tidy), skipped otherwise
 #   tier-1    default build + full ctest            (build/)
 #   checked   -DZKDET_CHECKED=ON full ctest         (build-checked/)
+#   chaos     extended seeded fault schedules, invariant checks armed
+#             (reuses build-checked/; seeds disjoint from the in-suite
+#             1..30 set, override with ZKDET_CHAOS_SEEDS)
 #   asan      -DZKDET_SANITIZE=address,undefined    (build-asan/)
 #   tsan      -DZKDET_SANITIZE=thread, FULL suite   (build-tsan/)
 #   fuzz      -DZKDET_FUZZ=ON, 10s smoke per target (build-fuzz/)
@@ -53,6 +56,14 @@ echo "=== checked: full suite under -DZKDET_CHECKED=ON ==="
 cmake -B build-checked -S . -DZKDET_CHECKED=ON
 cmake --build build-checked -j
 ctest --test-dir build-checked --output-on-failure -j
+
+echo "=== chaos: extended seeded fault schedules under -DZKDET_CHECKED=ON ==="
+# Every ctest run above already covers chaos seeds 1..30; this stage
+# replays a second, fixed, disjoint seed set with ZKDET_CHECK armed. A
+# failing schedule prints its seed; replay it alone with
+#   ZKDET_CHAOS_SEEDS=<seed> ./build-checked/tests/zkdet_chaos_tests
+ZKDET_CHAOS_SEEDS="${ZKDET_CHAOS_SEEDS:-101,102,103,104,105,106,107,108,109,110,111,112,113,114,115}" \
+  ./build-checked/tests/zkdet_chaos_tests
 
 echo "=== asan+ubsan: full suite under -DZKDET_SANITIZE=address,undefined ==="
 cmake -B build-asan -S . -DZKDET_SANITIZE=address,undefined -DZKDET_CHECKED=ON

@@ -20,6 +20,15 @@ analysis tooling"):
                            arithmetic substrate (src/ff, src/ec) without
                            an explicit reviewed annotation; silent limb
                            truncation is how canonical-form bugs start.
+  unbounded-retry          no while(true)/for(;;) loops in src/ — retry
+                           and polling loops must carry an explicit
+                           attempt cap (fault tolerance means giving up
+                           cleanly, not spinning forever); reviewed
+                           scheduler/sampling loops are annotated.
+  fail-point-name          fault::fire() in src/ takes a named constant
+                           from src/fault/points.hpp, never a raw string
+                           literal — the catalog is the single source of
+                           truth for the fault surface.
 
 Suppression: append  // zkdet-lint: allow(<rule>)  to the offending
 line (or the line above) after review.
@@ -106,6 +115,24 @@ RULES = [
         _in(("src/ff/", "src/ec/")),
         "review sub-64-bit truncation in the arithmetic substrate and "
         "annotate it with // zkdet-lint: allow(narrowing-cast)",
+    ),
+    Rule(
+        "unbounded-retry",
+        r"\bwhile\s*\(\s*(?:true|1)\s*\)|\bfor\s*\(\s*;\s*;\s*\)",
+        _in(("src/",)),
+        "bound retry/polling loops with an explicit attempt cap (e.g. "
+        "runtime::RetryPolicy, ExchangeDriver::Config::max_attempts); "
+        "annotate reviewed scheduler/sampling loops",
+    ),
+    Rule(
+        # Matched against stripped code: a string-literal argument blanks
+        # to spaces, so anything but a points:: constant fails the
+        # lookahead and fires.
+        "fail-point-name",
+        r"\bfault::fire\s*\(\s*(?!(?:fault::)?points::k\w+\s*\))",
+        lambda p: p.startswith("src/") and not p.startswith("src/fault/"),
+        "pass a named constant from src/fault/points.hpp to fault::fire() "
+        "so the fail-point catalog stays the single source of truth",
     ),
 ]
 
@@ -194,6 +221,30 @@ SELF_TEST_CASES = [
     ("src/ff/string_ok.cpp", 'const char* s = "assert(x)";\n', None),
     ("src/crypto/prev_line.cpp",
      "// zkdet-lint: allow(raw-assert)\nabort();\n", None),
+    ("src/chain/spin.cpp", "void f() { while (true) { poll(); } }\n",
+     "unbounded-retry"),
+    ("src/storage/spin1.cpp", "void f() { while(1) retry(); }\n",
+     "unbounded-retry"),
+    ("src/core/forever.cpp", "void f() { for (;;) step(); }\n",
+     "unbounded-retry"),
+    ("src/runtime/loop_reviewed.cpp",
+     "for (;;) {  // zkdet-lint: allow(unbounded-retry)\n", None),
+    ("src/core/bounded_ok.cpp",
+     "for (int i = 0; i < cfg.max_attempts; ++i) { attempt(); }\n", None),
+    ("src/core/while_cond_ok.cpp", "while (pending > 0) { drain(); }\n",
+     None),
+    ("src/storage/fp_raw.cpp",
+     '#include "fault/fault.hpp"\n'
+     'if (fault::fire("storage.put.node")) return;\n',
+     "fail-point-name"),
+    ("src/storage/fp_var.cpp", "if (fault::fire(point_name)) return;\n",
+     "fail-point-name"),
+    ("src/storage/fp_ok.cpp",
+     "if (fault::fire(fault::points::kStoragePutNode)) return;\n", None),
+    ("src/chain/fp_using_ok.cpp",
+     "if (fault::fire(points::kChainSubmit)) return;\n", None),
+    ("src/fault/fp_impl_ok.cpp",
+     'bool fire_slow(const char* p); auto x = fault::fire("self");\n', None),
 ]
 
 

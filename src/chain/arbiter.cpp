@@ -79,6 +79,13 @@ std::optional<ExchangeInfo> KeySecureArbiter::exchange(
   return it->second;
 }
 
+std::optional<ExchangeInfo> KeySecureArbiter::find_by_hv(const Fr& h_v) const {
+  for (const auto& [id, info] : exchanges_) {
+    if (info.h_v == h_v) return info;
+  }
+  return std::nullopt;
+}
+
 // --- ZKCP baseline ---
 
 ZkcpArbiter::ZkcpArbiter() : Contract("ZkcpArbiter", kZkcpCodeSize) {}

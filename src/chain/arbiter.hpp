@@ -58,6 +58,12 @@ class KeySecureArbiter : public Contract {
 
   [[nodiscard]] std::optional<ExchangeInfo> exchange(std::uint64_t id) const;
 
+  // Off-chain lookup by the buyer's h_v (unique per session because k_v
+  // is drawn fresh). This is how a crashed buyer client that persisted
+  // only its session secrets re-discovers its exchange id from public
+  // chain state (ExchangeDriver recovery).
+  [[nodiscard]] std::optional<ExchangeInfo> find_by_hv(const Fr& h_v) const;
+
  private:
   const PlonkVerifierContract& verifier_;
   std::uint64_t next_id_ = 1;

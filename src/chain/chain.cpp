@@ -1,7 +1,8 @@
 #include "chain/chain.hpp"
 
-
 #include "crypto/sha256.hpp"
+#include "fault/fault.hpp"
+#include "fault/points.hpp"
 
 namespace zkdet::chain {
 
@@ -131,6 +132,15 @@ Receipt Chain::call(const crypto::KeyPair& sender,
                     std::uint64_t gas_limit) {
   Receipt receipt;
   const Address from = crypto::address_of(sender.pk);
+
+  // Fail-point: the transaction is dropped before it reaches the
+  // sequencer — no block is sealed and no state (funds included) moves.
+  // Callers observe a failed receipt and must retry (ExchangeDriver) or
+  // surface the error.
+  if (fault::fire(fault::points::kChainSubmit)) {
+    receipt.error = "injected: tx dropped before submission";
+    return receipt;
+  }
 
   // Authenticate: a signature over (height, description) stands in for a
   // full RLP transaction; the chain rejects unknown or forged senders.

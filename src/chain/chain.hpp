@@ -123,6 +123,11 @@ class MeteredStore {
   void erase(CallContext& ctx, const std::string& key);
   // Unmetered read for off-chain inspection (a full node's RPC view).
   [[nodiscard]] std::optional<Fr> peek(const std::string& key) const;
+  // Full-state view for off-chain audits (e.g. asserting a secret never
+  // appears in any contract slot — the chaos harness does exactly this).
+  [[nodiscard]] const std::map<std::string, Fr>& peek_all() const {
+    return slots_;
+  }
 
  private:
   std::map<std::string, Fr> slots_;
@@ -140,6 +145,8 @@ class Contract {
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::size_t code_size() const { return code_size_; }
   [[nodiscard]] const Address& address() const { return address_; }
+  // Read-only storage view for off-chain audits.
+  [[nodiscard]] const MeteredStore& audit_store() const { return store_; }
 
  protected:
   [[nodiscard]] MeteredStore& store() { return store_; }

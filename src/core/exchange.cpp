@@ -1,6 +1,8 @@
 #include "core/exchange.hpp"
 
 #include "crypto/mimc.hpp"
+#include "fault/fault.hpp"
+#include "fault/points.hpp"
 
 namespace zkdet::core {
 
@@ -29,6 +31,9 @@ std::optional<Offer> KeySecureExchange::make_offer(
 }
 
 bool KeySecureExchange::verify_offer(const Offer& offer) const {
+  // Fail-point: the buyer client aborts mid-verification (retryable;
+  // nothing on chain has been touched).
+  if (fault::fire(fault::points::kExchangeVerify)) return false;
   const auto info = sys_.nft().token(offer.token_id);
   const auto* enc = transform_.encryption_record(offer.token_id);
   if (!info || enc == nullptr) return false;
@@ -51,13 +56,24 @@ bool KeySecureExchange::verify_offer(const Offer& offer) const {
 std::optional<BuyerSession> KeySecureExchange::lock_payment(
     const crypto::KeyPair& buyer, const Offer& offer, std::uint64_t amount,
     std::uint64_t timeout_blocks, const chain::Address& seller) {
+  return lock_payment_with(buyer, offer, amount, timeout_blocks,
+                           sys_.rng().random_fr(), seller);
+}
+
+std::optional<BuyerSession> KeySecureExchange::lock_payment_with(
+    const crypto::KeyPair& buyer, const Offer& offer, std::uint64_t amount,
+    std::uint64_t timeout_blocks, const Fr& k_v,
+    const chain::Address& seller) {
+  // Fail-point: the buyer client dies before issuing the lock tx. No
+  // funds have moved; the step is safely retryable.
+  if (fault::fire(fault::points::kExchangeLock)) return std::nullopt;
   const auto info = sys_.nft().token(offer.token_id);
   if (!info) return std::nullopt;
   const chain::Address pay_seller = seller.empty() ? info->owner : seller;
 
   BuyerSession session;
   session.token_id = offer.token_id;
-  session.k_v = sys_.rng().random_fr();
+  session.k_v = k_v;
   const Fr h_v = hash_key(session.k_v);
 
   const auto receipt = sys_.chain().call(
@@ -75,6 +91,9 @@ std::optional<BuyerSession> KeySecureExchange::lock_payment(
 bool KeySecureExchange::settle(const crypto::KeyPair& seller,
                                const OwnedAsset& asset,
                                std::uint64_t exchange_id, const Fr& k_v) {
+  // Fail-point: the seller client dies before settling. The escrow is
+  // untouched; the buyer's refund path guarantees liveness.
+  if (fault::fire(fault::points::kExchangeSettle)) return false;
   // Seller-side sanity: the buyer's k_v must hash to the on-chain h_v
   // (an honest seller aborts before proving otherwise — paper V-B).
   const auto xinfo = sys_.arbiter().exchange(exchange_id);
@@ -98,6 +117,9 @@ bool KeySecureExchange::settle(const crypto::KeyPair& seller,
 
 std::optional<std::vector<Fr>> KeySecureExchange::recover_data(
     const BuyerSession& session) const {
+  // Fail-point: the buyer client dies while recovering. k_c stays
+  // readable on-chain and k_v is persisted, so the step is idempotent.
+  if (fault::fire(fault::points::kExchangeRecover)) return std::nullopt;
   const auto xinfo = sys_.arbiter().exchange(session.exchange_id);
   if (!xinfo || xinfo->state != chain::ExchangeState::kSettled) {
     return std::nullopt;
@@ -115,6 +137,8 @@ std::optional<std::vector<Fr>> KeySecureExchange::recover_data(
 
 bool KeySecureExchange::refund(const crypto::KeyPair& buyer,
                                std::uint64_t exchange_id) {
+  // Fail-point: the buyer client dies before issuing refund.
+  if (fault::fire(fault::points::kExchangeRefund)) return false;
   const auto receipt = sys_.chain().call(
       buyer, "arbiter.refund", [&](chain::CallContext& ctx) {
         sys_.arbiter().refund(ctx, exchange_id);

@@ -65,6 +65,16 @@ class KeySecureExchange {
                                            std::uint64_t timeout_blocks,
                                            const chain::Address& seller = {});
 
+  // Like lock_payment, but with a caller-chosen k_v. A crash-safe buyer
+  // client (ExchangeDriver) draws k_v itself and persists it durably
+  // BEFORE the lock tx, so a crash in the window between the tx landing
+  // and the local state update cannot strand escrowed funds without the
+  // secret needed to use (or identify) the exchange.
+  std::optional<BuyerSession> lock_payment_with(
+      const crypto::KeyPair& buyer, const Offer& offer, std::uint64_t amount,
+      std::uint64_t timeout_blocks, const Fr& k_v,
+      const chain::Address& seller = {});
+
   // Seller: derive k_c = k + k_v, prove pi_k, settle on-chain. Returns
   // false if the chain rejects (e.g. forged k_v hash).
   bool settle(const crypto::KeyPair& seller, const OwnedAsset& asset,

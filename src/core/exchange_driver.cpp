@@ -1,0 +1,212 @@
+#include "core/exchange_driver.hpp"
+
+#include "fault/fault.hpp"
+#include "fault/points.hpp"
+
+namespace zkdet::core {
+
+namespace {
+
+std::string hv_key(const Fr& h_v) {
+  return crypto::hex_encode(ff::u256_to_bytes(h_v.to_canonical()));
+}
+
+}  // namespace
+
+void SessionStore::save(const PersistedSession& s) {
+  records_[hv_key(s.h_v)] = s;
+}
+
+std::optional<PersistedSession> SessionStore::load(const Fr& h_v) const {
+  const auto it = records_.find(hv_key(h_v));
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<PersistedSession> SessionStore::pending() const {
+  std::vector<PersistedSession> out;
+  for (const auto& [key, s] : records_) {
+    if (!s.completed) out.push_back(s);
+  }
+  return out;
+}
+
+void SessionStore::mark_completed(const Fr& h_v) {
+  const auto it = records_.find(hv_key(h_v));
+  if (it != records_.end()) it->second.completed = true;
+}
+
+const char* drive_status_name(DriveStatus s) {
+  switch (s) {
+    case DriveStatus::kSettled: return "settled";
+    case DriveStatus::kRefunded: return "refunded";
+    case DriveStatus::kCrashed: return "crashed";
+    case DriveStatus::kStuck: return "stuck";
+  }
+  return "unknown";
+}
+
+DriveReport ExchangeDriver::drive(const crypto::KeyPair& buyer,
+                                  const crypto::KeyPair& seller,
+                                  const OwnedAsset& asset, const Offer& offer,
+                                  const Config& cfg) {
+  DriveReport report;
+
+  // Data validation phase: verification touches only local + public
+  // state, so transient faults are retried in place.
+  bool offer_ok = false;
+  for (int i = 0; i < cfg.max_attempts && !offer_ok; ++i) {
+    offer_ok = ex_.verify_offer(offer);
+  }
+  if (!offer_ok) {
+    report.status = DriveStatus::kRefunded;  // nothing ever escrowed
+    return report;
+  }
+
+  // Durability before funds: k_v/h_v hit the store before any tx.
+  PersistedSession session;
+  session.k_v = sys_.rng().random_fr();
+  session.h_v = hash_key(session.k_v);
+  session.token_id = offer.token_id;
+  store_.save(session);
+
+  return resolve(buyer, seller, &asset, session, &offer, cfg,
+                 /*recovered=*/false);
+}
+
+std::vector<DriveReport> ExchangeDriver::resume_all(
+    const crypto::KeyPair& buyer, const crypto::KeyPair& seller,
+    const OwnedAsset* asset, const Config& cfg) {
+  std::vector<DriveReport> reports;
+  for (const PersistedSession& session : store_.pending()) {
+    reports.push_back(resolve(buyer, seller, asset, session, /*offer=*/nullptr,
+                              cfg, /*recovered=*/true));
+  }
+  return reports;
+}
+
+DriveReport ExchangeDriver::resolve(const crypto::KeyPair& buyer,
+                                    const crypto::KeyPair& seller,
+                                    const OwnedAsset* asset,
+                                    PersistedSession session,
+                                    const Offer* offer, const Config& cfg,
+                                    bool recovered) {
+  DriveReport report;
+  report.recovered_from_crash = recovered;
+
+  // --- phase 1: make sure the session has an on-chain exchange ---
+  if (session.exchange_id == 0) {
+    // The lock tx may have landed before a crash: public state is the
+    // source of truth, keyed by our persisted h_v.
+    if (const auto onchain = sys_.arbiter().find_by_hv(session.h_v)) {
+      session.exchange_id = onchain->id;
+      store_.save(session);
+    } else if (offer != nullptr) {
+      for (int i = 0; i < cfg.max_attempts && session.exchange_id == 0; ++i) {
+        ++report.lock_attempts;
+        if (const auto s = ex_.lock_payment_with(buyer, *offer, cfg.amount,
+                                                 cfg.timeout_blocks,
+                                                 session.k_v)) {
+          // Crash window: the tx landed but the local record was never
+          // updated. Recovery re-discovers the id via find_by_hv.
+          if (fault::fire(fault::points::kExchangeCrashAfterLock)) {
+            report.status = DriveStatus::kCrashed;
+            report.exchange_id = s->exchange_id;
+            return report;
+          }
+          session.exchange_id = s->exchange_id;
+          store_.save(session);
+        }
+      }
+      if (session.exchange_id == 0) {
+        // Lock never landed: funds never left the buyer.
+        store_.mark_completed(session.h_v);
+        report.status = DriveStatus::kRefunded;
+        return report;
+      }
+    } else {
+      // Crashed before the lock landed and the offer is gone: nothing
+      // is escrowed, so the session closes with the funds untouched.
+      store_.mark_completed(session.h_v);
+      report.status = DriveStatus::kRefunded;
+      return report;
+    }
+  }
+  report.exchange_id = session.exchange_id;
+
+  // --- phase 2: drive the on-chain exchange to a terminal state ---
+  auto state = [&]() -> std::optional<chain::ExchangeState> {
+    const auto info = sys_.arbiter().exchange(session.exchange_id);
+    if (!info) return std::nullopt;
+    return info->state;
+  };
+
+  auto current = state();
+  if (!current) {
+    report.status = DriveStatus::kStuck;  // unreachable: id came from chain
+    return report;
+  }
+
+  if (*current == chain::ExchangeState::kLocked && asset != nullptr) {
+    for (int i = 0; i < cfg.max_attempts; ++i) {
+      // Idempotency: re-read before every attempt; a settle that
+      // "failed" locally but landed on chain must not be re-sent.
+      current = state();
+      if (*current != chain::ExchangeState::kLocked) break;
+      ++report.settle_attempts;
+      if (ex_.settle(seller, *asset, session.exchange_id, session.k_v)) {
+        current = state();
+        break;
+      }
+    }
+  }
+
+  if (*current == chain::ExchangeState::kLocked) {
+    // Seller side could not complete: wait out the deadline, refund.
+    const auto info = sys_.arbiter().exchange(session.exchange_id);
+    if (sys_.chain().height() <= info->deadline) {
+      sys_.chain().advance_blocks(info->deadline - sys_.chain().height() + 1);
+    }
+    for (int i = 0; i < cfg.max_attempts; ++i) {
+      current = state();
+      if (*current != chain::ExchangeState::kLocked) break;
+      ++report.refund_attempts;
+      if (ex_.refund(buyer, session.exchange_id)) {
+        current = state();
+        break;
+      }
+    }
+  }
+
+  switch (*current) {
+    case chain::ExchangeState::kSettled: {
+      report.status = DriveStatus::kSettled;
+      BuyerSession bs;
+      bs.exchange_id = session.exchange_id;
+      bs.token_id = session.token_id;
+      bs.k_v = session.k_v;
+      for (int i = 0; i < cfg.max_attempts && !report.data_recovered; ++i) {
+        ++report.recover_attempts;
+        if (auto data = ex_.recover_data(bs)) {
+          report.data_recovered = true;
+          report.data = std::move(*data);
+        } else {
+          // Heal storage before the next try: a corrupted or
+          // under-replicated ciphertext replica may be the blocker.
+          sys_.storage().scrub();
+        }
+      }
+      store_.mark_completed(session.h_v);
+      return report;
+    }
+    case chain::ExchangeState::kRefunded:
+      store_.mark_completed(session.h_v);
+      report.status = DriveStatus::kRefunded;
+      return report;
+    default:
+      report.status = DriveStatus::kStuck;  // retry budgets exhausted
+      return report;
+  }
+}
+
+}  // namespace zkdet::core

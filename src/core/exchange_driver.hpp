@@ -1,0 +1,131 @@
+// Crash-recoverable exchange driver (paper IV-F fairness, made robust).
+//
+// KeySecureExchange implements the protocol steps; ExchangeDriver makes
+// them survive failure. It is the buyer/seller *client runtime*: every
+// step runs under a bounded retry budget, buyer session secrets are
+// persisted to a durable SessionStore BEFORE the lock tx is issued, and
+// after a (simulated) crash the driver rebuilds its view purely from
+// the persisted secrets plus public on-chain state — the arbiter's
+// ExchangeInfo, looked up by h_v — and drives the exchange onward.
+//
+// The safety argument, under any fault schedule over the fail-points in
+// src/fault/points.hpp:
+//
+//   * Funds enter escrow only via a lock tx whose (k_v, h_v) is already
+//     durable; the buyer can never lose both the payment and the means
+//     to settle/refund it.
+//   * settle and refund are idempotent at the driver level: the driver
+//     re-reads ExchangeInfo before each attempt and treats an already-
+//     terminal exchange as success, so replays after crashes are safe
+//     (the contract itself stays strict and rejects double-settlement).
+//   * Every exchange reaches kSettled xor kRefunded: if the seller
+//     cannot settle within the retry budget, the driver waits out the
+//     deadline and refunds; tests/test_chaos.cpp asserts this across
+//     many seeded schedules.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/exchange.hpp"
+
+namespace zkdet::core {
+
+// What a buyer client must persist to survive a crash at any point
+// between choosing k_v and recovering the data. Keyed by h_v: the one
+// value that also appears in public chain state, so the exchange id can
+// be re-discovered after a crash that lost it.
+struct PersistedSession {
+  Fr h_v;
+  Fr k_v;
+  std::uint64_t token_id = 0;
+  std::uint64_t exchange_id = 0;  // 0 until the lock receipt was observed
+  bool completed = false;         // terminal; kept for audit
+};
+
+// Durable buyer-side session storage (stands in for a wallet file; maps
+// are process-local but survive driver crashes, which in this in-process
+// simulation means: the ExchangeDriver object is destroyed and a new
+// one is handed the same store).
+class SessionStore {
+ public:
+  void save(const PersistedSession& s);
+  [[nodiscard]] std::optional<PersistedSession> load(const Fr& h_v) const;
+  // Sessions not yet driven to a terminal state (crash-recovery input).
+  [[nodiscard]] std::vector<PersistedSession> pending() const;
+  void mark_completed(const Fr& h_v);
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+ private:
+  std::map<std::string, PersistedSession> records_;  // key: hex(h_v)
+};
+
+enum class DriveStatus : std::uint8_t {
+  kSettled = 0,   // seller paid, buyer holds the plaintext path
+  kRefunded = 1,  // buyer reclaimed (or never escrowed) the funds
+  kCrashed = 2,   // simulated client crash; resume_all() picks it up
+  kStuck = 3,     // retry budgets exhausted with funds still locked
+};
+
+[[nodiscard]] const char* drive_status_name(DriveStatus s);
+
+struct DriveReport {
+  DriveStatus status = DriveStatus::kStuck;
+  std::uint64_t exchange_id = 0;
+  int lock_attempts = 0;
+  int settle_attempts = 0;
+  int refund_attempts = 0;
+  int recover_attempts = 0;
+  bool recovered_from_crash = false;
+  bool data_recovered = false;      // plaintext decrypted (settled runs)
+  std::vector<Fr> data;             // the recovered plaintext
+};
+
+class ExchangeDriver {
+ public:
+  struct Config {
+    std::uint64_t amount = 100;
+    std::uint64_t timeout_blocks = 8;
+    int max_attempts = 6;  // per step (lock / settle / refund / recover)
+  };
+
+  ExchangeDriver(ZkdetSystem& sys, TransformationProtocol& transform,
+                 SessionStore& store)
+      : sys_(sys), ex_(sys, transform), store_(store) {}
+
+  // Drives one fresh exchange end-to-end: verify offer, persist
+  // session, lock, settle (seller side), recover data — each step with
+  // bounded retries — falling back to refund past the deadline when the
+  // seller side cannot complete. Returns kCrashed when the
+  // exchange.crash_after_lock fail-point fires; the session is durable
+  // and resume_all() finishes the job.
+  DriveReport drive(const crypto::KeyPair& buyer,
+                    const crypto::KeyPair& seller, const OwnedAsset& asset,
+                    const Offer& offer, const Config& cfg);
+
+  // Crash recovery: rebuilds every pending session from the store and
+  // public chain state and drives each to a terminal state. `asset` is
+  // the seller's asset when the seller is still alive, nullptr when the
+  // seller is gone (every pending exchange then resolves to refund).
+  std::vector<DriveReport> resume_all(const crypto::KeyPair& buyer,
+                                      const crypto::KeyPair& seller,
+                                      const OwnedAsset* asset,
+                                      const Config& cfg);
+
+ private:
+  // Takes a persisted session (possibly with unknown exchange id) to a
+  // terminal state. The only entry point that touches escrowed funds.
+  DriveReport resolve(const crypto::KeyPair& buyer,
+                      const crypto::KeyPair& seller, const OwnedAsset* asset,
+                      PersistedSession session, const Offer* offer,
+                      const Config& cfg, bool recovered);
+
+  ZkdetSystem& sys_;
+  KeySecureExchange ex_;
+  SessionStore& store_;
+};
+
+}  // namespace zkdet::core

@@ -62,7 +62,10 @@ std::optional<plonk::Proof> ZkdetSystem::prove(
   job.cs = std::make_shared<const plonk::ConstraintSystem>(cs);
   job.witness = std::move(witness);
   job.rng = crypto::Drbg("zkdet-proof-job", rng_());
-  return prover_.prove(std::move(job));
+  // Bounded retry: a worker crash (prover.job fail-point) is retried
+  // with the same job — same blinder rng, so the recovered proof is
+  // byte-identical to what the crashed attempt would have produced.
+  return prover_.prove_with_retry(job).proof;
 }
 
 }  // namespace zkdet::core

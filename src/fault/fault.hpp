@@ -1,0 +1,110 @@
+// Deterministic, seeded fault injection.
+//
+// A fail-point is a named site in real-I/O-shaped code (storage node
+// access, tx submission, proof-job execution, exchange client steps)
+// that asks "should I fail here?" via fault::fire(point). Schedules are
+// installed per point, programmatically (tests, chaos harness) or via
+// the ZKDET_FAULTS environment variable:
+//
+//   ZKDET_FAULTS="storage.fetch.node=once;chain.submit=times:3;
+//                 prover.job=prob:0.2:42"
+//
+// Spec grammar (';'-separated `point=spec` entries):
+//   always        every hit fails
+//   once[@k]      exactly the k-th hit fails (1-based; default 1)
+//   times:N[@k]   hits k..k+N-1 fail (default k=1: the first N hits)
+//   prob:P:SEED   each hit fails with probability P, decided by a
+//                 counter-mode hash of (SEED, hit index) — the decision
+//                 sequence is a pure function of the spec, so any run
+//                 is reproducible from its seed
+//
+// Determinism: a schedule's decisions depend only on its spec and the
+// per-point hit counter — never on wall-clock, addresses, or global
+// RNG state. Two runs with the same schedules and the same call order
+// observe identical faults.
+//
+// Overhead: when no schedule has ever been installed, fire() is a
+// single relaxed atomic load and branch (no lock, no map lookup), so
+// instrumented hot paths cost nothing in production builds.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace zkdet::fault {
+
+enum class Mode : std::uint8_t {
+  kAlways = 0,
+  kOnce = 1,       // fail hit #first_hit only
+  kTimes = 2,      // fail hits [first_hit, first_hit + count)
+  kProbability = 3,  // fail each hit with probability `p`, seeded
+};
+
+struct Schedule {
+  Mode mode = Mode::kOnce;
+  std::uint64_t first_hit = 1;  // 1-based hit index (kOnce / kTimes)
+  std::uint64_t count = 1;      // kTimes: how many consecutive hits fail
+  double p = 0.0;               // kProbability
+  std::uint64_t seed = 0;       // kProbability
+
+  static Schedule always() { return {Mode::kAlways, 1, 0, 0.0, 0}; }
+  static Schedule once(std::uint64_t at_hit = 1) {
+    return {Mode::kOnce, at_hit, 1, 0.0, 0};
+  }
+  static Schedule times(std::uint64_t n, std::uint64_t from_hit = 1) {
+    return {Mode::kTimes, from_hit, n, 0.0, 0};
+  }
+  static Schedule probability(double p, std::uint64_t seed) {
+    return {Mode::kProbability, 1, 0, p, seed};
+  }
+};
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+bool fire_slow(const char* point);
+}  // namespace detail
+
+// The fail-point predicate. Returns true when the installed schedule
+// for `point` says this hit fails. Zero overhead while disarmed.
+inline bool fire(const char* point) {
+  if (!detail::g_armed.load(std::memory_order_relaxed)) [[likely]] {
+    return false;
+  }
+  return detail::fire_slow(point);
+}
+
+// Installs (replaces) the schedule for a point and resets its counters.
+void inject(const std::string& point, const Schedule& schedule);
+
+// Removes one point's schedule / all schedules. Counters reset too.
+// The framework disarms when the last schedule is removed.
+void clear(const std::string& point);
+void clear_all();
+
+// Observability: how often a point was consulted / actually failed
+// since its schedule was installed. Zero for unknown points.
+[[nodiscard]] std::uint64_t hits(const std::string& point);
+[[nodiscard]] std::uint64_t failures(const std::string& point);
+
+// Parses a ZKDET_FAULTS-style spec string and installs every entry.
+// Returns the number of entries installed; malformed entries are
+// reported on stderr and skipped (a bad env var must not abort).
+std::size_t install_spec(const std::string& spec);
+
+// Reads ZKDET_FAULTS (once per call) and installs it via install_spec.
+std::size_t install_from_env();
+
+// RAII for tests: clears all schedules on scope exit.
+class ScopedFaults {
+ public:
+  ScopedFaults() = default;
+  explicit ScopedFaults(const std::string& spec) { install_spec(spec); }
+  ~ScopedFaults() { clear_all(); }
+  ScopedFaults(const ScopedFaults&) = delete;
+  ScopedFaults& operator=(const ScopedFaults&) = delete;
+};
+
+}  // namespace zkdet::fault

@@ -1,0 +1,52 @@
+// Canonical fail-point catalog.
+//
+// Every fail-point name in the codebase lives here, as a named constant:
+// instrumentation sites pass these symbols to fault::fire(), never raw
+// string literals (enforced by scripts/lint_zkdet.py, rule
+// fail-point-name). Keeping the catalog in one header makes the fault
+// surface greppable and lets tests/docs enumerate it without scanning
+// call sites.
+//
+// Naming: <subsystem>.<operation>[.<detail>], matching the seam the
+// point guards. Semantics of a firing point, per site:
+//
+//   storage.put.node     a node rejects/misses a replica write (node down)
+//   storage.fetch.node   a node fails a read (transient unreachability)
+//   chain.submit         a transaction is dropped before reaching the
+//                        sequencer (no block sealed, no state touched)
+//   prover.job           a proof job dies on its worker (simulated crash);
+//                        retried by ProverService::prove_with_retry
+//   exchange.verify      buyer-side offer verification aborts
+//   exchange.lock        buyer client fails before issuing the lock tx
+//   exchange.crash_after_lock
+//                        buyer process crashes after the lock tx landed
+//                        but before key negotiation (ExchangeDriver
+//                        resumes from the persisted session + chain)
+//   exchange.settle      seller client fails before issuing settle
+//   exchange.recover     buyer client fails while recovering data
+//   exchange.refund      buyer client fails before issuing refund
+#pragma once
+
+namespace zkdet::fault::points {
+
+inline constexpr const char kStoragePutNode[] = "storage.put.node";
+inline constexpr const char kStorageFetchNode[] = "storage.fetch.node";
+inline constexpr const char kChainSubmit[] = "chain.submit";
+inline constexpr const char kProverJob[] = "prover.job";
+inline constexpr const char kExchangeVerify[] = "exchange.verify";
+inline constexpr const char kExchangeLock[] = "exchange.lock";
+inline constexpr const char kExchangeCrashAfterLock[] =
+    "exchange.crash_after_lock";
+inline constexpr const char kExchangeSettle[] = "exchange.settle";
+inline constexpr const char kExchangeRecover[] = "exchange.recover";
+inline constexpr const char kExchangeRefund[] = "exchange.refund";
+
+// All registered points, for enumeration (tests, docs, tooling).
+inline constexpr const char* kAll[] = {
+    kStoragePutNode,    kStorageFetchNode,       kChainSubmit,
+    kProverJob,         kExchangeVerify,         kExchangeLock,
+    kExchangeCrashAfterLock, kExchangeSettle,    kExchangeRecover,
+    kExchangeRefund,
+};
+
+}  // namespace zkdet::fault::points

@@ -31,7 +31,8 @@ using Fr = Fp_<BnScalarParams>;
 // Samples a uniform field element by rejection from 256-bit draws.
 template <typename F, typename Rng>
 F random_field(Rng& rng) {
-  for (;;) {
+  // Rejection sampling; terminates w.p. 1 (acceptance > 1/2 per draw).
+  for (;;) {  // zkdet-lint: allow(unbounded-retry)
     U256 v{static_cast<std::uint64_t>(rng()), static_cast<std::uint64_t>(rng()),
            static_cast<std::uint64_t>(rng()), static_cast<std::uint64_t>(rng())};
     if (u256_less(v, F::MOD)) return F::from_canonical(v);

@@ -1,9 +1,23 @@
 #include "runtime/prover_service.hpp"
 
+#include <algorithm>
+
+#include "fault/fault.hpp"
+#include "fault/points.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace zkdet::runtime {
+
+const char* prove_error_name(ProveError e) {
+  switch (e) {
+    case ProveError::kNone: return "none";
+    case ProveError::kSrsTooSmall: return "srs-too-small";
+    case ProveError::kUnsatisfiedWitness: return "unsatisfied-witness";
+    case ProveError::kInjectedFault: return "injected-fault";
+  }
+  return "unknown";
+}
 
 ProverService::ProverService(const plonk::Srs& srs,
                              std::size_t key_cache_capacity)
@@ -61,21 +75,29 @@ std::shared_ptr<const plonk::KeyPairResult> ProverService::find_keys(
   return it == index_.end() ? nullptr : it->second->second;
 }
 
-std::future<std::optional<plonk::Proof>> ProverService::submit(ProofJob job) {
+std::future<ProveOutcome> ProverService::submit_typed(ProofJob job) {
   counters::jobs_submitted.fetch_add(1, std::memory_order_relaxed);
-  auto run = [this, job = std::move(job)]() mutable
-      -> std::optional<plonk::Proof> {
-    const auto keys = keys_for(job.circuit_id, *job.cs);
-    std::optional<plonk::Proof> proof;
-    if (keys) {
-      proof = plonk::prove(keys->pk, *job.cs, srs_, job.witness, job.rng);
+  auto run = [this, job = std::move(job)]() mutable -> ProveOutcome {
+    ProveOutcome out;
+    out.attempts = 1;
+    // Fail-point: the worker executing this job dies mid-proof. The
+    // job's result is a typed, retryable error — never a lost future.
+    if (fault::fire(fault::points::kProverJob)) {
+      out.error = ProveError::kInjectedFault;
+    } else if (const auto keys = keys_for(job.circuit_id, *job.cs); !keys) {
+      out.error = ProveError::kSrsTooSmall;
+    } else {
+      out.proof = plonk::prove(keys->pk, *job.cs, srs_, job.witness, job.rng);
+      if (!out.proof) out.error = ProveError::kUnsatisfiedWitness;
     }
     counters::jobs_completed.fetch_add(1, std::memory_order_relaxed);
-    if (!proof) counters::jobs_failed.fetch_add(1, std::memory_order_relaxed);
-    return proof;
+    if (!out.proof) {
+      counters::jobs_failed.fetch_add(1, std::memory_order_relaxed);
+    }
+    return out;
   };
-  auto task = std::make_shared<
-      std::packaged_task<std::optional<plonk::Proof>()>>(std::move(run));
+  auto task =
+      std::make_shared<std::packaged_task<ProveOutcome()>>(std::move(run));
   auto fut = task->get_future();
   auto& pool = ThreadPool::instance();
   if (pool.concurrency() <= 1 || ThreadPool::on_worker_thread()) {
@@ -86,8 +108,31 @@ std::future<std::optional<plonk::Proof>> ProverService::submit(ProofJob job) {
   return fut;
 }
 
+std::future<std::optional<plonk::Proof>> ProverService::submit(ProofJob job) {
+  // Untyped view of submit_typed for callers that only need the proof.
+  auto typed = std::make_shared<std::future<ProveOutcome>>(
+      submit_typed(std::move(job)));
+  return std::async(std::launch::deferred, [typed] {
+    return typed->get().proof;
+  });
+}
+
 std::optional<plonk::Proof> ProverService::prove(ProofJob job) {
-  return submit(std::move(job)).get();
+  return submit_typed(std::move(job)).get().proof;
+}
+
+ProveOutcome ProverService::prove_with_retry(const ProofJob& job,
+                                             RetryPolicy policy) {
+  const int budget = std::max(1, policy.max_attempts);
+  ProveOutcome out;
+  for (int attempt = 0; attempt < budget; ++attempt) {
+    ProveOutcome step = submit_typed(job).get();  // job copied per attempt
+    out.proof = std::move(step.proof);
+    out.error = step.error;
+    out.attempts += step.attempts;
+    if (out.proof || out.error != ProveError::kInjectedFault) break;
+  }
+  return out;
 }
 
 bool ProverService::batch_verify(std::span<const plonk::BatchEntry> entries) {

@@ -42,6 +42,35 @@ struct ProofJob {
   crypto::Drbg rng{0};
 };
 
+// Why a proof job produced no proof. kInjectedFault is the only
+// transient class (a simulated worker crash via the prover.job
+// fail-point); the others are permanent properties of the job and are
+// never retried.
+enum class ProveError : std::uint8_t {
+  kNone = 0,
+  kSrsTooSmall = 1,        // circuit domain exceeds the service's SRS
+  kUnsatisfiedWitness = 2,  // witness does not satisfy the circuit
+  kInjectedFault = 3,       // worker died (fault injection); retryable
+};
+
+[[nodiscard]] const char* prove_error_name(ProveError e);
+
+// Terminal result of a job, possibly after retries. A failed job is
+// never silently lost: either `proof` is set or `error` says why not,
+// and `attempts` records how much work it took.
+struct ProveOutcome {
+  std::optional<plonk::Proof> proof;
+  ProveError error = ProveError::kNone;
+  int attempts = 0;
+};
+
+// Bounded retry policy for transient job failures. Backoff is virtual
+// (recorded, not slept): the in-process substrate has no network to
+// wait out, and sleeping would only slow tests; see DESIGN.md.
+struct RetryPolicy {
+  int max_attempts = 3;
+};
+
 class ProverService {
  public:
   // `srs` must outlive the service. `key_cache_capacity` bounds the
@@ -67,8 +96,18 @@ class ProverService {
   // the pool).
   std::future<std::optional<plonk::Proof>> submit(ProofJob job);
 
+  // Typed variant: the future resolves to a ProveOutcome whose error
+  // distinguishes transient (injected fault) from permanent failures.
+  std::future<ProveOutcome> submit_typed(ProofJob job);
+
   // submit() + wait.
   std::optional<plonk::Proof> prove(ProofJob job);
+
+  // submit_typed() + wait, retrying transient failures up to
+  // policy.max_attempts total attempts. Permanent errors (bad witness,
+  // SRS too small) return immediately. The returned outcome is always
+  // conclusive: a proof, or a typed error after the attempt budget.
+  ProveOutcome prove_with_retry(const ProofJob& job, RetryPolicy policy = {});
 
   // Verifies all (vk, publics, proof) triples with one shared pairing
   // product; all verifying keys must come from the same SRS. Empty

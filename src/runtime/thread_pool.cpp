@@ -96,7 +96,8 @@ struct ThreadPool::Impl {
 
   void worker_loop(std::size_t idx) {
     tl_worker_index = static_cast<std::ptrdiff_t>(idx);
-    for (;;) {
+    // Runs until the pool shuts down, not until an attempt cap.
+    for (;;) {  // zkdet-lint: allow(unbounded-retry)
       std::function<void()> task;
       if (pop(idx, task)) {
         task();
@@ -181,7 +182,8 @@ struct ForContext {
 
   // Claims and runs chunks until the cursor is exhausted.
   void drain(bool stolen) {
-    for (;;) {
+    // Bounded by the chunk cursor, not an attempt count.
+    for (;;) {  // zkdet-lint: allow(unbounded-retry)
       const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
       if (c >= num_chunks) return;
       const std::size_t b = c * grain;

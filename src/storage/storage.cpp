@@ -1,6 +1,10 @@
 #include "storage/storage.hpp"
 
+#include <algorithm>
+
 #include "check/check.hpp"
+#include "fault/fault.hpp"
+#include "fault/points.hpp"
 
 namespace zkdet::storage {
 
@@ -28,6 +32,7 @@ StorageNetwork::StorageNetwork(std::size_t num_nodes, std::size_t replication)
   for (std::size_t i = 0; i < num_nodes; ++i) {
     nodes_.emplace_back("node-" + std::to_string(i));
   }
+  status_.resize(num_nodes);
 }
 
 std::vector<std::size_t> StorageNetwork::placement(const Cid& cid) const {
@@ -42,37 +47,157 @@ std::vector<std::size_t> StorageNetwork::placement(const Cid& cid) const {
   return out;
 }
 
+std::vector<std::size_t> StorageNetwork::read_order(const Cid& cid) const {
+  const auto placed = placement(cid);
+  std::vector<std::size_t> order;
+  order.reserve(nodes_.size());
+  const auto push_group = [&](bool quarantined) {
+    for (const std::size_t idx : placed) {
+      if (status_[idx].quarantined == quarantined &&
+          std::find(order.begin(), order.end(), idx) == order.end()) {
+        order.push_back(idx);
+      }
+    }
+    for (std::size_t idx = 0; idx < nodes_.size(); ++idx) {
+      if (status_[idx].quarantined == quarantined &&
+          std::find(order.begin(), order.end(), idx) == order.end()) {
+        order.push_back(idx);
+      }
+    }
+  };
+  // Healthy nodes first; quarantined nodes remain a last resort (their
+  // copies are digest-verified like any other, so reading them is safe).
+  push_group(false);
+  push_group(true);
+  return order;
+}
+
 Cid StorageNetwork::put(Blob blob) {
   const Cid cid = Cid::of(blob);
+  std::lock_guard<std::mutex> lk(m_);
+  pinned_.insert(cid);
+  std::size_t stored = 0;
+  std::vector<bool> holds(nodes_.size(), false);
   for (const std::size_t idx : placement(cid)) {
+    if (holds[idx]) continue;  // placement may repeat on tiny networks
+    if (fault::fire(fault::points::kStoragePutNode)) continue;  // node down
     nodes_[idx].store(cid, blob);
+    holds[idx] = true;
+    ++stored;
+  }
+  // Fallback placement: a node that refused the write is replaced by
+  // the next healthy node so the blob still reaches full replication.
+  for (std::size_t idx = 0; idx < nodes_.size() && stored < replication_;
+       ++idx) {
+    if (holds[idx] || status_[idx].quarantined) continue;
+    if (fault::fire(fault::points::kStoragePutNode)) continue;
+    nodes_[idx].store(cid, blob);
+    holds[idx] = true;
+    ++stored;
   }
   return cid;
 }
 
-std::optional<Blob> StorageNetwork::get(const Cid& cid) const {
-  // Try placement nodes first, then fall back to a full sweep (a node
-  // may have re-pinned the blob).
-  const auto try_node = [&](const StorageNode& n) -> std::optional<Blob> {
-    auto blob = n.fetch(cid);
-    if (!blob) return std::nullopt;
-    if (Cid::of(*blob) != cid) {
-      ++tampered_;  // corrupted copy: reject, keep looking
-      return std::nullopt;
+void StorageNetwork::note_corrupt_serve(std::size_t node_idx) const {
+  tampered_.fetch_add(1, std::memory_order_relaxed);
+  NodeStatus& st = status_[node_idx];
+  ++st.corrupt_serves;
+  if (st.corrupt_serves >= kQuarantineAfter) st.quarantined = true;
+}
+
+std::optional<Blob> StorageNetwork::locked_get_and_repair(
+    const Cid& cid, bool fault_injectable) const {
+  // Probe every node that claims the blob, in read_order: remember the
+  // first verified copy and every corrupted replica seen on the way.
+  std::optional<Blob> good;
+  std::vector<std::size_t> corrupt_at;
+  for (const std::size_t idx : read_order(cid)) {
+    if (!nodes_[idx].holds(cid)) continue;
+    if (fault_injectable &&
+        fault::fire(fault::points::kStorageFetchNode)) {
+      continue;  // node transiently unreachable; treated as a miss
     }
-    return blob;
-  };
+    auto blob = nodes_[idx].fetch(cid);
+    if (!blob) continue;
+    if (Cid::of(*blob) != cid) {
+      note_corrupt_serve(idx);
+      corrupt_at.push_back(idx);
+      continue;
+    }
+    if (!good) good = std::move(blob);
+  }
+  if (!good) return std::nullopt;
+
+  // Self-heal while we hold a verified copy: overwrite corrupted
+  // replicas and re-create missing placement replicas.
+  for (const std::size_t idx : corrupt_at) {
+    nodes_[idx].store(cid, *good);
+    repairs_.fetch_add(1, std::memory_order_relaxed);
+  }
   for (const std::size_t idx : placement(cid)) {
-    if (auto b = try_node(nodes_[idx])) return b;
+    if (nodes_[idx].holds(cid) || status_[idx].quarantined) continue;
+    nodes_[idx].store(cid, *good);
+    repairs_.fetch_add(1, std::memory_order_relaxed);
   }
-  for (const auto& n : nodes_) {
-    if (auto b = try_node(n)) return b;
+  // Top up to full replication on healthy fallback nodes: placement can
+  // collide on small networks, and put() may have placed replicas on
+  // fallback nodes whose loss the loop above would not repair.
+  std::size_t holders = 0;
+  for (const auto& n : nodes_) holders += n.holds(cid) ? 1 : 0;
+  for (std::size_t idx = 0; idx < nodes_.size() && holders < replication_;
+       ++idx) {
+    if (nodes_[idx].holds(cid) || status_[idx].quarantined) continue;
+    nodes_[idx].store(cid, *good);
+    repairs_.fetch_add(1, std::memory_order_relaxed);
+    ++holders;
   }
-  return std::nullopt;
+  return good;
+}
+
+std::optional<Blob> StorageNetwork::get(const Cid& cid) const {
+  std::lock_guard<std::mutex> lk(m_);
+  return locked_get_and_repair(cid, /*fault_injectable=*/true);
 }
 
 void StorageNetwork::unpin(const Cid& cid) {
+  std::lock_guard<std::mutex> lk(m_);
+  pinned_.erase(cid);
   for (auto& n : nodes_) n.erase(cid);
+}
+
+ScrubReport StorageNetwork::scrub() {
+  std::lock_guard<std::mutex> lk(m_);
+  ScrubReport report;
+  for (const Cid& cid : pinned_) {
+    ++report.checked;
+    const std::size_t before = repairs_.load(std::memory_order_relaxed);
+    // Scrub audits stored bytes directly (no reachability faults): its
+    // job is to find rot, not to model the network.
+    const auto blob = locked_get_and_repair(cid, /*fault_injectable=*/false);
+    if (!blob) {
+      ++report.unrecoverable;
+      continue;
+    }
+    report.repaired += repairs_.load(std::memory_order_relaxed) - before;
+  }
+  return report;
+}
+
+bool StorageNetwork::node_quarantined(std::size_t i) const {
+  std::lock_guard<std::mutex> lk(m_);
+  return status_.at(i).quarantined;
+}
+
+std::size_t StorageNetwork::quarantined_count() const {
+  std::lock_guard<std::mutex> lk(m_);
+  std::size_t n = 0;
+  for (const auto& st : status_) n += st.quarantined ? 1 : 0;
+  return n;
+}
+
+void StorageNetwork::reinstate(std::size_t i) {
+  std::lock_guard<std::mutex> lk(m_);
+  status_.at(i) = NodeStatus{};
 }
 
 Blob dataset_to_blob(const std::vector<ff::Fr>& data) {

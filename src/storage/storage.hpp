@@ -7,12 +7,29 @@
 // in-process nodes with replication and DHT-style lookup; nodes can be
 // dropped to exercise availability, and a malicious node that corrupts a
 // blob is detected on retrieval by digest verification.
+//
+// Self-healing: a get() that detects a corrupted replica overwrites it
+// with a verified good copy when one exists, and re-replicates onto
+// placement nodes that lost their copy. Nodes that repeatedly serve
+// corrupted data are quarantined (deprioritized for reads, excluded
+// from new placements until reinstated). scrub() walks every pinned
+// CID and restores full replication — the repair pass a real network
+// runs in the background. Fail-points (src/fault) on per-node put and
+// fetch simulate node outages; see DESIGN.md "Fault model & recovery".
+//
+// Thread safety: StorageNetwork's public put/get/unpin/scrub interface
+// is safe for concurrent use (one network-wide mutex; the tamper
+// counter is additionally atomic so monitoring reads never block).
+// node() is a test-only hook and must not race with concurrent access.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -50,6 +67,9 @@ class StorageNode {
   [[nodiscard]] std::optional<Blob> fetch(const Cid& cid) const;
   bool erase(const Cid& cid) { return blobs_.erase(cid) > 0; }
   [[nodiscard]] std::size_t blob_count() const { return blobs_.size(); }
+  [[nodiscard]] bool holds(const Cid& cid) const {
+    return blobs_.find(cid) != blobs_.end();
+  }
 
   // Test hook: corrupt a stored blob in place (malicious/faulty node).
   bool corrupt(const Cid& cid);
@@ -59,35 +79,86 @@ class StorageNode {
   std::map<Cid, Blob> blobs_;
 };
 
+// Result of a scrub() repair pass over all pinned CIDs.
+struct ScrubReport {
+  std::size_t checked = 0;      // pinned CIDs visited
+  std::size_t repaired = 0;     // replicas overwritten or re-created
+  std::size_t unrecoverable = 0;  // pinned CIDs with no intact copy left
+};
+
 class StorageNetwork {
  public:
+  // A node is quarantined once it served this many corrupted copies.
+  static constexpr std::uint64_t kQuarantineAfter = 2;
+
   explicit StorageNetwork(std::size_t num_nodes = 4,
                           std::size_t replication = 2);
 
   // Stores the blob on `replication` nodes chosen by the CID (DHT-style
-  // rendezvous placement) and returns its address.
+  // rendezvous placement) and returns its address. A placement node
+  // that fails the write (fail-point storage.put.node) is replaced by a
+  // fallback node, so the blob lands at full replication whenever
+  // enough nodes accept writes; scrub() heals any remaining deficit.
   Cid put(Blob blob);
 
   // Looks the CID up across nodes; verifies the digest of whatever a
-  // node returns and skips corrupted copies.
+  // node returns, skips (and counts) corrupted copies, and — when a
+  // verified good copy exists — overwrites corrupted replicas and
+  // re-creates missing placement replicas before returning.
   [[nodiscard]] std::optional<Blob> get(const Cid& cid) const;
 
   // Owner-requested removal (paper threat model: data persists unless
   // its owner explicitly unpins it).
   void unpin(const Cid& cid);
 
+  // Repair pass: restores every pinned CID to full replication on
+  // non-quarantined nodes, overwriting corrupted copies.
+  ScrubReport scrub();
+
   [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
   [[nodiscard]] StorageNode& node(std::size_t i) { return nodes_[i]; }
 
-  // Number of get() calls that hit a corrupted copy (tamper evidence).
-  [[nodiscard]] std::size_t tamper_detections() const { return tampered_; }
+  // Number of get()/scrub() probes that hit a corrupted copy (tamper
+  // evidence). Atomic: readable while other threads access the network.
+  [[nodiscard]] std::size_t tamper_detections() const {
+    return tampered_.load(std::memory_order_relaxed);
+  }
+  // Number of replicas overwritten or re-created by get()/scrub().
+  [[nodiscard]] std::size_t repairs() const {
+    return repairs_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool node_quarantined(std::size_t i) const;
+  [[nodiscard]] std::size_t quarantined_count() const;
+  // Clears a node's quarantine flag and corruption history (operator
+  // action after replacing/vetting the node).
+  void reinstate(std::size_t i);
 
  private:
-  [[nodiscard]] std::vector<std::size_t> placement(const Cid& cid) const;
+  struct NodeStatus {
+    std::uint64_t corrupt_serves = 0;
+    bool quarantined = false;
+  };
 
-  std::vector<StorageNode> nodes_;
+  // All candidate node indices for a CID: placement first, then the
+  // rest; within each group healthy nodes before quarantined ones.
+  [[nodiscard]] std::vector<std::size_t> placement(const Cid& cid) const;
+  [[nodiscard]] std::vector<std::size_t> read_order(const Cid& cid) const;
+
+  // Core of get()/scrub(); caller holds m_. When `fault_injectable` is
+  // false the probe ignores fetch fail-points (scrub audits real disk
+  // state, not network reachability).
+  std::optional<Blob> locked_get_and_repair(const Cid& cid,
+                                            bool fault_injectable) const;
+  void note_corrupt_serve(std::size_t node_idx) const;
+
+  mutable std::mutex m_;
+  mutable std::vector<StorageNode> nodes_;
+  mutable std::vector<NodeStatus> status_;
   std::size_t replication_;
-  mutable std::size_t tampered_ = 0;
+  std::set<Cid> pinned_;
+  mutable std::atomic<std::size_t> tampered_{0};
+  mutable std::atomic<std::size_t> repairs_{0};
 };
 
 // Dataset <-> blob serialization (32 bytes per field element, big endian).

@@ -132,6 +132,109 @@ TEST_F(ArbiterFixture, RefundAfterDeadline) {
   EXPECT_EQ(sys().arbiter().exchange(id)->state, ExchangeState::kRefunded);
 }
 
+TEST_F(ArbiterFixture, RefundDeadlineIsStrictlyExclusive) {
+  // The contract requires block_height > deadline: a refund one block
+  // before and one exactly at the deadline must both fail; the first
+  // block past it succeeds. Each call() seals a block, so the two
+  // rejected attempts advance the chain to the boundary by themselves.
+  const Fr k_v = rng.random_fr();
+  const std::uint64_t id = lock(250, hash_key(k_v), /*timeout=*/6);
+  const std::uint64_t deadline = sys().arbiter().exchange(id)->deadline;
+  const std::uint64_t escrowed = sys().chain().balance(buyer);
+
+  ASSERT_LE(sys().chain().height(), deadline - 1);
+  sys().chain().advance_blocks(deadline - 1 - sys().chain().height());
+
+  // height == deadline - 1: one block early.
+  Receipt r = sys().chain().call(buyer_keys, "refund-minus-1",
+                                 [&](CallContext& ctx) {
+                                   sys().arbiter().refund(ctx, id);
+                                 });
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.error, "revert: deadline not reached");
+
+  // height == deadline: exactly at the deadline, still too early.
+  ASSERT_EQ(sys().chain().height(), deadline);
+  r = sys().chain().call(buyer_keys, "refund-at-deadline",
+                         [&](CallContext& ctx) {
+                           sys().arbiter().refund(ctx, id);
+                         });
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.error, "revert: deadline not reached");
+  EXPECT_EQ(sys().arbiter().exchange(id)->state, ExchangeState::kLocked);
+  EXPECT_EQ(sys().chain().balance(buyer), escrowed);
+
+  // height == deadline + 1: first block past the deadline.
+  ASSERT_EQ(sys().chain().height(), deadline + 1);
+  r = sys().chain().call(buyer_keys, "refund-plus-1", [&](CallContext& ctx) {
+    sys().arbiter().refund(ctx, id);
+  });
+  EXPECT_TRUE(r.success) << r.error;
+  EXPECT_EQ(sys().chain().balance(buyer), escrowed + 250);
+  EXPECT_EQ(sys().arbiter().exchange(id)->state, ExchangeState::kRefunded);
+}
+
+TEST_F(ArbiterFixture, DoubleSettleRejected) {
+  const Fr k_v = rng.random_fr();
+  const std::uint64_t id = lock(600, hash_key(k_v));
+  auto proof = prove_key(k_v);
+  ASSERT_TRUE(proof);
+  const Fr k_c = k + k_v;
+  Receipt r = sys().chain().call(seller_keys, "settle-1",
+                                 [&](CallContext& ctx) {
+                                   sys().arbiter().settle(ctx, id, k_c, *proof);
+                                 });
+  ASSERT_TRUE(r.success) << r.error;
+  const std::uint64_t seller_after = sys().chain().balance(seller);
+  // Replaying the very same valid settle must not pay out again.
+  r = sys().chain().call(seller_keys, "settle-2", [&](CallContext& ctx) {
+    sys().arbiter().settle(ctx, id, k_c, *proof);
+  });
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(sys().chain().balance(seller), seller_after);
+  EXPECT_EQ(sys().arbiter().exchange(id)->state, ExchangeState::kSettled);
+}
+
+TEST_F(ArbiterFixture, DoubleRefundRejected) {
+  const Fr k_v = rng.random_fr();
+  const std::uint64_t id = lock(300, hash_key(k_v), /*timeout=*/1);
+  sys().chain().advance_blocks(3);
+  Receipt r = sys().chain().call(buyer_keys, "refund-1",
+                                 [&](CallContext& ctx) {
+                                   sys().arbiter().refund(ctx, id);
+                                 });
+  ASSERT_TRUE(r.success) << r.error;
+  const std::uint64_t buyer_after = sys().chain().balance(buyer);
+  r = sys().chain().call(buyer_keys, "refund-2", [&](CallContext& ctx) {
+    sys().arbiter().refund(ctx, id);
+  });
+  EXPECT_FALSE(r.success);  // kRefunded is terminal
+  EXPECT_EQ(sys().chain().balance(buyer), buyer_after);
+}
+
+TEST_F(ArbiterFixture, RefundAfterSettleRejected) {
+  const Fr k_v = rng.random_fr();
+  const std::uint64_t id = lock(400, hash_key(k_v), /*timeout=*/1);
+  auto proof = prove_key(k_v);
+  ASSERT_TRUE(proof);
+  Receipt r = sys().chain().call(seller_keys, "settle",
+                                 [&](CallContext& ctx) {
+                                   sys().arbiter().settle(ctx, id, k + k_v,
+                                                          *proof);
+                                 });
+  ASSERT_TRUE(r.success) << r.error;
+  // Even long past the deadline a settled exchange cannot be refunded.
+  sys().chain().advance_blocks(5);
+  const std::uint64_t buyer_after = sys().chain().balance(buyer);
+  r = sys().chain().call(buyer_keys, "refund-after-settle",
+                         [&](CallContext& ctx) {
+                           sys().arbiter().refund(ctx, id);
+                         });
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(sys().chain().balance(buyer), buyer_after);
+  EXPECT_EQ(sys().arbiter().exchange(id)->state, ExchangeState::kSettled);
+}
+
 TEST_F(ArbiterFixture, RefundOnlyByBuyer) {
   const Fr k_v = rng.random_fr();
   const std::uint64_t id = lock(300, hash_key(k_v), 1);

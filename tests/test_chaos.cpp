@@ -1,0 +1,480 @@
+// Chaos harness: seeded fault schedules against the full exchange
+// pipeline (storage + chain + prover + ExchangeDriver), asserting the
+// paper's safety invariants under every schedule:
+//
+//   * every exchange terminates kSettled xor kRefunded (IV-F fairness:
+//     the buyer ends with the key or the refund, never neither),
+//   * funds are conserved (buyer + seller + escrow is constant, and the
+//     settled/refunded amount lands with the right party),
+//   * the data key k never appears in any on-chain contract slot,
+//   * every injected storage corruption is detected (III-A tamper
+//     evidence) and repaired when an intact replica exists.
+//
+// Each schedule is a pure function of its seed; a failing run prints
+// the seed and can be replayed alone via
+//   ZKDET_CHAOS_SEEDS=<seed> ./zkdet_chaos_tests
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "check/check.hpp"
+#include "core/exchange_driver.hpp"
+#include "fault/fault.hpp"
+#include "fault/points.hpp"
+
+namespace zkdet::core {
+namespace {
+
+using chain::ExchangeState;
+using crypto::Drbg;
+using crypto::KeyPair;
+using fault::Schedule;
+using ff::Fr;
+
+// --- fault framework unit tests ----------------------------------------
+
+constexpr const char kTestPoint[] = "test.point";
+
+struct FaultFramework : ::testing::Test {
+  void TearDown() override { fault::clear_all(); }
+};
+
+TEST_F(FaultFramework, DisarmedFireIsFalseAndCountsNothing) {
+  EXPECT_FALSE(fault::fire(kTestPoint));
+  EXPECT_EQ(fault::hits(kTestPoint), 0u);
+}
+
+TEST_F(FaultFramework, OnceFiresExactlyAtTheRequestedHit) {
+  fault::inject(kTestPoint, Schedule::once(3));
+  EXPECT_FALSE(fault::fire(kTestPoint));
+  EXPECT_FALSE(fault::fire(kTestPoint));
+  EXPECT_TRUE(fault::fire(kTestPoint));
+  EXPECT_FALSE(fault::fire(kTestPoint));
+  EXPECT_EQ(fault::hits(kTestPoint), 4u);
+  EXPECT_EQ(fault::failures(kTestPoint), 1u);
+}
+
+TEST_F(FaultFramework, TimesFailsAConsecutiveWindow) {
+  fault::inject(kTestPoint, Schedule::times(2, 2));
+  EXPECT_FALSE(fault::fire(kTestPoint));
+  EXPECT_TRUE(fault::fire(kTestPoint));
+  EXPECT_TRUE(fault::fire(kTestPoint));
+  EXPECT_FALSE(fault::fire(kTestPoint));
+  EXPECT_EQ(fault::failures(kTestPoint), 2u);
+}
+
+TEST_F(FaultFramework, ProbabilisticSequenceIsAFunctionOfTheSeed) {
+  std::vector<bool> first;
+  fault::inject(kTestPoint, Schedule::probability(0.5, 1234));
+  for (int i = 0; i < 64; ++i) first.push_back(fault::fire(kTestPoint));
+  // Reinstalling the same spec resets counters and replays identically.
+  fault::inject(kTestPoint, Schedule::probability(0.5, 1234));
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(fault::fire(kTestPoint), first[static_cast<std::size_t>(i)]);
+  }
+  // A different seed gives a different trace (with overwhelming prob.).
+  fault::inject(kTestPoint, Schedule::probability(0.5, 4321));
+  std::vector<bool> other;
+  for (int i = 0; i < 64; ++i) other.push_back(fault::fire(kTestPoint));
+  EXPECT_NE(first, other);
+}
+
+TEST_F(FaultFramework, SpecStringInstallsAndRejectsMalformedEntries) {
+  EXPECT_EQ(fault::install_spec("a.b=once;c.d=times:3@2;e.f=prob:0.25:7"), 3u);
+  EXPECT_TRUE(fault::fire("a.b"));
+  EXPECT_FALSE(fault::fire("a.b"));
+  EXPECT_FALSE(fault::fire("c.d"));
+  EXPECT_TRUE(fault::fire("c.d"));
+  // Malformed entries are skipped, valid ones still install.
+  EXPECT_EQ(fault::install_spec("bad;x=;=y;p.q=prob:1.5:0;ok.point=always"),
+            1u);
+  EXPECT_TRUE(fault::fire("ok.point"));
+}
+
+TEST_F(FaultFramework, ClearDisarms) {
+  fault::inject(kTestPoint, Schedule::always());
+  EXPECT_TRUE(fault::fire(kTestPoint));
+  fault::clear(kTestPoint);
+  EXPECT_FALSE(fault::fire(kTestPoint));
+}
+
+// --- chaos fixture ------------------------------------------------------
+
+struct ChaosBase : ::testing::Test {
+  static ZkdetSystem& sys() {
+    static ZkdetSystem s(1 << 14, 23);
+    return s;
+  }
+  static TransformationProtocol& tp() {
+    static TransformationProtocol t(sys());
+    return t;
+  }
+  static KeyPair& seller_keys() {
+    static KeyPair k = [] {
+      Drbg rng("chaos-seller", 1);
+      KeyPair kp = KeyPair::generate(rng);
+      sys().chain().create_account(kp, 1'000'000);
+      return kp;
+    }();
+    return k;
+  }
+  // One published asset + offer shared by every schedule (publishing is
+  // proof-heavy; the chaos target is the exchange, not the mint).
+  static OwnedAsset& asset() {
+    static OwnedAsset a = [] {
+      std::vector<Fr> data;
+      for (std::uint64_t i = 0; i < 4; ++i) {
+        data.push_back(Fr::from_u64(4200 + i));
+      }
+      auto published = tp().publish(seller_keys(), data);
+      ZKDET_CHECK(published.has_value(), "chaos fixture publish failed");
+      return *published;
+    }();
+    return a;
+  }
+  static Offer& offer() {
+    static Offer o = [] {
+      KeySecureExchange ex(sys(), tp());
+      auto made = ex.make_offer(asset(), nullptr, "any");
+      ZKDET_CHECK(made.has_value(), "chaos fixture offer failed");
+      return *made;
+    }();
+    return o;
+  }
+
+  void TearDown() override { fault::clear_all(); }
+};
+
+// Per-seed schedule: every fail-point independently gets no schedule, a
+// one-shot, a short outage window, or a seeded coin — all drawn from a
+// Drbg keyed by the seed, so the whole schedule replays from the seed.
+void install_schedule(std::uint64_t seed) {
+  Drbg rng("chaos-schedule", seed);
+  const auto pick = [&](const char* point) {
+    switch (rng() % 10) {
+      case 0: case 1: case 2:
+        break;  // healthy
+      case 3: case 4:
+        fault::inject(point, Schedule::once(1 + rng() % 3));
+        break;
+      case 5: case 6:
+        fault::inject(point, Schedule::times(1 + rng() % 2, 1 + rng() % 2));
+        break;
+      default: {
+        const double p = 0.05 + 0.01 * static_cast<double>(rng() % 20);
+        fault::inject(point, Schedule::probability(p, rng()));
+        break;
+      }
+    }
+  };
+  pick(fault::points::kStoragePutNode);
+  pick(fault::points::kStorageFetchNode);
+  pick(fault::points::kChainSubmit);
+  pick(fault::points::kProverJob);
+  pick(fault::points::kExchangeVerify);
+  pick(fault::points::kExchangeLock);
+  pick(fault::points::kExchangeSettle);
+  pick(fault::points::kExchangeRecover);
+  pick(fault::points::kExchangeRefund);
+  // Every 5th seed crashes the buyer right after the lock tx lands, to
+  // exercise ExchangeDriver's rebuild-from-chain recovery.
+  if (seed % 5 == 0) {
+    fault::inject(fault::points::kExchangeCrashAfterLock, Schedule::once());
+  }
+}
+
+std::vector<std::uint64_t> chaos_seeds() {
+  std::vector<std::uint64_t> seeds;
+  if (const char* env = std::getenv("ZKDET_CHAOS_SEEDS");
+      env != nullptr && *env != '\0') {
+    std::string s(env);
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+      const auto comma = s.find(',', pos);
+      const std::string tok =
+          s.substr(pos, comma == std::string::npos ? std::string::npos
+                                                   : comma - pos);
+      if (!tok.empty()) seeds.push_back(std::strtoull(tok.c_str(), nullptr, 10));
+      pos = comma == std::string::npos ? s.size() : comma + 1;
+    }
+    if (!seeds.empty()) return seeds;
+  }
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) seeds.push_back(seed);
+  return seeds;
+}
+
+struct ChaosExchange : ChaosBase,
+                       ::testing::WithParamInterface<std::uint64_t> {};
+
+TEST_P(ChaosExchange, ReachesTerminalStateWithInvariantsIntact) {
+  const std::uint64_t seed = GetParam();
+  SCOPED_TRACE("chaos seed " + std::to_string(seed) +
+               " — replay: ZKDET_CHAOS_SEEDS=" + std::to_string(seed));
+
+  // Materialize shared fixtures before arming any schedule.
+  OwnedAsset& a = asset();
+  Offer& o = offer();
+  auto& storage = sys().storage();
+  const auto* enc = tp().encryption_record(a.token_id);
+  ASSERT_NE(enc, nullptr);
+
+  // Fresh buyer per seed: balances stay auditable per schedule.
+  Drbg buyer_rng("chaos-buyer", seed);
+  const KeyPair buyer = KeyPair::generate(buyer_rng);
+  const chain::Address buyer_addr =
+      sys().chain().create_account(buyer, 100'000);
+  const chain::Address seller_addr = crypto::address_of(seller_keys().pk);
+  const chain::Address escrow_addr = sys().arbiter().address();
+
+  const std::uint64_t buyer_before = sys().chain().balance(buyer_addr);
+  const std::uint64_t seller_before = sys().chain().balance(seller_addr);
+  const std::uint64_t escrow_before = sys().chain().balance(escrow_addr);
+  const std::size_t tampered_before = storage.tamper_detections();
+
+  // Every 3rd seed additionally tampers a ciphertext replica in place
+  // (malicious node), exercising detection + repair mid-exchange.
+  bool corrupted_replica = false;
+  if (seed % 3 == 0) {
+    for (std::size_t i = 0; i < storage.num_nodes() && !corrupted_replica;
+         ++i) {
+      corrupted_replica = storage.node(i).corrupt(enc->data_cid);
+    }
+    ASSERT_TRUE(corrupted_replica);
+  }
+
+  install_schedule(seed);
+
+  // Every 4th seed performs a fresh put while node writes can fail,
+  // exercising the fallback-placement path concurrently with the
+  // exchange. Unpinned before the audit scrub: under an all-nodes-down
+  // schedule the blob legitimately ends with zero replicas.
+  std::optional<storage::Cid> extra_cid;
+  storage::Blob extra_blob;
+  if (seed % 4 == 0) {
+    for (std::size_t i = 0; i < 64; ++i) {
+      extra_blob.push_back(static_cast<std::uint8_t>(seed * 31 + i));
+    }
+    extra_cid = storage.put(extra_blob);
+  }
+
+  SessionStore store;
+  ExchangeDriver::Config cfg;
+  cfg.amount = 500 + seed;
+  cfg.timeout_blocks = 6;
+  cfg.max_attempts = 8;
+
+  DriveReport report;
+  {
+    ExchangeDriver driver(sys(), tp(), store);
+    report = driver.drive(buyer, seller_keys(), a, o, cfg);
+  }
+  if (report.status == DriveStatus::kCrashed) {
+    // The buyer process died. A new driver instance (same durable
+    // store) rebuilds the session from chain state and finishes.
+    ExchangeDriver recovered(sys(), tp(), store);
+    const auto reports = recovered.resume_all(buyer, seller_keys(), &a, cfg);
+    ASSERT_EQ(reports.size(), 1u);
+    report = reports[0];
+    EXPECT_TRUE(report.recovered_from_crash);
+  }
+
+  // Invariant: terminal state, exactly one of settled/refunded.
+  ASSERT_TRUE(report.status == DriveStatus::kSettled ||
+              report.status == DriveStatus::kRefunded)
+      << "non-terminal status: " << drive_status_name(report.status);
+
+  // Disarm before auditing: the audit itself must not be fault-injected.
+  fault::clear_all();
+
+  // Invariant: funds conserved, and routed to the right party.
+  const std::uint64_t buyer_after = sys().chain().balance(buyer_addr);
+  const std::uint64_t seller_after = sys().chain().balance(seller_addr);
+  const std::uint64_t escrow_after = sys().chain().balance(escrow_addr);
+  EXPECT_EQ(buyer_before + seller_before + escrow_before,
+            buyer_after + seller_after + escrow_after);
+  EXPECT_EQ(escrow_after, escrow_before);  // nothing stranded in escrow
+  if (report.status == DriveStatus::kSettled) {
+    EXPECT_EQ(buyer_after, buyer_before - cfg.amount);
+    EXPECT_EQ(seller_after, seller_before + cfg.amount);
+  } else {
+    EXPECT_EQ(buyer_after, buyer_before);
+    EXPECT_EQ(seller_after, seller_before);
+  }
+
+  // Invariant: the data key appears in no on-chain contract slot, and
+  // a settled exchange published exactly k_c = k + k_v.
+  for (const auto& [slot, value] : sys().arbiter().audit_store().peek_all()) {
+    EXPECT_NE(value, a.key) << "raw key leaked into chain slot " << slot;
+  }
+  if (report.exchange_id != 0) {
+    const auto info = sys().arbiter().exchange(report.exchange_id);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->state, report.status == DriveStatus::kSettled
+                               ? ExchangeState::kSettled
+                               : ExchangeState::kRefunded);
+    EXPECT_NE(info->k_c, a.key);
+    if (report.status == DriveStatus::kSettled) {
+      const auto session = store.load(info->h_v);
+      ASSERT_TRUE(session.has_value());
+      EXPECT_EQ(info->k_c, a.key + session->k_v);
+      EXPECT_EQ(hash_key(session->k_v), info->h_v);
+    }
+  }
+
+  // Invariant: a settled buyer actually holds the plaintext.
+  if (report.status == DriveStatus::kSettled) {
+    EXPECT_TRUE(report.data_recovered);
+    EXPECT_EQ(report.data, a.plain);
+  }
+
+  // The extra blob is either fully readable or (all writes failed)
+  // absent — never silently wrong. Unpin it so the audit scrub below
+  // only judges the exchange's own pinned data.
+  if (extra_cid) {
+    if (const auto fetched = storage.get(*extra_cid)) {
+      EXPECT_EQ(*fetched, extra_blob);
+    }
+    storage.unpin(*extra_cid);
+  }
+
+  // Invariant: injected corruption was detected, and an intact replica
+  // set is restored (scrub audits without reachability faults).
+  const auto scrub = storage.scrub();
+  EXPECT_EQ(scrub.unrecoverable, 0u);
+  if (corrupted_replica) {
+    EXPECT_GT(storage.tamper_detections(), tampered_before);
+    const auto blob = storage.get(enc->data_cid);
+    ASSERT_TRUE(blob.has_value());
+    EXPECT_EQ(storage::Cid::of(*blob), enc->data_cid);
+  }
+
+  // The chain itself stayed hash-linked through all of it.
+  EXPECT_TRUE(sys().chain().validate_chain());
+
+  if (HasFailure()) {
+    std::fprintf(stderr,
+                 "[chaos] FAILED seed=%llu — reproduce with "
+                 "ZKDET_CHAOS_SEEDS=%llu ./zkdet_chaos_tests\n",
+                 static_cast<unsigned long long>(seed),
+                 static_cast<unsigned long long>(seed));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosExchange,
+                         ::testing::ValuesIn(chaos_seeds()));
+
+// --- directed driver scenarios -----------------------------------------
+
+struct DriverScenarios : ChaosBase {};
+
+TEST_F(DriverScenarios, CrashAfterLockRecoversViaChainLookup) {
+  OwnedAsset& a = asset();
+  Offer& o = offer();
+  Drbg rng("driver-crash", 7);
+  const KeyPair buyer = KeyPair::generate(rng);
+  sys().chain().create_account(buyer, 10'000);
+
+  SessionStore store;
+  ExchangeDriver::Config cfg;
+  cfg.amount = 900;
+
+  fault::inject(fault::points::kExchangeCrashAfterLock, Schedule::once());
+  DriveReport crashed;
+  {
+    ExchangeDriver driver(sys(), tp(), store);
+    crashed = driver.drive(buyer, seller_keys(), a, o, cfg);
+  }
+  ASSERT_EQ(crashed.status, DriveStatus::kCrashed);
+  // The persisted record predates the lock receipt: no exchange id.
+  ASSERT_EQ(store.pending().size(), 1u);
+  EXPECT_EQ(store.pending()[0].exchange_id, 0u);
+  fault::clear_all();
+
+  ExchangeDriver fresh(sys(), tp(), store);
+  const auto reports = fresh.resume_all(buyer, seller_keys(), &a, cfg);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].status, DriveStatus::kSettled);
+  EXPECT_TRUE(reports[0].recovered_from_crash);
+  EXPECT_NE(reports[0].exchange_id, 0u);
+  EXPECT_TRUE(reports[0].data_recovered);
+  EXPECT_EQ(reports[0].data, a.plain);
+  EXPECT_TRUE(store.pending().empty());
+}
+
+TEST_F(DriverScenarios, SellerGoneMeansRefundAfterDeadline) {
+  OwnedAsset& a = asset();
+  Offer& o = offer();
+  Drbg rng("driver-refund", 9);
+  const KeyPair buyer = KeyPair::generate(rng);
+  const auto buyer_addr = sys().chain().create_account(buyer, 10'000);
+  const std::uint64_t before = sys().chain().balance(buyer_addr);
+
+  // The seller client is dead for the whole run.
+  fault::inject(fault::points::kExchangeSettle, Schedule::always());
+
+  SessionStore store;
+  ExchangeDriver driver(sys(), tp(), store);
+  ExchangeDriver::Config cfg;
+  cfg.amount = 800;
+  cfg.timeout_blocks = 4;
+  const auto report = driver.drive(buyer, seller_keys(), a, o, cfg);
+  EXPECT_EQ(report.status, DriveStatus::kRefunded);
+  EXPECT_GT(report.settle_attempts, 0);
+  EXPECT_EQ(sys().chain().balance(buyer_addr), before);
+  const auto info = sys().arbiter().exchange(report.exchange_id);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->state, ExchangeState::kRefunded);
+}
+
+TEST_F(DriverScenarios, ResumeIsIdempotentAfterCompletion) {
+  OwnedAsset& a = asset();
+  Offer& o = offer();
+  Drbg rng("driver-idem", 11);
+  const KeyPair buyer = KeyPair::generate(rng);
+  sys().chain().create_account(buyer, 10'000);
+
+  SessionStore store;
+  ExchangeDriver driver(sys(), tp(), store);
+  ExchangeDriver::Config cfg;
+  cfg.amount = 300;
+  const auto report = driver.drive(buyer, seller_keys(), a, o, cfg);
+  ASSERT_EQ(report.status, DriveStatus::kSettled);
+  const std::uint64_t seller_after =
+      sys().chain().balance(crypto::address_of(seller_keys().pk));
+
+  // A replayed recovery pass must neither resend the settle nor move
+  // funds: every persisted session is already terminal.
+  const auto replay = driver.resume_all(buyer, seller_keys(), &a, cfg);
+  EXPECT_TRUE(replay.empty());
+  EXPECT_EQ(sys().chain().balance(crypto::address_of(seller_keys().pk)),
+            seller_after);
+}
+
+TEST_F(DriverScenarios, TransientFaultsEverywhereStillSettles) {
+  OwnedAsset& a = asset();
+  Offer& o = offer();
+  Drbg rng("driver-transient", 13);
+  const KeyPair buyer = KeyPair::generate(rng);
+  sys().chain().create_account(buyer, 10'000);
+
+  // One transient failure at every step of the pipeline.
+  fault::inject(fault::points::kExchangeVerify, Schedule::once());
+  fault::inject(fault::points::kExchangeLock, Schedule::once());
+  fault::inject(fault::points::kChainSubmit, Schedule::once());
+  fault::inject(fault::points::kProverJob, Schedule::once());
+  fault::inject(fault::points::kExchangeSettle, Schedule::once());
+  fault::inject(fault::points::kExchangeRecover, Schedule::once());
+  fault::inject(fault::points::kStorageFetchNode, Schedule::once());
+
+  SessionStore store;
+  ExchangeDriver driver(sys(), tp(), store);
+  ExchangeDriver::Config cfg;
+  cfg.amount = 450;
+  const auto report = driver.drive(buyer, seller_keys(), a, o, cfg);
+  EXPECT_EQ(report.status, DriveStatus::kSettled);
+  EXPECT_TRUE(report.data_recovered);
+  EXPECT_EQ(report.data, a.plain);
+}
+
+}  // namespace
+}  // namespace zkdet::core

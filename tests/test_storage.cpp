@@ -1,6 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "crypto/rng.hpp"
+#include "fault/fault.hpp"
+#include "fault/points.hpp"
 #include "storage/storage.hpp"
 
 namespace zkdet::storage {
@@ -92,6 +98,163 @@ TEST(StorageNetwork, IdenticalContentDeduplicates) {
   const Cid c1 = net.put(make_blob({1, 2}));
   const Cid c2 = net.put(make_blob({1, 2}));
   EXPECT_EQ(c1, c2);
+}
+
+TEST(StorageNetwork, GetOverwritesCorruptReplicaWithGoodCopy) {
+  StorageNetwork net(6, 3);
+  const Blob blob = make_blob({8, 8, 8, 8});
+  const Cid cid = net.put(blob);
+  std::size_t bad = net.num_nodes();
+  for (std::size_t i = 0; i < net.num_nodes(); ++i) {
+    if (net.node(i).corrupt(cid)) {
+      bad = i;
+      break;
+    }
+  }
+  ASSERT_LT(bad, net.num_nodes());
+  ASSERT_NE(net.node(bad).fetch(cid), blob);  // really corrupted
+
+  const auto got = net.get(cid);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, blob);
+  // Self-healing: the corrupt replica was overwritten in place with the
+  // verified copy, not merely skipped.
+  EXPECT_EQ(net.node(bad).fetch(cid), blob);
+  EXPECT_GE(net.repairs(), 1u);
+  EXPECT_GE(net.tamper_detections(), 1u);
+}
+
+TEST(StorageNetwork, AllReplicasCorruptedIsUnrecoverable) {
+  StorageNetwork net(4, 2);
+  const Blob blob = make_blob({3, 1, 4, 1, 5});
+  const Cid cid = net.put(blob);
+  for (std::size_t i = 0; i < net.num_nodes(); ++i) {
+    net.node(i).corrupt(cid);
+  }
+  // No intact copy anywhere: get() must refuse to return corrupt bytes,
+  // and a scrub reports the CID as unrecoverable rather than "fixing" it.
+  EXPECT_FALSE(net.get(cid).has_value());
+  const auto report = net.scrub();
+  EXPECT_EQ(report.unrecoverable, 1u);
+  EXPECT_FALSE(net.get(cid).has_value());
+}
+
+TEST(StorageNetwork, ScrubRestoresFullReplication) {
+  StorageNetwork net(6, 3);
+  const Blob blob = make_blob({6, 6, 6});
+  const Cid cid = net.put(blob);
+  // Knock out one replica and corrupt another.
+  std::size_t erased = 0, corrupted = 0;
+  for (std::size_t i = 0; i < net.num_nodes(); ++i) {
+    if (net.node(i).holds(cid)) {
+      if (erased == 0) {
+        net.node(i).erase(cid);
+        ++erased;
+      } else if (corrupted == 0) {
+        net.node(i).corrupt(cid);
+        ++corrupted;
+      }
+    }
+  }
+  ASSERT_EQ(erased + corrupted, 2u);
+
+  const auto report = net.scrub();
+  EXPECT_EQ(report.checked, 1u);
+  EXPECT_GE(report.repaired, 1u);
+  EXPECT_EQ(report.unrecoverable, 0u);
+  // Full replication restored, every held copy verifies.
+  std::size_t good = 0;
+  for (std::size_t i = 0; i < net.num_nodes(); ++i) {
+    if (const auto b = net.node(i).fetch(cid)) {
+      EXPECT_EQ(Cid::of(*b), cid);
+      ++good;
+    }
+  }
+  EXPECT_GE(good, 3u);
+}
+
+TEST(StorageNetwork, RepeatedlyCorruptNodeIsQuarantined) {
+  StorageNetwork net(4, 2);
+  const Blob blob = make_blob({9, 9});
+  const Cid cid = net.put(blob);
+  std::size_t bad = net.num_nodes();
+  for (std::size_t i = 0; i < net.num_nodes(); ++i) {
+    if (net.node(i).holds(cid)) {
+      bad = i;
+      break;
+    }
+  }
+  ASSERT_LT(bad, net.num_nodes());
+
+  // Each round: corrupt, get (detects + repairs). After kQuarantineAfter
+  // corrupt serves the node is quarantined.
+  for (std::uint64_t round = 0; round < StorageNetwork::kQuarantineAfter;
+       ++round) {
+    EXPECT_FALSE(net.node_quarantined(bad));
+    ASSERT_TRUE(net.node(bad).corrupt(cid));
+    ASSERT_TRUE(net.get(cid).has_value());
+  }
+  EXPECT_TRUE(net.node_quarantined(bad));
+  EXPECT_EQ(net.quarantined_count(), 1u);
+  // Quarantined nodes are excluded from new placements.
+  const Cid fresh = net.put(make_blob({1, 2, 3, 4, 5}));
+  EXPECT_FALSE(net.node(bad).holds(fresh));
+  // Reads still work (digest-verified) and the data survives.
+  EXPECT_TRUE(net.get(cid).has_value());
+  // Operator reinstates the node after vetting it.
+  net.reinstate(bad);
+  EXPECT_FALSE(net.node_quarantined(bad));
+  EXPECT_EQ(net.quarantined_count(), 0u);
+}
+
+TEST(StorageNetwork, PutUnderNodeFaultsStillReachesFullReplication) {
+  fault::ScopedFaults faults;
+  StorageNetwork net(6, 3);
+  // First two placement writes fail; the fallback path must re-place
+  // the replicas on healthy nodes so the blob still lands at 3 copies.
+  fault::inject(fault::points::kStoragePutNode,
+                fault::Schedule::times(2, 1));
+  const Blob blob = make_blob({11, 22, 33});
+  const Cid cid = net.put(blob);
+  std::size_t copies = 0;
+  for (std::size_t i = 0; i < net.num_nodes(); ++i) {
+    if (net.node(i).holds(cid)) ++copies;
+  }
+  EXPECT_EQ(copies, 3u);
+  EXPECT_EQ(net.get(cid), blob);
+}
+
+// Exercised under -DZKDET_SANITIZE=thread in CI: concurrent put/get/
+// scrub on one network, plus monitoring reads of the atomic counters.
+TEST(StorageNetwork, ConcurrentPutGetScrubIsSafe) {
+  StorageNetwork net(6, 2);
+  std::vector<Cid> seeded;
+  for (std::uint8_t i = 0; i < 8; ++i) {
+    seeded.push_back(net.put(make_blob({i, 1, 2})));
+  }
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        const auto& cid = seeded[static_cast<std::size_t>((t * 50 + i) %
+                                                          seeded.size())];
+        const auto got = net.get(cid);
+        if (!got.has_value()) ok.store(false);
+        Blob fresh{static_cast<std::uint8_t>(t), static_cast<std::uint8_t>(i),
+                   7};
+        const Cid c = net.put(fresh);
+        if (net.get(c) != fresh) ok.store(false);
+        if (i % 16 == 0) {
+          net.scrub();
+          (void)net.tamper_detections();
+          (void)net.repairs();
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_TRUE(ok.load());
 }
 
 TEST(DatasetSerialization, Roundtrip) {
