@@ -4,8 +4,21 @@
 // decompose into: field/curve arithmetic, pairing, the circuit-friendly
 // primitives (MiMC, Poseidon) vs the traditional hash (SHA-256), MSM and
 // NTT scaling.
+//
+// Extra mode: `--msm-sweep[=quick]` skips google-benchmark and runs the
+// old-vs-new MSM comparison (Jacobian-bucket baseline vs signed-digit
+// affine buckets) for G1 and G2 across n = 2^8..2^15 (quick: 2^8..2^10),
+// emitting BENCH_msm.json.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
 #include "crypto/mimc.hpp"
 #include "crypto/poseidon.hpp"
 #include "crypto/rng.hpp"
@@ -149,6 +162,138 @@ void BM_Sha256_1KiB(benchmark::State& state) {
 }
 BENCHMARK(BM_Sha256_1KiB);
 
+// --- MSM sweep: Jacobian-bucket baseline vs affine signed-digit path ---
+
+struct MsmRow {
+  std::string group;
+  std::size_t n = 0;
+  double jacobian_seconds = 0;
+  double affine_seconds = 0;
+  double speedup = 0;
+};
+
+// Times `fn()` with enough repetitions to dominate clock noise on small
+// inputs, returning seconds per call (best of reps).
+template <typename Fn>
+double time_best(Fn&& fn, int reps) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    bench::Stopwatch sw;
+    fn();
+    best = std::min(best, sw.seconds());
+  }
+  return best;
+}
+
+template <typename Jac, typename Aff, typename JacMsm, typename AffMsm>
+MsmRow sweep_one(const char* group, std::size_t n,
+                 const std::vector<Fr>& scalars, const std::vector<Jac>& points,
+                 const std::vector<Aff>& affine, JacMsm&& jac_msm,
+                 AffMsm&& aff_msm) {
+  const int reps = n <= (1u << 10) ? 5 : (n <= (1u << 12) ? 3 : 2);
+  MsmRow row;
+  row.group = group;
+  row.n = n;
+  // Baseline: the pre-overhaul path, Jacobian buckets over Jacobian
+  // bases. New path: signed-digit windows over a pre-normalized affine
+  // table, matching how Srs::commit() consumes g1_powers_affine().
+  row.jacobian_seconds = time_best(
+      [&] {
+        benchmark::DoNotOptimize(jac_msm(
+            std::span<const Fr>(scalars.data(), n),
+            std::span<const Jac>(points.data(), n)));
+      },
+      reps);
+  row.affine_seconds = time_best(
+      [&] {
+        benchmark::DoNotOptimize(aff_msm(
+            std::span<const Fr>(scalars.data(), n),
+            std::span<const Aff>(affine.data(), n)));
+      },
+      reps);
+  row.speedup =
+      row.affine_seconds > 0 ? row.jacobian_seconds / row.affine_seconds : 0;
+  std::printf("  %-4s n=%-6zu jacobian %-12s affine %-12s speedup %.2fx\n",
+              group, n, bench::fmt_seconds(row.jacobian_seconds).c_str(),
+              bench::fmt_seconds(row.affine_seconds).c_str(), row.speedup);
+  return row;
+}
+
+int run_msm_sweep(bool quick) {
+  const std::size_t max_log2 = quick ? 10 : 15;
+  const std::size_t max_n = std::size_t{1} << max_log2;
+  std::printf("MSM sweep (%s): n = 2^8..2^%zu, Jacobian buckets vs "
+              "signed-digit affine buckets\n",
+              quick ? "quick" : "full", max_log2);
+
+  crypto::Drbg r(42);
+  std::vector<Fr> scalars(max_n);
+  std::vector<ec::G1> g1(max_n);
+  std::vector<ec::G2> g2(max_n);
+  for (std::size_t i = 0; i < max_n; ++i) {
+    scalars[i] = r.random_fr();
+    g1[i] = ec::g1_mul_generator(r.random_fr());
+    g2[i] = ec::g2_mul_generator(r.random_fr());
+  }
+  const std::vector<ec::G1Affine> g1a = ec::batch_normalize(
+      std::span<const ec::G1>(g1));
+  const std::vector<ec::G2Affine> g2a = ec::batch_normalize(
+      std::span<const ec::G2>(g2));
+
+  std::vector<MsmRow> rows;
+  for (std::size_t lg = 8; lg <= max_log2; ++lg) {
+    const std::size_t n = std::size_t{1} << lg;
+    rows.push_back(sweep_one(
+        "G1", n, scalars, g1, g1a,
+        [](std::span<const Fr> s, std::span<const ec::G1> p) {
+          return ec::msm_jacobian(s, p);
+        },
+        [](std::span<const Fr> s, std::span<const ec::G1Affine> p) {
+          return ec::msm(s, p);
+        }));
+  }
+  for (std::size_t lg = 8; lg <= max_log2; ++lg) {
+    const std::size_t n = std::size_t{1} << lg;
+    rows.push_back(sweep_one(
+        "G2", n, scalars, g2, g2a,
+        [](std::span<const Fr> s, std::span<const ec::G2> p) {
+          return ec::msm_jacobian_g2(s, p);
+        },
+        [](std::span<const Fr> s, std::span<const ec::G2Affine> p) {
+          return ec::msm_g2(s, p);
+        }));
+  }
+
+  std::ofstream json("BENCH_msm.json");
+  json << "{\n  \"bench\": \"msm_sweep\",\n"
+       << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n"
+       << "  \"baseline\": \"jacobian_buckets\",\n"
+       << "  \"candidate\": \"affine_signed_digit_buckets\",\n"
+       << "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    json << "    {\"group\": \"" << rows[i].group << "\", \"n\": " << rows[i].n
+         << ", \"jacobian_seconds\": " << rows[i].jacobian_seconds
+         << ", \"affine_seconds\": " << rows[i].affine_seconds
+         << ", \"speedup\": " << rows[i].speedup << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote BENCH_msm.json\n");
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--msm-sweep") == 0) return run_msm_sweep(false);
+    if (std::strcmp(argv[i], "--msm-sweep=quick") == 0) {
+      return run_msm_sweep(true);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -47,6 +47,9 @@ cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 
 if [[ "$QUICK" == "1" ]]; then
+  echo "=== bench: MSM sweep smoke (quick, writes BENCH_msm.json) ==="
+  cmake --build build -j --target bench_primitives
+  ./build/bench/bench_primitives --msm-sweep=quick
   echo "=== quick mode: remaining stages skipped ==="
   echo "=== CI OK (quick) ==="
   exit 0
@@ -56,6 +59,10 @@ echo "=== checked: full suite under -DZKDET_CHECKED=ON ==="
 cmake -B build-checked -S . -DZKDET_CHECKED=ON
 cmake --build build-checked -j
 ctest --test-dir build-checked --output-on-failure -j
+
+echo "=== checked: MSM differential suite (affine vs Jacobian vs naive) ==="
+./build-checked/tests/zkdet_math_tests \
+  --gtest_filter='MsmDifferential*:BatchNormalize*:MulCt*:MixedAdd*'
 
 echo "=== chaos: extended seeded fault schedules under -DZKDET_CHECKED=ON ==="
 # Every ctest run above already covers chaos seeds 1..30; this stage

@@ -29,6 +29,11 @@ analysis tooling"):
                            from src/fault/points.hpp, never a raw string
                            literal — the catalog is the single source of
                            truth for the fault surface.
+  vartime-scalar-mul       no variable-time Point::mul() in src/crypto —
+                           secret-scalar paths (keygen, signing nonces,
+                           exchange blinds) must use the constant-time
+                           Point::mul_ct ladder; reviewed public-data
+                           call sites (verification) are annotated.
 
 Suppression: append  // zkdet-lint: allow(<rule>)  to the offending
 line (or the line above) after review.
@@ -133,6 +138,16 @@ RULES = [
         lambda p: p.startswith("src/") and not p.startswith("src/fault/"),
         "pass a named constant from src/fault/points.hpp to fault::fire() "
         "so the fail-point catalog stays the single source of truth",
+    ),
+    Rule(
+        # `.mul(` never matches `.mul_ct(` (the paren is required right
+        # after `mul`, modulo whitespace).
+        "vartime-scalar-mul",
+        r"\.mul\s*\(",
+        _in(("src/crypto/",)),
+        "secret scalars in src/crypto must use the constant-time "
+        "Point::mul_ct ladder; annotate reviewed public-data call sites "
+        "with // zkdet-lint: allow(vartime-scalar-mul)",
     ),
 ]
 
@@ -245,6 +260,13 @@ SELF_TEST_CASES = [
      "if (fault::fire(points::kChainSubmit)) return;\n", None),
     ("src/fault/fp_impl_ok.cpp",
      'bool fire_slow(const char* p); auto x = fault::fire("self");\n', None),
+    ("src/crypto/sig_vartime.cpp", "kp.pk = G1::generator().mul(kp.sk);\n",
+     "vartime-scalar-mul"),
+    ("src/crypto/sig_ct_ok.cpp", "kp.pk = G1::generator().mul_ct(kp.sk);\n",
+     None),
+    ("src/crypto/sig_allow_ok.cpp",
+     "return pk.mul(e);  // zkdet-lint: allow(vartime-scalar-mul)\n", None),
+    ("src/chain/mul_scope_ok.cpp", "auto p = base.mul(k);\n", None),
 ]
 
 

@@ -22,7 +22,9 @@ Fr challenge(const G1& r, const G1& pk, std::span<const std::uint8_t> msg) {
 KeyPair KeyPair::generate(Drbg& rng) {
   KeyPair kp;
   kp.sk = rng.random_fr();
-  kp.pk = G1::generator().mul(kp.sk);
+  // Secret scalar: constant-time ladder (the variable-time double-and-
+  // add leaks the key's bit pattern through timing).
+  kp.pk = G1::generator().mul_ct(kp.sk);
   return kp;
 }
 
@@ -30,7 +32,9 @@ Signature schnorr_sign(const KeyPair& keys, std::span<const std::uint8_t> msg,
                        Drbg& rng) {
   const Fr k = rng.random_fr();
   Signature sig;
-  sig.r = G1::generator().mul(k);
+  // The nonce is as secret as the key (a leaked nonce recovers sk from
+  // s = k + e*sk); same constant-time ladder.
+  sig.r = G1::generator().mul_ct(k);
   const Fr e = challenge(sig.r, keys.pk, msg);
   sig.s = k + e * keys.sk;
   return sig;
@@ -40,7 +44,10 @@ bool schnorr_verify(const G1& pk, std::span<const std::uint8_t> msg,
                     const Signature& sig) {
   if (pk.is_identity()) return false;
   const Fr e = challenge(sig.r, pk, msg);
-  return G1::generator().mul(sig.s) == sig.r + pk.mul(e);
+  // Verification sees only public data; the fast variable-time path is
+  // safe here.
+  return G1::generator().mul(sig.s) ==  // zkdet-lint: allow(vartime-scalar-mul)
+         sig.r + pk.mul(e);             // zkdet-lint: allow(vartime-scalar-mul)
 }
 
 std::string address_of(const G1& pk) {

@@ -10,12 +10,16 @@ namespace zkdet::ec {
 
 namespace {
 
-std::size_t pick_window(std::size_t n) {
-  if (n < 32) return 3;
-  std::size_t c = 3;
-  while ((1ull << (c + 1)) < n && c < 16) ++c;
-  return c;
-}
+// BN-254 scalars are < r < 2^254.
+constexpr std::size_t kScalarBits = 254;
+
+// Below this input size one bucket pass is cheaper than dispatching
+// window tasks to the pool; run the windows serially.
+constexpr std::size_t kMsmParallelThreshold = 256;
+
+// Below this size the bucket machinery (digit decomposition, bucket
+// array setup) costs more than naive double-and-add.
+constexpr std::size_t kMsmNaiveThreshold = 8;
 
 template <typename Point>
 Point msm_naive_impl(std::span<const Fr> scalars, std::span<const Point> points) {
@@ -28,40 +32,84 @@ Point msm_naive_impl(std::span<const Fr> scalars, std::span<const Point> points)
   return acc;
 }
 
-// Below this input size one bucket pass is cheaper than dispatching
-// window tasks to the pool; run the windows serially.
-constexpr std::size_t kMsmParallelThreshold = 256;
+// c bits of k starting at bit `off` (off < 256; bits past 255 read 0).
+std::uint64_t window_bits(const U256& k, std::size_t off, std::size_t c) {
+  const std::size_t limb = off / 64;
+  const std::size_t lo = off % 64;
+  std::uint64_t v = k.limb[limb] >> lo;
+  if (lo + c > 64 && limb + 1 < 4) v |= k.limb[limb + 1] << (64 - lo);
+  return v & ((1ull << c) - 1);
+}
 
-template <typename Point>
-Point msm_impl(std::span<const Fr> scalars, std::span<const Point> points) {
+// Signed-digit decomposition: k = sum_w out[w] * 2^(c*w) with digits in
+// [-2^(c-1), 2^(c-1)]. Digits for scalar i land at out[w * stride + i]
+// (column-major: window tasks read their digit row contiguously). For
+// k < 2^254 and num_windows = ceil(255 / c) the top window holds at
+// most c-1 raw bits, so the final carry is always zero.
+void signed_digits(const U256& k, std::size_t c, std::size_t num_windows,
+                   std::size_t stride, std::size_t i, std::int32_t* out) {
+  const std::int64_t full = std::int64_t{1} << c;
+  const std::int64_t half = full >> 1;
+  std::uint64_t carry = 0;
+  for (std::size_t w = 0; w < num_windows; ++w) {
+    const auto d = static_cast<std::int64_t>(window_bits(k, w * c, c) + carry);
+    std::int64_t digit = d;
+    carry = 0;
+    if (d > half) {
+      digit = d - full;
+      carry = 1;
+    }
+    // digit in [-2^15, 2^15] (c <= 16), well inside int32 range.
+    out[w * stride + i] =  // zkdet-lint: allow(narrowing-cast) digit fits c+1 bits
+        static_cast<std::int32_t>(digit);
+  }
+}
+
+// Signed-digit Pippenger over affine bases: bucket accumulation is a
+// mixed add, negative digits use the free affine negation, and only
+// 2^(c-1) buckets are needed per window.
+template <typename Traits>
+Point<Traits> msm_affine_impl(std::span<const Fr> scalars,
+                              std::span<const AffinePoint<Traits>> points) {
+  using P = Point<Traits>;
   ZKDET_CHECK(scalars.size() == points.size(),
               "msm: scalar/point count mismatch");
   const std::size_t n = scalars.size();
-  if (n == 0) return Point::identity();
-  if (n < 8) return msm_naive_impl(scalars, points);
+  if (n == 0) return P::identity();
+  if (n < kMsmNaiveThreshold) {
+    P acc = P::identity();
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += points[i].to_jacobian().mul(scalars[i]);
+    }
+    return acc;
+  }
   runtime::ScopedTimer timer(runtime::counters::msm_ns);
 
-  const std::size_t c = pick_window(n);
-  const std::size_t num_windows = (254 + c - 1) / c;
-  std::vector<U256> ks(n);
-  for (std::size_t i = 0; i < n; ++i) ks[i] = scalars[i].to_canonical();
+  const std::size_t c = msm_window_size(n, sizeof(P));
+  const std::size_t num_windows = (kScalarBits + c) / c;  // ceil(255 / c)
+  std::vector<std::int32_t> digits(num_windows * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    signed_digits(scalars[i].to_canonical(), c, num_windows, n, i,
+                  digits.data());
+  }
 
-  std::vector<Point> window_sums(num_windows, Point::identity());
+  const std::size_t num_buckets = 1ull << (c - 1);
+  std::vector<P> window_sums(num_windows, P::identity());
 
   const auto process_window = [&](std::size_t w) {
-    std::vector<Point> buckets((1ull << c) - 1, Point::identity());
-    const std::size_t bit_off = w * c;
+    std::vector<P> buckets(num_buckets, P::identity());
+    const std::int32_t* wd = digits.data() + w * n;
     for (std::size_t i = 0; i < n; ++i) {
-      std::uint64_t digit = 0;
-      for (std::size_t b = 0; b < c; ++b) {
-        const std::size_t bit = bit_off + b;
-        if (bit < 256 && ks[i].bit(bit)) digit |= (1ull << b);
+      const std::int32_t d = wd[i];
+      if (d > 0) {
+        buckets[static_cast<std::size_t>(d) - 1] += points[i];
+      } else if (d < 0) {
+        buckets[static_cast<std::size_t>(-d) - 1] -= points[i];
       }
-      if (digit != 0) buckets[digit - 1] += points[i];
     }
-    // running-sum trick: sum_j j * bucket[j]
-    Point running = Point::identity();
-    Point acc = Point::identity();
+    // running-sum trick: sum_j (j+1) * bucket[j]
+    P running = P::identity();
+    P acc = P::identity();
     for (std::size_t j = buckets.size(); j-- > 0;) {
       running += buckets[j];
       acc += running;
@@ -80,6 +128,74 @@ Point msm_impl(std::span<const Fr> scalars, std::span<const Point> points) {
     });
   }
 
+  P result = P::identity();
+  for (std::size_t w = num_windows; w-- > 0;) {
+    for (std::size_t b = 0; b < c; ++b) result = result.dbl();
+    result += window_sums[w];
+  }
+  return result;
+}
+
+// Pre-overhaul window choice, preserved verbatim for the Jacobian
+// baseline — including its unbounded bucket memory (c = 16 means ~19 MB
+// of Jacobian G2 buckets per window), which is exactly the behaviour
+// the production chooser msm_window_size() exists to fix. Changing the
+// baseline would silently rescale every BENCH_msm.json comparison.
+std::size_t pick_window_jacobian(std::size_t n) {
+  if (n < 32) return 3;
+  std::size_t c = 3;
+  while ((1ull << (c + 1)) < n && c < 16) ++c;
+  return c;
+}
+
+// Unsigned-window full-Jacobian Pippenger: the pre-affine implementation,
+// kept as the benchmark baseline and differential-test reference.
+template <typename Point>
+Point msm_jacobian_impl(std::span<const Fr> scalars,
+                        std::span<const Point> points) {
+  ZKDET_CHECK(scalars.size() == points.size(),
+              "msm: scalar/point count mismatch");
+  const std::size_t n = scalars.size();
+  if (n == 0) return Point::identity();
+  if (n < kMsmNaiveThreshold) return msm_naive_impl(scalars, points);
+  runtime::ScopedTimer timer(runtime::counters::msm_ns);
+
+  const std::size_t c = pick_window_jacobian(n);
+  const std::size_t num_windows = (kScalarBits + c - 1) / c;
+  std::vector<U256> ks(n);
+  for (std::size_t i = 0; i < n; ++i) ks[i] = scalars[i].to_canonical();
+
+  std::vector<Point> window_sums(num_windows, Point::identity());
+
+  const auto process_window = [&](std::size_t w) {
+    std::vector<Point> buckets((1ull << c) - 1, Point::identity());
+    const std::size_t bit_off = w * c;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t digit = 0;
+      for (std::size_t b = 0; b < c; ++b) {
+        const std::size_t bit = bit_off + b;
+        if (bit < 256 && ks[i].bit(bit)) digit |= (1ull << b);
+      }
+      if (digit != 0) buckets[digit - 1] += points[i];
+    }
+    Point running = Point::identity();
+    Point acc = Point::identity();
+    for (std::size_t j = buckets.size(); j-- > 0;) {
+      running += buckets[j];
+      acc += running;
+    }
+    window_sums[w] = acc;
+  };
+
+  auto& pool = runtime::ThreadPool::instance();
+  if (n < kMsmParallelThreshold || pool.concurrency() <= 1) {
+    for (std::size_t w = 0; w < num_windows; ++w) process_window(w);
+  } else {
+    pool.parallel_for(num_windows, 1, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t w = lo; w < hi; ++w) process_window(w);
+    });
+  }
+
   Point result = Point::identity();
   for (std::size_t w = num_windows; w-- > 0;) {
     for (std::size_t b = 0; b < c; ++b) result = result.dbl();
@@ -88,53 +204,120 @@ Point msm_impl(std::span<const Fr> scalars, std::span<const Point> points) {
   return result;
 }
 
-// Fixed-base table: table[w][b] = (b+1) * 2^(8w) * G for the generator.
-template <typename Point>
-const std::vector<std::array<Point, 255>>& generator_table() {
-  static const std::vector<std::array<Point, 255>> table = [] {
-    std::vector<std::array<Point, 255>> t(32);
-    Point base = Point::generator();
+// Fixed-base table: table[w][b] = (b+1) * 2^(8w) * G for the generator,
+// stored affine (smaller table, mixed adds in fixed_mul). Built in
+// Jacobian form, then batch-normalized with a single inversion.
+template <typename Traits>
+const std::vector<std::array<AffinePoint<Traits>, 255>>& generator_table() {
+  using P = Point<Traits>;
+  static const std::vector<std::array<AffinePoint<Traits>, 255>> table = [] {
+    std::vector<P> flat;
+    flat.reserve(32 * 255);
+    P base = P::generator();
     for (std::size_t w = 0; w < 32; ++w) {
-      Point acc = base;
+      P acc = base;
       for (std::size_t b = 0; b < 255; ++b) {
-        t[w][b] = acc;
+        flat.push_back(acc);
         acc += base;
       }
       base = acc;  // 256 * old base
+    }
+    const auto affine = batch_normalize_impl<Traits>(std::span<const P>(flat));
+    std::vector<std::array<AffinePoint<Traits>, 255>> t(32);
+    for (std::size_t w = 0; w < 32; ++w) {
+      for (std::size_t b = 0; b < 255; ++b) t[w][b] = affine[w * 255 + b];
     }
     return t;
   }();
   return table;
 }
 
-template <typename Point>
-Point fixed_mul(const Fr& k) {
+template <typename Traits>
+Point<Traits> fixed_mul(const Fr& k) {
   const U256 v = k.to_canonical();
-  const auto& table = generator_table<Point>();
-  Point acc = Point::identity();
+  const auto& table = generator_table<Traits>();
+  Point<Traits> acc = Point<Traits>::identity();
   for (std::size_t w = 0; w < 32; ++w) {
     const std::uint8_t byte =  // zkdet-lint: allow(narrowing-cast) window extract
         static_cast<std::uint8_t>(v.limb[w / 8] >> ((w % 8) * 8));
-    if (byte != 0) acc += table[w][byte - 1];
+    if (byte != 0) acc += table[w][byte - 1];  // mixed add
   }
   return acc;
 }
 
 }  // namespace
 
+std::size_t msm_window_size(std::size_t n, std::size_t point_bytes) {
+  if (n < 32) return 3;
+  std::size_t best = 3;
+  std::uint64_t best_cost = ~0ull;
+  for (std::size_t c = 3; c <= 16; ++c) {
+    if ((1ull << (c - 1)) * point_bytes > kMsmMaxBucketBytes) break;
+    const std::uint64_t windows = (kScalarBits + c) / c;
+    const std::uint64_t buckets = 1ull << (c - 1);
+    // Field-mul cost model per window: the first hit on an empty bucket
+    // is a coordinate copy (~1), later hits are mixed adds (~11 muls),
+    // and the running sum costs two Jacobian adds (~16 muls) per
+    // bucket. The first-touch term matters: wide windows see most
+    // buckets only once or twice.
+    const std::uint64_t touches = std::min<std::uint64_t>(n, buckets);
+    const std::uint64_t cost =
+        windows * (11ull * (n - touches) + touches + 32ull * buckets);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = c;
+    }
+  }
+  return best;
+}
+
 G1 msm_naive(std::span<const Fr> scalars, std::span<const G1> points) {
   return msm_naive_impl(scalars, points);
 }
 
+G2 msm_naive_g2(std::span<const Fr> scalars, std::span<const G2> points) {
+  return msm_naive_impl(scalars, points);
+}
+
 G1 msm(std::span<const Fr> scalars, std::span<const G1> points) {
-  return msm_impl(scalars, points);
+  ZKDET_CHECK(scalars.size() == points.size(),
+              "msm: scalar/point count mismatch");
+  if (points.size() < kMsmNaiveThreshold) {
+    return msm_naive_impl(scalars, points);
+  }
+  const auto affine = batch_normalize(points);
+  return msm_affine_impl<G1Traits>(scalars,
+                                   std::span<const G1Affine>(affine));
+}
+
+G1 msm(std::span<const Fr> scalars, std::span<const G1Affine> points) {
+  return msm_affine_impl<G1Traits>(scalars, points);
 }
 
 G2 msm_g2(std::span<const Fr> scalars, std::span<const G2> points) {
-  return msm_impl(scalars, points);
+  ZKDET_CHECK(scalars.size() == points.size(),
+              "msm: scalar/point count mismatch");
+  if (points.size() < kMsmNaiveThreshold) {
+    return msm_naive_impl(scalars, points);
+  }
+  const auto affine = batch_normalize(points);
+  return msm_affine_impl<G2Traits>(scalars,
+                                   std::span<const G2Affine>(affine));
 }
 
-G1 g1_mul_generator(const Fr& k) { return fixed_mul<G1>(k); }
-G2 g2_mul_generator(const Fr& k) { return fixed_mul<G2>(k); }
+G2 msm_g2(std::span<const Fr> scalars, std::span<const G2Affine> points) {
+  return msm_affine_impl<G2Traits>(scalars, points);
+}
+
+G1 msm_jacobian(std::span<const Fr> scalars, std::span<const G1> points) {
+  return msm_jacobian_impl(scalars, points);
+}
+
+G2 msm_jacobian_g2(std::span<const Fr> scalars, std::span<const G2> points) {
+  return msm_jacobian_impl(scalars, points);
+}
+
+G1 g1_mul_generator(const Fr& k) { return fixed_mul<G1Traits>(k); }
+G2 g2_mul_generator(const Fr& k) { return fixed_mul<G2Traits>(k); }
 
 }  // namespace zkdet::ec

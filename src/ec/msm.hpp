@@ -1,10 +1,20 @@
-// Multi-scalar multiplication (Pippenger's bucket method) over G1.
+// Multi-scalar multiplication (Pippenger's bucket method) over G1/G2.
 //
 // The Plonk prover's hot loop is committing polynomials: an n-term MSM
-// against the SRS powers. Buckets are processed per window, with windows
-// distributed over the shared runtime::ThreadPool above a size threshold
-// (each window is independent; only the final Horner-style combine is
-// sequential). Small inputs run serially — task dispatch would dominate.
+// against the SRS powers. The production path works on affine bases
+// (precomputed tables: SRS powers, fixed-base generator windows) with
+// signed-digit windows — digits in [-2^(c-1), 2^(c-1)], so negating an
+// affine base (free: (x, -y)) halves the bucket count and memory, and
+// every bucket accumulation is a mixed add (~11 field muls) instead of
+// a full Jacobian add (~16). Buckets are processed per window, with
+// windows distributed over the shared runtime::ThreadPool above a size
+// threshold (each window is independent; only the final Horner-style
+// combine is sequential). Small inputs run serially — task dispatch
+// would dominate.
+//
+// The pre-affine full-Jacobian bucket path is kept as msm_jacobian /
+// msm_jacobian_g2: it is the baseline for the BENCH_msm.json sweep in
+// bench_primitives and the third leg of the differential tests.
 #pragma once
 
 #include <span>
@@ -14,16 +24,37 @@
 
 namespace zkdet::ec {
 
-// sum_i scalars[i] * points[i]; sizes must match.
+// Hard per-window bucket-memory bound: window width is chosen so one
+// window's bucket array never exceeds this, regardless of n. (Before
+// this cap a c = 16 window allocated (2^16 - 1) Jacobian G2 buckets,
+// ~19 MB per window per pool worker.)
+inline constexpr std::size_t kMsmMaxBucketBytes = 1u << 20;
+
+// Signed-digit window width for an n-term MSM over points of
+// `point_bytes` each; (1 << (c - 1)) * point_bytes <= kMsmMaxBucketBytes
+// always holds. Exposed for tests.
+std::size_t msm_window_size(std::size_t n, std::size_t point_bytes);
+
+// sum_i scalars[i] * points[i]; sizes must match. The Jacobian-input
+// overloads batch-normalize once and run the affine path; callers with
+// long-lived bases should normalize once themselves (cf. plonk::Srs).
 G1 msm(std::span<const Fr> scalars, std::span<const G1> points);
+G1 msm(std::span<const Fr> scalars, std::span<const G1Affine> points);
 G2 msm_g2(std::span<const Fr> scalars, std::span<const G2> points);
+G2 msm_g2(std::span<const Fr> scalars, std::span<const G2Affine> points);
 
-// Naive double-and-add reference (used by tests to cross-check Pippenger).
+// Unsigned-window full-Jacobian Pippenger (pre-affine baseline; kept
+// for benchmarking and differential testing).
+G1 msm_jacobian(std::span<const Fr> scalars, std::span<const G1> points);
+G2 msm_jacobian_g2(std::span<const Fr> scalars, std::span<const G2> points);
+
+// Naive double-and-add references (used by tests to cross-check).
 G1 msm_naive(std::span<const Fr> scalars, std::span<const G1> points);
+G2 msm_naive_g2(std::span<const Fr> scalars, std::span<const G2> points);
 
-// Windowed fixed-base multiplication of the group generator (tables are
-// built once per process); used by SRS generation and Groth16 setup
-// where thousands of generator multiples are needed.
+// Windowed fixed-base multiplication of the group generator (affine
+// tables are built once per process); used by SRS generation and
+// Groth16 setup where thousands of generator multiples are needed.
 G1 g1_mul_generator(const Fr& k);
 G2 g2_mul_generator(const Fr& k);
 

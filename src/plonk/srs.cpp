@@ -18,15 +18,24 @@ Srs Srs::setup(std::size_t max_degree, crypto::Drbg& rng) {
   return srs;
 }
 
+std::span<const ec::G1Affine> Srs::g1_powers_affine() const {
+  AffineCache& cache = *affine_cache_;
+  std::call_once(cache.once, [&] {
+    cache.table = ec::batch_normalize(std::span<const G1>(g1_powers));
+  });
+  return cache.table;
+}
 
 G1 Srs::commit(const Polynomial& p) const { return commit(p.coeffs()); }
 
 G1 Srs::commit(std::span<const Fr> coeffs) const {
+  // The zero polynomial commits to the identity; returning early also
+  // keeps the failure message below from formatting `0 - 1`.
+  if (coeffs.empty()) return G1::identity();
   ZKDET_CHECK(coeffs.size() <= g1_powers.size(),
               "SRS too small: committing to degree ", coeffs.size() - 1,
               " with ", g1_powers.size(), " powers");
-  return ec::msm(coeffs,
-                 std::span<const G1>(g1_powers.data(), coeffs.size()));
+  return ec::msm(coeffs, g1_powers_affine().subspan(0, coeffs.size()));
 }
 
 }  // namespace zkdet::plonk

@@ -5,9 +5,17 @@
 // (DESIGN.md substitution #3). A single SRS of size N supports every
 // circuit with at most N-6 constraints — the "universal & updatable"
 // property that motivates Plonk in the paper.
+//
+// commit() runs the affine-base MSM against a lazily built,
+// batch-normalized mirror of g1_powers: the table is normalized once
+// per SRS (one field inversion for the whole vector) and shared by
+// every commitment of every proof, instead of paying a per-commit
+// Jacobian-input normalization.
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "crypto/rng.hpp"
@@ -29,11 +37,29 @@ struct Srs {
 
   [[nodiscard]] static Srs setup(std::size_t max_degree, crypto::Drbg& rng);
 
-  [[nodiscard]] std::size_t max_degree() const { return g1_powers.size() - 1; }
+  // Largest committable degree; 0 for an empty (default-constructed)
+  // SRS — the unguarded `size() - 1` underflowed to 2^64-1 and let
+  // preprocess() walk past the end of g1_powers.
+  [[nodiscard]] std::size_t max_degree() const {
+    return g1_powers.empty() ? 0 : g1_powers.size() - 1;
+  }
 
-  // KZG commitment to a coefficient-form polynomial.
+  // KZG commitment to a coefficient-form polynomial; the zero
+  // polynomial (empty coefficients) commits to the identity.
   [[nodiscard]] G1 commit(const Polynomial& p) const;
   [[nodiscard]] G1 commit(std::span<const Fr> coeffs) const;
+
+  // Batch-normalized affine mirror of g1_powers, built on first use
+  // (thread-safe) and shared across copies of this Srs. g1_powers must
+  // not be mutated after the first call.
+  [[nodiscard]] std::span<const ec::G1Affine> g1_powers_affine() const;
+
+ private:
+  struct AffineCache {
+    std::once_flag once;
+    std::vector<ec::G1Affine> table;
+  };
+  std::shared_ptr<AffineCache> affine_cache_ = std::make_shared<AffineCache>();
 };
 
 }  // namespace zkdet::plonk

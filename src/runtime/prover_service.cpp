@@ -21,7 +21,14 @@ const char* prove_error_name(ProveError e) {
 
 ProverService::ProverService(const plonk::Srs& srs,
                              std::size_t key_cache_capacity)
-    : srs_(srs), capacity_(std::max<std::size_t>(1, key_cache_capacity)) {}
+    : srs_(srs), capacity_(std::max<std::size_t>(1, key_cache_capacity)) {
+  // Warm the SRS's batch-normalized affine power table here, alongside
+  // the proving/verifying-key cache: it is normalized once per SRS (one
+  // field inversion for the whole vector) and then shared by every
+  // commit() of every job this service runs, instead of showing up as
+  // latency inside the first proof.
+  srs_.g1_powers_affine();
+}
 
 std::shared_ptr<const plonk::KeyPairResult> ProverService::keys_for(
     const std::string& circuit_id, const plonk::ConstraintSystem& cs) {

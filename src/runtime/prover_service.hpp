@@ -5,7 +5,10 @@
 // per-circuit preprocessing (SRS-sized selector/sigma commitments) is
 // paid once per circuit id and cached in an LRU, so a marketplace
 // serving many proofs over a few circuit shapes amortizes setup the way
-// the paper's deployment compiles each Circom circuit once.
+// the paper's deployment compiles each Circom circuit once. The SRS's
+// batch-normalized affine power table (the base vector of every
+// commit() MSM) is warmed at construction, so it too is built once per
+// SRS rather than once per proof.
 //
 // Determinism contract: a job carries its own Drbg, so the blinder
 // stream consumed by a proof is a function of the job alone — the same

@@ -212,6 +212,16 @@ TEST(PoseidonCommitment, HidingBlindersChangeCommitment) {
 
 // --- Schnorr ---
 
+TEST(Schnorr, ConstantTimeLadderMatchesKeyDerivation) {
+  // Keygen/signing now use the constant-time ladder; the public key it
+  // derives must be the same group element the variable-time path
+  // computes, so signatures interoperate across both.
+  Drbg rng(77);
+  const KeyPair kp = KeyPair::generate(rng);
+  EXPECT_EQ(kp.pk, ec::G1::generator().mul(kp.sk));
+  EXPECT_EQ(kp.pk, ec::G1::generator().mul_ct(kp.sk));
+}
+
 TEST(Schnorr, SignVerify) {
   Drbg rng(8);
   const KeyPair kp = KeyPair::generate(rng);

@@ -1,0 +1,263 @@
+// Differential tests for the MSM overhaul: the signed-digit affine
+// bucket path, the retained full-Jacobian baseline, and the naive
+// double-and-add reference must agree bit-for-bit on every input class
+// that has historically broken bucket MSMs (zero scalars, identity
+// bases, duplicate bases, scalars at the group order boundary, sizes
+// straddling the naive/parallel dispatch thresholds). Also covers
+// batch normalization with identities, mixed (Jacobian + affine)
+// addition, the constant-time ladder, and the bucket-memory window cap.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "ec/msm.hpp"
+
+namespace zkdet::ec {
+namespace {
+
+using ff::Fr;
+using ff::random_field;
+
+// Scalar just below the group order: r - 1 == -1 mod r. Exercises the
+// top signed-digit window and every carry in the decomposition.
+Fr r_minus_one() { return Fr::zero() - Fr::one(); }
+
+struct G1Api {
+  using Jac = G1;
+  using Aff = G1Affine;
+  static G1 gen_mul(const Fr& k) { return g1_mul_generator(k); }
+  static G1 run(std::span<const Fr> s, std::span<const G1> p) {
+    return msm(s, p);
+  }
+  static G1 run_affine(std::span<const Fr> s, std::span<const G1Affine> p) {
+    return msm(s, p);
+  }
+  static G1 run_jacobian(std::span<const Fr> s, std::span<const G1> p) {
+    return msm_jacobian(s, p);
+  }
+  static G1 run_naive(std::span<const Fr> s, std::span<const G1> p) {
+    return msm_naive(s, p);
+  }
+};
+
+struct G2Api {
+  using Jac = G2;
+  using Aff = G2Affine;
+  static G2 gen_mul(const Fr& k) { return g2_mul_generator(k); }
+  static G2 run(std::span<const Fr> s, std::span<const G2> p) {
+    return msm_g2(s, p);
+  }
+  static G2 run_affine(std::span<const Fr> s, std::span<const G2Affine> p) {
+    return msm_g2(s, p);
+  }
+  static G2 run_jacobian(std::span<const Fr> s, std::span<const G2> p) {
+    return msm_jacobian_g2(s, p);
+  }
+  static G2 run_naive(std::span<const Fr> s, std::span<const G2> p) {
+    return msm_naive_g2(s, p);
+  }
+};
+
+// All four implementations on the same input must agree.
+template <typename Api>
+void check_all_paths(const std::vector<Fr>& scalars,
+                     const std::vector<typename Api::Jac>& points,
+                     const char* what) {
+  const auto expected = Api::run_naive(scalars, points);
+  EXPECT_EQ(Api::run(scalars, points), expected) << what << " (msm)";
+  EXPECT_EQ(Api::run_jacobian(scalars, points), expected)
+      << what << " (jacobian baseline)";
+  const auto affine = batch_normalize(
+      std::span<const typename Api::Jac>(points));
+  EXPECT_EQ(Api::run_affine(scalars, affine), expected)
+      << what << " (affine bases)";
+}
+
+template <typename Api>
+void run_edge_suite(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  // Sizes straddle both dispatch thresholds: n < 8 runs naive, n >= 256
+  // distributes windows over the thread pool.
+  for (const std::size_t n : {1u, 7u, 8u, 9u, 255u, 256u, 257u}) {
+    std::vector<Fr> scalars(n);
+    std::vector<typename Api::Jac> points(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      scalars[i] = random_field<Fr>(rng);
+      points[i] = Api::gen_mul(random_field<Fr>(rng));
+    }
+    // Seed the edge cases into the front of the vector.
+    scalars[0] = Fr::zero();
+    if (n >= 3) {
+      scalars[1] = r_minus_one();
+      scalars[2] = Fr::one();
+      points[1] = Api::Jac::identity();     // identity base, max scalar
+      points[2] = points[n - 1];            // duplicate base
+    }
+    check_all_paths<Api>(scalars, points,
+                         ("n=" + std::to_string(n)).c_str());
+  }
+}
+
+TEST(MsmDifferential, G1EdgeInputs) { run_edge_suite<G1Api>(101); }
+TEST(MsmDifferential, G2EdgeInputs) { run_edge_suite<G2Api>(202); }
+
+TEST(MsmDifferential, G1AllZeroScalars) {
+  std::mt19937_64 rng(7);
+  std::vector<Fr> scalars(64, Fr::zero());
+  std::vector<G1> points(64);
+  for (auto& p : points) p = g1_mul_generator(random_field<Fr>(rng));
+  EXPECT_EQ(msm(scalars, points), G1::identity());
+  EXPECT_EQ(msm_jacobian(scalars, points), G1::identity());
+}
+
+TEST(MsmDifferential, G1AllIdentityPoints) {
+  std::mt19937_64 rng(8);
+  std::vector<Fr> scalars(64);
+  for (auto& s : scalars) s = random_field<Fr>(rng);
+  std::vector<G1> points(64, G1::identity());
+  EXPECT_EQ(msm(scalars, points), G1::identity());
+}
+
+TEST(MsmDifferential, G1AllMaxScalars) {
+  // Every digit in the signed decomposition of r-1 carries; a bucket
+  // sign error anywhere shows up here.
+  std::mt19937_64 rng(9);
+  std::vector<Fr> scalars(32, r_minus_one());
+  std::vector<G1> points(32);
+  for (auto& p : points) p = g1_mul_generator(random_field<Fr>(rng));
+  check_all_paths<G1Api>(scalars, points, "all r-1 scalars");
+}
+
+TEST(MsmDifferential, EmptyInputIsIdentity) {
+  EXPECT_EQ(msm(std::span<const Fr>{}, std::span<const G1>{}), G1::identity());
+  EXPECT_EQ(msm_g2(std::span<const Fr>{}, std::span<const G2>{}),
+            G2::identity());
+}
+
+// --- window sizing / bucket memory cap -------------------------------
+
+TEST(MsmWindowCap, BucketMemoryBoundHolds) {
+  // For any n, one window's bucket array must fit in kMsmMaxBucketBytes.
+  for (const std::size_t n :
+       {1u, 64u, 4096u, 1u << 16, 1u << 20, 1u << 24}) {
+    for (const std::size_t bytes : {sizeof(G1), sizeof(G2)}) {
+      const std::size_t c = msm_window_size(n, bytes);
+      ASSERT_GE(c, std::size_t{1});
+      EXPECT_LE((std::size_t{1} << (c - 1)) * bytes, kMsmMaxBucketBytes)
+          << "n=" << n << " point_bytes=" << bytes << " c=" << c;
+    }
+  }
+}
+
+TEST(MsmWindowCap, LargeG2MsmStaysCorrectUnderCap) {
+  // Large enough n that the uncapped heuristic would have picked a
+  // wider window; the capped choice must still be correct.
+  constexpr std::size_t n = 3000;
+  std::mt19937_64 rng(33);
+  std::vector<Fr> scalars(n);
+  std::vector<G2> points(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scalars[i] = random_field<Fr>(rng);
+    points[i] = g2_mul_generator(random_field<Fr>(rng));
+  }
+  EXPECT_EQ(msm_g2(scalars, points), msm_jacobian_g2(scalars, points));
+}
+
+// --- batch normalization ---------------------------------------------
+
+TEST(BatchNormalize, RoundTripsAndHandlesIdentity) {
+  std::mt19937_64 rng(11);
+  std::vector<G1> points;
+  points.push_back(G1::identity());  // identity at the front
+  for (int i = 0; i < 9; ++i) {
+    points.push_back(g1_mul_generator(random_field<Fr>(rng)));
+  }
+  points.insert(points.begin() + 5, G1::identity());  // ... the middle
+  points.push_back(G1::identity());                   // ... and the end
+  const auto affine = batch_normalize(std::span<const G1>(points));
+  ASSERT_EQ(affine.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].is_identity(), affine[i].is_identity()) << i;
+    EXPECT_EQ(affine[i].to_jacobian(), points[i]) << i;
+  }
+}
+
+TEST(BatchNormalize, AllIdentityAndEmpty) {
+  const std::vector<G1> ids(5, G1::identity());
+  const auto affine = batch_normalize(std::span<const G1>(ids));
+  ASSERT_EQ(affine.size(), 5u);
+  for (const auto& a : affine) EXPECT_TRUE(a.is_identity());
+  EXPECT_TRUE(batch_normalize(std::span<const G1>{}).empty());
+}
+
+TEST(BatchNormalize, G2MatchesPerPointNormalization) {
+  std::mt19937_64 rng(12);
+  std::vector<G2> points;
+  for (int i = 0; i < 6; ++i) {
+    points.push_back(g2_mul_generator(random_field<Fr>(rng)));
+  }
+  points[3] = G2::identity();
+  const auto affine = batch_normalize(std::span<const G2>(points));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(affine[i].to_jacobian(), points[i]) << i;
+  }
+}
+
+// --- mixed (Jacobian + affine) addition ------------------------------
+
+TEST(MixedAdd, MatchesFullJacobianAdd) {
+  std::mt19937_64 rng(21);
+  for (int i = 0; i < 20; ++i) {
+    const G1 p = g1_mul_generator(random_field<Fr>(rng));
+    const G1 q = g1_mul_generator(random_field<Fr>(rng));
+    const auto qa = batch_normalize(std::span<const G1>(&q, 1))[0];
+    EXPECT_EQ(p + qa, p + q);
+  }
+}
+
+TEST(MixedAdd, DoublingIdentityAndNegation) {
+  std::mt19937_64 rng(22);
+  const G1 p = g1_mul_generator(random_field<Fr>(rng));
+  const auto pa = batch_normalize(std::span<const G1>(&p, 1))[0];
+  EXPECT_EQ(p + pa, p.dbl());                       // P + P (mixed doubling)
+  EXPECT_EQ(G1::identity() + pa, p);                // O + P
+  EXPECT_EQ(p + G1Affine::identity(), p);           // P + O
+  EXPECT_EQ(p + (-pa), G1::identity());             // P + (-P)
+  EXPECT_EQ((-pa).to_jacobian() + pa, G1::identity());
+}
+
+// --- constant-time scalar multiplication -----------------------------
+
+TEST(MulCt, G1MatchesVariableTime) {
+  std::mt19937_64 rng(31);
+  const G1 base = g1_mul_generator(random_field<Fr>(rng));
+  for (const Fr& k : {Fr::zero(), Fr::one(), r_minus_one()}) {
+    EXPECT_EQ(base.mul_ct(k), base.mul(k));
+  }
+  for (int i = 0; i < 10; ++i) {
+    const Fr k = random_field<Fr>(rng);
+    EXPECT_EQ(base.mul_ct(k), base.mul(k));
+    EXPECT_EQ(G1::generator().mul_ct(k), g1_mul_generator(k));
+  }
+}
+
+TEST(MulCt, G2MatchesVariableTime) {
+  std::mt19937_64 rng(32);
+  const G2 base = g2_mul_generator(random_field<Fr>(rng));
+  for (const Fr& k : {Fr::zero(), Fr::one(), r_minus_one()}) {
+    EXPECT_EQ(base.mul_ct(k), base.mul(k));
+  }
+  for (int i = 0; i < 5; ++i) {
+    const Fr k = random_field<Fr>(rng);
+    EXPECT_EQ(base.mul_ct(k), base.mul(k));
+  }
+}
+
+TEST(MulCt, IdentityBase) {
+  EXPECT_EQ(G1::identity().mul_ct(Fr::one()), G1::identity());
+  EXPECT_EQ(G1::identity().mul_ct(r_minus_one()), G1::identity());
+}
+
+}  // namespace
+}  // namespace zkdet::ec

@@ -252,6 +252,45 @@ TEST(Srs, CommitmentIsHomomorphic) {
   EXPECT_EQ(srs.commit(p + q), srs.commit(p) + srs.commit(q));
 }
 
+TEST(Srs, EmptySrsHasZeroMaxDegree) {
+  // Regression: max_degree() on a default-constructed Srs used to
+  // compute g1_powers.size() - 1 == 2^64 - 1 (unsigned underflow),
+  // making every "does the circuit fit" check pass vacuously.
+  const Srs empty;
+  EXPECT_EQ(empty.max_degree(), 0u);
+}
+
+TEST(Srs, PreprocessRejectsEmptySrs) {
+  // Pre-fix, the underflowed max_degree() let preprocess proceed and
+  // index past the end of the empty power table.
+  CubicCircuit c(3);
+  const Srs empty;
+  EXPECT_FALSE(preprocess(c.cs, empty).has_value());
+}
+
+TEST(Srs, CommitEmptyPolynomialIsIdentity) {
+  // Regression: commit() formatted coeffs.size() - 1 into its degree
+  // check for empty input (underflow again); the zero polynomial must
+  // commit to the identity instead.
+  Drbg rng(13);
+  const Srs srs = Srs::setup(8, rng);
+  EXPECT_EQ(srs.commit(std::span<const Fr>{}), ec::G1::identity());
+  EXPECT_EQ(srs.commit(ff::Polynomial{}), srs.commit(std::span<const Fr>{}));
+}
+
+TEST(Srs, AffinePowersMatchJacobian) {
+  Drbg rng(14);
+  const Srs srs = Srs::setup(8, rng);
+  const auto affine = srs.g1_powers_affine();
+  ASSERT_EQ(affine.size(), srs.g1_powers.size());
+  for (std::size_t i = 0; i < affine.size(); ++i) {
+    EXPECT_EQ(affine[i].to_jacobian(), srs.g1_powers[i]) << i;
+  }
+  // Copies share the lazily built cache (shared_ptr member).
+  const Srs copy = srs;
+  EXPECT_EQ(copy.g1_powers_affine().size(), affine.size());
+}
+
 TEST(Srs, PowersConsistent) {
   Drbg rng(12);
   const Srs srs = Srs::setup(8, rng);
