@@ -1,0 +1,210 @@
+// Durable-ledger benchmark: append throughput, cold-reopen latency and
+// the snapshot-vs-genesis-replay speedup. Emits BENCH_ledger.json.
+//
+// Reopen cost is dominated by WAL-suffix work (decode + delta apply +
+// batched signature re-verification); the snapshot prefix is trusted,
+// so checkpointing turns reopen from O(history) into O(suffix). The
+// headline number is the speedup of snapshot-reopen over full
+// genesis-replay at the same 100k-block history — the durable ledger's
+// reason to exist (target >= 5x).
+//
+// Usage: bench_ledger [--quick]   (--quick scales history 10x down)
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "bench_util.hpp"
+#include "chain/chain.hpp"
+#include "crypto/rng.hpp"
+#include "crypto/schnorr.hpp"
+#include "ledger/ledger.hpp"
+
+using namespace zkdet;
+using bench::Stopwatch;
+using bench::fmt_seconds;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Actors {
+  crypto::KeyPair alice, bob;
+  chain::Address a, b;
+};
+
+// Registers the bench accounts (idempotent across reopens).
+Actors setup_actors(chain::Chain& chain) {
+  Actors x;
+  crypto::Drbg rng("bench-ledger", 5);
+  x.alice = crypto::KeyPair::generate(rng);
+  x.bob = crypto::KeyPair::generate(rng);
+  x.a = chain.create_account(x.alice, 1'000'000'000);
+  x.b = chain.create_account(x.bob, 1'000'000'000);
+  return x;
+}
+
+// One signed single-tx block. Signed blocks make reopen honest: the
+// genesis-replay path must re-verify every one of these signatures.
+void tick(chain::Chain& chain, const Actors& x, std::uint64_t i) {
+  chain.call(
+      x.alice, "bench tick " + std::to_string(i), [](chain::CallContext&) {},
+      /*value=*/1 + (i & 7), x.b);
+}
+
+std::uint64_t dir_bytes(const std::string& dir) {
+  std::uint64_t total = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.is_regular_file()) total += e.file_size();
+  }
+  return total;
+}
+
+double append_throughput(const std::string& dir, bool fsync_each,
+                         std::uint64_t blocks) {
+  fs::remove_all(dir);
+  ledger::Options opts;
+  opts.snapshot_interval = 0;
+  opts.fsync_each_append = fsync_each;
+  auto pc = ledger::open(dir, opts);
+  const Actors x = setup_actors(pc->chain());
+  Stopwatch sw;
+  for (std::uint64_t i = 0; i < blocks; ++i) tick(pc->chain(), x, i);
+  if (!fsync_each) pc->ledger().sync();
+  const double secs = sw.seconds();
+  fs::remove_all(dir);
+  return static_cast<double>(blocks) / secs;
+}
+
+// Cold reopen: construct a fresh PersistentChain over `dir` and time it
+// (snapshot load, WAL replay, signature re-verification, validation).
+double timed_reopen(const std::string& dir, ledger::Stats* stats_out) {
+  ledger::Options opts;
+  opts.snapshot_interval = 0;  // measure, never write, snapshots
+  Stopwatch sw;
+  auto pc = ledger::open(dir, opts);
+  const double secs = sw.seconds();
+  if (stats_out != nullptr) *stats_out = pc->ledger().stats();
+  return secs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const std::uint64_t scale = quick ? 10 : 1;
+  const std::uint64_t kSmall = 10'000 / scale;
+  const std::uint64_t kLarge = 100'000 / scale;
+  const std::uint64_t kAppendBlocks = 2'000 / scale;
+
+  const std::string root =
+      (fs::temp_directory_path() / "zkdet-bench-ledger").string();
+
+  std::printf("==============================================================\n");
+  std::printf("Durable ledger — append / cold reopen / snapshot speedup\n");
+  std::printf("history: %llu and %llu single-tx signed blocks%s\n",
+              static_cast<unsigned long long>(kSmall),
+              static_cast<unsigned long long>(kLarge),
+              quick ? " (--quick)" : "");
+  std::printf("==============================================================\n");
+
+  // --- append throughput --------------------------------------------------
+  const double bps_fsync = append_throughput(root, true, kAppendBlocks);
+  const double bps_batched = append_throughput(root, false, kAppendBlocks);
+  std::printf("append, fsync every record : %10.0f blocks/s\n", bps_fsync);
+  std::printf("append, batched durability : %10.0f blocks/s\n", bps_batched);
+
+  // --- build one history, measure reopen at both sizes --------------------
+  fs::remove_all(root);
+  ledger::Options build_opts;
+  build_opts.snapshot_interval = 0;  // pure WAL: genesis replay on reopen
+  build_opts.fsync_each_append = false;
+  double reopen_small = 0, reopen_large_replay = 0, reopen_large_snap = 0;
+  std::uint64_t wal_bytes = 0, snap_bytes = 0;
+  {
+    auto pc = ledger::open(root, build_opts);
+    const Actors x = setup_actors(pc->chain());
+    Stopwatch build_sw;
+    for (std::uint64_t i = 0; pc->chain().height() < 1 + kSmall; ++i) {
+      tick(pc->chain(), x, i);
+    }
+    pc->ledger().sync();
+    std::printf("built %llu-block history in %s\n",
+                static_cast<unsigned long long>(kSmall),
+                fmt_seconds(build_sw.seconds()).c_str());
+  }
+  ledger::Stats st_small;
+  reopen_small = timed_reopen(root, &st_small);
+  std::printf("cold reopen @ %6llu blocks (genesis replay)  : %s\n",
+              static_cast<unsigned long long>(kSmall),
+              fmt_seconds(reopen_small).c_str());
+
+  {
+    // Continue the same history out to the large size.
+    auto pc = ledger::open(root, build_opts);
+    const Actors x = setup_actors(pc->chain());
+    Stopwatch build_sw;
+    for (std::uint64_t i = kSmall; pc->chain().height() < 1 + kLarge; ++i) {
+      tick(pc->chain(), x, i);
+    }
+    pc->ledger().sync();
+    std::printf("extended to %llu blocks in %s\n",
+                static_cast<unsigned long long>(kLarge),
+                fmt_seconds(build_sw.seconds()).c_str());
+  }
+  wal_bytes = dir_bytes(root);
+  ledger::Stats st_replay;
+  reopen_large_replay = timed_reopen(root, &st_replay);
+  std::printf("cold reopen @ %6llu blocks (genesis replay)  : %s  "
+              "(%llu blocks replayed)\n",
+              static_cast<unsigned long long>(kLarge),
+              fmt_seconds(reopen_large_replay).c_str(),
+              static_cast<unsigned long long>(st_replay.replayed_blocks));
+
+  // --- checkpoint the same history, reopen through the snapshot ----------
+  {
+    auto pc = ledger::open(root, build_opts);
+    Stopwatch snap_sw;
+    pc->ledger().snapshot_now();
+    std::printf("snapshot_now() on the %llu-block chain        : %s\n",
+                static_cast<unsigned long long>(kLarge),
+                fmt_seconds(snap_sw.seconds()).c_str());
+  }
+  snap_bytes = dir_bytes(root);
+  ledger::Stats st_snap;
+  reopen_large_snap = timed_reopen(root, &st_snap);
+  const double speedup = reopen_large_replay / reopen_large_snap;
+  std::printf("cold reopen @ %6llu blocks (snapshot)        : %s  "
+              "(%llu from snapshot, %llu replayed)\n",
+              static_cast<unsigned long long>(kLarge),
+              fmt_seconds(reopen_large_snap).c_str(),
+              static_cast<unsigned long long>(st_snap.snapshot_blocks),
+              static_cast<unsigned long long>(st_snap.replayed_blocks));
+  std::printf("snapshot reopen speedup over genesis replay   : %.1fx %s\n",
+              speedup, speedup >= 5.0 ? "(target >=5x: OK)"
+                                      : "(below 5x target)");
+  fs::remove_all(root);
+
+  std::ofstream json("BENCH_ledger.json");
+  json << "{\n  \"bench\": \"ledger_persistence\",\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"append_blocks_per_sec_fsync\": " << bps_fsync << ",\n"
+       << "  \"append_blocks_per_sec_batched\": " << bps_batched << ",\n"
+       << "  \"history_small_blocks\": " << kSmall << ",\n"
+       << "  \"history_large_blocks\": " << kLarge << ",\n"
+       << "  \"reopen_small_replay_seconds\": " << reopen_small << ",\n"
+       << "  \"reopen_large_replay_seconds\": " << reopen_large_replay
+       << ",\n"
+       << "  \"reopen_large_snapshot_seconds\": " << reopen_large_snap
+       << ",\n"
+       << "  \"snapshot_speedup\": " << speedup << ",\n"
+       << "  \"wal_bytes_at_large\": " << wal_bytes << ",\n"
+       << "  \"dir_bytes_after_snapshot\": " << snap_bytes << "\n}\n";
+  std::printf("wrote BENCH_ledger.json\n");
+  return speedup >= 5.0 ? 0 : 1;
+}

@@ -1,0 +1,129 @@
+// Fuzz target: WAL frame parsing and the canonical chain codec.
+//
+// Throws arbitrary bytes at parse_record/scan_wal (must never overread,
+// crash, or accept a frame whose CRC does not match) and at the strict
+// entity decoders (must either throw CodecError or yield a value whose
+// re-encoding is byte-identical to the accepted input — the canonical
+// round-trip that Chain::block_hash and snapshot equality depend on).
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "ledger/codec.hpp"
+#include "ledger/crc32c.hpp"
+#include "ledger/wal.hpp"
+
+using namespace zkdet;
+
+namespace {
+
+// Accepted bytes must re-encode identically; rejected bytes must reject
+// via CodecError only (anything else — a crash, a std::bad_alloc from an
+// unchecked length claim — is a finding).
+template <typename Decode, typename Encode>
+void check_strict_roundtrip(std::span<const std::uint8_t> bytes,
+                            Decode decode, Encode encode) {
+  try {
+    const auto value = decode(bytes);
+    const auto re = encode(value);
+    if (re.size() != bytes.size() ||
+        std::memcmp(re.data(), bytes.data(), re.size()) != 0) {
+      __builtin_trap();  // non-canonical acceptance
+    }
+  } catch (const ledger::CodecError&) {
+    // strict rejection is the expected path for random bytes
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  const std::uint8_t selector = data[0];
+  ++data;
+  --size;
+  const std::span<const std::uint8_t> input(data, size);
+
+  switch (selector % 5) {
+    case 0: {
+      // Raw frame parse at every offset of the input: no overreads
+      // (ASan-visible), and any accepted frame really has a valid CRC
+      // and lies entirely inside the buffer.
+      for (std::size_t off = 0; off <= size; ++off) {
+        const auto rec = ledger::parse_record(input, off);
+        if (rec.has_value()) {
+          if (rec->next_offset > size) __builtin_trap();
+          if (rec->payload.size() + ledger::kFrameHeaderSize !=
+              rec->next_offset - off) {
+            __builtin_trap();
+          }
+          const std::uint32_t claimed =
+              static_cast<std::uint32_t>(data[off + 4]) |
+              static_cast<std::uint32_t>(data[off + 5]) << 8 |
+              static_cast<std::uint32_t>(data[off + 6]) << 16 |
+              static_cast<std::uint32_t>(data[off + 7]) << 24;
+          if (ledger::crc32c(rec->payload) != claimed) __builtin_trap();
+        }
+      }
+      break;
+    }
+    case 1: {
+      // Segment scan: the valid prefix must re-parse frame by frame to
+      // exactly the payloads scan_wal reported, and framing those
+      // payloads again must reproduce the valid prefix byte for byte.
+      const auto scan = ledger::scan_wal(input);
+      if (scan.valid_bytes > size) __builtin_trap();
+      if (scan.has_torn_tail != (scan.valid_bytes != size)) __builtin_trap();
+      std::vector<std::uint8_t> rebuilt;
+      for (const auto& payload : scan.payloads) {
+        const auto frame = ledger::frame_record(payload);
+        rebuilt.insert(rebuilt.end(), frame.begin(), frame.end());
+      }
+      if (rebuilt.size() != scan.valid_bytes) __builtin_trap();
+      if (!rebuilt.empty() &&
+          std::memcmp(rebuilt.data(), data, rebuilt.size()) != 0) {
+        __builtin_trap();
+      }
+      break;
+    }
+    case 2: {
+      // Frame + parse round-trip of the input as a payload.
+      const auto frame = ledger::frame_record(input);
+      const auto rec = ledger::parse_record(frame, 0);
+      if (!rec.has_value()) __builtin_trap();
+      if (rec->payload.size() != size) __builtin_trap();
+      if (size > 0 &&
+          std::memcmp(rec->payload.data(), data, size) != 0) {
+        __builtin_trap();
+      }
+      if (rec->next_offset != frame.size()) __builtin_trap();
+      break;
+    }
+    case 3: {
+      // Strict entity decoders on raw bytes.
+      check_strict_roundtrip(
+          input, [](auto b) { return ledger::decode_tx_record(b); },
+          [](const auto& v) { return ledger::encode_tx_record(v); });
+      check_strict_roundtrip(
+          input, [](auto b) { return ledger::decode_event(b); },
+          [](const auto& v) { return ledger::encode_event(v); });
+      check_strict_roundtrip(
+          input, [](auto b) { return ledger::decode_delta(b); },
+          [](const auto& v) { return ledger::encode_delta(v); });
+      break;
+    }
+    default: {
+      // The expensive ones (nested vectors, maps, curve points).
+      check_strict_roundtrip(
+          input, [](auto b) { return ledger::decode_block(b); },
+          [](const auto& v) { return ledger::encode_block(v); });
+      check_strict_roundtrip(
+          input, [](auto b) { return ledger::decode_snapshot(b); },
+          [](const auto& v) { return ledger::encode_snapshot(v); });
+      break;
+    }
+  }
+  return 0;
+}

@@ -9,6 +9,8 @@
 #             (reuses build-checked/; seeds disjoint from the in-suite
 #             1..30 set, override with ZKDET_CHAOS_SEEDS)
 #   asan      -DZKDET_SANITIZE=address,undefined    (build-asan/)
+#   persistence  ledger crash-recovery matrix under the ASan build:
+#             kill-at-every-fail-point, reopen, replay, state equality
 #   tsan      -DZKDET_SANITIZE=thread, FULL suite   (build-tsan/)
 #   fuzz      -DZKDET_FUZZ=ON, 10s smoke per target (build-fuzz/)
 #
@@ -77,6 +79,13 @@ cmake -B build-asan -S . -DZKDET_SANITIZE=address,undefined -DZKDET_CHECKED=ON
 cmake --build build-asan -j
 ctest --test-dir build-asan --output-on-failure -j
 
+echo "=== persistence: crash-recovery matrix under ASan ==="
+# Every ledger fail-point x hit position: kill mid-write, reopen, replay,
+# require byte-identical convergence with the uninterrupted run — with
+# ASan watching the truncation/replay paths for memory errors.
+./build-asan/tests/ledger_crash_matrix
+./build-asan/tests/zkdet_ledger_tests
+
 if [[ "$SKIP_TSAN" == "1" ]]; then
   echo "=== TSan stage skipped (--skip-tsan) ==="
 else
@@ -88,11 +97,13 @@ fi
 
 echo "=== fuzz: 10s smoke per target ==="
 cmake -B build-fuzz -S . -DZKDET_FUZZ=ON
-cmake --build build-fuzz -j --target zkdet_fuzz_u256 --target zkdet_fuzz_transcript
+cmake --build build-fuzz -j --target zkdet_fuzz_u256 --target zkdet_fuzz_transcript \
+  --target zkdet_fuzz_wal
 # ZKDET_FUZZ_SECONDS drives the GCC standalone driver; -max_total_time
 # drives Clang/libFuzzer builds (the standalone driver ignores dash-args).
 FUZZ_SECS="${ZKDET_FUZZ_SECONDS:-10}"
 ZKDET_FUZZ_SECONDS="$FUZZ_SECS" ./build-fuzz/fuzz/zkdet_fuzz_u256 "-max_total_time=$FUZZ_SECS"
 ZKDET_FUZZ_SECONDS="$FUZZ_SECS" ./build-fuzz/fuzz/zkdet_fuzz_transcript "-max_total_time=$FUZZ_SECS"
+ZKDET_FUZZ_SECONDS="$FUZZ_SECS" ./build-fuzz/fuzz/zkdet_fuzz_wal "-max_total_time=$FUZZ_SECS"
 
 echo "=== CI OK ==="

@@ -34,6 +34,16 @@ analysis tooling"):
                            exchange blinds) must use the constant-time
                            Point::mul_ct ladder; reviewed public-data
                            call sites (verification) are annotated.
+  unchecked-io             two-sided durability hygiene: outside
+                           src/ledger/ no raw file IO (fstream, fopen,
+                           fwrite, ::open/::write/fsync...) — durable
+                           state goes through the ledger's checked
+                           wrappers so every write sits behind the CRC
+                           framing and fsync fail-point; inside
+                           src/ledger/ no statement-position IO syscall
+                           whose return value is silently discarded
+                           (bench/fuzz/tests and their JSON emitters are
+                           exempt).
 
 Suppression: append  // zkdet-lint: allow(<rule>)  to the offending
 line (or the line above) after review.
@@ -148,6 +158,34 @@ RULES = [
         "secret scalars in src/crypto must use the constant-time "
         "Point::mul_ct ladder; annotate reviewed public-data call sites "
         "with // zkdet-lint: allow(vartime-scalar-mul)",
+    ),
+    Rule(
+        # Raw file IO outside the ledger. The `(?<![\w)])::` lookbehind
+        # keeps method definitions/calls like PoseidonCommitment::open()
+        # from matching — only the global-namespace POSIX calls do.
+        "unchecked-io",
+        r"\bstd::(?:basic_)?[io]?fstream\b"
+        r"|(?<!\w)f(?:open|write|read|sync|datasync)\s*\("
+        r"|(?<![\w)])::(?:open|creat|read|pread|write|pwrite|ftruncate"
+        r"|unlink|rename)\s*\(",
+        lambda p: p.startswith("src/") and not p.startswith("src/ledger/"),
+        "durable state is written only through src/ledger's checked IO "
+        "wrappers (CRC framing, typed IoError, the ledger.fsync "
+        "fail-point); raw file IO elsewhere bypasses crash-recovery",
+    ),
+    Rule(
+        # Inside the ledger: an IO syscall in statement position has its
+        # return value silently discarded — every write/fsync/close must
+        # be checked (or the discard reviewed and annotated, e.g. the
+        # destructor-path close which must not throw).
+        "unchecked-io",
+        r"^\s*(?:\(void\)\s*)?(?:::)?"
+        r"(?:open|creat|read|pread|write|pwrite|fsync|fdatasync"
+        r"|ftruncate|close|rename|unlink|fflush|fwrite|fread)\s*\(",
+        _in(("src/ledger/",)),
+        "check the return value of every IO syscall in src/ledger (throw "
+        "IoError on failure); annotate reviewed discards with "
+        "// zkdet-lint: allow(unchecked-io)",
     ),
 ]
 
@@ -267,6 +305,26 @@ SELF_TEST_CASES = [
     ("src/crypto/sig_allow_ok.cpp",
      "return pk.mul(e);  // zkdet-lint: allow(vartime-scalar-mul)\n", None),
     ("src/chain/mul_scope_ok.cpp", "auto p = base.mul(k);\n", None),
+    ("src/chain/raw_stream.cpp",
+     '#include <fstream>\nstd::ofstream out("state.bin");\n', "unchecked-io"),
+    ("src/storage/raw_write.cpp",
+     "const ssize_t n = ::write(fd, buf, len);\n", "unchecked-io"),
+    ("src/core/raw_fopen.cpp", 'FILE* f = fopen(path, "wb");\n',
+     "unchecked-io"),
+    ("src/crypto/method_open_ok.cpp",
+     "bool PoseidonCommitment::open(const Fr& c) { return check(c); }\n",
+     None),
+    ("bench/json_out_ok.cpp",
+     '#include <fstream>\nstd::ofstream json("BENCH_x.json");\n',
+     None),  # bench/fuzz/tests are exempt from unchecked-io
+    ("src/ledger/io_checked_ok.cpp",
+     "const ssize_t n = ::write(fd, buf, len);\nif (n < 0) fail();\n", None),
+    ("src/ledger/io_discard.cpp", "void f() {\n  ::fsync(fd);\n}\n",
+     "unchecked-io"),
+    ("src/ledger/io_void_discard.cpp", "(void)::close(fd);\n",
+     "unchecked-io"),
+    ("src/ledger/io_allow_ok.cpp",
+     "::close(fd);  // zkdet-lint: allow(unchecked-io) dtor close\n", None),
 ]
 
 

@@ -30,10 +30,15 @@ std::uint64_t KeySecureArbiter::lock(CallContext& ctx, const Address& seller,
   store().set(ctx, "xc/" + std::to_string(id) + "/hv", h_v);
   store().set(ctx, "xc/" + std::to_string(id) + "/c", key_commitment);
   store().set_u64(ctx, "xc/" + std::to_string(id) + "/amount", info.amount);
+  // The event carries every field the contract mirror needs that the
+  // KV slots don't (addresses, deadline) so a ledger reopen can rebuild
+  // the exchange table from public chain state.
   ctx.emit(Event{"PaymentLocked",
                  {{"exchangeId", std::to_string(id)},
                   {"buyer", ctx.sender()},
-                  {"amount", std::to_string(info.amount)}}});
+                  {"seller", seller},
+                  {"amount", std::to_string(info.amount)},
+                  {"deadline", std::to_string(info.deadline)}}});
   return id;
 }
 
@@ -70,6 +75,60 @@ void KeySecureArbiter::refund(CallContext& ctx, std::uint64_t exchange_id) {
   ctx.chain().transfer(address(), x.buyer, x.amount);
   ctx.emit(Event{"ExchangeRefunded",
                  {{"exchangeId", std::to_string(exchange_id)}}});
+}
+
+void KeySecureArbiter::on_adopted(const Chain& chain) {
+  next_id_ = 1;
+  exchanges_.clear();
+  for (const auto& block : chain.blocks()) {
+    for (const auto& tx : block.txs) {
+      for (const auto& ev : tx.events) {
+        const auto field = [&](const char* name) -> const std::string* {
+          for (const auto& [k, v] : ev.fields) {
+            if (k == name) return &v;
+          }
+          return nullptr;
+        };
+        const std::string* xid = field("exchangeId");
+        if (xid == nullptr) continue;
+        const std::uint64_t id = std::stoull(*xid);
+        const std::string prefix = "xc/" + std::to_string(id) + "/";
+        if (ev.name == "PaymentLocked") {
+          const std::string* buyer = field("buyer");
+          const std::string* seller = field("seller");
+          const std::string* deadline = field("deadline");
+          if (buyer == nullptr || seller == nullptr || deadline == nullptr) {
+            throw Revert("arbiter adoption: incomplete PaymentLocked event");
+          }
+          ExchangeInfo info;
+          info.id = id;
+          info.buyer = *buyer;
+          info.seller = *seller;
+          info.deadline = std::stoull(*deadline);
+          if (const auto v = store().peek(prefix + "hv")) info.h_v = *v;
+          if (const auto v = store().peek(prefix + "c")) {
+            info.key_commitment = *v;
+          }
+          if (const auto v = store().peek(prefix + "amount")) {
+            info.amount = v->to_canonical().limb[0];
+          }
+          info.state = ExchangeState::kLocked;
+          exchanges_[id] = std::move(info);
+          if (id >= next_id_) next_id_ = id + 1;
+        } else if (ev.name == "ExchangeSettled") {
+          const auto it = exchanges_.find(id);
+          if (it == exchanges_.end()) continue;
+          it->second.state = ExchangeState::kSettled;
+          if (const auto v = store().peek(prefix + "kc")) it->second.k_c = *v;
+        } else if (ev.name == "ExchangeRefunded") {
+          const auto it = exchanges_.find(id);
+          if (it != exchanges_.end()) {
+            it->second.state = ExchangeState::kRefunded;
+          }
+        }
+      }
+    }
+  }
 }
 
 std::optional<ExchangeInfo> KeySecureArbiter::exchange(

@@ -64,6 +64,11 @@ class KeySecureArbiter : public Contract {
   // chain state (ExchangeDriver recovery).
   [[nodiscard]] std::optional<ExchangeInfo> find_by_hv(const Fr& h_v) const;
 
+ protected:
+  // Rebuilds exchanges_/next_id_ from the event log + restored KV slots
+  // after a ledger reopen.
+  void on_adopted(const Chain& chain) override;
+
  private:
   const PlonkVerifierContract& verifier_;
   std::uint64_t next_id_ = 1;

@@ -33,10 +33,15 @@ std::uint64_t ClockAuction::create(CallContext& ctx, std::uint64_t token_id,
 
   store().set_u64(ctx, "auction/" + std::to_string(id) + "/token", token_id);
   store().set_u64(ctx, "auction/" + std::to_string(id) + "/start", start_price);
+  // Carries every AuctionInfo field the KV slots don't, so a ledger
+  // reopen can rebuild the auction table from the event log alone.
   ctx.emit(Event{"AuctionCreated",
                  {{"auctionId", std::to_string(id)},
                   {"tokenId", std::to_string(token_id)},
-                  {"startPrice", std::to_string(start_price)}}});
+                  {"seller", seller},
+                  {"startPrice", std::to_string(start_price)},
+                  {"floorPrice", std::to_string(floor_price)},
+                  {"decayPerBlock", std::to_string(decay_per_block)}}});
   return id;
 }
 
@@ -96,6 +101,61 @@ void ClockAuction::cancel(CallContext& ctx, std::uint64_t auction_id) {
   a.open = false;
   ctx.emit(Event{"AuctionCancelled",
                  {{"auctionId", std::to_string(auction_id)}}});
+}
+
+void ClockAuction::on_adopted(const Chain& chain) {
+  next_id_ = 1;
+  auctions_.clear();
+  for (const auto& block : chain.blocks()) {
+    for (const auto& tx : block.txs) {
+      for (const auto& ev : tx.events) {
+        const auto field = [&](const char* name) -> const std::string* {
+          for (const auto& [k, v] : ev.fields) {
+            if (k == name) return &v;
+          }
+          return nullptr;
+        };
+        const std::string* aid = field("auctionId");
+        if (aid == nullptr) continue;
+        const std::uint64_t id = std::stoull(*aid);
+        if (ev.name == "AuctionCreated") {
+          const std::string* token = field("tokenId");
+          const std::string* seller = field("seller");
+          const std::string* start = field("startPrice");
+          const std::string* floor = field("floorPrice");
+          const std::string* decay = field("decayPerBlock");
+          if (token == nullptr || seller == nullptr || start == nullptr ||
+              floor == nullptr || decay == nullptr) {
+            throw Revert("auction adoption: incomplete AuctionCreated event");
+          }
+          AuctionInfo info;
+          info.id = id;
+          info.token_id = std::stoull(*token);
+          info.seller = *seller;
+          info.start_price = std::stoull(*start);
+          info.floor_price = std::stoull(*floor);
+          info.decay_per_block = std::stoull(*decay);
+          // create() reads block_height() inside the tx that seals this
+          // block, so the event's containing block IS the start block.
+          info.start_block = tx.block;
+          info.open = true;
+          auctions_[id] = std::move(info);
+          if (id >= next_id_) next_id_ = id + 1;
+        } else if (ev.name == "AuctionSettled") {
+          const auto it = auctions_.find(id);
+          if (it == auctions_.end()) continue;
+          it->second.open = false;
+          if (const std::string* w = field("winner")) it->second.winner = *w;
+          if (const std::string* p = field("price")) {
+            it->second.settle_price = std::stoull(*p);
+          }
+        } else if (ev.name == "AuctionCancelled") {
+          const auto it = auctions_.find(id);
+          if (it != auctions_.end()) it->second.open = false;
+        }
+      }
+    }
+  }
 }
 
 std::optional<AuctionInfo> ClockAuction::auction(std::uint64_t id) const {

@@ -46,6 +46,10 @@ class ClockAuction : public Contract {
 
   [[nodiscard]] std::optional<AuctionInfo> auction(std::uint64_t id) const;
 
+ protected:
+  // Rebuilds auctions_/next_id_ from the event log after a ledger reopen.
+  void on_adopted(const Chain& chain) override;
+
  private:
   DataNft& nft_;
   std::uint64_t next_id_ = 1;

@@ -3,6 +3,7 @@
 #include "crypto/sha256.hpp"
 #include "fault/fault.hpp"
 #include "fault/points.hpp"
+#include "ledger/codec.hpp"
 
 namespace zkdet::chain {
 
@@ -36,6 +37,7 @@ void MeteredStore::set(CallContext& ctx, const std::string& key,
     ctx.gas().charge(g.sstore_update);
     it->second = value;
   }
+  ctx.chain().record_slot_set(owner_, key, value);
 }
 
 void MeteredStore::set_u64(CallContext& ctx, const std::string& key,
@@ -61,6 +63,7 @@ std::optional<std::uint64_t> MeteredStore::get_u64(
 void MeteredStore::erase(CallContext& ctx, const std::string& key) {
   ctx.gas().charge(ctx.chain().gas_schedule().sstore_update);
   slots_.erase(key);
+  ctx.chain().record_slot_erase(owner_, key);
 }
 
 std::optional<Fr> MeteredStore::peek(const std::string& key) const {
@@ -82,8 +85,18 @@ Chain::Chain() {
 Address Chain::create_account(const crypto::KeyPair& keys,
                               std::uint64_t initial_balance) {
   const Address addr = crypto::address_of(keys.pk);
+  // Re-registering an already-known account is a no-op: recovery replays
+  // application startup against restored state (ledger reopen), and the
+  // restored balance must not be credited a second time.
+  if (const auto it = account_keys_.find(addr); it != account_keys_.end()) {
+    if (!(it->second == keys.pk)) throw Revert("address collision");
+    return addr;
+  }
   balances_[addr] += initial_balance;
   account_keys_[addr] = keys.pk;
+  if (observer_ != nullptr) {
+    observer_->on_account_created(addr, keys.pk, balances_[addr]);
+  }
   return addr;
 }
 
@@ -100,22 +113,78 @@ void Chain::transfer(const Address& from, const Address& to,
   }
   it->second -= amount;
   balances_[to] += amount;
+  if (observer_ != nullptr) {
+    delta_.balance_sets.emplace_back(from, it->second);
+    delta_.balance_sets.emplace_back(to, balances_[to]);
+  }
+}
+
+void Chain::record_slot_set(const Address& contract, const std::string& key,
+                            const Fr& value) {
+  if (observer_ != nullptr) {
+    delta_.slot_sets.emplace_back(contract, key, value);
+  }
+}
+
+void Chain::record_slot_erase(const Address& contract, const std::string& key) {
+  if (observer_ != nullptr) {
+    delta_.slot_erases.emplace_back(contract, key);
+  }
 }
 
 void Chain::finish_deploy(const crypto::KeyPair& deployer,
                           std::unique_ptr<Contract> contract,
                           Receipt* receipt) {
-  contract->address_ =
-      "ct:" + contract->name_ + "#" + std::to_string(next_contract_id_++);
+  const Address addr =
+      "ct:" + contract->name_ + "#" + std::to_string(next_contract_id_);
   GasMeter meter(100'000'000);
   meter.charge(gas_.tx_base);
   meter.charge(gas_.create_base);
   meter.charge(gas_.create_per_byte * contract->code_size());
+
+  // Adoption path (ledger reopen): the deploy tx is already in the
+  // restored history, so re-bind the fresh contract object to its
+  // persisted address + storage instead of sealing a duplicate block.
+  if (const auto pending = pending_adoptions_.find(addr);
+      pending != pending_adoptions_.end()) {
+    if (pending->second.name != contract->name_) {
+      throw Revert("ledger: deploy order diverges from persisted history (" +
+                   addr + " was " + pending->second.name + ")");
+    }
+    ++next_contract_id_;
+    contract->address_ = addr;
+    contract->store_.owner_ = addr;
+    contract->store_.slots_ = std::move(pending->second.slots);
+    pending_adoptions_.erase(pending);
+    Contract& adopted = *contract;
+    contracts_.push_back(std::move(contract));
+    adopted.on_adopted(*this);
+    if (receipt != nullptr) {
+      receipt->success = true;
+      receipt->gas_used = meter.used();
+      receipt->block = height();
+    }
+    return;
+  }
+  if (!pending_adoptions_.empty()) {
+    throw Revert("ledger: deploy order diverges from persisted history (" +
+                 addr + " not in the restored contract set)");
+  }
+
+  ++next_contract_id_;
+  contract->address_ = addr;
+  contract->store_.owner_ = addr;
   TxRecord tx;
   tx.sender = crypto::address_of(deployer.pk);
   tx.description = "deploy " + contract->name_;
   tx.gas_used = meter.used();
   balances_[contract->address_];  // ensure the escrow account exists
+  if (observer_ != nullptr) {
+    delta_.contracts_created.push_back(
+        {contract->address_, contract->name_, contract->code_size()});
+    delta_.balance_sets.emplace_back(contract->address_,
+                                     balances_[contract->address_]);
+  }
   contracts_.push_back(std::move(contract));
   if (receipt != nullptr) {
     receipt->success = true;
@@ -159,6 +228,8 @@ Receipt Chain::call(const crypto::KeyPair& sender,
   TxRecord tx;
   tx.sender = from;
   tx.description = description;
+  tx.sig = sig;
+  tx.has_sig = true;
   try {
     meter.charge(gas_.tx_base);
     if (value > 0) {
@@ -168,6 +239,7 @@ Receipt Chain::call(const crypto::KeyPair& sender,
     CallContext ctx(*this, from, value, meter);
     fn(ctx);
     receipt.success = true;
+    tx.events = ctx.events();  // receipt events are part of the block
     receipt.events = std::move(ctx.events());
   } catch (const Revert& r) {
     receipt.error = r.what();
@@ -210,6 +282,13 @@ void Chain::seal_block(TxRecord tx) {
   b.txs.push_back(std::move(tx));
   b.hash = block_hash(b);
   blocks_.push_back(std::move(b));
+  if (observer_ != nullptr) {
+    // Durability before visibility: the callback (WAL append) returns —
+    // or throws, killing the call — before the receipt reaches the
+    // caller. delta_ survives a throw so nothing is silently dropped.
+    observer_->on_block_sealed(blocks_.back(), delta_);
+    delta_.clear();
+  }
 }
 
 std::array<std::uint8_t, 32> Chain::block_hash(const Block& b) {
@@ -224,10 +303,36 @@ std::array<std::uint8_t, 32> Chain::block_hash(const Block& b) {
   h.update(hdr);
   h.update(b.prev_hash);
   for (const auto& tx : b.txs) {
-    h.update(tx.sender);
-    h.update(tx.description);
+    // The canonical encoding covers every receipt-affecting field (gas,
+    // success, events, signature) — mutating any of them breaks the
+    // hash link that validate_chain() walks.
+    h.update(ledger::encode_tx_record(tx));
   }
   return h.finalize();
+}
+
+void Chain::restore_state(std::vector<Block> blocks,
+                          std::map<Address, std::uint64_t> balances,
+                          std::map<Address, crypto::G1> account_keys,
+                          std::map<Address, RestoredContract> contracts) {
+  if (blocks_.size() != 1 || !balances_.empty() || !contracts_.empty() ||
+      !account_keys_.empty()) {
+    throw Revert("restore_state requires a chain at genesis");
+  }
+  if (blocks.empty()) {
+    throw Revert("restore_state needs at least the genesis block");
+  }
+  blocks_ = std::move(blocks);
+  balances_ = std::move(balances);
+  account_keys_ = std::move(account_keys);
+  pending_adoptions_ = std::move(contracts);
+  timestamp_ = blocks_.back().timestamp;
+  // The application re-deploys its contracts in the original order, so
+  // id assignment restarts from 1: each adoption consumes the id its
+  // contract had before the restart, and a genuinely new deploy (only
+  // legal once every pending adoption is consumed) continues the
+  // sequence exactly where the persisted history left off.
+  next_contract_id_ = 1;
 }
 
 bool Chain::validate_chain() const {

@@ -44,6 +44,67 @@ struct TxRecord {
   std::string description;
   std::uint64_t gas_used = 0;
   bool success = true;
+  // Events emitted by a successful call (part of the receipt trie in
+  // Ethereum terms); hashed into the block via the canonical codec so a
+  // mutated outcome breaks validate_chain().
+  std::vector<Event> events;
+  // Sender authentication, kept so a replaying node (ledger reopen) can
+  // re-verify the history it was handed. Deploy and empty-block records
+  // are sequencer-internal and carry no signature.
+  crypto::Signature sig{};
+  bool has_sig = false;
+};
+
+// Everything a transaction (or the runtime around it) changed in chain
+// state, with balances recorded as absolute post-values so replaying a
+// delta is idempotent. Captured by Chain while an observer is attached
+// and journaled next to each sealed block by src/ledger — replay applies
+// deltas instead of re-running C++ call closures.
+struct StateDelta {
+  struct NewContract {
+    Address address;
+    std::string name;
+    std::uint64_t code_size = 0;
+  };
+  std::vector<std::pair<Address, std::uint64_t>> balance_sets;  // absolute
+  std::vector<NewContract> contracts_created;
+  std::vector<std::tuple<Address, std::string, Fr>> slot_sets;
+  std::vector<std::pair<Address, std::string>> slot_erases;
+
+  [[nodiscard]] bool empty() const {
+    return balance_sets.empty() && contracts_created.empty() &&
+           slot_sets.empty() && slot_erases.empty();
+  }
+  void clear() {
+    balance_sets.clear();
+    contracts_created.clear();
+    slot_sets.clear();
+    slot_erases.clear();
+  }
+};
+
+// Persisted image of one contract's on-chain state (name + code size
+// identify the deploy, slots are the MeteredStore contents). Produced by
+// ledger replay and consumed by Chain's deploy-adoption path.
+struct RestoredContract {
+  std::string name;
+  std::uint64_t code_size = 0;
+  std::map<std::string, Fr> slots;
+};
+
+struct Block;
+
+// Durability hook: src/ledger attaches one of these to journal every
+// state mutation. Callbacks run synchronously inside the mutating call —
+// on_block_sealed fires before Chain::call returns its receipt, so a
+// crash after the callback returned implies the block is durable.
+class ChainObserver {
+ public:
+  virtual ~ChainObserver() = default;
+  // create_account happens outside any block; journaled immediately.
+  virtual void on_account_created(const Address& addr, const crypto::G1& pk,
+                                  std::uint64_t balance) = 0;
+  virtual void on_block_sealed(const Block& block, const StateDelta& delta) = 0;
 };
 
 struct Block {
@@ -130,7 +191,10 @@ class MeteredStore {
   }
 
  private:
+  friend class Chain;  // sets owner_, restores slots_ on ledger adoption
   std::map<std::string, Fr> slots_;
+  // The owning contract's address, for delta journaling (set at deploy).
+  Address owner_;
 };
 
 // Base class for contracts.
@@ -151,6 +215,13 @@ class Contract {
  protected:
   [[nodiscard]] MeteredStore& store() { return store_; }
   [[nodiscard]] const MeteredStore& store() const { return store_; }
+
+  // Called after a ledger reopen re-bound this contract to its persisted
+  // storage (Chain deploy-adoption). The KV store and full block/event
+  // history are restored at this point; contracts that keep an off-store
+  // RPC mirror (index maps) rebuild it here from slots + the event log.
+  friend class Chain;  // invokes on_adopted during deploy adoption
+  virtual void on_adopted(const Chain& chain) { (void)chain; }
 
  private:
   friend class Chain;
@@ -200,11 +271,54 @@ class Chain {
 
   [[nodiscard]] const GasSchedule& gas_schedule() const { return gas_; }
 
+  // Canonical hash of a block: header fields + the codec-serialized
+  // transactions (gas, success flag, events and signatures included, so
+  // a mutated receipt outcome breaks the hash link). Public so replay
+  // verification and tamper tests can recompute it.
+  [[nodiscard]] static std::array<std::uint8_t, 32> block_hash(const Block& b);
+
+  // --- durability hooks (src/ledger) ---
+  // At most one observer; pass nullptr to detach. Attaching requires no
+  // unjournaled history (the ledger attaches at genesis or right after
+  // restore_state).
+  void set_observer(ChainObserver* observer) { observer_ = observer; }
+  [[nodiscard]] bool recording() const { return observer_ != nullptr; }
+  // Delta capture for contract storage writes (called by MeteredStore).
+  void record_slot_set(const Address& contract, const std::string& key,
+                       const Fr& value);
+  void record_slot_erase(const Address& contract, const std::string& key);
+
+  // Replaces this chain's state with a persisted image (ledger reopen).
+  // Only legal on a chain that has seen no activity beyond genesis.
+  // `contracts` become pending adoptions: the application re-deploys its
+  // contract objects in the original order and deploy() re-binds each to
+  // its persisted address + storage instead of sealing a new block.
+  void restore_state(std::vector<Block> blocks,
+                     std::map<Address, std::uint64_t> balances,
+                     std::map<Address, crypto::G1> account_keys,
+                     std::map<Address, RestoredContract> contracts);
+
+  // --- snapshot views (ledger state capture; unmetered) ---
+  [[nodiscard]] const std::map<Address, std::uint64_t>& balances_map() const {
+    return balances_;
+  }
+  [[nodiscard]] const std::map<Address, crypto::G1>& account_keys() const {
+    return account_keys_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<Contract>>& contracts()
+      const {
+    return contracts_;
+  }
+  // Persisted contract states not yet re-bound to a contract object.
+  [[nodiscard]] const std::map<Address, RestoredContract>& pending_adoptions()
+      const {
+    return pending_adoptions_;
+  }
+
  private:
   void finish_deploy(const crypto::KeyPair& deployer,
                      std::unique_ptr<Contract> contract, Receipt* receipt);
   void seal_block(TxRecord tx);
-  [[nodiscard]] static std::array<std::uint8_t, 32> block_hash(const Block& b);
 
   GasSchedule gas_;
   std::map<Address, std::uint64_t> balances_;
@@ -213,6 +327,9 @@ class Chain {
   std::vector<Block> blocks_;
   std::uint64_t timestamp_ = 1'650'000'000;
   std::uint64_t next_contract_id_ = 1;
+  ChainObserver* observer_ = nullptr;
+  StateDelta delta_;  // mutations since the last sealed block
+  std::map<Address, RestoredContract> pending_adoptions_;
 };
 
 }  // namespace zkdet::chain

@@ -135,6 +135,10 @@ void DataNft::approve(CallContext& ctx, const Address& to,
               "only owner can approve");
   store().set(ctx, key("approved", token_id),
               Fr::reduce_from(ff::u256_from_bytes(crypto::Sha256::digest(to))));
+  // The slot holds only H(to); the event carries the address itself so
+  // the approval survives a ledger reopen (mirror rebuild).
+  ctx.emit(Event{"Approval",
+                 {{"tokenId", std::to_string(token_id)}, {"approved", to}}});
   approvals_[token_id] = to;
 }
 
@@ -152,6 +156,87 @@ void DataNft::burn(CallContext& ctx, std::uint64_t token_id) {
   ctx.emit(Event{"Burn", {{"tokenId", std::to_string(token_id)}}});
   index_.erase(token_id);
   approvals_.erase(token_id);
+}
+
+void DataNft::on_adopted(const Chain& chain) {
+  next_id_ = 1;
+  index_.clear();
+  approvals_.clear();
+  if (const auto count = store().peek("count")) {
+    next_id_ = count->to_canonical().limb[0] + 1;
+  }
+
+  // owner/<id> slots hold H(addr) reduced into Fr — not invertible, but
+  // the address space is enumerable: every possible owner is a known
+  // account or contract, so match by hashing the candidates.
+  std::vector<std::pair<Fr, Address>> candidates;
+  const auto add_candidate = [&](const Address& a) {
+    candidates.emplace_back(
+        Fr::reduce_from(ff::u256_from_bytes(crypto::Sha256::digest(a))), a);
+  };
+  for (const auto& [addr, pk] : chain.account_keys()) add_candidate(addr);
+  for (const auto& c : chain.contracts()) add_candidate(c->address());
+  for (const auto& [addr, rc] : chain.pending_adoptions()) add_candidate(addr);
+
+  // Live tokens are exactly the ids with an owner slot (burn erases it).
+  for (const auto& [slot_key, value] : store().peek_all()) {
+    if (slot_key.rfind("owner/", 0) != 0) continue;
+    TokenInfo info;
+    info.id = std::stoull(slot_key.substr(6));
+    const auto owner = std::find_if(
+        candidates.begin(), candidates.end(),
+        [&](const auto& cand) { return cand.first == value; });
+    if (owner == candidates.end()) {
+      throw Revert("DataNFT adoption: unresolvable owner of token " +
+                   std::to_string(info.id));
+    }
+    info.owner = owner->second;
+    if (const auto v = store().peek(key("uri", info.id))) info.uri = *v;
+    if (const auto v = store().peek(key("datacm", info.id))) {
+      info.data_commitment = *v;
+    }
+    if (const auto v = store().peek(key("keycm", info.id))) {
+      info.key_commitment = *v;
+    }
+    if (const auto v = store().peek(key("formula", info.id))) {
+      info.formula = static_cast<Formula>(v->to_canonical().limb[0]);
+    }
+    if (const auto n = store().peek(key("prevn", info.id))) {
+      const std::uint64_t count = n->to_canonical().limb[0];
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const auto p =
+            store().peek(key("prev", info.id) + "/" + std::to_string(i));
+        if (p) info.prev_ids.push_back(p->to_canonical().limb[0]);
+      }
+    }
+    index_[info.id] = std::move(info);
+  }
+
+  // Approvals carry a plain address only in the event log; replay it in
+  // order (Transfer and Burn clear the approval, as the live code does).
+  for (const auto& block : chain.blocks()) {
+    for (const auto& tx : block.txs) {
+      for (const auto& ev : tx.events) {
+        const auto field = [&](const char* name) -> const std::string* {
+          for (const auto& [k, v] : ev.fields) {
+            if (k == name) return &v;
+          }
+          return nullptr;
+        };
+        const std::string* tid = field("tokenId");
+        if (tid == nullptr) continue;
+        if (ev.name == "Approval") {
+          if (const std::string* to = field("approved")) {
+            approvals_[std::stoull(*tid)] = *to;
+          }
+        } else if (ev.name == "Transfer" || ev.name == "Burn") {
+          approvals_.erase(std::stoull(*tid));
+        }
+      }
+    }
+  }
+  std::erase_if(approvals_,
+                [&](const auto& kv) { return !index_.contains(kv.first); });
 }
 
 Address DataNft::owner_of(CallContext& ctx, std::uint64_t token_id) const {

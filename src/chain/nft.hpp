@@ -85,6 +85,11 @@ class DataNft : public Contract {
   [[nodiscard]] std::vector<std::uint64_t> provenance(
       std::uint64_t token_id) const;
 
+ protected:
+  // Rebuilds the RPC mirror (index_, approvals_, next_id_) from restored
+  // contract storage + the chain's event log after a ledger reopen.
+  void on_adopted(const Chain& chain) override;
+
  private:
   [[nodiscard]] std::string key(const char* field, std::uint64_t id) const;
 

@@ -1,17 +1,31 @@
 #include "core/system.hpp"
 
+#include <cstdlib>
 #include <stdexcept>
 
 #include "core/circuits.hpp"
 
 namespace zkdet::core {
 
-ZkdetSystem::ZkdetSystem(std::size_t max_constraints, std::uint64_t seed)
+ZkdetSystem::ZkdetSystem(std::size_t max_constraints, std::uint64_t seed,
+                         const std::string& data_dir,
+                         const ledger::Options& ledger_opts)
     : rng_("zkdet-system", seed),
       operator_keys_(crypto::KeyPair::generate(rng_)),
       srs_(plonk::Srs::setup(max_constraints + 16, rng_)),
       prover_(srs_),
       storage_(/*num_nodes=*/4, /*replication=*/2) {
+  std::string dir = data_dir;
+  if (dir.empty()) {
+    if (const char* env = std::getenv("ZKDET_DATA_DIR")) dir = env;
+  }
+  // Attach durability before any chain activity: the account credit and
+  // the deploys below are journaled (fresh directory) or replayed
+  // against restored state (reopen — create_account is idempotent for a
+  // known key and each deploy adopts its persisted contract).
+  if (!dir.empty()) {
+    ledger_ = std::make_unique<ledger::Ledger>(chain_, dir, ledger_opts);
+  }
   chain_.create_account(operator_keys_, 1'000'000'000);
 
   nft_ = &chain_.deploy<chain::DataNft>(operator_keys_, nullptr);

@@ -16,6 +16,7 @@
 #include "chain/chain.hpp"
 #include "chain/nft.hpp"
 #include "chain/verifier_contract.hpp"
+#include "ledger/ledger.hpp"
 #include "plonk/plonk.hpp"
 #include "runtime/prover_service.hpp"
 #include "storage/storage.hpp"
@@ -25,9 +26,21 @@ namespace zkdet::core {
 class ZkdetSystem {
  public:
   // max_constraints bounds the largest circuit the SRS supports.
-  explicit ZkdetSystem(std::size_t max_constraints, std::uint64_t seed = 7);
+  //
+  // `data_dir` roots a durable ledger under the chain: every sealed
+  // block is WAL-journaled before the sealing call returns, and
+  // constructing a system over an existing directory restores the chain
+  // (blocks, balances, contract state) exactly as it was — the deploys
+  // below then re-bind to their persisted contracts instead of minting
+  // fresh ones. Empty string consults ZKDET_DATA_DIR; if that is unset
+  // too, the chain stays memory-only (the pre-ledger behaviour).
+  explicit ZkdetSystem(std::size_t max_constraints, std::uint64_t seed = 7,
+                       const std::string& data_dir = {},
+                       const ledger::Options& ledger_opts = {});
 
   [[nodiscard]] chain::Chain& chain() { return chain_; }
+  // nullptr when running memory-only.
+  [[nodiscard]] ledger::Ledger* ledger() { return ledger_.get(); }
   [[nodiscard]] storage::StorageNetwork& storage() { return storage_; }
   [[nodiscard]] chain::DataNft& nft() { return *nft_; }
   [[nodiscard]] chain::ClockAuction& auction() { return *auction_; }
@@ -69,6 +82,8 @@ class ZkdetSystem {
   plonk::Srs srs_;
   runtime::ProverService prover_;
   chain::Chain chain_;
+  // Declared after chain_ (observer detaches before the chain dies).
+  std::unique_ptr<ledger::Ledger> ledger_;
   storage::StorageNetwork storage_;
   chain::DataNft* nft_ = nullptr;
   chain::ClockAuction* auction_ = nullptr;

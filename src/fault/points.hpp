@@ -25,6 +25,21 @@
 //   exchange.settle      seller client fails before issuing settle
 //   exchange.recover     buyer client fails while recovering data
 //   exchange.refund      buyer client fails before issuing refund
+//   ledger.wal.append.torn
+//                        process dies mid-append: only a prefix of the
+//                        WAL record frame reaches the file (torn tail;
+//                        recovery truncates it on reopen)
+//   ledger.wal.append.corrupt
+//                        a fully-written record frame has a flipped bit
+//                        (media corruption; recovery treats the record
+//                        as the torn tail and truncates)
+//   ledger.fsync         fsync/fdatasync reports EIO; the write's
+//                        durability is unknown and the ledger poisons
+//                        itself (fail-stop) rather than continue
+//   ledger.snapshot.write
+//                        process dies while writing snapshot.tmp (the
+//                        incomplete temp file is discarded on reopen;
+//                        the previous snapshot + WAL stay authoritative)
 #pragma once
 
 namespace zkdet::fault::points {
@@ -40,13 +55,29 @@ inline constexpr const char kExchangeCrashAfterLock[] =
 inline constexpr const char kExchangeSettle[] = "exchange.settle";
 inline constexpr const char kExchangeRecover[] = "exchange.recover";
 inline constexpr const char kExchangeRefund[] = "exchange.refund";
+inline constexpr const char kLedgerWalAppendTorn[] = "ledger.wal.append.torn";
+inline constexpr const char kLedgerWalAppendCorrupt[] =
+    "ledger.wal.append.corrupt";
+inline constexpr const char kLedgerFsync[] = "ledger.fsync";
+inline constexpr const char kLedgerSnapshotWrite[] = "ledger.snapshot.write";
 
 // All registered points, for enumeration (tests, docs, tooling).
 inline constexpr const char* kAll[] = {
     kStoragePutNode,    kStorageFetchNode,       kChainSubmit,
     kProverJob,         kExchangeVerify,         kExchangeLock,
     kExchangeCrashAfterLock, kExchangeSettle,    kExchangeRecover,
-    kExchangeRefund,
+    kExchangeRefund,    kLedgerWalAppendTorn,    kLedgerWalAppendCorrupt,
+    kLedgerFsync,       kLedgerSnapshotWrite,
+};
+
+// The subset whose firing simulates a process kill or IO fault inside
+// the durable-ledger write path (the crash-recovery matrix iterates
+// exactly these).
+inline constexpr const char* kLedgerAll[] = {
+    kLedgerWalAppendTorn,
+    kLedgerWalAppendCorrupt,
+    kLedgerFsync,
+    kLedgerSnapshotWrite,
 };
 
 }  // namespace zkdet::fault::points

@@ -1,0 +1,39 @@
+#include "ledger/crc32c.hpp"
+
+#include <array>
+
+namespace zkdet::ledger {
+
+namespace {
+
+// Table for the reflected Castagnoli polynomial 0x82F63B78, generated
+// once at static-init time (256 entries, 1 KiB).
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const std::array<std::uint32_t, 256> t = make_table();
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  const auto& t = table();
+  std::uint32_t crc = ~seed;
+  for (const std::uint8_t byte : data) {
+    crc = t[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace zkdet::ledger

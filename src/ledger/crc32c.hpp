@@ -1,0 +1,20 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) — the checksum behind the
+// write-ahead log's record framing (the same polynomial LevelDB/RocksDB
+// and iSCSI use: better error-detection spread than CRC32/zlib for
+// short records). Software slice-by-1 table implementation; the WAL's
+// records are small enough that table lookup is not the bottleneck
+// (encoding and fsync are).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace zkdet::ledger {
+
+// CRC of `data` with initial value `seed` (pass a previous crc32c result
+// to continue an incremental computation over split buffers).
+[[nodiscard]] std::uint32_t crc32c(std::span<const std::uint8_t> data,
+                                   std::uint32_t seed = 0);
+
+}  // namespace zkdet::ledger

@@ -1,0 +1,218 @@
+#include "ledger/io.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "fault/fault.hpp"
+#include "fault/points.hpp"
+
+namespace zkdet::ledger {
+
+namespace {
+
+std::string errno_text(int err) {
+  return std::string(std::strerror(err)) + " (errno " + std::to_string(err) +
+         ")";
+}
+
+int open_retry(const char* path, int flags, mode_t mode) {
+  int fd = -1;
+  do {
+    fd = ::open(path, flags, mode);
+  } while (fd < 0 && errno == EINTR);
+  return fd;
+}
+
+}  // namespace
+
+IoError::IoError(const std::string& op, const std::string& path, int err)
+    : std::runtime_error("io: " + op + " " + path + ": " + errno_text(err)) {}
+
+File File::create_truncate(const std::string& path) {
+  const int fd =
+      open_retry(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) throw IoError("create", path, errno);
+  return {fd, path};
+}
+
+File File::open_append(const std::string& path) {
+  const int fd =
+      open_retry(path.c_str(), O_CREAT | O_APPEND | O_WRONLY, 0644);
+  if (fd < 0) throw IoError("open-append", path, errno);
+  return {fd, path};
+}
+
+std::optional<File> File::open_read(const std::string& path) {
+  const int fd = open_retry(path.c_str(), O_RDONLY, 0);
+  if (fd < 0) {
+    if (errno == ENOENT) return std::nullopt;
+    throw IoError("open-read", path, errno);
+  }
+  return File{fd, path};
+}
+
+File::File(File&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) {
+      ::close(fd_);  // zkdet-lint: allow(unchecked-io) destructor-path close
+    }
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+File::~File() {
+  if (fd_ >= 0) {
+    // Close errors are unreportable from a destructor; durability never
+    // depends on close() — every commit point fsyncs explicitly first.
+    ::close(fd_);  // zkdet-lint: allow(unchecked-io) destructor close
+  }
+}
+
+void File::write_all(std::span<const std::uint8_t> data) {
+  const std::uint8_t* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("write", path_, errno);
+    }
+    if (n == 0) throw IoError("io: write " + path_ + ": wrote 0 bytes");
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+void File::sync() {
+  // Simulated EIO from the kernel: the page cache may or may not have
+  // reached the platter; after a real fsync failure the only safe move
+  // is fail-stop (the caller poisons the ledger).
+  if (fault::fire(fault::points::kLedgerFsync)) {
+    throw IoError("io: fsync " + path_ + ": injected EIO");
+  }
+  int rc = -1;
+  do {
+    rc = ::fsync(fd_);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) throw IoError("fsync", path_, errno);
+}
+
+void File::truncate(std::uint64_t size) {
+  int rc = -1;
+  do {
+    rc = ::ftruncate(fd_, static_cast<off_t>(size));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) throw IoError("ftruncate", path_, errno);
+}
+
+std::uint64_t File::size() const {
+  struct stat st{};
+  if (::fstat(fd_, &st) < 0) throw IoError("fstat", path_, errno);
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+std::vector<std::uint8_t> File::read_all() const {
+  const std::uint64_t total = size();
+  std::vector<std::uint8_t> buf(total);
+  std::size_t got = 0;
+  while (got < total) {
+    const ssize_t n = ::pread(fd_, buf.data() + got, total - got,
+                              static_cast<off_t>(got));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("read", path_, errno);
+    }
+    if (n == 0) break;  // concurrent truncation; return what exists
+    got += static_cast<std::size_t>(n);
+  }
+  buf.resize(got);
+  return buf;
+}
+
+void make_dirs(const std::string& path) {
+  std::string partial;
+  std::size_t pos = 0;
+  while (pos <= path.size()) {
+    const std::size_t next = path.find('/', pos);
+    partial = next == std::string::npos ? path : path.substr(0, next);
+    pos = next == std::string::npos ? path.size() + 1 : next + 1;
+    if (partial.empty()) continue;
+    if (::mkdir(partial.c_str(), 0755) < 0 && errno != EEXIST) {
+      throw IoError("mkdir", partial, errno);
+    }
+  }
+}
+
+bool path_exists(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) == 0) return true;
+  if (errno == ENOENT) return false;
+  throw IoError("stat", path, errno);
+}
+
+void remove_file(const std::string& path) {
+  if (::unlink(path.c_str()) < 0 && errno != ENOENT) {
+    throw IoError("unlink", path, errno);
+  }
+}
+
+void atomic_publish(const std::string& tmp_path, const std::string& path) {
+  if (::rename(tmp_path.c_str(), path.c_str()) < 0) {
+    throw IoError("rename", tmp_path + " -> " + path, errno);
+  }
+  const std::size_t slash = path.rfind('/');
+  sync_dir(slash == std::string::npos ? "." : path.substr(0, slash));
+}
+
+void sync_dir(const std::string& dir) {
+  const int fd = open_retry(dir.c_str(), O_RDONLY | O_DIRECTORY, 0);
+  if (fd < 0) throw IoError("open-dir", dir, errno);
+  int rc = -1;
+  do {
+    rc = ::fsync(fd);
+  } while (rc < 0 && errno == EINTR);
+  const int saved = errno;
+  if (::close(fd) < 0 && rc == 0) {
+    throw IoError("close-dir", dir, errno);
+  }
+  if (rc < 0) throw IoError("fsync-dir", dir, saved);
+}
+
+std::vector<std::string> list_dir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) throw IoError("opendir", dir, errno);
+  std::vector<std::string> names;
+  errno = 0;
+  for (struct dirent* ent = ::readdir(d); ent != nullptr;
+       ent = ::readdir(d)) {
+    const std::string name = ent->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st{};
+    if (::stat((dir + "/" + name).c_str(), &st) == 0 && S_ISREG(st.st_mode)) {
+      names.push_back(name);
+    }
+    errno = 0;
+  }
+  const int saved = errno;
+  if (::closedir(d) < 0) throw IoError("closedir", dir, errno);
+  if (saved != 0) throw IoError("readdir", dir, saved);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace zkdet::ledger

@@ -1,0 +1,83 @@
+// Checked POSIX file IO for the durable ledger.
+//
+// This is the only place in the codebase allowed to touch raw file
+// descriptors / streams (enforced by scripts/lint_zkdet.py, rule
+// unchecked-io): every syscall return value is checked and surfaced as
+// a typed exception, and fsync goes through one wrapper so the
+// ledger.fsync fail-point covers every durability barrier.
+//
+// Two error flavors:
+//   IoError       the environment failed (ENOSPC, EIO, permission...);
+//                 the ledger cannot continue and fail-stops.
+//   CrashInjected a fault::fire() site simulated a process kill; tests
+//                 catch this, drop the ledger object, and reopen the
+//                 directory as a fresh process would.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace zkdet::ledger {
+
+class IoError : public std::runtime_error {
+ public:
+  IoError(const std::string& op, const std::string& path, int err);
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Thrown by fault-injection sites in the write path to simulate the
+// process dying at that instant. Deliberately NOT derived from IoError:
+// production code must not "handle" a simulated kill.
+class CrashInjected : public std::runtime_error {
+ public:
+  explicit CrashInjected(const std::string& where)
+      : std::runtime_error("crash injected at " + where) {}
+};
+
+// RAII file descriptor with checked operations. Move-only.
+class File {
+ public:
+  // O_CREAT|O_TRUNC|O_WRONLY — fresh file (snapshot temp).
+  static File create_truncate(const std::string& path);
+  // O_CREAT|O_APPEND|O_WRONLY — WAL segment.
+  static File open_append(const std::string& path);
+  // O_RDONLY; nullopt if the file does not exist.
+  static std::optional<File> open_read(const std::string& path);
+
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+  ~File();
+
+  // Writes the whole span (looping over short writes) or throws.
+  void write_all(std::span<const std::uint8_t> data);
+  // Durability barrier; routes through the ledger.fsync fail-point.
+  void sync();
+  void truncate(std::uint64_t size);
+  [[nodiscard]] std::uint64_t size() const;
+  [[nodiscard]] std::vector<std::uint8_t> read_all() const;
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  File(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  int fd_ = -1;
+  std::string path_;
+};
+
+// Directory helpers (all throw IoError on failure).
+void make_dirs(const std::string& path);    // mkdir -p
+[[nodiscard]] bool path_exists(const std::string& path);
+void remove_file(const std::string& path);  // ENOENT tolerated
+// rename() + fsync of the containing directory — the commit point for
+// snapshot publication.
+void atomic_publish(const std::string& tmp_path, const std::string& path);
+void sync_dir(const std::string& dir);
+// Regular-file names in `dir` (no subdirectories), sorted.
+[[nodiscard]] std::vector<std::string> list_dir(const std::string& dir);
+
+}  // namespace zkdet::ledger

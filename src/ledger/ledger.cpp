@@ -1,0 +1,408 @@
+#include "ledger/ledger.hpp"
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+
+#include "fault/fault.hpp"
+#include "fault/points.hpp"
+#include "ledger/codec.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace zkdet::ledger {
+
+namespace {
+
+constexpr char kSnapshotMagic[8] = {'Z', 'K', 'D', 'T', 'S', 'N', 'A', 'P'};
+constexpr const char* kSnapshotName = "snapshot.bin";
+constexpr const char* kSnapshotTmpName = "snapshot.tmp";
+
+// wal-<20-digit n>.log — zero-padded so lexicographic == numeric order.
+std::string segment_name(std::uint64_t n) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "wal-%020" PRIu64 ".log", n);
+  return buf;
+}
+
+std::optional<std::uint64_t> parse_segment_name(const std::string& name) {
+  if (name.size() != 28 || name.rfind("wal-", 0) != 0 ||
+      name.substr(24) != ".log") {
+    return std::nullopt;
+  }
+  std::uint64_t n = 0;
+  for (std::size_t i = 4; i < 24; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    n = n * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return n;
+}
+
+// Mutable replay image: snapshot state + WAL suffix folded in.
+struct ReplayState {
+  std::vector<chain::Block> blocks;
+  std::map<chain::Address, std::uint64_t> balances;
+  std::map<chain::Address, crypto::G1> account_keys;
+  std::map<chain::Address, chain::RestoredContract> contracts;
+};
+
+void apply_delta(ReplayState& st, const chain::StateDelta& delta) {
+  for (const auto& c : delta.contracts_created) {
+    chain::RestoredContract rc;
+    rc.name = c.name;
+    rc.code_size = c.code_size;
+    st.contracts.emplace(c.address, std::move(rc));
+  }
+  for (const auto& [addr, bal] : delta.balance_sets) {
+    st.balances[addr] = bal;  // absolute values: idempotent
+  }
+  for (const auto& [addr, key, value] : delta.slot_sets) {
+    const auto it = st.contracts.find(addr);
+    if (it == st.contracts.end()) {
+      throw IoError("ledger: replayed slot write for unknown contract " +
+                    addr);
+    }
+    it->second.slots[key] = value;
+  }
+  for (const auto& [addr, key] : delta.slot_erases) {
+    const auto it = st.contracts.find(addr);
+    if (it == st.contracts.end()) {
+      throw IoError("ledger: replayed slot erase for unknown contract " +
+                    addr);
+    }
+    it->second.slots.erase(key);
+  }
+}
+
+// Re-verifies the signatures of WAL-replayed transactions, batched over
+// the shared thread pool. The snapshot prefix is trusted (that is what
+// makes reopen O(suffix)); everything recovered from the WAL is not.
+void verify_replayed_signatures(
+    const std::vector<const chain::TxRecord*>& txs,
+    const std::map<chain::Address, crypto::G1>& account_keys) {
+  std::atomic<std::size_t> bad{txs.size()};  // first failing index
+  runtime::parallel_for(txs.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      const chain::TxRecord& tx = *txs[i];
+      const auto key = account_keys.find(tx.sender);
+      bool ok = key != account_keys.end();
+      if (ok) {
+        // Mirrors Chain::call: message = description || height byte,
+        // where height at signing time equals the sealed block height.
+        std::vector<std::uint8_t> msg(tx.description.begin(),
+                                      tx.description.end());
+        msg.push_back(static_cast<std::uint8_t>(tx.block & 0xFF));
+        ok = crypto::schnorr_verify(key->second, msg, tx.sig);
+      }
+      if (!ok) {
+        std::size_t cur = bad.load();
+        while (i < cur && !bad.compare_exchange_weak(cur, i)) {
+        }
+      }
+    }
+  });
+  if (bad.load() != txs.size()) {
+    const chain::TxRecord& tx = *txs[bad.load()];
+    throw IoError("ledger: replayed tx at block " + std::to_string(tx.block) +
+                  " has an invalid signature (" + tx.description + ")");
+  }
+}
+
+}  // namespace
+
+Ledger::Ledger(chain::Chain& chain, std::string dir, Options opts)
+    : chain_(chain), dir_(std::move(dir)), opts_(opts) {
+  if (chain_.height() != 1 || chain_.recording()) {
+    throw IoError("ledger: chain must be fresh (at genesis, unobserved)");
+  }
+  open_and_replay();
+  chain_.set_observer(this);
+}
+
+Ledger::~Ledger() { chain_.set_observer(nullptr); }
+
+std::string Ledger::segment_path(std::uint64_t n) const {
+  return dir_ + "/" + segment_name(n);
+}
+
+void Ledger::open_and_replay() {
+  make_dirs(dir_);
+  // A snapshot.tmp is an in-flight snapshot the previous process never
+  // published; the previous snapshot + WAL remain authoritative.
+  remove_file(dir_ + "/" + kSnapshotTmpName);
+
+  // 1. Snapshot (if any).
+  ChainSnapshot snap;
+  if (const auto f = File::open_read(dir_ + "/" + kSnapshotName)) {
+    const auto bytes = f->read_all();
+    const std::span<const std::uint8_t> view(bytes);
+    if (bytes.size() < sizeof(kSnapshotMagic) ||
+        !std::equal(kSnapshotMagic, kSnapshotMagic + sizeof(kSnapshotMagic),
+                    bytes.begin())) {
+      throw IoError("ledger: " + f->path() + " has a bad magic");
+    }
+    const auto rec = parse_record(view, sizeof(kSnapshotMagic));
+    if (!rec || rec->next_offset != bytes.size()) {
+      // snapshot.bin is published atomically, so a bad body is media
+      // corruption — fail loudly rather than replay from genesis and
+      // silently resurrect a pre-snapshot fork.
+      throw IoError("ledger: " + f->path() + " is corrupt");
+    }
+    try {
+      snap = decode_snapshot(rec->payload);
+    } catch (const CodecError& e) {
+      throw IoError("ledger: " + f->path() + ": " + e.what());
+    }
+    stats_.opened_from_snapshot = true;
+    stats_.snapshot_blocks = snap.blocks.size();
+  }
+
+  // 2. WAL segments, in numeric order.
+  std::vector<std::uint64_t> segments;
+  for (const auto& name : list_dir(dir_)) {
+    if (const auto n = parse_segment_name(name)) segments.push_back(*n);
+  }
+  // list_dir sorts names; zero-padding makes that numeric order too.
+
+  ReplayState st;
+  if (!snap.blocks.empty()) {
+    st.blocks = std::move(snap.blocks);
+    st.balances = std::move(snap.balances);
+    st.account_keys = std::move(snap.account_keys);
+    st.contracts = std::move(snap.contracts);
+  } else {
+    // WAL-only replay starts from the deterministic genesis block the
+    // fresh chain already built.
+    st.blocks.push_back(chain_.blocks().front());
+  }
+
+  seq_ = snap.wal_seq;
+  std::vector<const chain::TxRecord*> to_verify;
+  std::vector<std::unique_ptr<chain::Block>> replayed;  // keep ptrs stable
+
+  for (std::size_t si = 0; si < segments.size(); ++si) {
+    const bool final_segment = si + 1 == segments.size();
+    const std::string path = segment_path(segments[si]);
+    const auto f = File::open_read(path);
+    if (!f) throw IoError("ledger: segment vanished: " + path);
+    const auto bytes = f->read_all();
+    const auto scan = scan_wal(bytes);
+    if (scan.has_torn_tail) {
+      if (!final_segment) {
+        // Only the crash-interrupted tail of the *last* segment may be
+        // invalid; garbage mid-history is corruption of committed data.
+        throw IoError("ledger: corrupt record inside sealed segment " + path);
+      }
+      File tail = File::open_append(path);
+      tail.truncate(scan.valid_bytes);
+      tail.sync();
+      stats_.torn_tail_truncated = true;
+    }
+    for (const auto& payload : scan.payloads) {
+      Reader r{std::span<const std::uint8_t>(payload)};
+      std::uint8_t type = 0;
+      std::uint64_t rec_seq = 0;
+      try {
+        type = r.u8();
+        rec_seq = r.u64();
+        if (rec_seq <= snap.wal_seq) continue;  // folded into the snapshot
+        if (rec_seq != seq_ + 1) {
+          throw IoError("ledger: WAL sequence gap at " + path + " (have " +
+                        std::to_string(seq_) + ", next record is " +
+                        std::to_string(rec_seq) + ")");
+        }
+        if (type == kRecordBlock) {
+          auto block = std::make_unique<chain::Block>(read_block(r));
+          const auto delta = read_delta(r);
+          r.expect_end();
+          if (block->height != st.blocks.size()) {
+            throw IoError("ledger: replayed block height " +
+                          std::to_string(block->height) + " != expected " +
+                          std::to_string(st.blocks.size()));
+          }
+          apply_delta(st, delta);
+          st.blocks.push_back(*block);
+          for (const auto& tx : block->txs) {
+            if (tx.has_sig) to_verify.push_back(&tx);
+          }
+          replayed.push_back(std::move(block));
+          ++stats_.replayed_blocks;
+        } else if (type == kRecordAccount) {
+          const auto addr = r.str();
+          const auto pk = r.g1();
+          const std::uint64_t balance = r.u64();
+          r.expect_end();
+          st.account_keys[addr] = pk;
+          st.balances[addr] = balance;
+        } else {
+          throw IoError("ledger: unknown WAL record type " +
+                        std::to_string(type) + " in " + path);
+        }
+      } catch (const CodecError& e) {
+        // CRC said the bytes are exactly what was written, so a decode
+        // failure means a buggy or newer writer — refuse the directory.
+        throw IoError("ledger: undecodable WAL record in " + path + ": " +
+                      e.what());
+      }
+      seq_ = rec_seq;
+    }
+  }
+
+  // 3. Hand the image to the chain (skip when there is no history at
+  // all — the fresh chain is already correct).
+  const bool has_history = st.blocks.size() > 1 || !st.balances.empty() ||
+                           !st.account_keys.empty() || !st.contracts.empty();
+  if (has_history) {
+    if (opts_.verify_signatures && !to_verify.empty()) {
+      verify_replayed_signatures(to_verify, st.account_keys);
+    }
+    chain_.restore_state(std::move(st.blocks), std::move(st.balances),
+                         std::move(st.account_keys), std::move(st.contracts));
+    if (!chain_.validate_chain()) {
+      throw IoError("ledger: replayed chain fails hash-link validation (" +
+                    dir_ + ")");
+    }
+  }
+
+  // 4. Open the write head on the last segment (or a fresh first one).
+  segment_ = segments.empty() ? 1 : segments.back();
+  const bool fresh_segment = segments.empty();
+  writer_.emplace(File::open_append(segment_path(segment_)),
+                  opts_.fsync_each_append);
+  if (fresh_segment) sync_dir(dir_);
+}
+
+void Ledger::append_record(std::uint8_t type,
+                           const std::function<void(Writer&)>& body) {
+  if (poisoned_) {
+    throw IoError("ledger: poisoned after earlier failure (" + dir_ + ")");
+  }
+  Writer w;
+  w.u8(type);
+  w.u64(seq_ + 1);
+  body(w);
+  const auto payload = w.take();
+  try {
+    writer_->append(payload);
+  } catch (...) {
+    poisoned_ = true;
+    throw;
+  }
+  ++seq_;
+  ++stats_.appended_records;
+}
+
+void Ledger::on_account_created(const chain::Address& addr,
+                                const crypto::G1& pk, std::uint64_t balance) {
+  append_record(kRecordAccount, [&](Writer& w) {
+    w.str(addr);
+    w.g1(pk);
+    w.u64(balance);
+  });
+}
+
+void Ledger::on_block_sealed(const chain::Block& block,
+                             const chain::StateDelta& delta) {
+  append_record(kRecordBlock, [&](Writer& w) {
+    write_block(w, block);
+    write_delta(w, delta);
+  });
+  ++blocks_since_snapshot_;
+  maybe_snapshot();
+}
+
+void Ledger::sync() {
+  if (poisoned_) {
+    throw IoError("ledger: poisoned after earlier failure (" + dir_ + ")");
+  }
+  try {
+    writer_->sync();
+  } catch (...) {
+    poisoned_ = true;
+    throw;
+  }
+}
+
+void Ledger::maybe_snapshot() {
+  if (opts_.snapshot_interval == 0) return;
+  if (blocks_since_snapshot_ < opts_.snapshot_interval) return;
+  write_snapshot();
+  blocks_since_snapshot_ = 0;
+}
+
+void Ledger::snapshot_now() {
+  if (poisoned_) {
+    throw IoError("ledger: poisoned after earlier failure (" + dir_ + ")");
+  }
+  write_snapshot();
+  blocks_since_snapshot_ = 0;
+}
+
+void Ledger::write_snapshot() {
+  ChainSnapshot snap;
+  snap.blocks = chain_.blocks();
+  snap.balances = chain_.balances_map();
+  snap.account_keys = chain_.account_keys();
+  for (const auto& c : chain_.contracts()) {
+    chain::RestoredContract rc;
+    rc.name = c->name();
+    rc.code_size = c->code_size();
+    rc.slots = c->audit_store().peek_all();
+    snap.contracts.emplace(c->address(), std::move(rc));
+  }
+  // Persisted contracts the application never re-adopted must survive
+  // the next snapshot too.
+  for (const auto& [addr, rc] : chain_.pending_adoptions()) {
+    snap.contracts.emplace(addr, rc);
+  }
+  snap.wal_seq = seq_;
+
+  const auto payload = encode_snapshot(snap);
+  const auto frame = frame_record(payload);
+  const std::string tmp = dir_ + "/" + kSnapshotTmpName;
+  const std::span<const std::uint8_t> magic(
+      reinterpret_cast<const std::uint8_t*>(kSnapshotMagic),
+      sizeof(kSnapshotMagic));
+
+  try {
+    // Simulated kill mid-snapshot: a partial temp file is left behind;
+    // reopen discards it and the previous snapshot + WAL still rebuild
+    // the full state.
+    if (fault::fire(fault::points::kLedgerSnapshotWrite)) {
+      File partial = File::create_truncate(tmp);
+      partial.write_all(magic);
+      partial.write_all(std::span(frame).first(frame.size() / 2));
+      throw CrashInjected(fault::points::kLedgerSnapshotWrite);
+    }
+
+    File f = File::create_truncate(tmp);
+    f.write_all(magic);
+    f.write_all(frame);
+    f.sync();
+    atomic_publish(tmp, dir_ + "/" + kSnapshotName);
+
+    // Rotate: new records go to a fresh segment; everything before it
+    // is covered by the snapshot we just published.
+    const std::uint64_t next_segment = segment_ + 1;
+    writer_.emplace(File::open_append(segment_path(next_segment)),
+                    opts_.fsync_each_append);
+    sync_dir(dir_);
+    const std::uint64_t last_old = segment_;
+    segment_ = next_segment;
+    for (const auto& name : list_dir(dir_)) {
+      if (const auto n = parse_segment_name(name); n && *n <= last_old) {
+        remove_file(dir_ + "/" + name);
+      }
+    }
+    ++stats_.snapshots_written;
+  } catch (...) {
+    poisoned_ = true;
+    throw;
+  }
+}
+
+std::unique_ptr<PersistentChain> open(const std::string& dir, Options opts) {
+  return std::make_unique<PersistentChain>(dir, opts);
+}
+
+}  // namespace zkdet::ledger

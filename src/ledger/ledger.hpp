@@ -1,0 +1,127 @@
+// Durable ledger: journals every chain mutation to a CRC-framed WAL,
+// checkpoints periodic snapshots, and reconstructs a byte-identical
+// chain on reopen (snapshot load + WAL-suffix replay).
+//
+// Directory layout (`ZKDET_DATA_DIR` or an explicit path):
+//
+//   snapshot.bin        full state image + WAL sequence watermark,
+//                       published atomically (tmp + fsync + rename +
+//                       dir fsync); at most one, always complete
+//   snapshot.tmp        in-flight snapshot; discarded on open
+//   wal-<n>.log         WAL segments (zero-padded n); rotated after
+//                       each snapshot, old segments deleted once the
+//                       snapshot covering them is published
+//
+// Durability contract: Ledger::on_block_sealed runs synchronously
+// inside Chain::seal_block, so by the time Chain::call returns a
+// receipt the block's WAL record is written (and fsynced, unless
+// Options::fsync_each_append is off). A crash at ANY instant yields,
+// on reopen, a chain that passes validate_chain() and whose tip is
+// either the last acked block (record durable) or the block before it
+// (record torn/corrupt → tail truncated); an un-acked block may land
+// either way, which is exactly a real chain client's "tx submitted but
+// no receipt" window. Replay re-verifies every post-snapshot tx
+// signature (batched through the runtime thread pool); snapshots are
+// trusted, which is what makes reopen O(suffix) instead of O(history).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "chain/chain.hpp"
+#include "ledger/wal.hpp"
+
+namespace zkdet::ledger {
+
+class Writer;  // codec.hpp
+
+struct Options {
+  // Snapshot after this many sealed blocks (0 = never snapshot).
+  std::uint64_t snapshot_interval = 1024;
+  // Re-verify tx signatures of WAL-replayed blocks on open.
+  bool verify_signatures = true;
+  // fsync the WAL after every record (full durability). Off = batched
+  // durability for bulk loads; data loss window until next sync().
+  bool fsync_each_append = true;
+};
+
+struct Stats {
+  std::uint64_t appended_records = 0;   // this process, post-open
+  std::uint64_t replayed_blocks = 0;    // WAL suffix applied at open
+  std::uint64_t snapshot_blocks = 0;    // blocks restored from snapshot
+  std::uint64_t snapshots_written = 0;  // this process
+  bool torn_tail_truncated = false;     // open found and cut a torn tail
+  bool opened_from_snapshot = false;
+};
+
+// Attaches durability to an existing Chain. The chain must be at
+// genesis when the ledger is constructed; if `dir` holds history the
+// ctor restores it (restore_state + pending contract adoptions).
+// Fail-stop: after an IO failure or injected crash the ledger is
+// poisoned — further mutations of the observed chain throw rather than
+// silently diverging from disk.
+class Ledger : public chain::ChainObserver {
+ public:
+  Ledger(chain::Chain& chain, std::string dir, Options opts = {});
+  ~Ledger() override;
+  Ledger(const Ledger&) = delete;
+  Ledger& operator=(const Ledger&) = delete;
+
+  // ChainObserver (called by Chain; not for direct use).
+  void on_account_created(const chain::Address& addr, const crypto::G1& pk,
+                          std::uint64_t balance) override;
+  void on_block_sealed(const chain::Block& block,
+                       const chain::StateDelta& delta) override;
+
+  // Forces a snapshot + WAL rotation now (tests, bench, shutdown).
+  void snapshot_now();
+  // Durability barrier when fsync_each_append is off.
+  void sync();
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+  [[nodiscard]] std::uint64_t wal_seq() const { return seq_; }
+  [[nodiscard]] bool poisoned() const { return poisoned_; }
+
+ private:
+  void open_and_replay();
+  void append_record(std::uint8_t type,
+                     const std::function<void(Writer&)>& body);
+  void maybe_snapshot();
+  void write_snapshot();
+  [[nodiscard]] std::string segment_path(std::uint64_t n) const;
+
+  chain::Chain& chain_;
+  std::string dir_;
+  Options opts_;
+  Stats stats_;
+  std::uint64_t seq_ = 0;       // last WAL sequence written or replayed
+  std::uint64_t segment_ = 1;   // current segment number
+  std::uint64_t blocks_since_snapshot_ = 0;
+  std::optional<WalWriter> writer_;
+  bool poisoned_ = false;
+};
+
+// Chain + Ledger with correct construction/destruction order.
+class PersistentChain {
+ public:
+  explicit PersistentChain(const std::string& dir, Options opts = {})
+      : ledger_(chain_, dir, opts) {}
+
+  [[nodiscard]] chain::Chain& chain() { return chain_; }
+  [[nodiscard]] const chain::Chain& chain() const { return chain_; }
+  [[nodiscard]] Ledger& ledger() { return ledger_; }
+
+ private:
+  chain::Chain chain_;
+  Ledger ledger_;
+};
+
+// Opens (creating or recovering) a durable chain rooted at `dir`.
+[[nodiscard]] std::unique_ptr<PersistentChain> open(const std::string& dir,
+                                                    Options opts = {});
+
+}  // namespace zkdet::ledger

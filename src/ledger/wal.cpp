@@ -1,0 +1,121 @@
+#include "ledger/wal.hpp"
+
+#include "fault/fault.hpp"
+#include "fault/points.hpp"
+#include "ledger/crc32c.hpp"
+
+namespace zkdet::ledger {
+
+namespace {
+
+std::uint32_t read_u32le(std::span<const std::uint8_t> b, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= std::uint32_t{b[at + static_cast<std::size_t>(i)]} << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::optional<RecordView> parse_record(std::span<const std::uint8_t> buf,
+                                       std::size_t offset) {
+  if (offset > buf.size() || buf.size() - offset < kFrameHeaderSize) {
+    return std::nullopt;
+  }
+  const std::uint32_t len = read_u32le(buf, offset);
+  const std::uint32_t crc = read_u32le(buf, offset + 4);
+  if (len > kMaxRecordPayload) return std::nullopt;
+  if (buf.size() - offset - kFrameHeaderSize < len) return std::nullopt;
+  const auto payload = buf.subspan(offset + kFrameHeaderSize, len);
+  if (crc32c(payload) != crc) return std::nullopt;
+  return RecordView{payload, offset + kFrameHeaderSize + len};
+}
+
+std::vector<std::uint8_t> frame_record(std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxRecordPayload) {
+    throw IoError("wal: record payload exceeds " +
+                  std::to_string(kMaxRecordPayload) + " bytes");
+  }
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = crc32c(payload);
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  }
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+ScanResult scan_wal(std::span<const std::uint8_t> buf) {
+  ScanResult result;
+  std::size_t offset = 0;
+  while (offset < buf.size()) {
+    const auto rec = parse_record(buf, offset);
+    if (!rec) break;
+    result.payloads.emplace_back(rec->payload.begin(), rec->payload.end());
+    offset = rec->next_offset;
+  }
+  result.valid_bytes = offset;
+  result.has_torn_tail = offset < buf.size();
+  return result;
+}
+
+WalWriter::WalWriter(File file, bool fsync_each_append)
+    : file_(std::move(file)), fsync_each_append_(fsync_each_append) {}
+
+void WalWriter::append(std::span<const std::uint8_t> payload) {
+  if (poisoned_) {
+    throw IoError("wal: writer poisoned after earlier failure (" +
+                  file_.path() + ")");
+  }
+  std::vector<std::uint8_t> frame = frame_record(payload);
+
+  // Simulated kill mid-write: a prefix of the frame reaches the file
+  // and the "process" dies. Recovery must treat it as a torn tail.
+  if (fault::fire(fault::points::kLedgerWalAppendTorn)) {
+    poisoned_ = true;
+    const std::size_t half = frame.size() / 2;
+    file_.write_all(std::span(frame).first(half == 0 ? frame.size() : half));
+    throw CrashInjected(fault::points::kLedgerWalAppendTorn);
+  }
+  // Simulated media corruption: the frame lands in full but with one
+  // bit flipped somewhere in the payload; the CRC catches it on reopen.
+  if (fault::fire(fault::points::kLedgerWalAppendCorrupt)) {
+    poisoned_ = true;
+    const std::size_t victim =
+        payload.empty() ? 4  // no payload bytes: corrupt the CRC field
+                        : kFrameHeaderSize + (frame.size() / 3) % payload.size();
+    frame[victim] ^= 0x40;
+    file_.write_all(frame);
+    file_.sync();
+    throw CrashInjected(fault::points::kLedgerWalAppendCorrupt);
+  }
+
+  try {
+    file_.write_all(frame);
+    if (fsync_each_append_) file_.sync();
+  } catch (...) {
+    poisoned_ = true;
+    throw;
+  }
+}
+
+void WalWriter::sync() {
+  if (poisoned_) {
+    throw IoError("wal: writer poisoned after earlier failure (" +
+                  file_.path() + ")");
+  }
+  try {
+    file_.sync();
+  } catch (...) {
+    poisoned_ = true;
+    throw;
+  }
+}
+
+}  // namespace zkdet::ledger

@@ -1,0 +1,93 @@
+// Append-only write-ahead log with CRC-framed records.
+//
+// On-disk frame, repeated back-to-back in each `wal-<seq>.log` segment:
+//
+//   +-------------+--------------+------------------+
+//   | u32 len(LE) | u32 crc32c   | payload[len]     |
+//   +-------------+--------------+------------------+
+//
+// The CRC covers only the payload; `len` is implicitly validated by the
+// CRC check (a corrupted length either truncates the read or yields a
+// payload whose CRC cannot match). Torn-tail semantics: a crash can
+// leave at most one partial frame at the end of the *last* segment;
+// scan_wal() finds the longest valid prefix and the opener truncates
+// the rest. An invalid frame in the *middle* of a segment (or anywhere
+// in a non-final segment) is media corruption, not a torn write, and is
+// a hard error — silently dropping committed records would fork the
+// chain.
+//
+// parse_record() is deliberately a pure function over a byte span (no
+// file handles) so the fuzz harness can hammer it with arbitrary bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ledger/io.hpp"
+
+namespace zkdet::ledger {
+
+// Frame overhead: u32 length + u32 crc.
+inline constexpr std::size_t kFrameHeaderSize = 8;
+// Upper bound on a single record payload (1 GiB): rejects absurd length
+// prefixes before any allocation. Real records are a few KiB.
+inline constexpr std::uint32_t kMaxRecordPayload = 1u << 30;
+
+// Payload record types (first payload byte; decoded by the ledger).
+inline constexpr std::uint8_t kRecordBlock = 1;    // sealed block + delta
+inline constexpr std::uint8_t kRecordAccount = 2;  // account registration
+
+struct RecordView {
+  std::span<const std::uint8_t> payload;
+  std::size_t next_offset = 0;  // offset of the frame after this one
+};
+
+// Parses the frame at `offset`. Returns nullopt if the bytes from
+// `offset` do not contain one complete, CRC-valid frame (truncated
+// header, truncated payload, oversized length claim, or CRC mismatch).
+// Never reads outside `buf`, never allocates.
+[[nodiscard]] std::optional<RecordView> parse_record(
+    std::span<const std::uint8_t> buf, std::size_t offset);
+
+// Complete wire frame for `payload` (header + payload).
+[[nodiscard]] std::vector<std::uint8_t> frame_record(
+    std::span<const std::uint8_t> payload);
+
+struct ScanResult {
+  // Payloads of all valid frames, in file order.
+  std::vector<std::vector<std::uint8_t>> payloads;
+  // Byte length of the valid prefix; anything beyond is a torn tail.
+  std::size_t valid_bytes = 0;
+  bool has_torn_tail = false;
+};
+
+// Longest valid frame prefix of a segment image.
+[[nodiscard]] ScanResult scan_wal(std::span<const std::uint8_t> buf);
+
+// Appender for one WAL segment. Fail-stop: after any append that did
+// not complete cleanly (injected torn write / corruption / fsync error,
+// or a real IO error) the writer is poisoned and rejects further
+// appends — a process whose log tail is in an unknown state must not
+// keep writing after it.
+class WalWriter {
+ public:
+  WalWriter(File file, bool fsync_each_append);
+
+  // Frames `payload`, appends it, optionally fsyncs. Throws
+  // CrashInjected (simulated kill) or IoError.
+  void append(std::span<const std::uint8_t> payload);
+  // Explicit durability barrier (used when fsync_each_append is off).
+  void sync();
+
+  [[nodiscard]] bool poisoned() const { return poisoned_; }
+  [[nodiscard]] const std::string& path() const { return file_.path(); }
+
+ private:
+  File file_;
+  bool fsync_each_append_;
+  bool poisoned_ = false;
+};
+
+}  // namespace zkdet::ledger

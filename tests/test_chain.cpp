@@ -89,6 +89,42 @@ TEST_F(ChainFixture, BlocksLinkAndValidate) {
   }
 }
 
+// Regression: block_hash used to cover only (sender, description), so a
+// node could rewrite a receipt's outcome — gas, success flag, events,
+// even the signature — without breaking validate_chain(). The hash now
+// covers the codec-serialized TxRecord, so every mutation below must be
+// detected.
+TEST_F(ChainFixture, TamperedReceiptOutcomeBreaksValidation) {
+  chain.call(alice_keys, "tamper-target", [](CallContext& ctx) {
+    ctx.emit(Event{"Ping", {{"k", "v"}}});
+  });
+  ASSERT_TRUE(chain.validate_chain());
+  auto& blocks = const_cast<std::vector<Block>&>(chain.blocks());
+  TxRecord& tx = blocks.back().txs.at(0);
+
+  const std::uint64_t gas = tx.gas_used;
+  tx.gas_used += 1;
+  EXPECT_FALSE(chain.validate_chain()) << "gas_used tamper undetected";
+  tx.gas_used = gas;
+
+  tx.success = !tx.success;
+  EXPECT_FALSE(chain.validate_chain()) << "success-flag tamper undetected";
+  tx.success = !tx.success;
+
+  ASSERT_FALSE(tx.events.empty());
+  const std::string v = tx.events[0].fields.at(0).second;
+  tx.events[0].fields.at(0).second = "forged";
+  EXPECT_FALSE(chain.validate_chain()) << "event tamper undetected";
+  tx.events[0].fields.at(0).second = v;
+
+  ASSERT_TRUE(tx.has_sig);
+  tx.has_sig = false;
+  EXPECT_FALSE(chain.validate_chain()) << "signature strip undetected";
+  tx.has_sig = true;
+
+  EXPECT_TRUE(chain.validate_chain()) << "restore should validate again";
+}
+
 TEST_F(ChainFixture, EventsRecorded) {
   const Receipt r = chain.call(alice_keys, "emit", [](CallContext& ctx) {
     ctx.emit(Event{"Ping", {{"k", "v"}}});

@@ -14,13 +14,16 @@
 // the seed and can be replayed alone via
 //   ZKDET_CHAOS_SEEDS=<seed> ./zkdet_chaos_tests
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdlib>
+#include <filesystem>
 
 #include "check/check.hpp"
 #include "core/exchange_driver.hpp"
 #include "fault/fault.hpp"
 #include "fault/points.hpp"
+#include "ledger/ledger.hpp"
 
 namespace zkdet::core {
 namespace {
@@ -474,6 +477,77 @@ TEST_F(DriverScenarios, TransientFaultsEverywhereStillSettles) {
   EXPECT_EQ(report.status, DriveStatus::kSettled);
   EXPECT_TRUE(report.data_recovered);
   EXPECT_EQ(report.data, a.plain);
+}
+
+// --- durable-ledger chaos ----------------------------------------------
+//
+// Kill a full ZkdetSystem (SRS, contracts, durable ledger) at every
+// ledger fail-point — including mid-bootstrap, while the system's own
+// deploys are being journaled — then reopen the same data directory
+// with a fresh system and require that the durable prefix validates,
+// every contract re-binds to its persisted state, and the restored
+// system keeps sealing blocks. The unit-level sweep of hit positions
+// lives in ledger_crash_matrix; this exercises the same property
+// through the real system bootstrap path.
+
+struct LedgerChaos : ::testing::Test {
+  void TearDown() override { fault::clear_all(); }
+};
+
+TEST_F(LedgerChaos, KillAtEveryLedgerFailPointThenReopenRestoresTheSystem) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("zkdet-chaos-ledger-" + std::to_string(::getpid()));
+
+  ledger::Options opts;
+  opts.snapshot_interval = 3;  // snapshots mid-bootstrap and mid-run
+
+  for (const char* point : fault::points::kLedgerAll) {
+    // hit 1 kills the very first write (bootstrap journaling); hit 5
+    // kills mid-history (5th WAL append / 5th snapshot).
+    for (const std::uint64_t hit : {std::uint64_t{1}, std::uint64_t{5}}) {
+      SCOPED_TRACE(std::string(point) + "@" + std::to_string(hit));
+      fs::remove_all(dir);
+
+      fault::inject(point, Schedule::once(hit));
+      bool crashed = false;
+      try {
+        ZkdetSystem doomed(1 << 12, 31, dir.string(), opts);
+        Drbg rng("chaos-ledger", 3);
+        const KeyPair user = KeyPair::generate(rng);
+        doomed.chain().create_account(user, 5'000);
+        // 12 ticks + 5 bootstrap deploys = 17 blocks: 5 snapshots at
+        // interval 3, so the snapshot fail-point reaches hit 5 too.
+        for (int i = 0; i < 12; ++i) {
+          doomed.chain().call(user, "ledger-chaos tick " + std::to_string(i),
+                              [](chain::CallContext&) {});
+        }
+      } catch (const ledger::CrashInjected&) {
+        crashed = true;
+      } catch (const ledger::IoError&) {
+        crashed = true;
+      }
+      EXPECT_TRUE(crashed) << "fail-point never fired";
+      fault::clear_all();
+
+      // Reopen: whatever prefix survived must be intact, the system's
+      // deploys must adopt their persisted contracts (no duplicates,
+      // nothing orphaned), and the system must keep working.
+      ZkdetSystem sys(1 << 12, 31, dir.string(), opts);
+      EXPECT_TRUE(sys.chain().validate_chain());
+      EXPECT_TRUE(sys.chain().pending_adoptions().empty());
+      ASSERT_NE(sys.ledger(), nullptr);
+      Drbg rng("chaos-ledger", 3);
+      const KeyPair user = KeyPair::generate(rng);
+      sys.chain().create_account(user, 5'000);  // idempotent if durable
+      const auto receipt = sys.chain().call(
+          user, "post-recovery tick", [](chain::CallContext&) {});
+      EXPECT_TRUE(receipt.success);
+      EXPECT_TRUE(sys.chain().validate_chain());
+    }
+  }
+  fs::remove_all(dir);
 }
 
 }  // namespace
