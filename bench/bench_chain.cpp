@@ -1,0 +1,440 @@
+// Closed-loop chain load harness for the transaction pipeline
+// (src/txpool): mempool admission -> conflict-aware scheduling ->
+// parallel batch execution -> one sealed block per batch. Emits
+// BENCH_chain.json so the chain trajectory is tracked like MSM and the
+// ledger already are.
+//
+// Three phases:
+//   1. pipeline sweep — a conflict-free, exchange-shaped workload
+//      (declared contract writes + declared value transfers) pushed
+//      through the pool closed-loop: every round submits one signed
+//      intent per sender, then pumps until the pool drains before the
+//      next round starts. Runs a serial baseline (Config::parallel =
+//      false) and parallel runs at >= 3 worker counts via
+//      runtime::ThreadPool::configure. Reports tx/s, p50/p99 submit->
+//      seal latency, and batch occupancy per run, and enforces that
+//      every run's tip hash and WAL bytes are byte-identical.
+//   2. conflict phase — the same loop with a shared hotspot key and a
+//      probability schedule on txpool.exec.conflict-abort, reporting
+//      the conflict/abort rate (kept out of the determinism check:
+//      injected aborts are part of the sealed blocks by design).
+//   3. exchange phase — full key-secure exchanges (publish -> offer ->
+//      lock -> settle -> recover) through the pool across sharded
+//      arbiters, reporting the end-to-end exchange round-trip.
+//
+// The >= 2x parallel-over-serial acceptance target applies on >= 4
+// cores; on smaller hosts the harness still sweeps the worker counts
+// (the determinism contract is checked regardless) and reports the
+// core count so the JSON is honest about what was measured.
+//
+// Usage: bench_chain [--quick]
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "chain/chain.hpp"
+#include "core/exchange.hpp"
+#include "core/system.hpp"
+#include "crypto/rng.hpp"
+#include "crypto/schnorr.hpp"
+#include "crypto/sha256.hpp"
+#include "fault/fault.hpp"
+#include "fault/points.hpp"
+#include "ledger/ledger.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/thread_pool.hpp"
+#include "txpool/txpool.hpp"
+
+using namespace zkdet;
+using bench::Stopwatch;
+using bench::fmt_seconds;
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag) {
+    path = fs::temp_directory_path() / ("zkdet-bench-chain-" + tag);
+    fs::remove_all(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  [[nodiscard]] std::string str() const { return path.string(); }
+};
+
+// SHA-256 over every WAL segment's bytes, in segment order. Two runs
+// that journal the same blocks must produce the same digest.
+std::string wal_digest(const fs::path& dir) {
+  std::vector<fs::path> segments;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    const std::string name = e.path().filename().string();
+    if (name.rfind("wal-", 0) == 0) segments.push_back(e.path());
+  }
+  std::sort(segments.begin(), segments.end());
+  crypto::Sha256 h;
+  for (const auto& seg : segments) {
+    std::ifstream in(seg, std::ios::binary);
+    const std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    h.update(bytes);
+  }
+  const auto digest = h.finalize();
+  return crypto::hex_encode(digest);
+}
+
+class Counter : public chain::Contract {
+ public:
+  Counter() : Contract("BenchCounter", 64) {}
+  void add(chain::CallContext& ctx, const std::string& key, std::uint64_t v) {
+    const auto cur = store().get_u64(ctx, key);
+    store().set_u64(ctx, key, cur.value_or(0) + v);
+  }
+};
+
+struct RunMetrics {
+  std::string label;
+  std::size_t workers = 0;
+  bool parallel = false;
+  double tx_per_sec = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double occupancy = 0;  // txs per sealed block
+  std::uint64_t txs = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t failed = 0;
+  std::string tip;
+  std::string wal_sha256;
+};
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p * static_cast<double>(v.size()));
+  return v[std::min(idx, v.size() - 1)];
+}
+
+// One closed-loop run: fresh chain + ledger, `senders` funded actors
+// plus per-sender sink accounts, a Counter contract, and `rounds`
+// rounds of one pre-signed intent per sender (even rounds bump a
+// per-sender counter partition, odd rounds make a declared value
+// transfer to the sender's sink — both exchange-shaped, all
+// conflict-free so scheduling is the only serialization). `hotspot`
+// redirects every 4th bump to one shared key, forcing batch splits.
+RunMetrics run_load(const std::string& label, std::size_t workers,
+                    bool parallel, std::size_t senders, std::size_t rounds,
+                    bool hotspot) {
+  runtime::ThreadPool::instance().configure(workers);
+  TempDir dir(label);
+
+  chain::Chain chain;
+  ledger::Options opts;
+  opts.fsync_each_append = false;  // measure the pipeline, not fsync
+  ledger::Ledger ledger(chain, dir.str(), opts);
+
+  crypto::Drbg rng("bench-chain", 2026);
+  std::vector<crypto::KeyPair> keys;
+  std::vector<chain::Address> sinks;
+  keys.reserve(senders);
+  sinks.reserve(senders);
+  for (std::size_t i = 0; i < senders; ++i) {
+    keys.push_back(crypto::KeyPair::generate(rng));
+    chain.create_account(keys.back(), 1'000'000);
+  }
+  for (std::size_t i = 0; i < senders; ++i) {
+    const auto sink = crypto::KeyPair::generate(rng);
+    sinks.push_back(chain.create_account(sink, 0));
+  }
+  Counter& counter = chain.deploy<Counter>(keys[0], nullptr);
+
+  txpool::Config cfg;
+  cfg.parallel = parallel;
+  txpool::TxPool pool(chain, cfg);
+
+  // Pre-sign every intent so the timed loop measures the pipeline, not
+  // Schnorr signing.
+  std::vector<std::vector<txpool::TxIntent>> intents(rounds);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    intents[r].reserve(senders);
+    for (std::size_t s = 0; s < senders; ++s) {
+      const std::uint64_t nonce = r;
+      if (r % 2 == 0) {
+        const bool shared = hotspot && (r + s) % 4 == 0;
+        // Fixed-width keys: prefix-based conflict detection must not
+        // see "k1" as overlapping "k12".
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "k%04zu", s);
+        const std::string key = shared ? "hot" : buf;
+        txpool::AccessSet access;
+        access.write_contract(counter.address(), key);
+        Counter* c = &counter;
+        intents[r].push_back(txpool::make_intent(
+            keys[s], nonce, "bump s" + std::to_string(s),
+            [c, key](chain::CallContext& ctx) { c->add(ctx, key, 1); },
+            std::move(access)));
+      } else {
+        txpool::AccessSet access;
+        access.touch_account(crypto::address_of(keys[s].pk))
+            .touch_account(sinks[s]);
+        intents[r].push_back(txpool::make_intent(
+            keys[s], nonce, "pay s" + std::to_string(s),
+            [](chain::CallContext&) {}, std::move(access), /*value=*/1 + r % 7,
+            sinks[s]));
+      }
+    }
+  }
+
+  const auto before = runtime::stats();
+  std::vector<double> latencies;
+  latencies.reserve(rounds * senders);
+  std::uint64_t failed = 0;
+
+  Stopwatch sw;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    std::vector<txpool::TicketPtr> tickets;
+    std::vector<Clock::time_point> submitted;
+    tickets.reserve(senders);
+    submitted.reserve(senders);
+    for (std::size_t s = 0; s < senders; ++s) {
+      auto res = pool.submit(std::move(intents[r][s]));
+      if (!res.accepted) {
+        ++failed;
+        continue;
+      }
+      tickets.push_back(std::move(res.ticket));
+      submitted.push_back(Clock::now());
+    }
+    std::vector<bool> seen(tickets.size(), false);
+    // Closed loop: pump until this round's txs all sealed, recording
+    // submit->seal latency per ticket as it resolves.
+    while (pool.pending() > 0) {
+      pool.seal_next_batch();
+      const auto now = Clock::now();
+      for (std::size_t i = 0; i < tickets.size(); ++i) {
+        if (!seen[i] && tickets[i]->done()) {
+          seen[i] = true;
+          latencies.push_back(
+              std::chrono::duration<double, std::milli>(now - submitted[i])
+                  .count());
+          if (!tickets[i]->receipt.success) ++failed;
+        }
+      }
+    }
+  }
+  const double secs = sw.seconds();
+  ledger.sync();
+  const auto after = runtime::stats();
+
+  RunMetrics m;
+  m.label = label;
+  m.workers = workers;
+  m.parallel = parallel;
+  m.txs = after.txpool_txs_executed - before.txpool_txs_executed;
+  m.batches = after.txpool_batches_sealed - before.txpool_batches_sealed;
+  m.failed = failed;
+  m.tx_per_sec = static_cast<double>(m.txs) / secs;
+  m.p50_ms = percentile(latencies, 0.50);
+  m.p99_ms = percentile(latencies, 0.99);
+  m.occupancy = m.batches > 0
+                    ? static_cast<double>(m.txs) / static_cast<double>(m.batches)
+                    : 0.0;
+  m.tip = crypto::hex_encode(chain.blocks().back().hash);
+  m.wal_sha256 = wal_digest(dir.path);
+  return m;
+}
+
+void print_run(const RunMetrics& m) {
+  std::printf(
+      "%-22s workers=%zu %-8s : %9.0f tx/s  p50 %7.2f ms  p99 %7.2f ms  "
+      "%5.1f tx/block  (%llu txs, %llu blocks, %llu failed)\n",
+      m.label.c_str(), m.workers, m.parallel ? "parallel" : "serial",
+      m.tx_per_sec, m.p50_ms, m.p99_ms, m.occupancy,
+      static_cast<unsigned long long>(m.txs),
+      static_cast<unsigned long long>(m.batches),
+      static_cast<unsigned long long>(m.failed));
+}
+
+void json_run(std::ofstream& json, const RunMetrics& m, const char* indent) {
+  json << indent << "{\"label\": \"" << m.label << "\", \"workers\": "
+       << m.workers << ", \"parallel\": " << (m.parallel ? "true" : "false")
+       << ", \"tx_per_sec\": " << m.tx_per_sec << ", \"p50_ms\": " << m.p50_ms
+       << ", \"p99_ms\": " << m.p99_ms << ", \"batch_occupancy\": "
+       << m.occupancy << ", \"txs\": " << m.txs << ", \"batches\": "
+       << m.batches << ", \"failed\": " << m.failed << ", \"tip\": \""
+       << m.tip << "\", \"wal_sha256\": \"" << m.wal_sha256 << "\"}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const std::size_t kSenders = quick ? 96 : 192;
+  const std::size_t kRounds = quick ? 10 : 60;
+  const std::size_t hw = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+
+  std::printf("==============================================================\n");
+  std::printf("Transaction pipeline — closed-loop chain load harness\n");
+  std::printf("%zu senders x %zu rounds, %zu hardware threads%s\n", kSenders,
+              kRounds, hw, quick ? " (--quick)" : "");
+  std::printf("==============================================================\n");
+
+  // --- phase 1: pipeline sweep, serial baseline + parallel levels ---------
+  std::vector<std::size_t> levels = {1, 2, 4};
+  if (hw > 4) levels.push_back(hw);
+  const RunMetrics serial =
+      run_load("serial-baseline", 1, /*parallel=*/false, kSenders, kRounds,
+               /*hotspot=*/false);
+  print_run(serial);
+  std::vector<RunMetrics> parallel_runs;
+  for (const std::size_t w : levels) {
+    parallel_runs.push_back(run_load("parallel-w" + std::to_string(w), w,
+                                     /*parallel=*/true, kSenders, kRounds,
+                                     /*hotspot=*/false));
+    print_run(parallel_runs.back());
+  }
+
+  // Determinism contract: every run sealed the same blocks — same tip
+  // hash, same WAL bytes — regardless of worker count or serial mode.
+  bool byte_identical = true;
+  for (const auto& m : parallel_runs) {
+    if (m.tip != serial.tip || m.wal_sha256 != serial.wal_sha256) {
+      byte_identical = false;
+      std::printf("DETERMINISM VIOLATION: %s diverged from serial baseline\n",
+                  m.label.c_str());
+    }
+  }
+  std::printf("serial vs parallel blocks + WAL byte-identical : %s\n",
+              byte_identical ? "yes" : "NO");
+
+  double best_parallel = 0;
+  for (const auto& m : parallel_runs) {
+    best_parallel = std::max(best_parallel, m.tx_per_sec);
+  }
+  const double speedup = best_parallel / serial.tx_per_sec;
+  const bool speedup_applies = hw >= 4;
+  std::printf("best parallel over serial baseline             : %.2fx %s\n",
+              speedup,
+              speedup_applies
+                  ? (speedup >= 2.0 ? "(target >=2x on >=4 cores: OK)"
+                                    : "(below 2x target on >=4 cores)")
+                  : "(<4 cores: target not applicable here)");
+
+  // --- phase 2: contention + injected conflict aborts ---------------------
+  std::uint64_t conflict_aborts = 0, conflict_txs = 0, admit_rejected = 0;
+  RunMetrics contended;
+  {
+    fault::ScopedFaults faults;
+    fault::inject(fault::points::kTxpoolExecConflictAbort,
+                  fault::Schedule::probability(0.10, 42));
+    const auto before = runtime::stats();
+    contended = run_load("contended", hw, /*parallel=*/true, kSenders,
+                         kRounds, /*hotspot=*/true);
+    const auto after = runtime::stats();
+    conflict_aborts = after.txpool_conflict_aborts - before.txpool_conflict_aborts;
+    conflict_txs = after.txpool_txs_executed - before.txpool_txs_executed;
+    admit_rejected = after.txpool_rejected - before.txpool_rejected;
+  }
+  const double abort_rate =
+      conflict_txs > 0
+          ? static_cast<double>(conflict_aborts) / static_cast<double>(conflict_txs)
+          : 0.0;
+  print_run(contended);
+  std::printf("conflict/abort rate under hotspot + injection  : %.3f "
+              "(%llu aborts / %llu txs, %llu admission rejects)\n",
+              abort_rate, static_cast<unsigned long long>(conflict_aborts),
+              static_cast<unsigned long long>(conflict_txs),
+              static_cast<unsigned long long>(admit_rejected));
+
+  // --- phase 3: full key-secure exchanges through the pool ----------------
+  runtime::ThreadPool::instance().configure(hw);
+  const std::size_t kExchanges = quick ? 1 : 4;
+  double exchange_secs = 0;
+  std::size_t exchange_shards = 2;
+  std::size_t exchanges_ok = 0;
+  {
+    core::ZkdetSystem sys(1 << 14, 77, /*data_dir=*/"", {},
+                          /*arbiter_shards=*/exchange_shards);
+    core::TransformationProtocol tp(sys);
+    core::KeySecureExchange ex(sys, tp);
+    crypto::Drbg rng("bench-chain-exchange", 7);
+    const auto seller = crypto::KeyPair::generate(rng);
+    const auto buyer = crypto::KeyPair::generate(rng);
+    sys.chain().create_account(seller, 10'000'000);
+    sys.chain().create_account(buyer, 10'000'000);
+    Stopwatch sw;
+    for (std::size_t i = 0; i < kExchanges; ++i) {
+      auto asset = tp.publish(seller, {ff::Fr::from_u64(100 + i),
+                                       ff::Fr::from_u64(200 + i)});
+      if (!asset) break;
+      auto offer = ex.make_offer(*asset, nullptr, "any");
+      if (!offer || !ex.verify_offer(*offer)) break;
+      auto session = ex.lock_payment(buyer, *offer, /*amount=*/500,
+                                     /*timeout_blocks=*/10);
+      if (!session) break;
+      if (!ex.settle(seller, *asset, session->exchange_id, session->k_v)) break;
+      const auto data = ex.recover_data(*session);
+      if (!data || *data != asset->plain) break;
+      ++exchanges_ok;
+    }
+    exchange_secs = sw.seconds();
+  }
+  std::printf("pooled key-secure exchanges (%zu shards)        : %zu/%zu in "
+              "%s (%s per exchange)\n",
+              exchange_shards, exchanges_ok, kExchanges,
+              fmt_seconds(exchange_secs).c_str(),
+              fmt_seconds(exchanges_ok > 0
+                              ? exchange_secs / static_cast<double>(exchanges_ok)
+                              : 0)
+                  .c_str());
+
+  // --- emit -----------------------------------------------------------------
+  std::ofstream json("BENCH_chain.json");
+  json << "{\n  \"bench\": \"chain_txpool\",\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"hardware_concurrency\": " << hw << ",\n"
+       << "  \"senders\": " << kSenders << ",\n"
+       << "  \"rounds\": " << kRounds << ",\n"
+       << "  \"serial_baseline\":\n";
+  json_run(json, serial, "    ");
+  json << ",\n  \"parallel_runs\": [\n";
+  for (std::size_t i = 0; i < parallel_runs.size(); ++i) {
+    json_run(json, parallel_runs[i], "    ");
+    if (i + 1 < parallel_runs.size()) json << ",";
+    json << "\n";
+  }
+  json << "  ],\n"
+       << "  \"byte_identical\": " << (byte_identical ? "true" : "false")
+       << ",\n"
+       << "  \"speedup_best_parallel_over_serial\": " << speedup << ",\n"
+       << "  \"speedup_target_applies\": "
+       << (speedup_applies ? "true" : "false") << ",\n"
+       << "  \"conflict_phase\": {\"txs\": " << conflict_txs
+       << ", \"conflict_aborts\": " << conflict_aborts
+       << ", \"abort_rate\": " << abort_rate
+       << ", \"admission_rejects\": " << admit_rejected << "},\n"
+       << "  \"exchange_phase\": {\"exchanges\": " << exchanges_ok
+       << ", \"shards\": " << exchange_shards
+       << ", \"seconds_total\": " << exchange_secs << ", \"seconds_each\": "
+       << (exchanges_ok > 0 ? exchange_secs / static_cast<double>(exchanges_ok)
+                            : 0)
+       << "}\n}\n";
+  std::printf("wrote BENCH_chain.json\n");
+
+  if (!byte_identical) return 1;
+  if (speedup_applies && speedup < 2.0) return 1;
+  if (exchanges_ok != kExchanges) return 1;
+  return 0;
+}

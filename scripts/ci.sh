@@ -15,7 +15,8 @@
 #   fuzz      -DZKDET_FUZZ=ON, 10s smoke per target (build-fuzz/)
 #
 # Usage: scripts/ci.sh [--quick] [--skip-tsan]
-#   --quick      lint + tier-1 only (pre-push sanity; minutes, not hours)
+#   --quick      lint + tier-1 + bench smokes (MSM sweep, chain pipeline)
+#                (pre-push sanity; minutes, not hours)
 #   --skip-tsan  everything except the TSan stage (it is the slowest)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -52,6 +53,12 @@ if [[ "$QUICK" == "1" ]]; then
   echo "=== bench: MSM sweep smoke (quick, writes BENCH_msm.json) ==="
   cmake --build build -j --target bench_primitives
   ./build/bench/bench_primitives --msm-sweep=quick
+  echo "=== bench: chain pipeline smoke (quick, writes BENCH_chain.json) ==="
+  # Exercises the full txpool pipeline (serial baseline + parallel worker
+  # sweep + conflict injection + a pooled exchange) and fails on any
+  # serial-vs-parallel block/WAL divergence.
+  cmake --build build -j --target bench_chain
+  ./build/bench/bench_chain --quick
   echo "=== quick mode: remaining stages skipped ==="
   echo "=== CI OK (quick) ==="
   exit 0
@@ -93,6 +100,12 @@ else
   cmake -B build-tsan -S . -DZKDET_SANITIZE=thread
   cmake --build build-tsan -j
   ctest --test-dir build-tsan --output-on-failure -j
+  echo "=== tsan: parallel batch executor focus ==="
+  # The txpool determinism suite is the densest producer of cross-thread
+  # batch execution (worker sweeps x randomized submission orders); run
+  # it again on its own so a race here fails loudly and attributably.
+  ./build-tsan/tests/zkdet_txpool_tests \
+    --gtest_filter='TxpoolDeterminism*:TxpoolScheduler*:TxpoolCall*'
 fi
 
 echo "=== fuzz: 10s smoke per target ==="

@@ -34,6 +34,11 @@ analysis tooling"):
                            exchange blinds) must use the constant-time
                            Point::mul_ct ladder; reviewed public-data
                            call sites (verification) are annotated.
+  direct-chain-call        no direct Chain::call() in src/core — protocol
+                           transactions route through txpool::TxPool::call
+                           (declared access sets, nonce assignment, pooled
+                           batching); reviewed direct sends (ZKCP baseline,
+                           mint) are annotated.
   unchecked-io             two-sided durability hygiene: outside
                            src/ledger/ no raw file IO (fstream, fopen,
                            fwrite, ::open/::write/fsync...) — durable
@@ -158,6 +163,18 @@ RULES = [
         "secret scalars in src/crypto must use the constant-time "
         "Point::mul_ct ladder; annotate reviewed public-data call sites "
         "with // zkdet-lint: allow(vartime-scalar-mul)",
+    ),
+    Rule(
+        # The protocol layer sends txs through the pool so every tx gets
+        # a nonce, a declared access set, and a shot at batching; a
+        # direct Chain::call bypasses all three.
+        "direct-chain-call",
+        r"\bchain\s*\(\s*\)\s*\.\s*call\s*\(|\bchain_\s*\.\s*call\s*\(",
+        _in(("src/core/",)),
+        "route protocol transactions through txpool::TxPool::call "
+        "(nonce assignment, declared access sets, pooled batching); "
+        "annotate reviewed direct sends with "
+        "// zkdet-lint: allow(direct-chain-call)",
     ),
     Rule(
         # Raw file IO outside the ledger. The `(?<![\w)])::` lookbehind
@@ -305,6 +322,17 @@ SELF_TEST_CASES = [
     ("src/crypto/sig_allow_ok.cpp",
      "return pk.mul(e);  // zkdet-lint: allow(vartime-scalar-mul)\n", None),
     ("src/chain/mul_scope_ok.cpp", "auto p = base.mul(k);\n", None),
+    ("src/core/direct_call.cpp",
+     "auto r = sys_.chain().call(buyer, desc, fn);\n", "direct-chain-call"),
+    ("src/core/direct_call_member.cpp", "auto r = chain_.call(from, d, fn);\n",
+     "direct-chain-call"),
+    ("src/core/direct_call_allow_ok.cpp",
+     "// zkdet-lint: allow(direct-chain-call)\n"
+     "auto r = sys_.chain().call(buyer, desc, fn);\n", None),
+    ("src/core/pool_call_ok.cpp",
+     "auto r = sys_.pool().call(buyer, desc, fn, access);\n", None),
+    ("src/chain/chain_scope_ok.cpp", "auto r = chain_.call(from, d, fn);\n",
+     None),  # the chain layer itself is out of scope
     ("src/chain/raw_stream.cpp",
      '#include <fstream>\nstd::ofstream out("state.bin");\n', "unchecked-io"),
     ("src/storage/raw_write.cpp",

@@ -9,14 +9,21 @@ constexpr std::size_t kKeySecureCodeSize = 2600;
 constexpr std::size_t kZkcpCodeSize = 1400;
 }  // namespace
 
-KeySecureArbiter::KeySecureArbiter(const PlonkVerifierContract& verifier)
-    : Contract("KeySecureArbiter", kKeySecureCodeSize), verifier_(verifier) {}
+KeySecureArbiter::KeySecureArbiter(const PlonkVerifierContract& verifier,
+                                   std::uint64_t first_id,
+                                   std::uint64_t stride)
+    : Contract("KeySecureArbiter", kKeySecureCodeSize),
+      verifier_(verifier),
+      first_id_(first_id),
+      stride_(stride == 0 ? 1 : stride),
+      next_id_(first_id) {}
 
 std::uint64_t KeySecureArbiter::lock(CallContext& ctx, const Address& seller,
                                      const Fr& h_v, const Fr& key_commitment,
                                      std::uint64_t timeout_blocks) {
   ctx.require(ctx.value() > 0, "payment required");
-  const std::uint64_t id = next_id_++;
+  const std::uint64_t id = next_id_;
+  next_id_ += stride_;
   ExchangeInfo info;
   info.id = id;
   info.buyer = ctx.sender();
@@ -78,7 +85,7 @@ void KeySecureArbiter::refund(CallContext& ctx, std::uint64_t exchange_id) {
 }
 
 void KeySecureArbiter::on_adopted(const Chain& chain) {
-  next_id_ = 1;
+  next_id_ = first_id_;
   exchanges_.clear();
   for (const auto& block : chain.blocks()) {
     for (const auto& tx : block.txs) {
@@ -92,6 +99,9 @@ void KeySecureArbiter::on_adopted(const Chain& chain) {
         const std::string* xid = field("exchangeId");
         if (xid == nullptr) continue;
         const std::uint64_t id = std::stoull(*xid);
+        // Sharded deploys see every shard's events in the shared block
+        // history; each rebuilds only its own id progression.
+        if (!owns_id(id)) continue;
         const std::string prefix = "xc/" + std::to_string(id) + "/";
         if (ev.name == "PaymentLocked") {
           const std::string* buyer = field("buyer");
@@ -114,7 +124,7 @@ void KeySecureArbiter::on_adopted(const Chain& chain) {
           }
           info.state = ExchangeState::kLocked;
           exchanges_[id] = std::move(info);
-          if (id >= next_id_) next_id_ = id + 1;
+          if (id >= next_id_) next_id_ = id + stride_;
         } else if (ev.name == "ExchangeSettled") {
           const auto it = exchanges_.find(id);
           if (it == exchanges_.end()) continue;

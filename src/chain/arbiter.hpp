@@ -42,7 +42,15 @@ class KeySecureArbiter : public Contract {
  public:
   // `verifier` must hold the verifying key of the pi_k circuit, whose
   // public inputs are ordered (k_c, c, h_v).
-  explicit KeySecureArbiter(const PlonkVerifierContract& verifier);
+  //
+  // Sharding (ZkdetSystem deploys S instances to parallelize escrow
+  // flows across token ids): shard s of S uses (first_id = s + 1,
+  // stride = S), so ids stay globally unique across shards and
+  // shard-of-exchange is recoverable as (id - 1) % S. The default
+  // (1, 1) is a single unsharded arbiter — the pre-sharding behavior.
+  explicit KeySecureArbiter(const PlonkVerifierContract& verifier,
+                            std::uint64_t first_id = 1,
+                            std::uint64_t stride = 1);
 
   // Buyer escrows `ctx.value()` against seller; the exchange can be
   // refunded after `timeout_blocks` if the seller never settles.
@@ -70,8 +78,15 @@ class KeySecureArbiter : public Contract {
   void on_adopted(const Chain& chain) override;
 
  private:
+  // True when `id` belongs to this shard's arithmetic progression.
+  [[nodiscard]] bool owns_id(std::uint64_t id) const {
+    return id >= first_id_ && (id - first_id_) % stride_ == 0;
+  }
+
   const PlonkVerifierContract& verifier_;
-  std::uint64_t next_id_ = 1;
+  std::uint64_t first_id_;
+  std::uint64_t stride_;
+  std::uint64_t next_id_;
   std::map<std::uint64_t, ExchangeInfo> exchanges_;
 };
 

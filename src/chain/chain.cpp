@@ -4,8 +4,44 @@
 #include "fault/fault.hpp"
 #include "fault/points.hpp"
 #include "ledger/codec.hpp"
+#include "ledger/io.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace zkdet::chain {
+
+thread_local TxExecCapture* Chain::tls_capture_ = nullptr;
+
+TxExecCapture* Chain::capture() { return tls_capture_; }
+
+// --- TxExecCapture ---
+
+void TxExecCapture::check_read(const Address& contract,
+                               const std::string& key) const {
+  if (policy != nullptr && !policy->allow_slot_read(contract, key)) {
+    throw Revert("undeclared slot read: " + contract + "/" + key);
+  }
+}
+
+void TxExecCapture::check_write(const Address& contract,
+                                const std::string& key) const {
+  if (policy != nullptr && !policy->allow_slot_write(contract, key)) {
+    throw Revert("undeclared slot write: " + contract + "/" + key);
+  }
+}
+
+void TxExecCapture::check_balance(const Address& account) const {
+  if (policy != nullptr && !policy->allow_balance(account)) {
+    throw Revert("undeclared balance access: " + account);
+  }
+}
+
+void TxExecCapture::discard() {
+  slots.clear();
+  delta.clear();
+  balances.clear();
+  transfers.clear();
+}
 
 // --- CallContext ---
 
@@ -29,6 +65,16 @@ void CallContext::emit(Event ev) {
 void MeteredStore::set(CallContext& ctx, const std::string& key,
                        const Fr& value) {
   const auto& g = ctx.chain().gas_schedule();
+  if (TxExecCapture* cap = Chain::capture()) {
+    cap->check_write(owner_, key);
+    const auto ov = cap->slots.find({owner_, key});
+    const bool exists = ov != cap->slots.end() ? ov->second.has_value()
+                                               : slots_.count(key) > 0;
+    ctx.gas().charge(exists ? g.sstore_update : g.sstore_set);
+    cap->slots[{owner_, key}] = value;
+    cap->delta.slot_sets.emplace_back(owner_, key, value);
+    return;
+  }
   const auto it = slots_.find(key);
   if (it == slots_.end()) {
     ctx.gas().charge(g.sstore_set);
@@ -48,6 +94,11 @@ void MeteredStore::set_u64(CallContext& ctx, const std::string& key,
 std::optional<Fr> MeteredStore::get(CallContext& ctx,
                                     const std::string& key) const {
   ctx.gas().charge(ctx.chain().gas_schedule().sload);
+  if (const TxExecCapture* cap = Chain::capture()) {
+    cap->check_read(owner_, key);
+    const auto ov = cap->slots.find({owner_, key});
+    if (ov != cap->slots.end()) return ov->second;
+  }
   const auto it = slots_.find(key);
   if (it == slots_.end()) return std::nullopt;
   return it->second;
@@ -62,6 +113,12 @@ std::optional<std::uint64_t> MeteredStore::get_u64(
 
 void MeteredStore::erase(CallContext& ctx, const std::string& key) {
   ctx.gas().charge(ctx.chain().gas_schedule().sstore_update);
+  if (TxExecCapture* cap = Chain::capture()) {
+    cap->check_write(owner_, key);
+    cap->slots[{owner_, key}] = std::nullopt;
+    cap->delta.slot_erases.emplace_back(owner_, key);
+    return;
+  }
   slots_.erase(key);
   ctx.chain().record_slot_erase(owner_, key);
 }
@@ -84,6 +141,9 @@ Chain::Chain() {
 
 Address Chain::create_account(const crypto::KeyPair& keys,
                               std::uint64_t initial_balance) {
+  if (tls_capture_ != nullptr) {
+    throw Revert("create_account inside a batch transaction");
+  }
   const Address addr = crypto::address_of(keys.pk);
   // Re-registering an already-known account is a no-op: recovery replays
   // application startup against restored state (ledger reopen), and the
@@ -101,12 +161,28 @@ Address Chain::create_account(const crypto::KeyPair& keys,
 }
 
 std::uint64_t Chain::balance(const Address& a) const {
+  // Inside a batch tx the thread sees its own buffered moves (and only
+  // those — batch-mates' effects land at commit, after this tx).
+  if (const TxExecCapture* cap = tls_capture_) {
+    const auto ov = cap->balances.find(a);
+    if (ov != cap->balances.end()) return ov->second;
+  }
   const auto it = balances_.find(a);
   return it == balances_.end() ? 0 : it->second;
 }
 
 void Chain::transfer(const Address& from, const Address& to,
                      std::uint64_t amount) {
+  if (TxExecCapture* cap = tls_capture_) {
+    cap->check_balance(from);
+    cap->check_balance(to);
+    const std::uint64_t from_bal = balance(from);  // overlay-aware
+    if (from_bal < amount) throw Revert("insufficient balance");
+    cap->balances[from] = from_bal - amount;
+    cap->balances[to] = balance(to) + amount;
+    cap->transfers.emplace_back(from, to, amount);
+    return;
+  }
   auto it = balances_.find(from);
   if (it == balances_.end() || it->second < amount) {
     throw Revert("insufficient balance");
@@ -135,6 +211,9 @@ void Chain::record_slot_erase(const Address& contract, const std::string& key) {
 void Chain::finish_deploy(const crypto::KeyPair& deployer,
                           std::unique_ptr<Contract> contract,
                           Receipt* receipt) {
+  if (tls_capture_ != nullptr) {
+    throw Revert("deploy inside a batch transaction");
+  }
   const Address addr =
       "ct:" + contract->name_ + "#" + std::to_string(next_contract_id_);
   GasMeter meter(100'000'000);
@@ -211,11 +290,13 @@ Receipt Chain::call(const crypto::KeyPair& sender,
     return receipt;
   }
 
-  // Authenticate: a signature over (height, description) stands in for a
-  // full RLP transaction; the chain rejects unknown or forged senders.
-  crypto::Drbg rng("tx-nonce", height() * 1000003 + description.size());
-  std::vector<std::uint8_t> msg(description.begin(), description.end());
-  msg.push_back(static_cast<std::uint8_t>(height() & 0xFF));
+  // Authenticate: a signature over (description, nonce) stands in for a
+  // full RLP transaction; the chain rejects unknown or forged senders,
+  // and the signed nonce makes an identical resubmission a rejected
+  // replay rather than a fresh execution.
+  const std::uint64_t nonce = account_nonce(from);
+  crypto::Drbg rng("tx-auth:" + from, nonce * 1000003 + description.size());
+  const auto msg = tx_auth_message(description, nonce);
   const auto sig = crypto::schnorr_sign(sender, msg, rng);
   const auto keyit = account_keys_.find(from);
   if (keyit == account_keys_.end() ||
@@ -228,6 +309,7 @@ Receipt Chain::call(const crypto::KeyPair& sender,
   TxRecord tx;
   tx.sender = from;
   tx.description = description;
+  tx.nonce = nonce;
   tx.sig = sig;
   tx.has_sig = true;
   try {
@@ -260,8 +342,23 @@ Receipt Chain::call(const crypto::KeyPair& sender,
   receipt.gas_used = meter.used();
   receipt.block = height();
   tx.gas_used = meter.used();
+  nonces_[from] = nonce + 1;  // consumed by inclusion, success or revert
   seal_block(std::move(tx));
   return receipt;
+}
+
+std::uint64_t Chain::account_nonce(const Address& a) const {
+  const auto it = nonces_.find(a);
+  return it == nonces_.end() ? 0 : it->second;
+}
+
+std::vector<std::uint8_t> Chain::tx_auth_message(const std::string& description,
+                                                 std::uint64_t nonce) {
+  std::vector<std::uint8_t> msg(description.begin(), description.end());
+  for (int i = 0; i < 8; ++i) {
+    msg.push_back(static_cast<std::uint8_t>(nonce >> (8 * i)));
+  }
+  return msg;
 }
 
 void Chain::advance_blocks(std::uint64_t k) {
@@ -272,14 +369,248 @@ void Chain::advance_blocks(std::uint64_t k) {
   }
 }
 
+Contract* Chain::find_contract(const Address& addr) {
+  for (const auto& c : contracts_) {
+    if (c->address() == addr) return c.get();
+  }
+  return nullptr;
+}
+
+bool Chain::apply_capture(const TxExecCapture& cap) {
+  // Pass 1: recheck every buffered transfer against committed state (an
+  // earlier batch-mate may have drained an account this tx also touched
+  // — only reachable without declared access sets).
+  std::map<Address, std::uint64_t> eff;
+  const auto committed = [&](const Address& a) {
+    const auto it = eff.find(a);
+    if (it != eff.end()) return it->second;
+    const auto b = balances_.find(a);
+    return b == balances_.end() ? std::uint64_t{0} : b->second;
+  };
+  for (const auto& [from, to, amount] : cap.transfers) {
+    const std::uint64_t from_bal = committed(from);
+    if (from_bal < amount) return false;
+    eff[from] = from_bal - amount;
+    eff[to] = committed(to) + amount;
+  }
+  // Pass 2: apply. Balance deltas record absolute post-values in
+  // address order (map iteration) — canonical regardless of op order.
+  for (const auto& [addr, bal] : eff) {
+    balances_[addr] = bal;
+    if (observer_ != nullptr) delta_.balance_sets.emplace_back(addr, bal);
+  }
+  for (const auto& [addr, key, value] : cap.delta.slot_sets) {
+    Contract* c = find_contract(addr);
+    if (c == nullptr) throw Revert("captured write to unknown contract " + addr);
+    c->store_.slots_[key] = value;
+    record_slot_set(addr, key, value);
+  }
+  for (const auto& [addr, key] : cap.delta.slot_erases) {
+    Contract* c = find_contract(addr);
+    if (c == nullptr) throw Revert("captured erase on unknown contract " + addr);
+    c->store_.slots_.erase(key);
+    record_slot_erase(addr, key);
+  }
+  return true;
+}
+
+std::vector<Receipt> Chain::execute_batch(const std::vector<BatchTx>& txs,
+                                          bool parallel) {
+  std::vector<Receipt> receipts(txs.size());
+  if (txs.empty()) return receipts;
+  if (tls_capture_ != nullptr) throw Revert("nested batch execution");
+
+  // Stage 1 — signature verification, the dominant per-tx CPU cost
+  // outside the closures. Pure reads of account_keys_: safe to fan out.
+  std::vector<std::uint8_t> sig_ok(txs.size(), 0);
+  const auto verify_one = [&](std::size_t i) {
+    const BatchTx& t = txs[i];
+    const auto keyit = account_keys_.find(t.sender);
+    if (keyit == account_keys_.end()) return;
+    sig_ok[i] = crypto::schnorr_verify(
+                    keyit->second, tx_auth_message(t.description, t.nonce),
+                    t.sig)
+                    ? 1
+                    : 0;
+  };
+  if (parallel) {
+    runtime::ThreadPool::instance().parallel_for(
+        txs.size(), 1, [&](std::size_t b, std::size_t e) {
+          for (std::size_t i = b; i < e; ++i) verify_one(i);
+        });
+  } else {
+    for (std::size_t i = 0; i < txs.size(); ++i) verify_one(i);
+  }
+
+  // Stage 2 — nonce admission, serial in canonical order. Excluded txs
+  // never reach the block and consume no nonce.
+  std::vector<std::uint8_t> included(txs.size(), 0);
+  std::map<Address, std::uint64_t> expected;
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    if (!sig_ok[i]) {
+      receipts[i].error = "unknown sender or bad signature";
+      continue;
+    }
+    const BatchTx& t = txs[i];
+    const auto [it, fresh] =
+        expected.try_emplace(t.sender, account_nonce(t.sender));
+    (void)fresh;
+    if (t.nonce != it->second) {
+      receipts[i].error = "bad nonce (replay rejected)";
+      continue;
+    }
+    ++it->second;
+    included[i] = 1;
+  }
+
+  // Stage 3 — captured execution. Each tx buffers every effect in its
+  // own TxExecCapture; chain state is not mutated here, so the
+  // scheduler's conflict-free batches run concurrently. Failed txs are
+  // rolled back whole (capture discarded) — stricter than the legacy
+  // single-tx path, where pre-revert slot writes persist.
+  std::vector<TxExecCapture> caps(txs.size());
+  std::vector<TxRecord> recs(txs.size());
+  struct CaptureScope {  // exception-safe thread-local (un)install
+    explicit CaptureScope(TxExecCapture* cap) { tls_capture_ = cap; }
+    ~CaptureScope() { tls_capture_ = nullptr; }
+  };
+  const auto run_one = [&](std::size_t i) {
+    if (!included[i]) return;
+    const BatchTx& t = txs[i];
+    TxExecCapture& cap = caps[i];
+    cap.policy = t.policy;
+    const CaptureScope scope(&cap);
+    GasMeter meter(t.gas_limit);
+    TxRecord& rec = recs[i];
+    rec.sender = t.sender;
+    rec.description = t.description;
+    rec.nonce = t.nonce;
+    rec.sig = t.sig;
+    rec.has_sig = true;
+    Receipt& rc = receipts[i];
+    try {
+      meter.charge(gas_.tx_base);
+      if (t.value > 0) {
+        if (t.pay_to.empty()) throw Revert("value transfer without target");
+        transfer(t.sender, t.pay_to, t.value);
+      }
+      CallContext ctx(*this, t.sender, t.value, meter);
+      if (t.fn) t.fn(ctx);
+      rc.success = true;
+      rec.events = ctx.events();
+      rc.events = std::move(ctx.events());
+    } catch (const Revert& r) {
+      rc.error = r.what();
+      rec.success = false;
+      cap.discard();
+    } catch (const OutOfGas&) {
+      rc.error = "out of gas";
+      rec.success = false;
+      cap.discard();
+    }
+    rc.gas_used = meter.used();
+    rec.gas_used = meter.used();
+  };
+  if (parallel) {
+    runtime::ThreadPool::instance().parallel_for(
+        txs.size(), 1, [&](std::size_t b, std::size_t e) {
+          for (std::size_t i = b; i < e; ++i) run_one(i);
+        });
+  } else {
+    for (std::size_t i = 0; i < txs.size(); ++i) run_one(i);
+  }
+
+  // Simulated process kill at the seal boundary: nothing from this
+  // batch has reached chain state or the WAL, so a reopen lands on the
+  // pre-batch tip.
+  if (fault::fire(fault::points::kTxpoolSealCrash)) {
+    throw ledger::CrashInjected(fault::points::kTxpoolSealCrash);
+  }
+
+  // Stage 4 — serial commit in canonical order: merge per-tx captures
+  // into chain state + the block delta, consume nonces, seal one block.
+  // Fail-points are consulted here (not in stage 3) so their hit
+  // ordering is canonical-order-deterministic under any worker count.
+  const std::uint64_t new_height = blocks_.size();
+  // A commit-time abort (injected or overdraw) happens AFTER the
+  // closure ran to completion: the store capture discards cleanly, but
+  // any off-store C++ mirror the contract maintains (arbiter exchange
+  // map, NFT owner view, auction book) already reflects a tx that
+  // never committed. Rebuild the touched contracts' mirrors from
+  // committed state via the adoption hook (reset + replay of sealed
+  // blocks and slots). Sound here because mirror-bearing contracts
+  // declare whole-contract writes, so no earlier tx of this batch — not
+  // yet sealed, hence invisible to the replay — touched the same
+  // contract. This stage is serial, so the rebuild cannot race stage 3.
+  const auto abort_at_commit = [&](TxExecCapture& cap) {
+    std::vector<Address> touched;
+    for (const auto& [slot, value] : cap.slots) {
+      (void)value;
+      // cap.slots is ordered by (address, key): addresses arrive grouped.
+      if (touched.empty() || touched.back() != slot.first) {
+        touched.push_back(slot.first);
+      }
+    }
+    cap.discard();
+    for (const Address& addr : touched) {
+      if (Contract* c = find_contract(addr)) c->on_adopted(*this);
+    }
+  };
+  std::vector<TxRecord> final_txs;
+  std::vector<std::size_t> final_idx;
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    if (!included[i]) continue;
+    Receipt& rc = receipts[i];
+    if (rc.success && fault::fire(fault::points::kTxpoolExecConflictAbort)) {
+      // Injected optimistic-concurrency abort: the tx is included as
+      // failed (nonce consumed) with its effects discarded.
+      abort_at_commit(caps[i]);
+      recs[i].events.clear();
+      rc.success = false;
+      rc.events.clear();
+      rc.error = "injected: conflict abort";
+      recs[i].success = false;
+      runtime::counters::txpool_conflict_aborts.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+    if (rc.success && !apply_capture(caps[i])) {
+      abort_at_commit(caps[i]);
+      recs[i].events.clear();
+      rc.success = false;
+      rc.events.clear();
+      rc.error = "conflict: balance overdrawn at commit";
+      recs[i].success = false;
+      runtime::counters::txpool_conflict_aborts.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+    nonces_[txs[i].sender] = txs[i].nonce + 1;
+    rc.block = new_height;
+    recs[i].block = new_height;
+    final_idx.push_back(i);
+  }
+  if (final_idx.empty()) return receipts;  // nothing admitted: no block
+  final_txs.reserve(final_idx.size());
+  for (const std::size_t i : final_idx) final_txs.push_back(std::move(recs[i]));
+  seal_batch(std::move(final_txs));
+  return receipts;
+}
+
 void Chain::seal_block(TxRecord tx) {
+  std::vector<TxRecord> txs;
+  txs.push_back(std::move(tx));
+  seal_batch(std::move(txs));
+}
+
+void Chain::seal_batch(std::vector<TxRecord> txs) {
   Block b;
   b.height = blocks_.size();
   timestamp_ += 13;  // ~Ethereum block time
   b.timestamp = timestamp_;
   b.prev_hash = blocks_.back().hash;
-  tx.block = b.height;
-  b.txs.push_back(std::move(tx));
+  for (auto& tx : txs) {
+    tx.block = b.height;
+    b.txs.push_back(std::move(tx));
+  }
   b.hash = block_hash(b);
   blocks_.push_back(std::move(b));
   if (observer_ != nullptr) {
@@ -327,6 +658,15 @@ void Chain::restore_state(std::vector<Block> blocks,
   account_keys_ = std::move(account_keys);
   pending_adoptions_ = std::move(contracts);
   timestamp_ = blocks_.back().timestamp;
+  // Per-sender nonces are derivable from the restored history: the next
+  // expected nonce is one past the highest included signed tx.
+  for (const auto& b : blocks_) {
+    for (const auto& tx : b.txs) {
+      if (!tx.has_sig) continue;
+      auto& n = nonces_[tx.sender];
+      if (tx.nonce + 1 > n) n = tx.nonce + 1;
+    }
+  }
   // The application re-deploys its contracts in the original order, so
   // id assignment restarts from 1: each adoption consumes the id its
   // contract had before the restart, and a genuinely new deploy (only

@@ -42,6 +42,10 @@ struct TxRecord {
   std::uint64_t block = 0;
   Address sender;
   std::string description;
+  // Per-sender sequence number, consumed on inclusion (success or
+  // revert). Signed into the auth message, so resubmitting an already
+  // included tx is rejected as a replay instead of re-executing.
+  std::uint64_t nonce = 0;
   std::uint64_t gas_used = 0;
   bool success = true;
   // Events emitted by a successful call (part of the receipt trie in
@@ -124,6 +128,60 @@ struct Receipt {
 };
 
 class Chain;
+class CallContext;
+
+// Declared-access authorization for batched execution (implemented by
+// src/txpool over a tx intent's declared read/write sets). While a
+// batch tx runs under a policy, every contract-slot access and balance
+// move is checked; an undeclared access reverts the tx — in serial and
+// parallel execution alike, which is what keeps the two byte-identical
+// (an undeclared read could otherwise observe an earlier batch-mate's
+// write in one mode but not the other).
+class TxAccessPolicy {
+ public:
+  virtual ~TxAccessPolicy() = default;
+  [[nodiscard]] virtual bool allow_slot_read(const Address& contract,
+                                             const std::string& key) const = 0;
+  [[nodiscard]] virtual bool allow_slot_write(const Address& contract,
+                                              const std::string& key) const = 0;
+  [[nodiscard]] virtual bool allow_balance(const Address& account) const = 0;
+};
+
+// One pre-signed transaction of a batch (produced by the txpool
+// scheduler). The vector order handed to Chain::execute_batch IS the
+// canonical in-block order.
+struct BatchTx {
+  Address sender;
+  std::string description;
+  std::uint64_t nonce = 0;
+  crypto::Signature sig{};
+  std::function<void(CallContext&)> fn;
+  std::uint64_t value = 0;
+  Address pay_to;
+  std::uint64_t gas_limit = 30'000'000;
+  const TxAccessPolicy* policy = nullptr;  // nullptr = unrestricted
+};
+
+// Per-transaction execution capture: while one is installed (thread-
+// local), slot writes and balance moves buffer here instead of mutating
+// chain state, so non-conflicting batch txs can execute concurrently.
+// Effects are applied serially, in canonical order, at batch commit; a
+// reverted tx's capture is discarded whole (full rollback).
+struct TxExecCapture {
+  const TxAccessPolicy* policy = nullptr;
+  // Slot overlay (reads see the tx's own writes; nullopt = erased) plus
+  // the ordered journal replayed into the block delta at commit.
+  std::map<std::pair<Address, std::string>, std::optional<Fr>> slots;
+  StateDelta delta;
+  // Balance overlay (absolute effective values) + ordered transfer ops.
+  std::map<Address, std::uint64_t> balances;
+  std::vector<std::tuple<Address, Address, std::uint64_t>> transfers;
+
+  void check_read(const Address& contract, const std::string& key) const;
+  void check_write(const Address& contract, const std::string& key) const;
+  void check_balance(const Address& account) const;
+  void discard();
+};
 
 // Execution context handed to contract methods.
 class CallContext {
@@ -260,6 +318,34 @@ class Chain {
                std::uint64_t value = 0, const Address& pay_to = {},
                std::uint64_t gas_limit = 30'000'000);
 
+  // Next expected nonce for `a` (0 for a fresh account). A tx is only
+  // admitted with exactly this nonce; inclusion consumes it.
+  [[nodiscard]] std::uint64_t account_nonce(const Address& a) const;
+
+  // Canonical signed message for a tx: description bytes || LE64(nonce).
+  // Shared by Chain::call, txpool intent signing and ledger replay
+  // re-verification.
+  [[nodiscard]] static std::vector<std::uint8_t> tx_auth_message(
+      const std::string& description, std::uint64_t nonce);
+
+  // Executes a batch of pre-signed transactions and seals the included
+  // ones into ONE block, in the given (canonical) order. Stages:
+  // signature verification and closure execution run concurrently on
+  // the runtime pool when `parallel` (each tx buffering its effects in
+  // a thread-local TxExecCapture); nonce admission and effect commit
+  // are serial in canonical order either way, so blocks, deltas and
+  // WAL bytes are byte-identical for parallel and serial execution of
+  // the same tx vector. A tx failing auth or nonce admission is
+  // excluded from the block (nonce not consumed); a reverted tx is
+  // included as failed with its effects fully rolled back. Seals no
+  // block when nothing is admitted.
+  std::vector<Receipt> execute_batch(const std::vector<BatchTx>& txs,
+                                     bool parallel);
+
+  // The calling thread's installed batch capture (nullptr outside
+  // execute_batch). Used by MeteredStore/transfer to buffer effects.
+  [[nodiscard]] static TxExecCapture* capture();
+
   // --- chain state ---
   [[nodiscard]] std::uint64_t height() const { return blocks_.size(); }
   [[nodiscard]] std::uint64_t timestamp() const { return timestamp_; }
@@ -319,10 +405,18 @@ class Chain {
   void finish_deploy(const crypto::KeyPair& deployer,
                      std::unique_ptr<Contract> contract, Receipt* receipt);
   void seal_block(TxRecord tx);
+  void seal_batch(std::vector<TxRecord> txs);
+  // Applies a successful tx's buffered effects to chain state; returns
+  // false (applying nothing) when a buffered transfer no longer clears
+  // against committed state — a conflict only possible for undeclared
+  // (policy-free) txs, surfaced as a commit-time abort.
+  [[nodiscard]] bool apply_capture(const TxExecCapture& cap);
+  [[nodiscard]] Contract* find_contract(const Address& addr);
 
   GasSchedule gas_;
   std::map<Address, std::uint64_t> balances_;
   std::map<Address, crypto::G1> account_keys_;
+  std::map<Address, std::uint64_t> nonces_;  // next expected per sender
   std::vector<std::unique_ptr<Contract>> contracts_;
   std::vector<Block> blocks_;
   std::uint64_t timestamp_ = 1'650'000'000;
@@ -330,6 +424,7 @@ class Chain {
   ChainObserver* observer_ = nullptr;
   StateDelta delta_;  // mutations since the last sealed block
   std::map<Address, RestoredContract> pending_adoptions_;
+  static thread_local TxExecCapture* tls_capture_;
 };
 
 }  // namespace zkdet::chain

@@ -98,7 +98,7 @@ DriveReport ExchangeDriver::resolve(const crypto::KeyPair& buyer,
   if (session.exchange_id == 0) {
     // The lock tx may have landed before a crash: public state is the
     // source of truth, keyed by our persisted h_v.
-    if (const auto onchain = sys_.arbiter().find_by_hv(session.h_v)) {
+    if (const auto onchain = sys_.find_exchange_by_hv(session.h_v)) {
       session.exchange_id = onchain->id;
       store_.save(session);
     } else if (offer != nullptr) {
@@ -136,7 +136,9 @@ DriveReport ExchangeDriver::resolve(const crypto::KeyPair& buyer,
 
   // --- phase 2: drive the on-chain exchange to a terminal state ---
   auto state = [&]() -> std::optional<chain::ExchangeState> {
-    const auto info = sys_.arbiter().exchange(session.exchange_id);
+    const auto info =
+        sys_.arbiter_for_exchange(session.exchange_id)
+            .exchange(session.exchange_id);
     if (!info) return std::nullopt;
     return info->state;
   };
@@ -163,7 +165,9 @@ DriveReport ExchangeDriver::resolve(const crypto::KeyPair& buyer,
 
   if (*current == chain::ExchangeState::kLocked) {
     // Seller side could not complete: wait out the deadline, refund.
-    const auto info = sys_.arbiter().exchange(session.exchange_id);
+    const auto info =
+        sys_.arbiter_for_exchange(session.exchange_id)
+            .exchange(session.exchange_id);
     if (sys_.chain().height() <= info->deadline) {
       sys_.chain().advance_blocks(info->deadline - sys_.chain().height() + 1);
     }

@@ -7,9 +7,26 @@
 
 namespace zkdet::core {
 
+namespace {
+
+std::size_t shard_count(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("ZKDET_ARBITER_SHARDS")) {
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && n > 0) {
+      return static_cast<std::size_t>(n);
+    }
+  }
+  return 1;
+}
+
+}  // namespace
+
 ZkdetSystem::ZkdetSystem(std::size_t max_constraints, std::uint64_t seed,
                          const std::string& data_dir,
-                         const ledger::Options& ledger_opts)
+                         const ledger::Options& ledger_opts,
+                         std::size_t arbiter_shards)
     : rng_("zkdet-system", seed),
       operator_keys_(crypto::KeyPair::generate(rng_)),
       srs_(plonk::Srs::setup(max_constraints + 16, rng_)),
@@ -38,9 +55,23 @@ ZkdetSystem::ZkdetSystem(std::size_t max_constraints, std::uint64_t seed,
   const auto& keys = keys_for("pi_k", kb.cs());
   key_verifier_ = &chain_.deploy<chain::PlonkVerifierContract>(
       operator_keys_, nullptr, keys.vk, "PlonkVerifier(pi_k)");
-  arbiter_ = &chain_.deploy<chain::KeySecureArbiter>(operator_keys_, nullptr,
-                                                     *key_verifier_);
+  const std::size_t n_shards = shard_count(arbiter_shards);
+  shards_.reserve(n_shards);
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    shards_.push_back(&chain_.deploy<chain::KeySecureArbiter>(
+        operator_keys_, nullptr, *key_verifier_, /*first_id=*/s + 1,
+        /*stride=*/n_shards));
+  }
   zkcp_arbiter_ = &chain_.deploy<chain::ZkcpArbiter>(operator_keys_, nullptr);
+  pool_ = std::make_unique<txpool::TxPool>(chain_);
+}
+
+std::optional<chain::ExchangeInfo> ZkdetSystem::find_exchange_by_hv(
+    const ff::Fr& h_v) const {
+  for (const auto* shard : shards_) {
+    if (auto info = shard->find_by_hv(h_v)) return info;
+  }
+  return std::nullopt;
 }
 
 const plonk::KeyPairResult& ZkdetSystem::keys_for(

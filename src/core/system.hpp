@@ -20,6 +20,7 @@
 #include "plonk/plonk.hpp"
 #include "runtime/prover_service.hpp"
 #include "storage/storage.hpp"
+#include "txpool/txpool.hpp"
 
 namespace zkdet::core {
 
@@ -34,9 +35,16 @@ class ZkdetSystem {
   // below then re-bind to their persisted contracts instead of minting
   // fresh ones. Empty string consults ZKDET_DATA_DIR; if that is unset
   // too, the chain stays memory-only (the pre-ledger behaviour).
+  // `arbiter_shards`: number of KeySecureArbiter instances deployed;
+  // token id t routes to shard t % S, and exchange ids stay globally
+  // unique (shard s issues s+1, s+1+S, ...). 0 consults
+  // ZKDET_ARBITER_SHARDS and falls back to 1 (single arbiter — the
+  // pre-sharding behavior). The count is part of the deploy sequence,
+  // so reopening a data_dir requires the same value.
   explicit ZkdetSystem(std::size_t max_constraints, std::uint64_t seed = 7,
                        const std::string& data_dir = {},
-                       const ledger::Options& ledger_opts = {});
+                       const ledger::Options& ledger_opts = {},
+                       std::size_t arbiter_shards = 0);
 
   [[nodiscard]] chain::Chain& chain() { return chain_; }
   // nullptr when running memory-only.
@@ -44,8 +52,29 @@ class ZkdetSystem {
   [[nodiscard]] storage::StorageNetwork& storage() { return storage_; }
   [[nodiscard]] chain::DataNft& nft() { return *nft_; }
   [[nodiscard]] chain::ClockAuction& auction() { return *auction_; }
-  [[nodiscard]] chain::KeySecureArbiter& arbiter() { return *arbiter_; }
+  [[nodiscard]] chain::KeySecureArbiter& arbiter() { return *shards_[0]; }
   [[nodiscard]] chain::ZkcpArbiter& zkcp_arbiter() { return *zkcp_arbiter_; }
+  // The transaction pipeline front door (mempool + batch executor).
+  [[nodiscard]] txpool::TxPool& pool() { return *pool_; }
+
+  // --- arbiter sharding ---
+  [[nodiscard]] std::size_t arbiter_shards() const { return shards_.size(); }
+  [[nodiscard]] chain::KeySecureArbiter& arbiter_shard(std::size_t s) {
+    return *shards_[s];
+  }
+  // Shard routing: by token id at lock time, by exchange id afterwards.
+  [[nodiscard]] chain::KeySecureArbiter& arbiter_for_token(
+      std::uint64_t token_id) {
+    return *shards_[token_id % shards_.size()];
+  }
+  [[nodiscard]] chain::KeySecureArbiter& arbiter_for_exchange(
+      std::uint64_t exchange_id) {
+    return *shards_[(exchange_id - 1) % shards_.size()];
+  }
+  // Cross-shard lookup by the buyer's session-unique h_v (crash
+  // recovery: the exchange id is not known yet).
+  [[nodiscard]] std::optional<chain::ExchangeInfo> find_exchange_by_hv(
+      const ff::Fr& h_v) const;
   [[nodiscard]] chain::PlonkVerifierContract& key_verifier() {
     return *key_verifier_;
   }
@@ -85,10 +114,11 @@ class ZkdetSystem {
   // Declared after chain_ (observer detaches before the chain dies).
   std::unique_ptr<ledger::Ledger> ledger_;
   storage::StorageNetwork storage_;
+  std::unique_ptr<txpool::TxPool> pool_;
   chain::DataNft* nft_ = nullptr;
   chain::ClockAuction* auction_ = nullptr;
   chain::PlonkVerifierContract* key_verifier_ = nullptr;
-  chain::KeySecureArbiter* arbiter_ = nullptr;
+  std::vector<chain::KeySecureArbiter*> shards_;  // shards_[0] = arbiter()
   chain::ZkcpArbiter* zkcp_arbiter_ = nullptr;
   // Lifetime pins for keys handed out by reference/pointer.
   mutable std::map<std::string, std::shared_ptr<const plonk::KeyPairResult>>

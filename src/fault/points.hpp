@@ -40,6 +40,15 @@
 //                        process dies while writing snapshot.tmp (the
 //                        incomplete temp file is discarded on reopen;
 //                        the previous snapshot + WAL stay authoritative)
+//   txpool.admit.full    mempool admission rejects a tx as if capacity
+//                        were exhausted (caller must resubmit)
+//   txpool.exec.conflict-abort
+//                        the batch executor aborts a tx at commit as an
+//                        optimistic-concurrency conflict: included as
+//                        failed, effects discarded, nonce consumed
+//   txpool.seal.crash    process dies at the batch seal boundary,
+//                        before any batch effect or WAL record lands;
+//                        reopen converges to the pre-batch tip
 #pragma once
 
 namespace zkdet::fault::points {
@@ -60,6 +69,10 @@ inline constexpr const char kLedgerWalAppendCorrupt[] =
     "ledger.wal.append.corrupt";
 inline constexpr const char kLedgerFsync[] = "ledger.fsync";
 inline constexpr const char kLedgerSnapshotWrite[] = "ledger.snapshot.write";
+inline constexpr const char kTxpoolAdmitFull[] = "txpool.admit.full";
+inline constexpr const char kTxpoolExecConflictAbort[] =
+    "txpool.exec.conflict-abort";
+inline constexpr const char kTxpoolSealCrash[] = "txpool.seal.crash";
 
 // All registered points, for enumeration (tests, docs, tooling).
 inline constexpr const char* kAll[] = {
@@ -67,7 +80,8 @@ inline constexpr const char* kAll[] = {
     kProverJob,         kExchangeVerify,         kExchangeLock,
     kExchangeCrashAfterLock, kExchangeSettle,    kExchangeRecover,
     kExchangeRefund,    kLedgerWalAppendTorn,    kLedgerWalAppendCorrupt,
-    kLedgerFsync,       kLedgerSnapshotWrite,
+    kLedgerFsync,       kLedgerSnapshotWrite,    kTxpoolAdmitFull,
+    kTxpoolExecConflictAbort, kTxpoolSealCrash,
 };
 
 // The subset whose firing simulates a process kill or IO fault inside

@@ -165,6 +165,7 @@ void write_tx_record(Writer& w, const chain::TxRecord& tx) {
   w.u64(tx.block);
   w.str(tx.sender);
   w.str(tx.description);
+  w.u64(tx.nonce);
   w.u64(tx.gas_used);
   w.u8(tx.success ? 1 : 0);
   if (tx.events.size() > 0xFFFFFFFFull) throw CodecError("too many events");
@@ -183,6 +184,7 @@ chain::TxRecord read_tx_record(Reader& r) {
   tx.block = r.u64();
   tx.sender = r.str();
   tx.description = r.str();
+  tx.nonce = r.u64();
   tx.gas_used = r.u64();
   const std::uint8_t success = r.u8();
   if (success > 1) throw CodecError("tx: non-canonical bool");

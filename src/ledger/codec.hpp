@@ -28,7 +28,9 @@ namespace zkdet::ledger {
 
 // Format version stamped on every top-level entity encoding. Bump when
 // the byte layout changes; decoders reject versions they don't know.
-inline constexpr std::uint16_t kCodecVersion = 1;
+// v2: TxRecord gained the per-sender nonce (between description and
+// gas_used).
+inline constexpr std::uint16_t kCodecVersion = 2;
 
 class CodecError : public std::runtime_error {
  public:

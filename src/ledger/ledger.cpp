@@ -87,11 +87,8 @@ void verify_replayed_signatures(
       const auto key = account_keys.find(tx.sender);
       bool ok = key != account_keys.end();
       if (ok) {
-        // Mirrors Chain::call: message = description || height byte,
-        // where height at signing time equals the sealed block height.
-        std::vector<std::uint8_t> msg(tx.description.begin(),
-                                      tx.description.end());
-        msg.push_back(static_cast<std::uint8_t>(tx.block & 0xFF));
+        const auto msg =
+            chain::Chain::tx_auth_message(tx.description, tx.nonce);
         ok = crypto::schnorr_verify(key->second, msg, tx.sig);
       }
       if (!ok) {

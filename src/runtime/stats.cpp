@@ -14,6 +14,13 @@ std::atomic<std::uint64_t> batch_verifications{0};
 std::atomic<std::uint64_t> parallel_regions{0};
 std::atomic<std::uint64_t> chunks_executed{0};
 std::atomic<std::uint64_t> chunks_stolen{0};
+std::atomic<std::uint64_t> txpool_submitted{0};
+std::atomic<std::uint64_t> txpool_rejected{0};
+std::atomic<std::uint64_t> txpool_replaced{0};
+std::atomic<std::uint64_t> txpool_batches_sealed{0};
+std::atomic<std::uint64_t> txpool_txs_executed{0};
+std::atomic<std::uint64_t> txpool_conflict_aborts{0};
+std::atomic<std::uint64_t> txpool_queue_depth{0};
 std::atomic<std::uint64_t> msm_ns{0};
 std::atomic<std::uint64_t> ntt_ns{0};
 std::atomic<std::uint64_t> quotient_ns{0};
@@ -39,6 +46,18 @@ StatsSnapshot stats() {
       counters::parallel_regions.load(std::memory_order_relaxed);
   s.chunks_executed = counters::chunks_executed.load(std::memory_order_relaxed);
   s.chunks_stolen = counters::chunks_stolen.load(std::memory_order_relaxed);
+  s.txpool_submitted =
+      counters::txpool_submitted.load(std::memory_order_relaxed);
+  s.txpool_rejected = counters::txpool_rejected.load(std::memory_order_relaxed);
+  s.txpool_replaced = counters::txpool_replaced.load(std::memory_order_relaxed);
+  s.txpool_batches_sealed =
+      counters::txpool_batches_sealed.load(std::memory_order_relaxed);
+  s.txpool_txs_executed =
+      counters::txpool_txs_executed.load(std::memory_order_relaxed);
+  s.txpool_conflict_aborts =
+      counters::txpool_conflict_aborts.load(std::memory_order_relaxed);
+  s.txpool_queue_depth =
+      counters::txpool_queue_depth.load(std::memory_order_relaxed);
   s.msm_ns = counters::msm_ns.load(std::memory_order_relaxed);
   s.ntt_ns = counters::ntt_ns.load(std::memory_order_relaxed);
   s.quotient_ns = counters::quotient_ns.load(std::memory_order_relaxed);
@@ -60,6 +79,13 @@ void reset_stats() {
   counters::parallel_regions.store(0, std::memory_order_relaxed);
   counters::chunks_executed.store(0, std::memory_order_relaxed);
   counters::chunks_stolen.store(0, std::memory_order_relaxed);
+  counters::txpool_submitted.store(0, std::memory_order_relaxed);
+  counters::txpool_rejected.store(0, std::memory_order_relaxed);
+  counters::txpool_replaced.store(0, std::memory_order_relaxed);
+  counters::txpool_batches_sealed.store(0, std::memory_order_relaxed);
+  counters::txpool_txs_executed.store(0, std::memory_order_relaxed);
+  counters::txpool_conflict_aborts.store(0, std::memory_order_relaxed);
+  counters::txpool_queue_depth.store(0, std::memory_order_relaxed);
   counters::msm_ns.store(0, std::memory_order_relaxed);
   counters::ntt_ns.store(0, std::memory_order_relaxed);
   counters::quotient_ns.store(0, std::memory_order_relaxed);

@@ -32,6 +32,14 @@ struct StatsSnapshot {
   std::uint64_t parallel_regions = 0;
   std::uint64_t chunks_executed = 0;
   std::uint64_t chunks_stolen = 0;  // chunks run by a thread other than the caller
+  // Transaction pool / batch executor (src/txpool).
+  std::uint64_t txpool_submitted = 0;
+  std::uint64_t txpool_rejected = 0;
+  std::uint64_t txpool_replaced = 0;
+  std::uint64_t txpool_batches_sealed = 0;
+  std::uint64_t txpool_txs_executed = 0;
+  std::uint64_t txpool_conflict_aborts = 0;
+  std::uint64_t txpool_queue_depth = 0;  // gauge: pending txs right now
   // Per-stage wall time (ns, summed per executing thread).
   std::uint64_t msm_ns = 0;
   std::uint64_t ntt_ns = 0;
@@ -59,6 +67,13 @@ extern std::atomic<std::uint64_t> batch_verifications;
 extern std::atomic<std::uint64_t> parallel_regions;
 extern std::atomic<std::uint64_t> chunks_executed;
 extern std::atomic<std::uint64_t> chunks_stolen;
+extern std::atomic<std::uint64_t> txpool_submitted;
+extern std::atomic<std::uint64_t> txpool_rejected;
+extern std::atomic<std::uint64_t> txpool_replaced;
+extern std::atomic<std::uint64_t> txpool_batches_sealed;
+extern std::atomic<std::uint64_t> txpool_txs_executed;
+extern std::atomic<std::uint64_t> txpool_conflict_aborts;
+extern std::atomic<std::uint64_t> txpool_queue_depth;
 extern std::atomic<std::uint64_t> msm_ns;
 extern std::atomic<std::uint64_t> ntt_ns;
 extern std::atomic<std::uint64_t> quotient_ns;

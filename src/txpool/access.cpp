@@ -1,0 +1,81 @@
+#include "txpool/access.hpp"
+
+namespace zkdet::txpool {
+
+namespace {
+
+bool prefix_overlap(const std::string& a, const std::string& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  return a.compare(0, n, b, 0, n) == 0;
+}
+
+bool covers(const Access& e, const chain::Address& contract,
+            const std::string& key, bool need_write) {
+  if (e.scope != Access::Scope::kContract || e.id != contract) return false;
+  if (need_write && !e.write) return false;
+  return key.compare(0, e.key_prefix.size(), e.key_prefix) == 0;
+}
+
+}  // namespace
+
+AccessSet& AccessSet::read_contract(const chain::Address& addr,
+                                    std::string key_prefix) {
+  entries.push_back(
+      {Access::Scope::kContract, false, addr, std::move(key_prefix)});
+  return *this;
+}
+
+AccessSet& AccessSet::write_contract(const chain::Address& addr,
+                                     std::string key_prefix) {
+  entries.push_back(
+      {Access::Scope::kContract, true, addr, std::move(key_prefix)});
+  return *this;
+}
+
+AccessSet& AccessSet::touch_account(const chain::Address& addr) {
+  entries.push_back({Access::Scope::kAccount, true, addr, {}});
+  return *this;
+}
+
+bool AccessSet::conflicts_with(const AccessSet& other) const {
+  // Undeclared txs serialize against everything.
+  if (undeclared() || other.undeclared()) return true;
+  for (const Access& a : entries) {
+    for (const Access& b : other.entries) {
+      if (a.scope != b.scope || a.id != b.id) continue;
+      if (a.scope == Access::Scope::kAccount) return true;
+      // Contract scope: read/read commutes; any write conflicts when
+      // the declared key ranges can overlap.
+      if ((a.write || b.write) && prefix_overlap(a.key_prefix, b.key_prefix)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool AccessPolicy::allow_slot_read(const chain::Address& contract,
+                                   const std::string& key) const {
+  for (const Access& e : set_->entries) {
+    // A write declaration implies read permission.
+    if (covers(e, contract, key, /*need_write=*/false)) return true;
+  }
+  return false;
+}
+
+bool AccessPolicy::allow_slot_write(const chain::Address& contract,
+                                    const std::string& key) const {
+  for (const Access& e : set_->entries) {
+    if (covers(e, contract, key, /*need_write=*/true)) return true;
+  }
+  return false;
+}
+
+bool AccessPolicy::allow_balance(const chain::Address& account) const {
+  for (const Access& e : set_->entries) {
+    if (e.scope == Access::Scope::kAccount && e.id == account) return true;
+  }
+  return false;
+}
+
+}  // namespace zkdet::txpool

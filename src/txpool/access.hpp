@@ -1,0 +1,65 @@
+// Declared read/write sets for pooled transactions.
+//
+// A transaction intent declares, up front, which state it may touch:
+// contract storage (whole contract or a key prefix — token-id prefixes
+// like "xc/5" are the coarse shard) and account balances. The scheduler
+// uses the declarations to build conflict-free batches (zkay-style
+// static access tracking), and the executor enforces them: an
+// undeclared access reverts the tx deterministically, in serial and
+// parallel execution alike, which is what keeps the two byte-identical.
+//
+// An EMPTY access set means "undeclared": the tx conflicts with
+// everything (it is scheduled alone) and runs unrestricted — the safe
+// default for callers that do not opt into batching.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chain/chain.hpp"
+
+namespace zkdet::txpool {
+
+struct Access {
+  enum class Scope : std::uint8_t { kContract, kAccount };
+  Scope scope = Scope::kContract;
+  bool write = false;  // accounts are always write (any touch serializes)
+  chain::Address id;   // contract or account address
+  // Contract scope only: restrict to keys with this prefix ("" = whole
+  // contract). Two writes to the same contract conflict iff one prefix
+  // is a prefix of the other.
+  std::string key_prefix;
+};
+
+struct AccessSet {
+  std::vector<Access> entries;
+
+  AccessSet& read_contract(const chain::Address& addr,
+                           std::string key_prefix = {});
+  AccessSet& write_contract(const chain::Address& addr,
+                            std::string key_prefix = {});
+  // Balance touch (read or move): conflicts with any other toucher.
+  AccessSet& touch_account(const chain::Address& addr);
+
+  [[nodiscard]] bool undeclared() const { return entries.empty(); }
+  // True when the two sets cannot safely execute in the same batch.
+  [[nodiscard]] bool conflicts_with(const AccessSet& other) const;
+};
+
+// Enforces an AccessSet during captured execution (installed per batch
+// tx by TxPool). The referenced set must outlive the policy.
+class AccessPolicy final : public chain::TxAccessPolicy {
+ public:
+  explicit AccessPolicy(const AccessSet& set) : set_(&set) {}
+
+  [[nodiscard]] bool allow_slot_read(const chain::Address& contract,
+                                     const std::string& key) const override;
+  [[nodiscard]] bool allow_slot_write(const chain::Address& contract,
+                                      const std::string& key) const override;
+  [[nodiscard]] bool allow_balance(const chain::Address& account) const override;
+
+ private:
+  const AccessSet* set_;
+};
+
+}  // namespace zkdet::txpool

@@ -1,0 +1,73 @@
+// Bounded mempool with per-sender nonce ordering and a priority
+// replacement policy.
+//
+// Admission control (all under the owning TxPool's lock):
+//   - capacity: a full pool rejects new txs (txpool.admit.full also
+//     forces this outcome for fault-injection runs);
+//   - nonces: a tx below the sender's chain nonce is a replay and is
+//     rejected; gaps are queued until the missing nonce arrives;
+//   - replacement: resubmitting (sender, nonce) succeeds only with
+//     strictly higher priority (Ethereum's replace-by-fee, with an
+//     explicit priority standing in for the fee bump) — the replaced
+//     tx's ticket resolves as failed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "txpool/intent.hpp"
+
+namespace zkdet::txpool {
+
+struct PendingTx {
+  TxIntent intent;
+  TicketPtr ticket;
+};
+
+class Mempool {
+ public:
+  explicit Mempool(std::size_t capacity) : capacity_(capacity) {}
+
+  struct AdmitResult {
+    bool accepted = false;
+    std::string error;            // set when !accepted
+    TicketPtr replaced_ticket;    // evicted tx's ticket, if any
+  };
+
+  // Admission; `chain_nonce` is the sender's next expected chain nonce.
+  AdmitResult admit(PendingTx tx, std::uint64_t chain_nonce);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  // Per-sender queues keyed by nonce; senders iterate in address order
+  // (the scheduler's canonical order).
+  using SenderQueue = std::map<std::uint64_t, PendingTx>;
+  [[nodiscard]] const std::map<chain::Address, SenderQueue>& queues() const {
+    return queues_;
+  }
+
+  // Removes and returns (sender, nonce); throws if absent.
+  PendingTx pop(const chain::Address& sender, std::uint64_t nonce);
+
+  // Removes every tx of `sender` with nonce < chain_nonce (stale:
+  // already consumed on chain) and returns them for ticket rejection.
+  std::vector<PendingTx> drop_stale(const chain::Address& sender,
+                                    std::uint64_t chain_nonce);
+
+  // Highest queued nonce for the sender, if any.
+  [[nodiscard]] std::optional<std::uint64_t> highest_nonce(
+      const chain::Address& sender) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t size_ = 0;
+  std::map<chain::Address, SenderQueue> queues_;
+};
+
+}  // namespace zkdet::txpool

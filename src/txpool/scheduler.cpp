@@ -1,0 +1,45 @@
+#include "txpool/scheduler.hpp"
+
+namespace zkdet::txpool {
+
+BatchPlan Scheduler::plan(
+    Mempool& pool,
+    const std::function<std::uint64_t(const chain::Address&)>& chain_nonce) {
+  BatchPlan out;
+  // Two passes over immutable queue state, then removal: iterating the
+  // sender map while popping from it would invalidate the iteration.
+  std::vector<std::pair<chain::Address, std::uint64_t>> picked;
+  std::vector<chain::Address> with_stale;
+  std::vector<const AccessSet*> picked_access;
+  for (const auto& [sender, q] : pool.queues()) {
+    if (picked.size() >= max_batch_) break;
+    const std::uint64_t expected = chain_nonce(sender);
+    if (q.begin()->first < expected) {
+      with_stale.push_back(sender);
+      continue;  // re-considered next round, after the stale prefix drops
+    }
+    if (q.begin()->first > expected) continue;  // nonce gap: wait
+    const PendingTx& cand = q.begin()->second;
+    bool conflict = false;
+    for (const AccessSet* sel : picked_access) {
+      if (cand.intent.access.conflicts_with(*sel)) {
+        conflict = true;
+        break;
+      }
+    }
+    if (conflict) continue;  // stays queued for a later batch
+    picked.emplace_back(sender, q.begin()->first);
+    picked_access.push_back(&cand.intent.access);
+  }
+  for (const auto& sender : with_stale) {
+    auto dropped = pool.drop_stale(sender, chain_nonce(sender));
+    for (auto& tx : dropped) out.stale.push_back(std::move(tx));
+  }
+  out.txs.reserve(picked.size());
+  for (const auto& [sender, nonce] : picked) {
+    out.txs.push_back(pool.pop(sender, nonce));
+  }
+  return out;
+}
+
+}  // namespace zkdet::txpool

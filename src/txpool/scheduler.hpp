@@ -1,0 +1,41 @@
+// Dependency-aware batch scheduler.
+//
+// Builds one conflict-free batch per call from the mempool: senders are
+// visited in address order (the canonical in-block order), each
+// contributes its lowest-nonce tx iff that nonce is the sender's next
+// expected chain nonce (gapped senders wait), and a candidate joins the
+// batch only when its declared AccessSet conflicts with nothing already
+// selected. The plan is a pure function of mempool content + chain
+// nonces — independent of submission order, wall clock and worker
+// count, which is what makes parallel execution replay-deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "txpool/mempool.hpp"
+
+namespace zkdet::txpool {
+
+struct BatchPlan {
+  std::vector<PendingTx> txs;    // canonical order
+  std::vector<PendingTx> stale;  // dropped: nonce already consumed on chain
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(std::size_t max_batch) : max_batch_(max_batch) {}
+
+  [[nodiscard]] std::size_t max_batch() const { return max_batch_; }
+
+  // Selects (and removes from the mempool) the next batch.
+  BatchPlan plan(
+      Mempool& pool,
+      const std::function<std::uint64_t(const chain::Address&)>& chain_nonce);
+
+ private:
+  std::size_t max_batch_;
+};
+
+}  // namespace zkdet::txpool

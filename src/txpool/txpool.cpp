@@ -1,0 +1,216 @@
+#include "txpool/txpool.hpp"
+
+#include <cstdlib>
+
+#include "crypto/rng.hpp"
+#include "fault/fault.hpp"
+#include "fault/points.hpp"
+#include "runtime/stats.hpp"
+
+namespace zkdet::txpool {
+
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0' || n == 0) return fallback;
+  return static_cast<std::size_t>(n);
+}
+
+}  // namespace
+
+Config Config::from_env() {
+  Config cfg;
+  cfg.capacity = env_size("ZKDET_TXPOOL_CAPACITY", cfg.capacity);
+  cfg.max_batch = env_size("ZKDET_TXPOOL_BATCH", cfg.max_batch);
+  return cfg;
+}
+
+TxIntent make_intent(const crypto::KeyPair& sender, std::uint64_t nonce,
+                     std::string description,
+                     std::function<void(chain::CallContext&)> fn,
+                     AccessSet access, std::uint64_t value,
+                     chain::Address pay_to, std::uint64_t gas_limit,
+                     std::uint64_t priority) {
+  TxIntent in;
+  in.sender = crypto::address_of(sender.pk);
+  in.nonce = nonce;
+  in.fn = std::move(fn);
+  in.access = std::move(access);
+  in.value = value;
+  in.pay_to = std::move(pay_to);
+  in.gas_limit = gas_limit;
+  in.priority = priority;
+  // Same deterministic signing stream as Chain::call, so a pooled tx
+  // and a direct call with identical (sender, description, nonce) yield
+  // identical signatures — and identical WAL bytes.
+  crypto::Drbg rng("tx-auth:" + in.sender,
+                   nonce * 1000003 + description.size());
+  const auto msg = chain::Chain::tx_auth_message(description, nonce);
+  in.sig = crypto::schnorr_sign(sender, msg, rng);
+  in.description = std::move(description);
+  return in;
+}
+
+TxPool::TxPool(chain::Chain& chain, Config cfg)
+    : chain_(chain),
+      cfg_(cfg),
+      mempool_(cfg.capacity),
+      scheduler_(cfg.max_batch) {}
+
+SubmitResult TxPool::submit(TxIntent intent) {
+  SubmitResult out;
+  // Same drop semantics as the direct path: the tx never reaches the
+  // sequencer, the caller retries or surfaces the error.
+  if (fault::fire(fault::points::kChainSubmit)) {
+    runtime::counters::txpool_rejected.fetch_add(1, std::memory_order_relaxed);
+    out.error = "injected: tx dropped before submission";
+    return out;
+  }
+  TicketPtr replaced;
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    if (fault::fire(fault::points::kTxpoolAdmitFull) ||
+        mempool_.size() >= mempool_.capacity()) {
+      runtime::counters::txpool_rejected.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      out.error = "txpool: admission queue full";
+      return out;
+    }
+    const std::uint64_t chain_nonce = chain_.account_nonce(intent.sender);
+    PendingTx tx;
+    tx.intent = std::move(intent);
+    tx.ticket = std::make_shared<Ticket>();
+    out.ticket = tx.ticket;
+    auto res = mempool_.admit(std::move(tx), chain_nonce);
+    if (!res.accepted) {
+      runtime::counters::txpool_rejected.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      out.ticket.reset();
+      out.error = std::move(res.error);
+      return out;
+    }
+    replaced = std::move(res.replaced_ticket);
+    runtime::counters::txpool_submitted.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    runtime::counters::txpool_queue_depth.store(mempool_.size(),
+                                                std::memory_order_relaxed);
+  }
+  if (replaced) {
+    runtime::counters::txpool_replaced.fetch_add(1, std::memory_order_relaxed);
+    chain::Receipt r;
+    r.error = "txpool: replaced by a higher-priority resubmission";
+    replaced->resolve(std::move(r));
+  }
+  out.accepted = true;
+  return out;
+}
+
+std::size_t TxPool::seal_next_batch() {
+  BatchPlan plan;
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    plan = scheduler_.plan(mempool_, [this](const chain::Address& a) {
+      return chain_.account_nonce(a);
+    });
+    runtime::counters::txpool_queue_depth.store(mempool_.size(),
+                                                std::memory_order_relaxed);
+  }
+  for (auto& tx : plan.stale) {
+    chain::Receipt r;
+    r.error = "txpool: stale nonce (replay rejected)";
+    tx.ticket->resolve(std::move(r));
+  }
+  if (plan.txs.empty()) return 0;
+
+  std::vector<AccessPolicy> policies;
+  policies.reserve(plan.txs.size());
+  std::vector<chain::BatchTx> batch;
+  batch.reserve(plan.txs.size());
+  for (const PendingTx& tx : plan.txs) {
+    const TxIntent& in = tx.intent;
+    chain::BatchTx b;
+    b.sender = in.sender;
+    b.description = in.description;
+    b.nonce = in.nonce;
+    b.sig = in.sig;
+    b.fn = in.fn;
+    b.value = in.value;
+    b.pay_to = in.pay_to;
+    b.gas_limit = in.gas_limit;
+    policies.emplace_back(in.access);
+    batch.push_back(std::move(b));
+  }
+  // Pointers taken after the vector stopped growing (reserve above
+  // guarantees stability anyway).
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (!plan.txs[i].intent.access.undeclared()) {
+      batch[i].policy = &policies[i];
+    }
+  }
+
+  const auto receipts = chain_.execute_batch(batch, cfg_.parallel);
+  runtime::counters::txpool_batches_sealed.fetch_add(
+      1, std::memory_order_relaxed);
+  runtime::counters::txpool_txs_executed.fetch_add(batch.size(),
+                                                   std::memory_order_relaxed);
+  for (std::size_t i = 0; i < plan.txs.size(); ++i) {
+    plan.txs[i].ticket->resolve(receipts[i]);
+  }
+  return plan.txs.size();
+}
+
+std::size_t TxPool::drain() {
+  std::size_t total = 0;
+  // Bounded by pool contents: each round seals >= 1 tx or exits.
+  for (;;) {  // zkdet-lint: allow(unbounded-retry)
+    const std::size_t n = seal_next_batch();
+    if (n == 0) return total;
+    total += n;
+  }
+}
+
+chain::Receipt TxPool::call(const crypto::KeyPair& sender,
+                            const std::string& description,
+                            const std::function<void(chain::CallContext&)>& fn,
+                            AccessSet access, std::uint64_t value,
+                            const chain::Address& pay_to,
+                            std::uint64_t gas_limit) {
+  const chain::Address from = crypto::address_of(sender.pk);
+  auto res = submit(make_intent(sender, next_nonce(from), description, fn,
+                                std::move(access), value, pay_to, gas_limit));
+  if (!res.accepted) {
+    chain::Receipt r;
+    r.error = std::move(res.error);
+    return r;
+  }
+  // Pump until our ticket resolves. Bounded: every productive pump
+  // shrinks the pool, so pending() + 2 rounds suffice unless the tx is
+  // permanently unschedulable (nonce gap from a lost predecessor).
+  std::size_t rounds = pending() + 2;
+  while (!res.ticket->done() && rounds-- > 0) {
+    if (seal_next_batch() == 0 && !res.ticket->done()) break;
+  }
+  if (!res.ticket->done()) {
+    chain::Receipt r;
+    r.error = "txpool: tx not schedulable (nonce gap)";
+    return r;
+  }
+  return res.ticket->receipt;
+}
+
+std::uint64_t TxPool::next_nonce(const chain::Address& sender) const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  if (const auto hi = mempool_.highest_nonce(sender)) return *hi + 1;
+  return chain_.account_nonce(sender);
+}
+
+std::size_t TxPool::pending() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return mempool_.size();
+}
+
+}  // namespace zkdet::txpool

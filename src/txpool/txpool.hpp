@@ -1,0 +1,79 @@
+// Transaction pool: mempool + scheduler + parallel batch executor.
+//
+// The pump-driven front door of the chain pipeline. Producers submit()
+// signed intents from any thread; a driver thread (the load harness, or
+// the synchronous call() helper) pumps seal_next_batch(), which asks
+// the scheduler for a conflict-free batch and hands it to
+// Chain::execute_batch — signature checks and contract closures fan out
+// over the runtime thread pool, effects commit serially in canonical
+// order, and the batch seals as ONE block. The pool owns no threads
+// (src/runtime holds the only thread primitives in the tree), so
+// determinism and shutdown are trivial: no pump, no progress.
+//
+// Knobs (read once at construction via Config::from_env):
+//   ZKDET_TXPOOL_CAPACITY   mempool admission bound   (default 65536)
+//   ZKDET_TXPOOL_BATCH      max txs per sealed block  (default 128)
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "chain/chain.hpp"
+#include "txpool/intent.hpp"
+#include "txpool/mempool.hpp"
+#include "txpool/scheduler.hpp"
+
+namespace zkdet::txpool {
+
+struct Config {
+  std::size_t capacity = 65536;
+  std::size_t max_batch = 128;
+  // Run batch stages concurrently on the runtime pool. Off = the serial
+  // baseline, byte-identical to parallel execution by construction
+  // (benches and determinism tests diff the two).
+  bool parallel = true;
+
+  [[nodiscard]] static Config from_env();
+};
+
+class TxPool {
+ public:
+  explicit TxPool(chain::Chain& chain, Config cfg = Config::from_env());
+
+  // Thread-safe admission. The kChainSubmit and kTxpoolAdmitFull
+  // fail-points can reject here (callers observe and retry).
+  SubmitResult submit(TxIntent intent);
+
+  // Seals at most one batch; returns the number of txs included.
+  // Single-pumper: not safe to call concurrently with itself.
+  std::size_t seal_next_batch();
+  // Pumps until the pool stops making progress; returns txs sealed.
+  std::size_t drain();
+
+  // Synchronous pool-routed analogue of Chain::call: assigns the next
+  // nonce, signs, submits, and pumps until the ticket resolves.
+  chain::Receipt call(const crypto::KeyPair& sender,
+                      const std::string& description,
+                      const std::function<void(chain::CallContext&)>& fn,
+                      AccessSet access = {}, std::uint64_t value = 0,
+                      const chain::Address& pay_to = {},
+                      std::uint64_t gas_limit = 30'000'000);
+
+  // Next assignable nonce for `sender`: one past the highest queued
+  // intent, or the chain nonce when nothing is queued.
+  [[nodiscard]] std::uint64_t next_nonce(const chain::Address& sender) const;
+
+  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] chain::Chain& chain() { return chain_; }
+
+ private:
+  chain::Chain& chain_;
+  Config cfg_;
+  mutable std::mutex mu_;  // guards mempool_ (admission vs scheduling)
+  Mempool mempool_;
+  Scheduler scheduler_;
+};
+
+}  // namespace zkdet::txpool

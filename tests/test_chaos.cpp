@@ -179,6 +179,13 @@ void install_schedule(std::uint64_t seed) {
   pick(fault::points::kExchangeSettle);
   pick(fault::points::kExchangeRecover);
   pick(fault::points::kExchangeRefund);
+  // The exchange's lock/settle/refund txs ride the transaction pool
+  // now, so pool admission rejections and injected optimistic-
+  // concurrency aborts are part of the chaos surface. (txpool.seal.crash
+  // is excluded: it simulates a process kill, which has its own
+  // dedicated recovery tests in test_txpool.cpp.)
+  pick(fault::points::kTxpoolAdmitFull);
+  pick(fault::points::kTxpoolExecConflictAbort);
   // Every 5th seed crashes the buyer right after the lock tx lands, to
   // exercise ExchangeDriver's rebuild-from-chain recovery.
   if (seed % 5 == 0) {
