@@ -1,8 +1,15 @@
 #!/usr/bin/env bash
 # CI entry point. Stages, in order:
 #
-#   lint      scripts/lint_zkdet.py (tree + self-test); clang-tidy when
-#             the binary exists (config in .clang-tidy), skipped otherwise
+#   lint      scripts/lint_zkdet.py (tree + self-test, including the
+#             raw-mutex rule corpus); clang-tidy when the binary exists
+#             (config in .clang-tidy), skipped otherwise
+#   analysis  clang++ -Wthread-safety -Werror=thread-safety compile of
+#             the whole tree (-DZKDET_THREAD_SAFETY=ON, build-analysis/):
+#             proves lock discipline over every zkdet::Mutex annotation
+#             at compile time. Skipped with a notice when clang++ is
+#             absent (the annotations are no-ops on GCC; the raw-mutex
+#             lint rule still holds the annotation surface closed).
 #   tier-1    default build + full ctest            (build/)
 #   checked   -DZKDET_CHECKED=ON full ctest         (build-checked/)
 #   chaos     extended seeded fault schedules, invariant checks armed
@@ -15,8 +22,9 @@
 #   fuzz      -DZKDET_FUZZ=ON, 10s smoke per target (build-fuzz/)
 #
 # Usage: scripts/ci.sh [--quick] [--skip-tsan]
-#   --quick      lint + tier-1 + bench smokes (MSM sweep, chain pipeline)
-#                (pre-push sanity; minutes, not hours)
+#   --quick      lint + analysis + tier-1 + bench smokes (MSM sweep,
+#                chain pipeline) (pre-push sanity; minutes, not hours;
+#                analysis is compile-only so it stays in quick)
 #   --skip-tsan  everything except the TSan stage (it is the slowest)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -42,6 +50,17 @@ if command -v clang-tidy >/dev/null 2>&1; then
   clang-tidy -p build --quiet src/ff/*.cpp src/ec/*.cpp
 else
   echo "=== lint: clang-tidy not installed, skipping ==="
+fi
+
+if command -v clang++ >/dev/null 2>&1; then
+  echo "=== analysis: clang -Wthread-safety build (compile-time lock proof) ==="
+  # ZKDET_CHECKED=ON so the lockdep code paths are type-checked too.
+  cmake -B build-analysis -S . -DCMAKE_CXX_COMPILER=clang++ \
+    -DZKDET_THREAD_SAFETY=ON -DZKDET_CHECKED=ON
+  cmake --build build-analysis -j
+else
+  echo "=== analysis: clang++ not installed, skipping thread-safety build ==="
+  echo "    (annotations are no-ops on GCC; raw-mutex lint still enforced)"
 fi
 
 echo "=== tier-1: build + full test suite ==="

@@ -204,6 +204,22 @@ RULES = [
         "IoError on failure); annotate reviewed discards with "
         "// zkdet-lint: allow(unchecked-io)",
     ),
+    Rule(
+        # Keep the concurrency annotation surface closed: every lock in
+        # the tree must be a zkdet::Mutex so clang -Wthread-safety can
+        # prove discipline and lockdep (-DZKDET_CHECKED) can rank-check
+        # acquisition order. std primitives carry neither.
+        "raw-mutex",
+        r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex"
+        r"|shared_mutex|shared_timed_mutex|lock_guard|unique_lock"
+        r"|scoped_lock|shared_lock|condition_variable(?:_any)?"
+        r"|call_once|once_flag)\b",
+        lambda p: p.startswith("src/") and not p.startswith("src/check/"),
+        "use zkdet::Mutex/MutexLock/UniqueLock/CondVar from check/mutex.hpp "
+        "(Clang thread-safety capability + lockdep level from "
+        "check/lock_order.hpp); annotate reviewed exceptions with "
+        "// zkdet-lint: allow(raw-mutex)",
+    ),
 ]
 
 
@@ -353,6 +369,32 @@ SELF_TEST_CASES = [
      "unchecked-io"),
     ("src/ledger/io_allow_ok.cpp",
      "::close(fd);  // zkdet-lint: allow(unchecked-io) dtor close\n", None),
+    # raw-mutex: std locking primitives are banned in src/ outside
+    # src/check/ (the annotated-wrapper home).
+    ("src/chain/raw_mutex.cpp", "static std::mutex mu;\n", "raw-mutex"),
+    ("src/storage/raw_guard.cpp",
+     "const std::lock_guard<std::mutex> lk(m_);\n", "raw-mutex"),
+    ("src/runtime/raw_ulock.cpp", "std::unique_lock<std::mutex> lk(m);\n",
+     "raw-mutex"),
+    ("src/ledger/raw_scoped.cpp", "std::scoped_lock lk(a, b);\n",
+     "raw-mutex"),
+    ("src/runtime/raw_cv.cpp", "std::condition_variable cv;\n", "raw-mutex"),
+    ("src/plonk/raw_once.cpp",
+     "std::once_flag once;\nstd::call_once(once, init);\n", "raw-mutex"),
+    ("src/check/wrapper_home_ok.cpp",
+     "std::mutex m_;\nstd::condition_variable cv_;\n",
+     None),  # the wrapper implementation itself is the one legal home
+    ("src/core/wrapped_ok.cpp",
+     "zkdet::Mutex mu{check::LockLevel::kChain};\nconst MutexLock lk(mu);\n",
+     None),
+    ("src/crypto/mutex_prose_ok.cpp",
+     "// std::mutex is banned here; use zkdet::Mutex\n", None),
+    ("src/storage/mutex_allow_ok.cpp",
+     "std::mutex special_;  // zkdet-lint: allow(raw-mutex) FFI handoff\n",
+     None),
+    ("src/runtime/mutex_allow_prev_ok.cpp",
+     "// zkdet-lint: allow(raw-mutex)\nstd::mutex legacy_;\n", None),
+    ("tests/test_threads_ok.cpp", "std::mutex m;\n", None),  # out of scope
 ]
 
 

@@ -342,12 +342,17 @@ Receipt Chain::call(const crypto::KeyPair& sender,
   receipt.gas_used = meter.used();
   receipt.block = height();
   tx.gas_used = meter.used();
-  nonces_[from] = nonce + 1;  // consumed by inclusion, success or revert
+  {
+    // Consumed by inclusion, success or revert.
+    const MutexLock lk(nonce_mu_);
+    nonces_[from] = nonce + 1;
+  }
   seal_block(std::move(tx));
   return receipt;
 }
 
 std::uint64_t Chain::account_nonce(const Address& a) const {
+  const MutexLock lk(nonce_mu_);
   const auto it = nonces_.find(a);
   return it == nonces_.end() ? 0 : it->second;
 }
@@ -583,7 +588,10 @@ std::vector<Receipt> Chain::execute_batch(const std::vector<BatchTx>& txs,
       runtime::counters::txpool_conflict_aborts.fetch_add(
           1, std::memory_order_relaxed);
     }
-    nonces_[txs[i].sender] = txs[i].nonce + 1;
+    {
+      const MutexLock lk(nonce_mu_);
+      nonces_[txs[i].sender] = txs[i].nonce + 1;
+    }
     rc.block = new_height;
     recs[i].block = new_height;
     final_idx.push_back(i);
@@ -660,11 +668,14 @@ void Chain::restore_state(std::vector<Block> blocks,
   timestamp_ = blocks_.back().timestamp;
   // Per-sender nonces are derivable from the restored history: the next
   // expected nonce is one past the highest included signed tx.
-  for (const auto& b : blocks_) {
-    for (const auto& tx : b.txs) {
-      if (!tx.has_sig) continue;
-      auto& n = nonces_[tx.sender];
-      if (tx.nonce + 1 > n) n = tx.nonce + 1;
+  {
+    const MutexLock lk(nonce_mu_);
+    for (const auto& b : blocks_) {
+      for (const auto& tx : b.txs) {
+        if (!tx.has_sig) continue;
+        auto& n = nonces_[tx.sender];
+        if (tx.nonce + 1 > n) n = tx.nonce + 1;
+      }
     }
   }
   // The application re-deploys its contracts in the original order, so

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "chain/gas.hpp"
+#include "check/mutex.hpp"
 #include "crypto/schnorr.hpp"
 #include "ff/bn254.hpp"
 
@@ -416,7 +417,14 @@ class Chain {
   GasSchedule gas_;
   std::map<Address, std::uint64_t> balances_;
   std::map<Address, crypto::G1> account_keys_;
-  std::map<Address, std::uint64_t> nonces_;  // next expected per sender
+  // Next expected nonce per sender. The only chain state readable from
+  // outside the sequencer thread (TxPool::submit admission-checks it
+  // from any producer thread while a batch commits), so it has its own
+  // mutex; everything else on Chain is single-sequencer by contract.
+  // Locks are tightly scoped and never held across contract execution,
+  // sealing, or observer callbacks.
+  mutable Mutex nonce_mu_{check::LockLevel::kChain, "chain.nonces_"};
+  std::map<Address, std::uint64_t> nonces_ ZKDET_GUARDED_BY(nonce_mu_);
   std::vector<std::unique_ptr<Contract>> contracts_;
   std::vector<Block> blocks_;
   std::uint64_t timestamp_ = 1'650'000'000;

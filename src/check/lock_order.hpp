@@ -1,0 +1,81 @@
+// Canonical lock-order table.
+//
+// Every zkdet::Mutex registers one of these levels at construction.
+// Under -DZKDET_CHECKED=ON, lockdep (check/mutex.cpp) keeps a
+// thread-local stack of held locks and requires each acquisition to
+// carry a level STRICTLY GREATER than the innermost held lock — i.e. a
+// thread may acquire a higher level while holding a lower one, never
+// the reverse, and never two locks of the same level. Any global
+// acquisition order that respects a single total rank is deadlock-free,
+// so an inversion here is reported as a deterministic ZKDET_CHECK
+// failure without needing the deadly interleaving to actually occur.
+//
+// The table mirrors the subsystem call graph, outermost first:
+//
+//   TxPool::submit/seal (kTxPool)
+//     -> Chain nonce map (kChain)            admission reads nonces
+//   Mempool (kMempool)                       reserved: mempool is
+//                                            currently guarded by the
+//                                            pool mutex itself
+//   Arbiter shards (kArbiter)                reserved: shards are
+//                                            serialized by declared
+//                                            access sets, no mutex
+//   Ledger WAL/snapshot (kLedger)            observer callbacks, sync
+//   StorageNetwork (kStorage)                repair/quarantine paths
+//   SRS affine cache (kSrsCache)             lazy batch normalization
+//   ProverService cache (kProverCache)       LRU + in-flight dedup
+//   Thread pool queues (kPoolQueue)
+//     -> sleep/wake latch (kPoolSleep)       pop() notifies under queue
+//   parallel_for region (kPoolRegion)
+//   Crypto parameter caches (kCryptoParams)
+//   Fault registry (kFault)                  leaf: fault::fire() runs
+//                                            under txpool/ledger/storage
+//                                            locks
+//
+// Rule for adding a mutex: pick the level matching where it sits in the
+// call graph (what can be held when it is taken; what it may take while
+// held), add an enumerator + name here, and document the nesting in
+// DESIGN.md "Compile-time concurrency analysis". Gaps between values
+// are deliberate room for insertion.
+#pragma once
+
+#include <cstdint>
+
+namespace zkdet::check {
+
+enum class LockLevel : std::uint16_t {
+  kTxPool = 10,        // txpool::TxPool mu_ (mempool + tickets)
+  kMempool = 12,       // reserved for a split-out mempool lock
+  kChain = 20,         // chain::Chain nonce_mu_ (account nonce map)
+  kArbiter = 25,       // reserved: KeySecureArbiter shards use access sets
+  kLedger = 30,        // ledger::Ledger io_mu_ (WAL writer + snapshot)
+  kStorage = 40,       // storage::StorageNetwork m_
+  kSrsCache = 45,      // plonk::Srs affine-table publication
+  kProverCache = 50,   // runtime::ProverService m_ (LRU + in-flight)
+  kPoolQueue = 60,     // runtime thread-pool per-worker deques
+  kPoolSleep = 62,     // runtime thread-pool sleep/wake latch
+  kPoolRegion = 64,    // runtime parallel_for completion latch
+  kCryptoParams = 70,  // crypto parameter caches (Poseidon round keys)
+  kFault = 80,         // fault-point registry (innermost leaf)
+};
+
+constexpr const char* lock_level_name(LockLevel level) {
+  switch (level) {
+    case LockLevel::kTxPool: return "TxPool";
+    case LockLevel::kMempool: return "Mempool";
+    case LockLevel::kChain: return "Chain";
+    case LockLevel::kArbiter: return "Arbiter";
+    case LockLevel::kLedger: return "Ledger";
+    case LockLevel::kStorage: return "Storage";
+    case LockLevel::kSrsCache: return "SrsCache";
+    case LockLevel::kProverCache: return "ProverCache";
+    case LockLevel::kPoolQueue: return "PoolQueue";
+    case LockLevel::kPoolSleep: return "PoolSleep";
+    case LockLevel::kPoolRegion: return "PoolRegion";
+    case LockLevel::kCryptoParams: return "CryptoParams";
+    case LockLevel::kFault: return "Fault";
+  }
+  return "?";
+}
+
+}  // namespace zkdet::check

@@ -1,0 +1,94 @@
+// Lockdep: rank-ordered deadlock detection for zkdet::Mutex.
+//
+// Compiled to nothing unless -DZKDET_CHECKED=ON (the hooks are only
+// declared — and called — in that configuration). Each thread keeps a
+// fixed-size stack of the locks it currently holds; acquisition
+// validates against the top of the stack BEFORE the underlying
+// std::mutex is touched, so a throwing failure handler unwinds with
+// the mutex still unlocked.
+#include "check/mutex.hpp"
+
+#ifdef ZKDET_CHECKED
+
+#include <string>
+
+#include "check/check.hpp"
+
+namespace zkdet {
+namespace {
+
+struct HeldLock {
+  const Mutex* mu;
+  check::LockLevel level;
+  const char* name;
+};
+
+// Deep enough for any sane nesting (the full table is 13 levels); a
+// real workload holds 2-3 locks at once.
+constexpr int kMaxHeld = 32;
+
+thread_local HeldLock tl_held[kMaxHeld];
+thread_local int tl_depth = 0;
+
+std::string describe(check::LockLevel level, const char* name) {
+  std::string out = lock_level_name(level);
+  out += "(";
+  out += std::to_string(
+      static_cast<std::uint16_t>(level));
+  out += ")";
+  if (name != nullptr && name[0] != '\0') {
+    out += " '";
+    out += name;
+    out += "'";
+  }
+  return out;
+}
+
+}  // namespace
+
+void Mutex::pre_lock() {
+  for (int i = 0; i < tl_depth; ++i) {
+    if (tl_held[i].mu == this) {
+      check::fail("lockdep: no reentrant acquisition", __FILE__, __LINE__,
+                  "mutex " + describe(level_, name_) +
+                      " is already held by this thread");
+    }
+  }
+  if (tl_depth > 0) {
+    const HeldLock& top = tl_held[tl_depth - 1];
+    if (static_cast<std::uint16_t>(level_) <=
+        static_cast<std::uint16_t>(top.level)) {
+      check::fail(
+          "lockdep: lock-order inversion", __FILE__, __LINE__,
+          "acquiring " + describe(level_, name_) + " while holding " +
+              describe(top.level, top.name) +
+              "; levels must strictly increase (see check/lock_order.hpp)");
+    }
+  }
+  if (tl_depth >= kMaxHeld) {
+    check::fail("lockdep: held-lock stack overflow", __FILE__, __LINE__,
+                "more than " + std::to_string(kMaxHeld) +
+                    " locks held by one thread");
+  }
+}
+
+void Mutex::post_lock() { tl_held[tl_depth++] = HeldLock{this, level_, name_}; }
+
+void Mutex::pre_unlock() {
+  // Out-of-order release is legal (only acquisition order can
+  // deadlock); search from the innermost entry.
+  for (int i = tl_depth - 1; i >= 0; --i) {
+    if (tl_held[i].mu == this) {
+      for (int j = i; j < tl_depth - 1; ++j) tl_held[j] = tl_held[j + 1];
+      --tl_depth;
+      return;
+    }
+  }
+  check::fail("lockdep: unlock of unheld mutex", __FILE__, __LINE__,
+              "mutex " + describe(level_, name_) +
+                  " is not held by this thread");
+}
+
+}  // namespace zkdet
+
+#endif  // ZKDET_CHECKED

@@ -1,0 +1,159 @@
+// Annotated mutex wrappers: the only locking primitives allowed in
+// src/ outside src/check/ (enforced by the raw-mutex lint rule).
+//
+// Two layers of checking ride on the same API:
+//
+//   compile time  zkdet::Mutex is a Clang TSA capability and
+//                 MutexLock/UniqueLock are scoped capabilities, so a
+//                 clang++ -Wthread-safety build proves that every
+//                 ZKDET_GUARDED_BY field is only touched under its
+//                 lock (scripts/ci.sh `analysis` stage).
+//
+//   run time      under -DZKDET_CHECKED=ON every Mutex carries a
+//                 LockLevel from check/lock_order.hpp and lockdep
+//                 keeps a thread-local held-lock stack: acquiring a
+//                 level <= the innermost held level (an order
+//                 inversion), re-acquiring a held mutex, or unlocking
+//                 a mutex the thread does not hold all route through
+//                 the ZKDET_CHECK failure handler — deterministic
+//                 failures instead of timing-dependent deadlocks.
+//
+// Release builds compile lockdep out entirely: Mutex is layout- and
+// cost-identical to std::mutex (static_asserted in test_lockdep.cpp).
+//
+// Lockdep validates BEFORE touching the underlying mutex, so a
+// throwing failure handler (ScopedThrowHandler) leaves the mutex
+// unlocked and the test process consistent.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "check/lock_order.hpp"
+#include "check/thread_annotations.hpp"
+
+namespace zkdet {
+
+class ZKDET_CAPABILITY("mutex") Mutex {
+ public:
+  // `name` is kept for lockdep diagnostics in checked builds and
+  // ignored otherwise; pass the guarded field, e.g. {"txpool.mu_"}.
+  explicit Mutex(check::LockLevel level, const char* name = "") noexcept
+#ifdef ZKDET_CHECKED
+      : level_(level), name_(name)
+#endif
+  {
+    (void)level;
+    (void)name;
+  }
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ZKDET_ACQUIRE() {
+#ifdef ZKDET_CHECKED
+    pre_lock();
+#endif
+    m_.lock();
+#ifdef ZKDET_CHECKED
+    post_lock();
+#endif
+  }
+
+  void unlock() ZKDET_RELEASE() {
+#ifdef ZKDET_CHECKED
+    pre_unlock();
+#endif
+    m_.unlock();
+  }
+
+ private:
+  friend class UniqueLock;
+  friend class CondVar;
+
+#ifdef ZKDET_CHECKED
+  // Defined in mutex.cpp; maintain the thread-local held-lock stack.
+  void pre_lock();
+  void post_lock();
+  void pre_unlock();
+#endif
+
+  std::mutex m_;
+#ifdef ZKDET_CHECKED
+  check::LockLevel level_;
+  const char* name_;
+#endif
+};
+
+// lock_guard analogue. Scoped capability so TSA treats the guarded
+// region as holding the mutex.
+class ZKDET_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ZKDET_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() ZKDET_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// unique_lock analogue for condition-variable waits. Always owns the
+// lock between construction and destruction except while blocked
+// inside CondVar::wait (which atomically releases and re-acquires the
+// underlying mutex; the lockdep held-stack is thread-local, so a
+// blocked thread keeping its entry is sound — it cannot acquire
+// anything while suspended).
+class ZKDET_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) ZKDET_ACQUIRE(mu) : mu_(mu) {
+#ifdef ZKDET_CHECKED
+    mu_.pre_lock();
+#endif
+    lk_ = std::unique_lock<std::mutex>(mu_.m_);
+#ifdef ZKDET_CHECKED
+    mu_.post_lock();
+#endif
+  }
+  ~UniqueLock() ZKDET_RELEASE() {
+#ifdef ZKDET_CHECKED
+    mu_.pre_unlock();
+#endif
+    // lk_ releases the underlying mutex in its own destructor.
+  }
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+  std::unique_lock<std::mutex> lk_;
+};
+
+// condition_variable analogue. No predicate overload on purpose:
+// callers write `while (!cond) cv.wait(lk);` so the guarded reads in
+// the condition are syntactically inside the locked scope and TSA can
+// see them.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Caller must hold `lk` (enforced by TSA and by
+  // std::condition_variable's own precondition).
+  void wait(UniqueLock& lk) ZKDET_REQUIRES(lk.mu_) { cv_.wait(lk.lk_); }
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+#ifndef ZKDET_CHECKED
+// Zero-cost fast path: without lockdep the wrapper is exactly a
+// std::mutex (also checked from outside the class in test_lockdep.cpp).
+static_assert(sizeof(Mutex) == sizeof(std::mutex),
+              "release zkdet::Mutex must stay layout-compatible");
+#endif
+
+}  // namespace zkdet

@@ -1,0 +1,69 @@
+// Clang Thread Safety Analysis attribute macros.
+//
+// These wrap the `capability`-family attributes so annotated code
+// compiles everywhere: under clang the attributes feed -Wthread-safety
+// (compile-time proof of lock discipline); under GCC and MSVC every
+// macro expands to nothing. The annotation surface is the zkdet::Mutex
+// family in check/mutex.hpp — do not annotate raw std primitives (the
+// raw-mutex lint rule bans them outside src/check anyway).
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define ZKDET_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define ZKDET_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+// On a class: instances are capabilities (lockable objects).
+#define ZKDET_CAPABILITY(x) ZKDET_THREAD_ANNOTATION_(capability(x))
+
+// On a class: RAII object that acquires a capability for its lifetime.
+#define ZKDET_SCOPED_CAPABILITY ZKDET_THREAD_ANNOTATION_(scoped_lockable)
+
+// On a data member: reads/writes require holding the named capability.
+#define ZKDET_GUARDED_BY(x) ZKDET_THREAD_ANNOTATION_(guarded_by(x))
+
+// On a pointer member: the pointed-to data is guarded (the pointer
+// itself is not).
+#define ZKDET_PT_GUARDED_BY(x) ZKDET_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// On a function: caller must hold the capability (and keeps holding it).
+#define ZKDET_REQUIRES(...) \
+  ZKDET_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+// On a function: acquires / releases the capability.
+#define ZKDET_ACQUIRE(...) \
+  ZKDET_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ZKDET_RELEASE(...) \
+  ZKDET_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+// On a function: acquires the capability iff it returns `b`.
+#define ZKDET_TRY_ACQUIRE(b, ...) \
+  ZKDET_THREAD_ANNOTATION_(try_acquire_capability(b, __VA_ARGS__))
+
+// On a function: caller must NOT hold the capability (deadlock guard
+// for functions that acquire it themselves).
+#define ZKDET_EXCLUDES(...) ZKDET_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// On a function: asserts the capability is held without acquiring it
+// (runtime-checked entry points).
+#define ZKDET_ASSERT_CAPABILITY(x) \
+  ZKDET_THREAD_ANNOTATION_(assert_capability(x))
+
+// On a mutex member: declared acquisition order relative to another
+// mutex (coarse-grained ordering is enforced at runtime by lockdep;
+// these document intra-class order where it matters).
+#define ZKDET_ACQUIRED_BEFORE(...) \
+  ZKDET_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define ZKDET_ACQUIRED_AFTER(...) \
+  ZKDET_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+// On a function: opt out of analysis. Reserved for the wrapper
+// internals and reviewed exceptions; pair with a justification comment.
+#define ZKDET_NO_THREAD_SAFETY_ANALYSIS \
+  ZKDET_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+// On a function: returns a reference to the named capability.
+#define ZKDET_RETURN_CAPABILITY(x) ZKDET_THREAD_ANNOTATION_(lock_returned(x))

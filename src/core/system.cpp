@@ -11,6 +11,7 @@ namespace {
 
 std::size_t shard_count(std::size_t requested) {
   if (requested > 0) return requested;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at system start-up
   if (const char* env = std::getenv("ZKDET_ARBITER_SHARDS")) {
     char* end = nullptr;
     const unsigned long long n = std::strtoull(env, &end, 10);
@@ -34,6 +35,7 @@ ZkdetSystem::ZkdetSystem(std::size_t max_constraints, std::uint64_t seed,
       storage_(/*num_nodes=*/4, /*replication=*/2) {
   std::string dir = data_dir;
   if (dir.empty()) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at system start-up
     if (const char* env = std::getenv("ZKDET_DATA_DIR")) dir = env;
   }
   // Attach durability before any chain activity: the account credit and

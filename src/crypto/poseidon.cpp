@@ -2,8 +2,8 @@
 
 #include "check/check.hpp"
 #include <map>
-#include <mutex>
 
+#include "check/mutex.hpp"
 #include "crypto/sha256.hpp"
 
 namespace zkdet::crypto {
@@ -55,8 +55,8 @@ Fr sbox(const Fr& x) {
 const PoseidonParams& PoseidonParams::get(std::size_t t) {
   ZKDET_CHECK(t >= 2 && t <= 8, "Poseidon width t=", t, " unsupported");
   static std::map<std::size_t, PoseidonParams> cache;
-  static std::mutex mu;
-  std::lock_guard<std::mutex> lock(mu);
+  static Mutex mu{check::LockLevel::kCryptoParams, "poseidon.params"};
+  const MutexLock lock(mu);
   auto it = cache.find(t);
   if (it == cache.end()) it = cache.emplace(t, make_params(t)).first;
   return it->second;

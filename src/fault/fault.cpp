@@ -2,8 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <unordered_map>
+
+#include "check/mutex.hpp"
 
 namespace zkdet::fault {
 
@@ -20,8 +21,10 @@ struct PointState {
 };
 
 struct Registry {
-  std::mutex m;
-  std::unordered_map<std::string, PointState> points;
+  // Innermost leaf of the lock order: fire() runs under txpool, ledger
+  // and storage locks.
+  Mutex m{check::LockLevel::kFault, "fault.registry"};
+  std::unordered_map<std::string, PointState> points ZKDET_GUARDED_BY(m);
 };
 
 Registry& registry() {
@@ -125,7 +128,7 @@ namespace detail {
 
 bool fire_slow(const char* point) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lk(r.m);
+  const MutexLock lk(r.m);
   const auto it = r.points.find(point);
   if (it == r.points.end()) return false;
   PointState& st = it->second;
@@ -139,14 +142,14 @@ bool fire_slow(const char* point) {
 
 void inject(const std::string& point, const Schedule& schedule) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lk(r.m);
+  const MutexLock lk(r.m);
   r.points[point] = PointState{schedule, 0, 0};
   detail::g_armed.store(true, std::memory_order_relaxed);
 }
 
 void clear(const std::string& point) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lk(r.m);
+  const MutexLock lk(r.m);
   r.points.erase(point);
   if (r.points.empty()) {
     detail::g_armed.store(false, std::memory_order_relaxed);
@@ -155,21 +158,21 @@ void clear(const std::string& point) {
 
 void clear_all() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lk(r.m);
+  const MutexLock lk(r.m);
   r.points.clear();
   detail::g_armed.store(false, std::memory_order_relaxed);
 }
 
 std::uint64_t hits(const std::string& point) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lk(r.m);
+  const MutexLock lk(r.m);
   const auto it = r.points.find(point);
   return it == r.points.end() ? 0 : it->second.hits;
 }
 
 std::uint64_t failures(const std::string& point) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lk(r.m);
+  const MutexLock lk(r.m);
   const auto it = r.points.find(point);
   return it == r.points.end() ? 0 : it->second.failures;
 }
@@ -202,6 +205,7 @@ std::size_t install_spec(const std::string& spec) {
 }
 
 std::size_t install_from_env() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once before main()
   const char* env = std::getenv("ZKDET_FAULTS");
   if (env == nullptr || *env == '\0') return 0;
   return install_spec(env);

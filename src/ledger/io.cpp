@@ -18,6 +18,8 @@ namespace zkdet::ledger {
 namespace {
 
 std::string errno_text(int err) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): error-path only; the static
+  // buffer race at worst garbles the message text, never the errno code
   return std::string(std::strerror(err)) + " (errno " + std::to_string(err) +
          ")";
 }

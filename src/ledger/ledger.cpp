@@ -291,6 +291,7 @@ void Ledger::append_record(std::uint8_t type,
 
 void Ledger::on_account_created(const chain::Address& addr,
                                 const crypto::G1& pk, std::uint64_t balance) {
+  const MutexLock lk(io_mu_);
   append_record(kRecordAccount, [&](Writer& w) {
     w.str(addr);
     w.g1(pk);
@@ -300,6 +301,7 @@ void Ledger::on_account_created(const chain::Address& addr,
 
 void Ledger::on_block_sealed(const chain::Block& block,
                              const chain::StateDelta& delta) {
+  const MutexLock lk(io_mu_);
   append_record(kRecordBlock, [&](Writer& w) {
     write_block(w, block);
     write_delta(w, delta);
@@ -309,6 +311,7 @@ void Ledger::on_block_sealed(const chain::Block& block,
 }
 
 void Ledger::sync() {
+  const MutexLock lk(io_mu_);
   if (poisoned_) {
     throw IoError("ledger: poisoned after earlier failure (" + dir_ + ")");
   }
@@ -328,6 +331,7 @@ void Ledger::maybe_snapshot() {
 }
 
 void Ledger::snapshot_now() {
+  const MutexLock lk(io_mu_);
   if (poisoned_) {
     throw IoError("ledger: poisoned after earlier failure (" + dir_ + ")");
   }

@@ -32,6 +32,7 @@
 #include <string>
 
 #include "chain/chain.hpp"
+#include "check/mutex.hpp"
 #include "ledger/wal.hpp"
 
 namespace zkdet::ledger {
@@ -81,28 +82,51 @@ class Ledger : public chain::ChainObserver {
   // Durability barrier when fsync_each_append is off.
   void sync();
 
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] Stats stats() const {
+    const MutexLock lk(io_mu_);
+    return stats_;
+  }
   [[nodiscard]] const std::string& dir() const { return dir_; }
-  [[nodiscard]] std::uint64_t wal_seq() const { return seq_; }
-  [[nodiscard]] bool poisoned() const { return poisoned_; }
+  [[nodiscard]] std::uint64_t wal_seq() const {
+    const MutexLock lk(io_mu_);
+    return seq_;
+  }
+  [[nodiscard]] bool poisoned() const {
+    const MutexLock lk(io_mu_);
+    return poisoned_;
+  }
 
  private:
-  void open_and_replay();
+  // Construction-time only: runs before the observer is registered, so
+  // no concurrent access to the IO state is possible, and it calls
+  // chain_.restore_state (which takes the Chain nonce lock) — holding
+  // io_mu_ (kLedger) across that would invert the declared lock order.
+  void open_and_replay() ZKDET_NO_THREAD_SAFETY_ANALYSIS;
   void append_record(std::uint8_t type,
-                     const std::function<void(Writer&)>& body);
-  void maybe_snapshot();
-  void write_snapshot();
+                     const std::function<void(Writer&)>& body)
+      ZKDET_REQUIRES(io_mu_);
+  void maybe_snapshot() ZKDET_REQUIRES(io_mu_);
+  void write_snapshot() ZKDET_REQUIRES(io_mu_);
   [[nodiscard]] std::string segment_path(std::uint64_t n) const;
 
   chain::Chain& chain_;
   std::string dir_;
   Options opts_;
-  Stats stats_;
-  std::uint64_t seq_ = 0;       // last WAL sequence written or replayed
-  std::uint64_t segment_ = 1;   // current segment number
-  std::uint64_t blocks_since_snapshot_ = 0;
-  std::optional<WalWriter> writer_;
-  bool poisoned_ = false;
+  // Serializes the WAL/snapshot IO state. Today the observer callbacks
+  // arrive from the single sequencer thread; the mutex makes the
+  // durability layer safe for the replication/failover work (WAL
+  // shipping, follower snapshots) and slots the subsystem into the
+  // lock order: it is taken below the chain locks and above the fault
+  // registry (append fail-points fire under it).
+  mutable Mutex io_mu_{check::LockLevel::kLedger, "ledger.io"};
+  Stats stats_ ZKDET_GUARDED_BY(io_mu_);
+  // Last WAL sequence written or replayed.
+  std::uint64_t seq_ ZKDET_GUARDED_BY(io_mu_) = 0;
+  // Current segment number.
+  std::uint64_t segment_ ZKDET_GUARDED_BY(io_mu_) = 1;
+  std::uint64_t blocks_since_snapshot_ ZKDET_GUARDED_BY(io_mu_) = 0;
+  std::optional<WalWriter> writer_ ZKDET_GUARDED_BY(io_mu_);
+  bool poisoned_ ZKDET_GUARDED_BY(io_mu_) = false;
 };
 
 // Chain + Ledger with correct construction/destruction order.

@@ -20,9 +20,13 @@ Srs Srs::setup(std::size_t max_degree, crypto::Drbg& rng) {
 
 std::span<const ec::G1Affine> Srs::g1_powers_affine() const {
   AffineCache& cache = *affine_cache_;
-  std::call_once(cache.once, [&] {
-    cache.table = ec::batch_normalize(std::span<const G1>(g1_powers));
-  });
+  if (!cache.ready.load(std::memory_order_acquire)) {
+    const MutexLock lk(cache.mu);
+    if (!cache.ready.load(std::memory_order_relaxed)) {
+      cache.table = ec::batch_normalize(std::span<const G1>(g1_powers));
+      cache.ready.store(true, std::memory_order_release);
+    }
+  }
   return cache.table;
 }
 

@@ -13,11 +13,12 @@
 // Jacobian-input normalization.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "check/mutex.hpp"
 #include "crypto/rng.hpp"
 #include "ec/curve.hpp"
 #include "ec/msm.hpp"
@@ -55,8 +56,14 @@ struct Srs {
   [[nodiscard]] std::span<const ec::G1Affine> g1_powers_affine() const;
 
  private:
+  // Double-checked publication (replaces std::call_once so the build
+  // step participates in the annotated lock order): `table` is written
+  // under `mu`, then published by the release store to `ready`; readers
+  // that observe `ready` (acquire) use the table without the lock, so
+  // the field itself is intentionally not ZKDET_GUARDED_BY(mu).
   struct AffineCache {
-    std::once_flag once;
+    Mutex mu{check::LockLevel::kSrsCache, "srs.affine-cache"};
+    std::atomic<bool> ready{false};
     std::vector<ec::G1Affine> table;
   };
   std::shared_ptr<AffineCache> affine_cache_ = std::make_shared<AffineCache>();

@@ -35,7 +35,7 @@ std::shared_ptr<const plonk::KeyPairResult> ProverService::keys_for(
   std::shared_future<KeyPtr> wait_on;
   std::promise<KeyPtr> mine;
   {
-    std::lock_guard<std::mutex> lk(m_);
+    const MutexLock lk(m_);
     const auto it = index_.find(circuit_id);
     if (it != index_.end()) {
       counters::key_cache_hits.fetch_add(1, std::memory_order_relaxed);
@@ -59,7 +59,7 @@ std::shared_ptr<const plonk::KeyPairResult> ProverService::keys_for(
     keys = std::make_shared<const plonk::KeyPairResult>(std::move(*result));
   }
   {
-    std::lock_guard<std::mutex> lk(m_);
+    const MutexLock lk(m_);
     inflight_.erase(circuit_id);
     if (keys) {
       lru_.emplace_front(circuit_id, keys);
@@ -77,7 +77,7 @@ std::shared_ptr<const plonk::KeyPairResult> ProverService::keys_for(
 
 std::shared_ptr<const plonk::KeyPairResult> ProverService::find_keys(
     const std::string& circuit_id) const {
-  std::lock_guard<std::mutex> lk(m_);
+  const MutexLock lk(m_);
   const auto it = index_.find(circuit_id);
   return it == index_.end() ? nullptr : it->second->second;
 }
@@ -151,7 +151,7 @@ bool ProverService::batch_verify(std::span<const plonk::BatchEntry> entries) {
 }
 
 std::size_t ProverService::key_cache_size() const {
-  std::lock_guard<std::mutex> lk(m_);
+  const MutexLock lk(m_);
   return lru_.size();
 }
 

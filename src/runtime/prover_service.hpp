@@ -24,13 +24,13 @@
 #include <future>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "check/mutex.hpp"
 #include "crypto/rng.hpp"
 #include "plonk/plonk.hpp"
 
@@ -126,13 +126,14 @@ class ProverService {
   const plonk::Srs& srs_;
   const std::size_t capacity_;
 
-  mutable std::mutex m_;
+  mutable Mutex m_{check::LockLevel::kProverCache, "prover.key-cache"};
   // LRU: front = most recently used.
-  std::list<std::pair<std::string, KeyPtr>> lru_;
+  std::list<std::pair<std::string, KeyPtr>> lru_ ZKDET_GUARDED_BY(m_);
   std::unordered_map<std::string, std::list<std::pair<std::string, KeyPtr>>::iterator>
-      index_;
+      index_ ZKDET_GUARDED_BY(m_);
   // De-duplicates concurrent preprocessing of the same circuit id.
-  std::unordered_map<std::string, std::shared_future<KeyPtr>> inflight_;
+  std::unordered_map<std::string, std::shared_future<KeyPtr>> inflight_
+      ZKDET_GUARDED_BY(m_);
 };
 
 }  // namespace zkdet::runtime

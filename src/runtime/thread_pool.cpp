@@ -2,13 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 
+#include "check/mutex.hpp"
 #include "runtime/stats.hpp"
 
 namespace zkdet::runtime {
@@ -19,6 +18,7 @@ namespace {
 thread_local std::ptrdiff_t tl_worker_index = -1;
 
 std::size_t default_total_threads() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at pool start-up
   if (const char* env = std::getenv("ZKDET_THREADS")) {
     char* end = nullptr;
     const long v = std::strtol(env, &end, 10);
@@ -33,19 +33,21 @@ std::size_t default_total_threads() {
 
 struct ThreadPool::Impl {
   struct WorkerQueue {
-    std::mutex m;
-    std::deque<std::function<void()>> tasks;
+    Mutex m{check::LockLevel::kPoolQueue, "pool.worker-queue"};
+    std::deque<std::function<void()>> tasks ZKDET_GUARDED_BY(m);
   };
 
   std::vector<std::unique_ptr<WorkerQueue>> queues;
   std::vector<std::thread> threads;
 
   // Sleep/wake machinery: `pending` counts tasks sitting in any deque;
-  // workers sleep on `cv` when it is zero.
-  std::mutex sleep_m;
-  std::condition_variable cv;
-  std::size_t pending = 0;
-  bool stopping = false;
+  // workers sleep on `cv` when it is zero. kPoolSleep sits above
+  // kPoolQueue in the lock order because pop() notifies under the
+  // queue lock (note_taken).
+  Mutex sleep_m{check::LockLevel::kPoolSleep, "pool.sleep"};
+  CondVar cv;
+  std::size_t pending ZKDET_GUARDED_BY(sleep_m) = 0;
+  bool stopping ZKDET_GUARDED_BY(sleep_m) = false;
 
   std::atomic<std::size_t> rr{0};  // round-robin cursor for submissions
 
@@ -53,11 +55,11 @@ struct ThreadPool::Impl {
     const std::size_t w =
         rr.fetch_add(1, std::memory_order_relaxed) % queues.size();
     {
-      std::lock_guard<std::mutex> lk(queues[w]->m);
+      const MutexLock lk(queues[w]->m);
       queues[w]->tasks.push_back(std::move(task));
     }
     {
-      std::lock_guard<std::mutex> lk(sleep_m);
+      const MutexLock lk(sleep_m);
       ++pending;
     }
     cv.notify_one();
@@ -68,7 +70,7 @@ struct ThreadPool::Impl {
   bool pop(std::size_t self, std::function<void()>& out) {
     {
       auto& q = *queues[self];
-      std::lock_guard<std::mutex> lk(q.m);
+      const MutexLock lk(q.m);
       if (!q.tasks.empty()) {
         out = std::move(q.tasks.back());
         q.tasks.pop_back();
@@ -78,7 +80,7 @@ struct ThreadPool::Impl {
     }
     for (std::size_t d = 1; d < queues.size(); ++d) {
       auto& q = *queues[(self + d) % queues.size()];
-      std::lock_guard<std::mutex> lk(q.m);
+      const MutexLock lk(q.m);
       if (!q.tasks.empty()) {
         out = std::move(q.tasks.front());
         q.tasks.pop_front();
@@ -90,7 +92,7 @@ struct ThreadPool::Impl {
   }
 
   void note_taken() {
-    std::lock_guard<std::mutex> lk(sleep_m);
+    const MutexLock lk(sleep_m);
     if (pending > 0) --pending;
   }
 
@@ -103,8 +105,8 @@ struct ThreadPool::Impl {
         task();
         continue;
       }
-      std::unique_lock<std::mutex> lk(sleep_m);
-      cv.wait(lk, [&] { return stopping || pending > 0; });
+      UniqueLock lk(sleep_m);
+      while (!stopping && pending == 0) cv.wait(lk);
       if (stopping) return;
     }
   }
@@ -138,7 +140,7 @@ void ThreadPool::start(std::size_t workers) {
 void ThreadPool::stop() {
   if (impl_ == nullptr) return;
   {
-    std::lock_guard<std::mutex> lk(impl_->sleep_m);
+    const MutexLock lk(impl_->sleep_m);
     impl_->stopping = true;
   }
   impl_->cv.notify_all();
@@ -176,9 +178,9 @@ struct ForContext {
   std::size_t num_chunks = 0;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
-  std::mutex m;
-  std::condition_variable cv;
-  std::exception_ptr error;  // first failure; guarded by m
+  Mutex m{check::LockLevel::kPoolRegion, "parallel_for.region"};
+  CondVar cv;
+  std::exception_ptr error ZKDET_GUARDED_BY(m);  // first failure
 
   // Claims and runs chunks until the cursor is exhausted.
   void drain(bool stolen) {
@@ -191,7 +193,7 @@ struct ForContext {
       try {
         (*body)(b, e);
       } catch (...) {
-        std::lock_guard<std::mutex> lk(m);
+        const MutexLock lk(m);
         if (!error) error = std::current_exception();
       }
       counters::chunks_executed.fetch_add(1, std::memory_order_relaxed);
@@ -199,7 +201,7 @@ struct ForContext {
         counters::chunks_stolen.fetch_add(1, std::memory_order_relaxed);
       }
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_chunks) {
-        std::lock_guard<std::mutex> lk(m);
+        const MutexLock lk(m);
         cv.notify_all();
       }
     }
@@ -235,12 +237,17 @@ void ThreadPool::parallel_for(
   ctx->drain(/*stolen=*/false);
 
   if (ctx->done.load(std::memory_order_acquire) != num_chunks) {
-    std::unique_lock<std::mutex> lk(ctx->m);
-    ctx->cv.wait(lk, [&] {
-      return ctx->done.load(std::memory_order_acquire) == num_chunks;
-    });
+    UniqueLock lk(ctx->m);
+    while (ctx->done.load(std::memory_order_acquire) != num_chunks) {
+      ctx->cv.wait(lk);
+    }
   }
-  if (ctx->error) std::rethrow_exception(ctx->error);
+  std::exception_ptr err;
+  {
+    const MutexLock lk(ctx->m);
+    err = ctx->error;
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 void ThreadPool::parallel_for(

@@ -74,7 +74,7 @@ std::vector<std::size_t> StorageNetwork::read_order(const Cid& cid) const {
 
 Cid StorageNetwork::put(Blob blob) {
   const Cid cid = Cid::of(blob);
-  std::lock_guard<std::mutex> lk(m_);
+  const MutexLock lk(m_);
   pinned_.insert(cid);
   std::size_t stored = 0;
   std::vector<bool> holds(nodes_.size(), false);
@@ -155,18 +155,18 @@ std::optional<Blob> StorageNetwork::locked_get_and_repair(
 }
 
 std::optional<Blob> StorageNetwork::get(const Cid& cid) const {
-  std::lock_guard<std::mutex> lk(m_);
+  const MutexLock lk(m_);
   return locked_get_and_repair(cid, /*fault_injectable=*/true);
 }
 
 void StorageNetwork::unpin(const Cid& cid) {
-  std::lock_guard<std::mutex> lk(m_);
+  const MutexLock lk(m_);
   pinned_.erase(cid);
   for (auto& n : nodes_) n.erase(cid);
 }
 
 ScrubReport StorageNetwork::scrub() {
-  std::lock_guard<std::mutex> lk(m_);
+  const MutexLock lk(m_);
   ScrubReport report;
   for (const Cid& cid : pinned_) {
     ++report.checked;
@@ -184,19 +184,19 @@ ScrubReport StorageNetwork::scrub() {
 }
 
 bool StorageNetwork::node_quarantined(std::size_t i) const {
-  std::lock_guard<std::mutex> lk(m_);
+  const MutexLock lk(m_);
   return status_.at(i).quarantined;
 }
 
 std::size_t StorageNetwork::quarantined_count() const {
-  std::lock_guard<std::mutex> lk(m_);
+  const MutexLock lk(m_);
   std::size_t n = 0;
   for (const auto& st : status_) n += st.quarantined ? 1 : 0;
   return n;
 }
 
 void StorageNetwork::reinstate(std::size_t i) {
-  std::lock_guard<std::mutex> lk(m_);
+  const MutexLock lk(m_);
   status_.at(i) = NodeStatus{};
 }
 

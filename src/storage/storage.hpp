@@ -27,12 +27,12 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "check/mutex.hpp"
 #include "crypto/sha256.hpp"
 #include "ff/bn254.hpp"
 
@@ -115,8 +115,17 @@ class StorageNetwork {
   // non-quarantined nodes, overwriting corrupted copies.
   ScrubReport scrub();
 
-  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
-  [[nodiscard]] StorageNode& node(std::size_t i) { return nodes_[i]; }
+  [[nodiscard]] std::size_t num_nodes() const {
+    const MutexLock lk(m_);
+    return nodes_.size();
+  }
+  // Test hook (see file comment): the container access is locked, but
+  // the returned reference is unsynchronized by construction — callers
+  // must not race it with concurrent network use.
+  [[nodiscard]] StorageNode& node(std::size_t i) {
+    const MutexLock lk(m_);
+    return nodes_[i];
+  }
 
   // Number of get()/scrub() probes that hit a corrupted copy (tamper
   // evidence). Atomic: readable while other threads access the network.
@@ -142,21 +151,25 @@ class StorageNetwork {
 
   // All candidate node indices for a CID: placement first, then the
   // rest; within each group healthy nodes before quarantined ones.
-  [[nodiscard]] std::vector<std::size_t> placement(const Cid& cid) const;
-  [[nodiscard]] std::vector<std::size_t> read_order(const Cid& cid) const;
+  [[nodiscard]] std::vector<std::size_t> placement(const Cid& cid) const
+      ZKDET_REQUIRES(m_);
+  [[nodiscard]] std::vector<std::size_t> read_order(const Cid& cid) const
+      ZKDET_REQUIRES(m_);
 
+  // All candidate orderings read node/status state, so they require m_.
   // Core of get()/scrub(); caller holds m_. When `fault_injectable` is
   // false the probe ignores fetch fail-points (scrub audits real disk
   // state, not network reachability).
   std::optional<Blob> locked_get_and_repair(const Cid& cid,
-                                            bool fault_injectable) const;
-  void note_corrupt_serve(std::size_t node_idx) const;
+                                            bool fault_injectable) const
+      ZKDET_REQUIRES(m_);
+  void note_corrupt_serve(std::size_t node_idx) const ZKDET_REQUIRES(m_);
 
-  mutable std::mutex m_;
-  mutable std::vector<StorageNode> nodes_;
-  mutable std::vector<NodeStatus> status_;
+  mutable Mutex m_{check::LockLevel::kStorage, "storage.m_"};
+  mutable std::vector<StorageNode> nodes_ ZKDET_GUARDED_BY(m_);
+  mutable std::vector<NodeStatus> status_ ZKDET_GUARDED_BY(m_);
   std::size_t replication_;
-  std::set<Cid> pinned_;
+  std::set<Cid> pinned_ ZKDET_GUARDED_BY(m_);
   mutable std::atomic<std::size_t> tampered_{0};
   mutable std::atomic<std::size_t> repairs_{0};
 };

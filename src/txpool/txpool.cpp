@@ -12,6 +12,7 @@ namespace zkdet::txpool {
 namespace {
 
 std::size_t env_size(const char* name, std::size_t fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at construction
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   char* end = nullptr;
@@ -72,7 +73,7 @@ SubmitResult TxPool::submit(TxIntent intent) {
   }
   TicketPtr replaced;
   {
-    const std::lock_guard<std::mutex> lk(mu_);
+    const MutexLock lk(mu_);
     if (fault::fire(fault::points::kTxpoolAdmitFull) ||
         mempool_.size() >= mempool_.capacity()) {
       runtime::counters::txpool_rejected.fetch_add(1,
@@ -112,7 +113,7 @@ SubmitResult TxPool::submit(TxIntent intent) {
 std::size_t TxPool::seal_next_batch() {
   BatchPlan plan;
   {
-    const std::lock_guard<std::mutex> lk(mu_);
+    const MutexLock lk(mu_);
     plan = scheduler_.plan(mempool_, [this](const chain::Address& a) {
       return chain_.account_nonce(a);
     });
@@ -203,13 +204,13 @@ chain::Receipt TxPool::call(const crypto::KeyPair& sender,
 }
 
 std::uint64_t TxPool::next_nonce(const chain::Address& sender) const {
-  const std::lock_guard<std::mutex> lk(mu_);
+  const MutexLock lk(mu_);
   if (const auto hi = mempool_.highest_nonce(sender)) return *hi + 1;
   return chain_.account_nonce(sender);
 }
 
 std::size_t TxPool::pending() const {
-  const std::lock_guard<std::mutex> lk(mu_);
+  const MutexLock lk(mu_);
   return mempool_.size();
 }
 

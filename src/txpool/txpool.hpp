@@ -16,10 +16,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 #include "chain/chain.hpp"
+#include "check/mutex.hpp"
 #include "txpool/intent.hpp"
 #include "txpool/mempool.hpp"
 #include "txpool/scheduler.hpp"
@@ -71,8 +71,11 @@ class TxPool {
  private:
   chain::Chain& chain_;
   Config cfg_;
-  mutable std::mutex mu_;  // guards mempool_ (admission vs scheduling)
-  Mempool mempool_;
+  // Guards mempool_ (admission vs scheduling). Outermost level of the
+  // lock order: submit() reads the chain nonce map (kChain) while
+  // holding it, and admission fail-points (kFault) fire under it.
+  mutable Mutex mu_{check::LockLevel::kTxPool, "txpool.mu_"};
+  Mempool mempool_ ZKDET_GUARDED_BY(mu_);
   Scheduler scheduler_;
 };
 

@@ -1,0 +1,174 @@
+// Lock-discipline layer (src/check/mutex.hpp) tests.
+//
+// Two build modes exercise two different contracts:
+//
+//   -DZKDET_CHECKED=ON   lockdep is armed: correct-order nesting
+//                        passes; a seeded order inversion, reentrant
+//                        acquisition, same-level nesting, and unlock of
+//                        an unheld mutex are all caught as
+//                        deterministic CheckFailure exceptions via the
+//                        pluggable ZKDET_CHECK handler — no deadly
+//                        interleaving required.
+//
+//   release (default)    the zero-cost fast path: zkdet::Mutex is
+//                        layout-compatible with std::mutex and the
+//                        lockdep bookkeeping compiles out, so the same
+//                        seeded inversion runs without complaint (the
+//                        default failure handler would abort the
+//                        process if any check fired).
+//
+// Both modes run the CondVar handshake and the thread-locality test;
+// tier-1 covers release, scripts/ci.sh's `checked` stage covers armed.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <thread>
+
+#include "check/check.hpp"
+#include "check/lock_order.hpp"
+#include "check/mutex.hpp"
+
+namespace zkdet {
+namespace {
+
+using check::CheckFailure;
+using check::LockLevel;
+using check::ScopedThrowHandler;
+
+TEST(Lockdep, CorrectOrderNestingPasses) {
+  Mutex outer(LockLevel::kTxPool, "t.outer");
+  Mutex mid(LockLevel::kChain, "t.mid");
+  Mutex inner(LockLevel::kFault, "t.inner");
+  ScopedThrowHandler guard;
+  const MutexLock a(outer);
+  const MutexLock b(mid);
+  const MutexLock c(inner);  // strictly increasing levels: fine
+}
+
+TEST(Lockdep, OutOfOrderReleaseIsLegal) {
+  // Only acquisition order can deadlock; releases may interleave.
+  Mutex lo(LockLevel::kLedger, "t.lo");
+  Mutex hi(LockLevel::kStorage, "t.hi");
+  ScopedThrowHandler guard;
+  lo.lock();
+  hi.lock();
+  lo.unlock();  // released before the inner lock
+  hi.unlock();
+}
+
+TEST(Lockdep, ReacquireAfterReleaseAtSameLevel) {
+  // Sequential (non-nested) same-level acquisitions are fine.
+  Mutex a(LockLevel::kPoolQueue, "t.q0");
+  Mutex b(LockLevel::kPoolQueue, "t.q1");
+  ScopedThrowHandler guard;
+  { const MutexLock lk(a); }
+  { const MutexLock lk(b); }
+}
+
+TEST(Lockdep, HeldStackIsThreadLocal) {
+  // A lock held on one thread does not constrain another thread's
+  // acquisitions (each thread has its own held-lock stack).
+  Mutex hi(LockLevel::kFault, "t.hi");
+  Mutex lo(LockLevel::kTxPool, "t.lo");
+  ScopedThrowHandler guard;
+  const MutexLock main_holds(hi);
+  std::thread other([&] {
+    // Fresh stack: locking the LOWER level here is not an inversion.
+    const MutexLock lk(lo);
+  });
+  other.join();
+}
+
+TEST(Lockdep, CondVarHandshake) {
+  // Manual wait loop (no predicate overload on purpose: the guarded
+  // reads must sit syntactically inside the locked scope for TSA).
+  Mutex mu(LockLevel::kPoolSleep, "t.cv");
+  CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    const MutexLock lk(mu);
+    ready = true;
+    cv.notify_one();
+  });
+  {
+    UniqueLock lk(mu);
+    while (!ready) cv.wait(lk);
+  }
+  producer.join();
+  Mutex after(LockLevel::kFault, "t.after");
+  const MutexLock lk(after);  // held-stack is clean after the wait
+}
+
+#ifdef ZKDET_CHECKED
+
+TEST(Lockdep, SeededInversionIsDeterministicFailure) {
+  // The deadlock recipe — take a high level, then a low one — is
+  // flagged on the FIRST acquisition, not when a second thread happens
+  // to take the locks the other way around.
+  Mutex ledger(LockLevel::kLedger, "t.ledger");
+  Mutex txpool(LockLevel::kTxPool, "t.txpool");
+  ScopedThrowHandler guard;
+  const MutexLock hold(ledger);
+  try {
+    txpool.lock();
+    FAIL() << "lock-order inversion not detected";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("inversion"), std::string::npos) << what;
+    EXPECT_NE(what.find("TxPool"), std::string::npos) << what;
+    EXPECT_NE(what.find("Ledger"), std::string::npos) << what;
+  }
+  // Validation runs before the underlying mutex is touched, so the
+  // rejected mutex is still unlocked and usable in a valid order.
+  std::thread clean([&] {
+    const MutexLock lk(txpool);
+  });
+  clean.join();
+}
+
+TEST(Lockdep, SameLevelNestingRejected) {
+  // Two locks of one level have no defined mutual order; nesting them
+  // is exactly the classic AB/BA recipe and is rejected outright.
+  Mutex a(LockLevel::kPoolQueue, "t.qa");
+  Mutex b(LockLevel::kPoolQueue, "t.qb");
+  ScopedThrowHandler guard;
+  const MutexLock lk(a);
+  EXPECT_THROW(b.lock(), CheckFailure);
+}
+
+TEST(Lockdep, ReentrantAcquisitionRejected) {
+  Mutex mu(LockLevel::kChain, "t.re");
+  ScopedThrowHandler guard;
+  const MutexLock lk(mu);
+  EXPECT_THROW(mu.lock(), CheckFailure);
+}
+
+TEST(Lockdep, UnlockOfUnheldMutexRejected) {
+  Mutex mu(LockLevel::kChain, "t.unheld");
+  ScopedThrowHandler guard;
+  EXPECT_THROW(mu.unlock(), CheckFailure);
+}
+
+#else  // !ZKDET_CHECKED
+
+// Layout compatibility is asserted inside check/mutex.hpp as well; the
+// duplicate here keeps the contract visible where it is tested.
+static_assert(sizeof(Mutex) == sizeof(std::mutex),
+              "release zkdet::Mutex must add no state over std::mutex");
+
+TEST(Lockdep, ReleaseBuildCompilesLockdepOut) {
+  // The same seeded inversion as the checked-mode test. The default
+  // failure handler aborts the process, so merely running to the end
+  // proves no lockdep check fired in release mode.
+  Mutex ledger(LockLevel::kLedger, "t.ledger");
+  Mutex txpool(LockLevel::kTxPool, "t.txpool");
+  ledger.lock();
+  txpool.lock();  // inverted order: not examined, not reported
+  txpool.unlock();
+  ledger.unlock();
+}
+
+#endif  // ZKDET_CHECKED
+
+}  // namespace
+}  // namespace zkdet

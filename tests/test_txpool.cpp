@@ -23,6 +23,7 @@
 #include <iterator>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "chain/chain.hpp"
@@ -632,6 +633,57 @@ TEST(TxpoolCall, MixedPoolAndDirectCallsShareNonceStream) {
   ASSERT_TRUE(
       w.chain.call(w.keys[0], "direct again", [](CallContext&) {}).success);
   EXPECT_EQ(w.chain.account_nonce(w.addrs[0]), 3u);
+  EXPECT_TRUE(w.chain.validate_chain());
+}
+
+// Regression test for the nonce-map data race found by the lock
+// annotation pass (ISSUE 7): TxPool::submit() admission-checks
+// Chain::account_nonce() from producer threads while the pump thread's
+// execute_batch commits new nonces — the map had no lock, so the read
+// and the stage-4 write raced. Producers and the sealing pump now run
+// flat out against each other; the kChain mutex makes every
+// interleaving safe, and the TSan CI stage runs this test under
+// -fsanitize=thread (the suite is in the tsan focus filter).
+// Assertions are interleaving-independent: every ticket resolves
+// successfully and per-actor state is exact.
+TEST(TxpoolCall, ConcurrentSubmittersRaceTheSealingPump) {
+  constexpr std::uint64_t kPerActor = 8;
+  constexpr std::size_t kTotal = kActors * kPerActor;
+  World w;
+  // Slots are disjoint per producer, so the vector itself is race-free.
+  std::vector<TicketPtr> tickets(kTotal);
+  std::atomic<std::size_t> submitted{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kActors);
+  for (std::size_t a = 0; a < kActors; ++a) {
+    producers.emplace_back([&w, &tickets, &submitted, a] {
+      for (std::uint64_t n = 0; n < kPerActor; ++n) {
+        auto res = w.pool->submit(w.bump(a, n, 1));
+        EXPECT_TRUE(res.accepted) << res.error;
+        if (res.accepted) tickets[a * kPerActor + n] = res.ticket;
+        submitted.fetch_add(1, std::memory_order_release);
+      }
+    });
+  }
+  // Pump while the producers are still submitting: this concurrency is
+  // the point of the test.
+  while (submitted.load(std::memory_order_acquire) < kTotal ||
+         w.pool->pending() > 0) {
+    w.pool->seal_next_batch();
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(w.pool->drain(), 0u);
+
+  for (const auto& t : tickets) {
+    ASSERT_TRUE(t != nullptr);
+    ASSERT_TRUE(t->done());
+    EXPECT_TRUE(t->receipt.success) << t->receipt.error;
+  }
+  for (std::size_t a = 0; a < kActors; ++a) {
+    EXPECT_EQ(w.chain.account_nonce(w.addrs[a]), kPerActor);
+    EXPECT_EQ(w.counter->audit_store().peek("k" + std::to_string(a)),
+              Fr::from_u64(kPerActor));
+  }
   EXPECT_TRUE(w.chain.validate_chain());
 }
 
