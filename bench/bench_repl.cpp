@@ -1,0 +1,225 @@
+// Replication benchmark: WAL ship throughput, cold-follower catch-up
+// lag (WAL replay vs snapshot bootstrap) and failover promotion time at
+// 10k and 100k-block histories. Emits BENCH_repl.json.
+//
+// The numbers frame the failover story: steady-state shipping must keep
+// up with sealing, a fresh follower must catch up in bounded time (the
+// snapshot path turns O(history) into O(suffix), same as cold reopen),
+// and promotion — truncate the unacked tail + reopen as primary — must
+// be fast because it sits on the availability-restoration path.
+//
+// Usage: bench_repl [--quick]   (--quick scales history 10x down)
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "bench_util.hpp"
+#include "chain/chain.hpp"
+#include "crypto/rng.hpp"
+#include "ledger/ledger.hpp"
+#include "replication/replica_set.hpp"
+
+using namespace zkdet;
+using bench::Stopwatch;
+using bench::fmt_seconds;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Actors {
+  crypto::KeyPair alice, bob;
+  chain::Address a, b;
+};
+
+Actors setup_actors(chain::Chain& chain) {
+  Actors x;
+  crypto::Drbg rng("bench-repl", 9);
+  x.alice = crypto::KeyPair::generate(rng);
+  x.bob = crypto::KeyPair::generate(rng);
+  x.a = chain.create_account(x.alice, 1'000'000'000);
+  x.b = chain.create_account(x.bob, 1'000'000'000);
+  return x;
+}
+
+// One signed single-tx block; followers re-verify the signature and the
+// hash links when they apply it, so shipped blocks are honest work.
+void tick(chain::Chain& chain, const Actors& x, std::uint64_t i) {
+  chain.call(
+      x.alice, "repl tick " + std::to_string(i), [](chain::CallContext&) {},
+      /*value=*/1 + (i & 7), x.b);
+}
+
+ledger::Options build_opts() {
+  ledger::Options opts;
+  opts.snapshot_interval = 0;
+  opts.fsync_each_append = false;  // batched durability while building
+  return opts;
+}
+
+// Builds (or extends) a signed history of `blocks` blocks under `dir`.
+void build_history(const std::string& dir, std::uint64_t blocks) {
+  auto pc = ledger::open(dir, build_opts());
+  const Actors x = setup_actors(pc->chain());
+  for (std::uint64_t i = 0; pc->chain().height() < 1 + blocks; ++i) {
+    tick(pc->chain(), x, i);
+  }
+  pc->ledger().sync();
+}
+
+struct CatchUp {
+  double seconds = 0;
+  std::uint64_t records = 0;
+};
+
+// Cold follower attach: fresh ReplicaSet over the existing history,
+// pump until the follower acks the durable watermark.
+CatchUp timed_catch_up(const std::string& dir) {
+  const std::string repl_dir = dir + "/standby";
+  fs::remove_all(repl_dir);
+  auto pc = ledger::open(dir, build_opts());
+  CatchUp out;
+  out.records = pc->ledger().durable_watermark();
+  Stopwatch sw;
+  replication::ReplicaSet reps(pc->ledger(), pc->chain(), repl_dir, 1);
+  if (!reps.sync(/*max_rounds=*/1'000'000)) {
+    std::fprintf(stderr, "catch-up never converged: %s\n",
+                 reps.shipper().status(0).diagnostic.c_str());
+    std::exit(1);
+  }
+  out.seconds = sw.seconds();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const std::uint64_t scale = quick ? 10 : 1;
+  const std::uint64_t kSmall = 10'000 / scale;
+  const std::uint64_t kLarge = 100'000 / scale;
+  const std::uint64_t kShipBlocks = 2'000 / scale;
+
+  const std::string root =
+      (fs::temp_directory_path() / "zkdet-bench-repl").string();
+  fs::remove_all(root);
+
+  std::printf("==============================================================\n");
+  std::printf("Replication — ship throughput / catch-up lag / promotion\n");
+  std::printf("histories: %llu and %llu single-tx signed blocks%s\n",
+              static_cast<unsigned long long>(kSmall),
+              static_cast<unsigned long long>(kLarge),
+              quick ? " (--quick)" : "");
+  std::printf("==============================================================\n");
+
+  // --- steady-state ship throughput ---------------------------------------
+  // Seal and pump in lockstep: every block is shipped, applied, fsynced
+  // on the follower and acked before the next seal — the tightest
+  // (worst-case) pipelining the pump model allows.
+  double ship_bps = 0;
+  {
+    const std::string dir = root + "/ship";
+    auto pc = ledger::open(dir, build_opts());
+    const Actors x = setup_actors(pc->chain());
+    replication::ReplicaSet reps(pc->ledger(), pc->chain(), dir + "/standby",
+                                 1);
+    if (!reps.sync()) std::exit(1);
+    Stopwatch sw;
+    for (std::uint64_t i = 0; i < kShipBlocks; ++i) {
+      tick(pc->chain(), x, i);
+      pc->ledger().sync();  // publish the record to the durable watermark
+      reps.pump();
+    }
+    if (!reps.sync()) std::exit(1);
+    ship_bps = static_cast<double>(kShipBlocks) / sw.seconds();
+    std::printf("ship throughput (seal+ship+ack lockstep)      : %10.0f blocks/s\n",
+                ship_bps);
+  }
+
+  // --- catch-up lag: WAL replay at 10k and 100k ---------------------------
+  const std::string hist = root + "/hist";
+  build_history(hist, kSmall);
+  const CatchUp cu_small = timed_catch_up(hist);
+  std::printf("cold follower catch-up @ %6llu blocks (WAL)  : %s  (%.0f rec/s)\n",
+              static_cast<unsigned long long>(kSmall),
+              fmt_seconds(cu_small.seconds).c_str(),
+              static_cast<double>(cu_small.records) / cu_small.seconds);
+
+  build_history(hist, kLarge);
+  const CatchUp cu_large = timed_catch_up(hist);
+  std::printf("cold follower catch-up @ %6llu blocks (WAL)  : %s  (%.0f rec/s)\n",
+              static_cast<unsigned long long>(kLarge),
+              fmt_seconds(cu_large.seconds).c_str(),
+              static_cast<double>(cu_large.records) / cu_large.seconds);
+
+  // --- catch-up lag: snapshot bootstrap at 100k ---------------------------
+  double cu_snap_seconds = 0;
+  {
+    auto pc = ledger::open(hist, build_opts());
+    pc->ledger().snapshot_now();  // rotates the WAL: cold attach must
+  }                               // bootstrap from the snapshot
+  {
+    const CatchUp cu = timed_catch_up(hist);
+    cu_snap_seconds = cu.seconds;
+    std::printf("cold follower catch-up @ %6llu blocks (snap) : %s\n",
+                static_cast<unsigned long long>(kLarge),
+                fmt_seconds(cu_snap_seconds).c_str());
+  }
+
+  // --- promotion time at 100k ---------------------------------------------
+  // Kill the primary (scope exit), promote the caught-up follower and
+  // reopen its directory as the new primary.
+  double promote_seconds = 0, takeover_seconds = 0;
+  std::uint64_t primary_height = 0;
+  std::array<std::uint8_t, 32> primary_tip{};
+  std::string promoted_dir;
+  {
+    auto pc = ledger::open(hist, build_opts());
+    replication::ReplicaSet reps(pc->ledger(), pc->chain(),
+                                 hist + "/standby", 1);
+    if (!reps.sync(/*max_rounds=*/1'000'000)) std::exit(1);
+    primary_height = pc->chain().height();
+    primary_tip = pc->chain().blocks().back().hash;
+    Stopwatch sw;
+    promoted_dir = reps.promote(0);
+    promote_seconds = sw.seconds();
+  }
+  {
+    Stopwatch sw;
+    auto pc = ledger::open(promoted_dir, build_opts());
+    takeover_seconds = sw.seconds();
+    if (pc->chain().height() != primary_height ||
+        pc->chain().blocks().back().hash != primary_tip) {
+      std::fprintf(stderr, "promoted chain diverged from the dead primary\n");
+      return 1;
+    }
+  }
+  std::printf("promotion (truncate unacked tail) @ %6llu    : %s\n",
+              static_cast<unsigned long long>(kLarge),
+              fmt_seconds(promote_seconds).c_str());
+  std::printf("promoted-primary takeover reopen @ %6llu     : %s\n",
+              static_cast<unsigned long long>(kLarge),
+              fmt_seconds(takeover_seconds).c_str());
+  fs::remove_all(root);
+
+  std::ofstream json("BENCH_repl.json");
+  json << "{\n  \"bench\": \"replication\",\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"ship_blocks_per_sec_lockstep\": " << ship_bps << ",\n"
+       << "  \"history_small_blocks\": " << kSmall << ",\n"
+       << "  \"history_large_blocks\": " << kLarge << ",\n"
+       << "  \"catch_up_small_seconds\": " << cu_small.seconds << ",\n"
+       << "  \"catch_up_large_seconds\": " << cu_large.seconds << ",\n"
+       << "  \"catch_up_large_snapshot_seconds\": " << cu_snap_seconds
+       << ",\n"
+       << "  \"promotion_seconds\": " << promote_seconds << ",\n"
+       << "  \"takeover_reopen_seconds\": " << takeover_seconds << "\n}\n";
+  std::printf("wrote BENCH_repl.json\n");
+  return 0;
+}

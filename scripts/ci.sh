@@ -18,12 +18,19 @@
 #   asan      -DZKDET_SANITIZE=address,undefined    (build-asan/)
 #   persistence  ledger crash-recovery matrix under the ASan build:
 #             kill-at-every-fail-point, reopen, replay, state equality
+#   replication  failover chaos matrix under the ASan build: every
+#             repl.* fail-point x kill position, kill the primary,
+#             promote the follower, resume byte-identically. The
+#             in-suite ctest runs cover kill positions 1..10; this
+#             stage replays a disjoint 11..15 slice (override with
+#             ZKDET_REPL_MATRIX_HITS)
 #   tsan      -DZKDET_SANITIZE=thread, FULL suite   (build-tsan/)
 #   fuzz      -DZKDET_FUZZ=ON, 10s smoke per target (build-fuzz/)
 #
 # Usage: scripts/ci.sh [--quick] [--skip-tsan]
 #   --quick      lint + analysis + tier-1 + bench smokes (MSM sweep,
-#                chain pipeline) (pre-push sanity; minutes, not hours;
+#                chain pipeline, replication) + a disjoint failover
+#                matrix slice (pre-push sanity; minutes, not hours;
 #                analysis is compile-only so it stays in quick)
 #   --skip-tsan  everything except the TSan stage (it is the slowest)
 set -euo pipefail
@@ -78,6 +85,17 @@ if [[ "$QUICK" == "1" ]]; then
   # serial-vs-parallel block/WAL divergence.
   cmake --build build -j --target bench_chain
   ./build/bench/bench_chain --quick
+  echo "=== replication: disjoint failover-matrix slice (quick) ==="
+  # The tier-1 ctest above already swept kill positions 1..10; replay a
+  # disjoint slice so quick runs still probe kill positions the suite
+  # default never visits.
+  ZKDET_REPL_MATRIX_HITS="${ZKDET_REPL_MATRIX_HITS:-11-13}" \
+    ./build/tests/replication_failover_matrix
+  echo "=== bench: replication smoke (quick, writes BENCH_repl.json) ==="
+  # Ship throughput, cold-follower catch-up lag (WAL vs snapshot) and
+  # promotion time; fails on promoted-chain divergence.
+  cmake --build build -j --target bench_repl
+  ./build/bench/bench_repl --quick
   echo "=== quick mode: remaining stages skipped ==="
   echo "=== CI OK (quick) ==="
   exit 0
@@ -111,6 +129,17 @@ echo "=== persistence: crash-recovery matrix under ASan ==="
 # ASan watching the truncation/replay paths for memory errors.
 ./build-asan/tests/ledger_crash_matrix
 ./build-asan/tests/zkdet_ledger_tests
+
+echo "=== replication: failover chaos matrix under ASan ==="
+# Every repl.* fail-point x kill position: stream, kill the primary,
+# promote the follower, resume — the promoted chain must be
+# byte-identical to the uninterrupted control (funds conserved, every
+# exchange settled xor refunded). The in-suite runs cover kill
+# positions 1..10; this replays a disjoint 11..15 slice with ASan
+# watching the shipping/truncation/promotion paths.
+./build-asan/tests/zkdet_replication_tests
+ZKDET_REPL_MATRIX_HITS="${ZKDET_REPL_MATRIX_HITS:-11-15}" \
+  ./build-asan/tests/replication_failover_matrix
 
 if [[ "$SKIP_TSAN" == "1" ]]; then
   echo "=== TSan stage skipped (--skip-tsan) ==="

@@ -49,6 +49,13 @@ analysis tooling"):
                            whose return value is silently discarded
                            (bench/fuzz/tests and their JSON emitters are
                            exempt).
+  untracked-watermark      replication code (src/replication) must not
+                           construct WAL writers or append records
+                           outside the tracked apply path — a follower's
+                           acked watermark is only honest if every byte
+                           in its WAL went through verify -> append ->
+                           sync -> durable_seq advance -> ack; the
+                           reviewed apply-path sites are annotated.
 
 Suppression: append  // zkdet-lint: allow(<rule>)  to the offending
 line (or the line above) after review.
@@ -203,6 +210,22 @@ RULES = [
         "check the return value of every IO syscall in src/ledger (throw "
         "IoError on failure); annotate reviewed discards with "
         "// zkdet-lint: allow(unchecked-io)",
+    ),
+    Rule(
+        # A follower acks what it has durably applied; that claim is
+        # only honest if every byte in its WAL arrived through the
+        # tracked apply path (verify -> append -> sync -> advance
+        # durable_seq_ -> ack). Any other WalWriter construction or
+        # wal append inside the replication subsystem can desync the
+        # on-disk WAL from the acked watermark — a silent-fork seed.
+        "untracked-watermark",
+        r"\bwal_?\w*\s*(?:->|\.)\s*(?:emplace|append)\s*\("
+        r"|\bWalWriter\s*\(|\bopen_append\s*\(",
+        _in(("src/replication/",)),
+        "replication persists shipped records only through the tracked "
+        "apply path (verify -> append -> sync -> durable_seq_ -> ack); "
+        "annotate reviewed apply-path sites with "
+        "// zkdet-lint: allow(untracked-watermark)",
     ),
     Rule(
         # Keep the concurrency annotation surface closed: every lock in
@@ -369,6 +392,24 @@ SELF_TEST_CASES = [
      "unchecked-io"),
     ("src/ledger/io_allow_ok.cpp",
      "::close(fd);  // zkdet-lint: allow(unchecked-io) dtor close\n", None),
+    # untracked-watermark: WAL writes in src/replication must ride the
+    # tracked apply path (or carry a reviewed annotation).
+    ("src/replication/rogue_append.cpp", "void f() { wal_->append(rec); }\n",
+     "untracked-watermark"),
+    ("src/replication/rogue_writer.cpp",
+     "ledger::WalWriter w(ledger::File::open_append(p), false);\n",
+     "untracked-watermark"),
+    ("src/replication/rogue_emplace.cpp",
+     "wal_.emplace(ledger::File::open_append(p), false);\n",
+     "untracked-watermark"),
+    ("src/replication/apply_path_ok.cpp",
+     "wal_->append(rec);  // zkdet-lint: allow(untracked-watermark)\n",
+     None),
+    ("src/replication/string_append_ok.cpp",
+     "void f() { diagnostic.append(why); }\n", None),  # not a WAL handle
+    ("src/ledger/wal_home_ok.cpp",
+     "WalWriter w(File::open_append(p), true);\n",
+     None),  # the WAL's own home is out of scope
     # raw-mutex: std locking primitives are banned in src/ outside
     # src/check/ (the annotated-wrapper home).
     ("src/chain/raw_mutex.cpp", "static std::mutex mu;\n", "raw-mutex"),

@@ -172,6 +172,14 @@ std::uint64_t ZkcpArbiter::lock(CallContext& ctx, const Address& seller,
   info.state = ExchangeState::kLocked;
   exchanges_[id] = info;
   store().set(ctx, "zkcp/" + std::to_string(id) + "/h", key_hash);
+  // Addresses and amount live only in the event; the KV slot carries
+  // the field element. Together they are enough for on_adopted to
+  // rebuild the exchange after a ledger reopen.
+  ctx.emit(Event{"ZkcpPaymentLocked",
+                 {{"exchangeId", std::to_string(id)},
+                  {"buyer", ctx.sender()},
+                  {"seller", seller},
+                  {"amount", std::to_string(info.amount)}}});
   return id;
 }
 
@@ -192,6 +200,58 @@ void ZkcpArbiter::open(CallContext& ctx, std::uint64_t exchange_id,
   x.state = ExchangeState::kSettled;
   store().set(ctx, "zkcp/" + std::to_string(exchange_id) + "/key", key);
   ctx.chain().transfer(address(), x.seller, x.amount);
+  ctx.emit(Event{"ZkcpKeyRevealed",
+                 {{"exchangeId", std::to_string(exchange_id)},
+                  {"seller", x.seller}}});
+}
+
+void ZkcpArbiter::on_adopted(const Chain& chain) {
+  next_id_ = 1;
+  exchanges_.clear();
+  for (const auto& block : chain.blocks()) {
+    for (const auto& tx : block.txs) {
+      for (const auto& ev : tx.events) {
+        if (ev.name != "ZkcpPaymentLocked" && ev.name != "ZkcpKeyRevealed") {
+          continue;
+        }
+        const auto field = [&](const char* name) -> const std::string* {
+          for (const auto& [k, v] : ev.fields) {
+            if (k == name) return &v;
+          }
+          return nullptr;
+        };
+        const std::string* xid = field("exchangeId");
+        if (xid == nullptr) continue;
+        const std::uint64_t id = std::stoull(*xid);
+        const std::string prefix = "zkcp/" + std::to_string(id) + "/";
+        if (ev.name == "ZkcpPaymentLocked") {
+          const std::string* buyer = field("buyer");
+          const std::string* seller = field("seller");
+          const std::string* amount = field("amount");
+          if (buyer == nullptr || seller == nullptr || amount == nullptr) {
+            throw Revert("zkcp adoption: incomplete ZkcpPaymentLocked event");
+          }
+          ZkcpExchangeInfo info;
+          info.id = id;
+          info.buyer = *buyer;
+          info.seller = *seller;
+          info.amount = std::stoull(*amount);
+          if (const auto v = store().peek(prefix + "h")) info.key_hash = *v;
+          info.state = ExchangeState::kLocked;
+          exchanges_[id] = std::move(info);
+          if (id >= next_id_) next_id_ = id + 1;
+        } else {
+          const auto it = exchanges_.find(id);
+          if (it == exchanges_.end()) continue;
+          if (const auto v = store().peek(prefix + "key")) {
+            it->second.revealed_key = *v;
+            it->second.key_revealed = true;
+          }
+          it->second.state = ExchangeState::kSettled;
+        }
+      }
+    }
+  }
 }
 
 std::optional<ZkcpExchangeInfo> ZkcpArbiter::exchange(std::uint64_t id) const {

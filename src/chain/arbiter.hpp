@@ -117,6 +117,13 @@ class ZkcpArbiter : public Contract {
   // What any third party can read off the chain after settlement.
   [[nodiscard]] std::optional<Fr> leaked_key(std::uint64_t id) const;
 
+ protected:
+  // Rebuilds exchanges_/next_id_ from the event log + restored KV slots
+  // after a ledger reopen (same discipline as KeySecureArbiter: without
+  // this, a failed-over primary could not resume an in-flight ZKCP
+  // exchange).
+  void on_adopted(const Chain& chain) override;
+
  private:
   std::uint64_t next_id_ = 1;
   std::map<std::uint64_t, ZkcpExchangeInfo> exchanges_;

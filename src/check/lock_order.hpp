@@ -20,7 +20,18 @@
 //   Arbiter shards (kArbiter)                reserved: shards are
 //                                            serialized by declared
 //                                            access sets, no mutex
+//   Replication shipper (kReplShip)
+//     -> Ledger io (kLedger)                 reading durable records /
+//                                            snapshot bytes to ship
+//     -> Link queues (kReplLink)             enqueue/dequeue datagrams
+//   Replication follower (kReplFollower)
+//     -> Link queues (kReplLink)             drain + ack
 //   Ledger WAL/snapshot (kLedger)            observer callbacks, sync
+//   Replication link queues (kReplLink)      transport seam; above
+//                                            kLedger so a shipper
+//                                            mid-read can enqueue, and
+//                                            its fail-points can fire
+//                                            (-> kFault) under it
 //   StorageNetwork (kStorage)                repair/quarantine paths
 //   SRS affine cache (kSrsCache)             lazy batch normalization
 //   ProverService cache (kProverCache)       LRU + in-flight dedup
@@ -48,7 +59,10 @@ enum class LockLevel : std::uint16_t {
   kMempool = 12,       // reserved for a split-out mempool lock
   kChain = 20,         // chain::Chain nonce_mu_ (account nonce map)
   kArbiter = 25,       // reserved: KeySecureArbiter shards use access sets
+  kReplShip = 26,      // replication::Shipper mu_ (per-follower watermarks)
+  kReplFollower = 27,  // replication::Follower mu_ (image + WAL head)
   kLedger = 30,        // ledger::Ledger io_mu_ (WAL writer + snapshot)
+  kReplLink = 35,      // replication::InMemoryLink mu_ (datagram queues)
   kStorage = 40,       // storage::StorageNetwork m_
   kSrsCache = 45,      // plonk::Srs affine-table publication
   kProverCache = 50,   // runtime::ProverService m_ (LRU + in-flight)
@@ -65,7 +79,10 @@ constexpr const char* lock_level_name(LockLevel level) {
     case LockLevel::kMempool: return "Mempool";
     case LockLevel::kChain: return "Chain";
     case LockLevel::kArbiter: return "Arbiter";
+    case LockLevel::kReplShip: return "ReplShip";
+    case LockLevel::kReplFollower: return "ReplFollower";
     case LockLevel::kLedger: return "Ledger";
+    case LockLevel::kReplLink: return "ReplLink";
     case LockLevel::kStorage: return "Storage";
     case LockLevel::kSrsCache: return "SrsCache";
     case LockLevel::kProverCache: return "ProverCache";

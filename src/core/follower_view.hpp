@@ -1,0 +1,58 @@
+// Follower-served exchange status queries.
+//
+// A replication follower holds a ledger::ReplayImage — block history,
+// balances and contract KV slots — but no live Contract objects: the
+// follower never executes, it only folds verified records. This view
+// answers the read-side queries exchange clients actually issue
+// (exchange status by id, recovery lookup by h_v, balances) directly
+// off the image, by folding the same PaymentLocked / ExchangeSettled /
+// ExchangeRefunded events and xc/<id>/* slots KeySecureArbiter's
+// on_adopted folds on the primary.
+//
+// Prefix-consistency guarantee: refresh() folds whole blocks of the
+// follower's image, and the follower applies records atomically
+// between pumps, so every answer this view returns is the primary's
+// state as of some block the primary actually sealed — a stale prefix,
+// never a mix of two states and never a state the primary's chain
+// never had. The replication tests assert this invariant mid-catch-up.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "chain/arbiter.hpp"
+#include "replication/follower.hpp"
+
+namespace zkdet::core {
+
+class FollowerReadView {
+ public:
+  explicit FollowerReadView(const replication::Follower& follower)
+      : follower_(follower) {}
+
+  // Folds blocks the follower applied since the last refresh (or all
+  // of them after a snapshot bootstrap rewound the cursor).
+  void refresh();
+
+  // KeySecureArbiter-compatible reads (any shard; ids are global).
+  [[nodiscard]] std::optional<chain::ExchangeInfo> exchange(
+      std::uint64_t id) const;
+  [[nodiscard]] std::optional<chain::ExchangeInfo> find_by_hv(
+      const chain::Fr& h_v) const;
+
+  [[nodiscard]] std::uint64_t height() const;
+  [[nodiscard]] std::uint64_t balance(const chain::Address& addr) const;
+
+ private:
+  // First Fr stored under `key` across the image's contracts (slot
+  // keys are prefixed with globally-unique exchange ids, so at most
+  // one contract holds any xc/<id>/* key).
+  [[nodiscard]] std::optional<chain::Fr> slot(const std::string& key) const;
+
+  const replication::Follower& follower_;
+  std::size_t next_block_ = 0;
+  std::map<std::uint64_t, chain::ExchangeInfo> exchanges_;
+};
+
+}  // namespace zkdet::core

@@ -44,6 +44,13 @@ ZkdetSystem::ZkdetSystem(std::size_t max_constraints, std::uint64_t seed,
   // known key and each deploy adopts its persisted contract).
   if (!dir.empty()) {
     ledger_ = std::make_unique<ledger::Ledger>(chain_, dir, ledger_opts);
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at system start-up
+    const std::size_t n_replicas =
+        replication::parse_replica_count(std::getenv("ZKDET_REPLICAS"));
+    if (n_replicas > 0) {
+      replicas_ = std::make_unique<replication::ReplicaSet>(
+          *ledger_, chain_, dir + "/replicas", n_replicas);
+    }
   }
   chain_.create_account(operator_keys_, 1'000'000'000);
 
@@ -66,6 +73,18 @@ ZkdetSystem::ZkdetSystem(std::size_t max_constraints, std::uint64_t seed,
   }
   zkcp_arbiter_ = &chain_.deploy<chain::ZkcpArbiter>(operator_keys_, nullptr);
   pool_ = std::make_unique<txpool::TxPool>(chain_);
+}
+
+ZkdetSystem::~ZkdetSystem() {
+  if (!replicas_) return;
+  try {
+    ledger_->sync();
+    replicas_->sync();
+  } catch (...) {
+    // Shutdown is best-effort: a failed fsync or a fail-stopped
+    // follower must not turn destruction into a crash. The follower
+    // simply resumes from its last acked watermark next run.
+  }
 }
 
 std::optional<chain::ExchangeInfo> ZkdetSystem::find_exchange_by_hv(

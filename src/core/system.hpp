@@ -18,6 +18,7 @@
 #include "chain/verifier_contract.hpp"
 #include "ledger/ledger.hpp"
 #include "plonk/plonk.hpp"
+#include "replication/replica_set.hpp"
 #include "runtime/prover_service.hpp"
 #include "storage/storage.hpp"
 #include "txpool/txpool.hpp"
@@ -45,10 +46,18 @@ class ZkdetSystem {
                        const std::string& data_dir = {},
                        const ledger::Options& ledger_opts = {},
                        std::size_t arbiter_shards = 0);
+  // Best-effort final replica sync so an env-only run (ZKDET_REPLICAS
+  // with no explicit pumping) leaves its followers caught up on clean
+  // shutdown. A failed/diverged follower just stays behind.
+  ~ZkdetSystem();
 
   [[nodiscard]] chain::Chain& chain() { return chain_; }
   // nullptr when running memory-only.
   [[nodiscard]] ledger::Ledger* ledger() { return ledger_.get(); }
+  // Warm standbys streaming this system's WAL (ZKDET_REPLICAS > 0 with
+  // a durable ledger; nullptr otherwise). Follower i lives under
+  // <data_dir>/replicas/r<i>; pump with replicas()->pump() or sync().
+  [[nodiscard]] replication::ReplicaSet* replicas() { return replicas_.get(); }
   [[nodiscard]] storage::StorageNetwork& storage() { return storage_; }
   [[nodiscard]] chain::DataNft& nft() { return *nft_; }
   [[nodiscard]] chain::ClockAuction& auction() { return *auction_; }
@@ -113,6 +122,8 @@ class ZkdetSystem {
   chain::Chain chain_;
   // Declared after chain_ (observer detaches before the chain dies).
   std::unique_ptr<ledger::Ledger> ledger_;
+  // Declared after ledger_ (the shipper reads the ledger's segments).
+  std::unique_ptr<replication::ReplicaSet> replicas_;
   storage::StorageNetwork storage_;
   std::unique_ptr<txpool::TxPool> pool_;
   chain::DataNft* nft_ = nullptr;

@@ -49,6 +49,25 @@
 //   txpool.seal.crash    process dies at the batch seal boundary,
 //                        before any batch effect or WAL record lands;
 //                        reopen converges to the pre-batch tip
+//   repl.ship.drop       a shipped replication frame is lost in transit;
+//                        the follower never sees it, the shipper times
+//                        out on the missing ack and re-ships the batch
+//                        after backoff
+//   repl.ship.corrupt    a shipped frame arrives bit-flipped; the
+//                        follower rejects it at the CRC check, never
+//                        acks, and the shipper re-ships
+//   repl.ship.diverge    the primary ships a self-consistent but
+//                        DIFFERENT block (simulated fork: tampered
+//                        content with a recomputed hash). The block-hash
+//                        cross-check at the next acked watermark — or
+//                        the follower's prev-hash link check — must
+//                        fail-stop the pair; never a silent fork
+//   repl.ack.lost        a follower ack is lost in transit; the shipper
+//                        watermark goes stale and the re-shipped records
+//                        are applied idempotently (seq <= applied)
+//   repl.follower.crash  the follower process dies mid-apply; a fresh
+//                        follower over the same directory resumes from
+//                        its own durable watermark
 #pragma once
 
 namespace zkdet::fault::points {
@@ -73,6 +92,11 @@ inline constexpr const char kTxpoolAdmitFull[] = "txpool.admit.full";
 inline constexpr const char kTxpoolExecConflictAbort[] =
     "txpool.exec.conflict-abort";
 inline constexpr const char kTxpoolSealCrash[] = "txpool.seal.crash";
+inline constexpr const char kReplShipDrop[] = "repl.ship.drop";
+inline constexpr const char kReplShipCorrupt[] = "repl.ship.corrupt";
+inline constexpr const char kReplShipDiverge[] = "repl.ship.diverge";
+inline constexpr const char kReplAckLost[] = "repl.ack.lost";
+inline constexpr const char kReplFollowerCrash[] = "repl.follower.crash";
 
 // All registered points, for enumeration (tests, docs, tooling).
 inline constexpr const char* kAll[] = {
@@ -81,7 +105,9 @@ inline constexpr const char* kAll[] = {
     kExchangeCrashAfterLock, kExchangeSettle,    kExchangeRecover,
     kExchangeRefund,    kLedgerWalAppendTorn,    kLedgerWalAppendCorrupt,
     kLedgerFsync,       kLedgerSnapshotWrite,    kTxpoolAdmitFull,
-    kTxpoolExecConflictAbort, kTxpoolSealCrash,
+    kTxpoolExecConflictAbort, kTxpoolSealCrash,  kReplShipDrop,
+    kReplShipCorrupt,   kReplShipDiverge,        kReplAckLost,
+    kReplFollowerCrash,
 };
 
 // The subset whose firing simulates a process kill or IO fault inside
@@ -92,6 +118,17 @@ inline constexpr const char* kLedgerAll[] = {
     kLedgerWalAppendCorrupt,
     kLedgerFsync,
     kLedgerSnapshotWrite,
+};
+
+// The replication fail-point family (the failover chaos matrix iterates
+// exactly these: each one x every hit position, then kill the primary,
+// promote a follower and require byte-identical convergence).
+inline constexpr const char* kReplAll[] = {
+    kReplShipDrop,
+    kReplShipCorrupt,
+    kReplShipDiverge,
+    kReplAckLost,
+    kReplFollowerCrash,
 };
 
 }  // namespace zkdet::fault::points

@@ -7,72 +7,12 @@
 #include "fault/fault.hpp"
 #include "fault/points.hpp"
 #include "ledger/codec.hpp"
+#include "ledger/replay.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace zkdet::ledger {
 
 namespace {
-
-constexpr char kSnapshotMagic[8] = {'Z', 'K', 'D', 'T', 'S', 'N', 'A', 'P'};
-constexpr const char* kSnapshotName = "snapshot.bin";
-constexpr const char* kSnapshotTmpName = "snapshot.tmp";
-
-// wal-<20-digit n>.log — zero-padded so lexicographic == numeric order.
-std::string segment_name(std::uint64_t n) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "wal-%020" PRIu64 ".log", n);
-  return buf;
-}
-
-std::optional<std::uint64_t> parse_segment_name(const std::string& name) {
-  if (name.size() != 28 || name.rfind("wal-", 0) != 0 ||
-      name.substr(24) != ".log") {
-    return std::nullopt;
-  }
-  std::uint64_t n = 0;
-  for (std::size_t i = 4; i < 24; ++i) {
-    const char c = name[i];
-    if (c < '0' || c > '9') return std::nullopt;
-    n = n * 10 + static_cast<std::uint64_t>(c - '0');
-  }
-  return n;
-}
-
-// Mutable replay image: snapshot state + WAL suffix folded in.
-struct ReplayState {
-  std::vector<chain::Block> blocks;
-  std::map<chain::Address, std::uint64_t> balances;
-  std::map<chain::Address, crypto::G1> account_keys;
-  std::map<chain::Address, chain::RestoredContract> contracts;
-};
-
-void apply_delta(ReplayState& st, const chain::StateDelta& delta) {
-  for (const auto& c : delta.contracts_created) {
-    chain::RestoredContract rc;
-    rc.name = c.name;
-    rc.code_size = c.code_size;
-    st.contracts.emplace(c.address, std::move(rc));
-  }
-  for (const auto& [addr, bal] : delta.balance_sets) {
-    st.balances[addr] = bal;  // absolute values: idempotent
-  }
-  for (const auto& [addr, key, value] : delta.slot_sets) {
-    const auto it = st.contracts.find(addr);
-    if (it == st.contracts.end()) {
-      throw IoError("ledger: replayed slot write for unknown contract " +
-                    addr);
-    }
-    it->second.slots[key] = value;
-  }
-  for (const auto& [addr, key] : delta.slot_erases) {
-    const auto it = st.contracts.find(addr);
-    if (it == st.contracts.end()) {
-      throw IoError("ledger: replayed slot erase for unknown contract " +
-                    addr);
-    }
-    it->second.slots.erase(key);
-  }
-}
 
 // Re-verifies the signatures of WAL-replayed transactions, batched over
 // the shared thread pool. The snapshot prefix is trusted (that is what
@@ -123,135 +63,36 @@ std::string Ledger::segment_path(std::uint64_t n) const {
 }
 
 void Ledger::open_and_replay() {
-  make_dirs(dir_);
-  // A snapshot.tmp is an in-flight snapshot the previous process never
-  // published; the previous snapshot + WAL remain authoritative.
-  remove_file(dir_ + "/" + kSnapshotTmpName);
+  // Shared replay path (ledger/replay.cpp): snapshot + WAL suffix into
+  // an image — the same fold a replication follower applies record by
+  // record. Hash verification stays off here because validate_chain()
+  // below covers the whole chain once.
+  LoadedDir loaded = load_dir(dir_, /*verify_hashes=*/false);
+  stats_.opened_from_snapshot = loaded.from_snapshot;
+  stats_.snapshot_blocks = loaded.snapshot_blocks;
+  stats_.replayed_blocks = loaded.replayed_blocks;
+  stats_.torn_tail_truncated = loaded.torn_tail_truncated;
+  seq_ = loaded.image.seq;
+  // Everything load_dir read back is on disk; the durable watermark
+  // starts at the replayed sequence.
+  durable_seq_ = seq_;
+  snapshot_seq_ = loaded.snapshot_wal_seq;
 
-  // 1. Snapshot (if any).
-  ChainSnapshot snap;
-  if (const auto f = File::open_read(dir_ + "/" + kSnapshotName)) {
-    const auto bytes = f->read_all();
-    const std::span<const std::uint8_t> view(bytes);
-    if (bytes.size() < sizeof(kSnapshotMagic) ||
-        !std::equal(kSnapshotMagic, kSnapshotMagic + sizeof(kSnapshotMagic),
-                    bytes.begin())) {
-      throw IoError("ledger: " + f->path() + " has a bad magic");
-    }
-    const auto rec = parse_record(view, sizeof(kSnapshotMagic));
-    if (!rec || rec->next_offset != bytes.size()) {
-      // snapshot.bin is published atomically, so a bad body is media
-      // corruption — fail loudly rather than replay from genesis and
-      // silently resurrect a pre-snapshot fork.
-      throw IoError("ledger: " + f->path() + " is corrupt");
-    }
-    try {
-      snap = decode_snapshot(rec->payload);
-    } catch (const CodecError& e) {
-      throw IoError("ledger: " + f->path() + ": " + e.what());
-    }
-    stats_.opened_from_snapshot = true;
-    stats_.snapshot_blocks = snap.blocks.size();
-  }
-
-  // 2. WAL segments, in numeric order.
-  std::vector<std::uint64_t> segments;
-  for (const auto& name : list_dir(dir_)) {
-    if (const auto n = parse_segment_name(name)) segments.push_back(*n);
-  }
-  // list_dir sorts names; zero-padding makes that numeric order too.
-
-  ReplayState st;
-  if (!snap.blocks.empty()) {
-    st.blocks = std::move(snap.blocks);
-    st.balances = std::move(snap.balances);
-    st.account_keys = std::move(snap.account_keys);
-    st.contracts = std::move(snap.contracts);
-  } else {
-    // WAL-only replay starts from the deterministic genesis block the
-    // fresh chain already built.
-    st.blocks.push_back(chain_.blocks().front());
-  }
-
-  seq_ = snap.wal_seq;
-  std::vector<const chain::TxRecord*> to_verify;
-  std::vector<std::unique_ptr<chain::Block>> replayed;  // keep ptrs stable
-
-  for (std::size_t si = 0; si < segments.size(); ++si) {
-    const bool final_segment = si + 1 == segments.size();
-    const std::string path = segment_path(segments[si]);
-    const auto f = File::open_read(path);
-    if (!f) throw IoError("ledger: segment vanished: " + path);
-    const auto bytes = f->read_all();
-    const auto scan = scan_wal(bytes);
-    if (scan.has_torn_tail) {
-      if (!final_segment) {
-        // Only the crash-interrupted tail of the *last* segment may be
-        // invalid; garbage mid-history is corruption of committed data.
-        throw IoError("ledger: corrupt record inside sealed segment " + path);
-      }
-      File tail = File::open_append(path);
-      tail.truncate(scan.valid_bytes);
-      tail.sync();
-      stats_.torn_tail_truncated = true;
-    }
-    for (const auto& payload : scan.payloads) {
-      Reader r{std::span<const std::uint8_t>(payload)};
-      std::uint8_t type = 0;
-      std::uint64_t rec_seq = 0;
-      try {
-        type = r.u8();
-        rec_seq = r.u64();
-        if (rec_seq <= snap.wal_seq) continue;  // folded into the snapshot
-        if (rec_seq != seq_ + 1) {
-          throw IoError("ledger: WAL sequence gap at " + path + " (have " +
-                        std::to_string(seq_) + ", next record is " +
-                        std::to_string(rec_seq) + ")");
+  ReplayImage& st = loaded.image;
+  if (st.has_history()) {
+    if (opts_.verify_signatures) {
+      // The snapshot prefix is trusted; everything recovered from the
+      // WAL (blocks [first_wal_block, end)) is not.
+      std::vector<const chain::TxRecord*> to_verify;
+      for (std::size_t b = loaded.first_wal_block; b < st.blocks.size();
+           ++b) {
+        for (const auto& tx : st.blocks[b].txs) {
+          if (tx.has_sig) to_verify.push_back(&tx);
         }
-        if (type == kRecordBlock) {
-          auto block = std::make_unique<chain::Block>(read_block(r));
-          const auto delta = read_delta(r);
-          r.expect_end();
-          if (block->height != st.blocks.size()) {
-            throw IoError("ledger: replayed block height " +
-                          std::to_string(block->height) + " != expected " +
-                          std::to_string(st.blocks.size()));
-          }
-          apply_delta(st, delta);
-          st.blocks.push_back(*block);
-          for (const auto& tx : block->txs) {
-            if (tx.has_sig) to_verify.push_back(&tx);
-          }
-          replayed.push_back(std::move(block));
-          ++stats_.replayed_blocks;
-        } else if (type == kRecordAccount) {
-          const auto addr = r.str();
-          const auto pk = r.g1();
-          const std::uint64_t balance = r.u64();
-          r.expect_end();
-          st.account_keys[addr] = pk;
-          st.balances[addr] = balance;
-        } else {
-          throw IoError("ledger: unknown WAL record type " +
-                        std::to_string(type) + " in " + path);
-        }
-      } catch (const CodecError& e) {
-        // CRC said the bytes are exactly what was written, so a decode
-        // failure means a buggy or newer writer — refuse the directory.
-        throw IoError("ledger: undecodable WAL record in " + path + ": " +
-                      e.what());
       }
-      seq_ = rec_seq;
-    }
-  }
-
-  // 3. Hand the image to the chain (skip when there is no history at
-  // all — the fresh chain is already correct).
-  const bool has_history = st.blocks.size() > 1 || !st.balances.empty() ||
-                           !st.account_keys.empty() || !st.contracts.empty();
-  if (has_history) {
-    if (opts_.verify_signatures && !to_verify.empty()) {
-      verify_replayed_signatures(to_verify, st.account_keys);
+      if (!to_verify.empty()) {
+        verify_replayed_signatures(to_verify, st.account_keys);
+      }
     }
     chain_.restore_state(std::move(st.blocks), std::move(st.balances),
                          std::move(st.account_keys), std::move(st.contracts));
@@ -261,12 +102,11 @@ void Ledger::open_and_replay() {
     }
   }
 
-  // 4. Open the write head on the last segment (or a fresh first one).
-  segment_ = segments.empty() ? 1 : segments.back();
-  const bool fresh_segment = segments.empty();
+  // Open the write head on the last segment (or a fresh first one).
+  segment_ = loaded.head_segment;
   writer_.emplace(File::open_append(segment_path(segment_)),
                   opts_.fsync_each_append);
-  if (fresh_segment) sync_dir(dir_);
+  if (loaded.fresh_segment) sync_dir(dir_);
 }
 
 void Ledger::append_record(std::uint8_t type,
@@ -286,6 +126,9 @@ void Ledger::append_record(std::uint8_t type,
     throw;
   }
   ++seq_;
+  // append() returned, so with per-append fsync the record is durable;
+  // otherwise durability waits for the next sync()/snapshot barrier.
+  if (opts_.fsync_each_append) durable_seq_ = seq_;
   ++stats_.appended_records;
 }
 
@@ -321,6 +164,7 @@ void Ledger::sync() {
     poisoned_ = true;
     throw;
   }
+  durable_seq_ = seq_;
 }
 
 void Ledger::maybe_snapshot() {
@@ -360,7 +204,7 @@ void Ledger::write_snapshot() {
 
   const auto payload = encode_snapshot(snap);
   const auto frame = frame_record(payload);
-  const std::string tmp = dir_ + "/" + kSnapshotTmpName;
+  const std::string tmp = dir_ + "/" + kSnapshotTmpFile;
   const std::span<const std::uint8_t> magic(
       reinterpret_cast<const std::uint8_t*>(kSnapshotMagic),
       sizeof(kSnapshotMagic));
@@ -380,7 +224,7 @@ void Ledger::write_snapshot() {
     f.write_all(magic);
     f.write_all(frame);
     f.sync();
-    atomic_publish(tmp, dir_ + "/" + kSnapshotName);
+    atomic_publish(tmp, dir_ + "/" + kSnapshotFile);
 
     // Rotate: new records go to a fresh segment; everything before it
     // is covered by the snapshot we just published.
@@ -396,10 +240,122 @@ void Ledger::write_snapshot() {
       }
     }
     ++stats_.snapshots_written;
+    // The snapshot covers every record up to seq_ and was fsynced
+    // before publication.
+    durable_seq_ = seq_;
+    snapshot_seq_ = seq_;
   } catch (...) {
     poisoned_ = true;
     throw;
   }
+}
+
+Ledger::ReadResult Ledger::read_records_after(std::uint64_t after_seq,
+                                              std::size_t max_records,
+                                              ReadCursor* cursor) const {
+  const MutexLock lk(io_mu_);
+  ReadResult out;
+  if (max_records == 0 || after_seq >= durable_seq_) return out;
+
+  // Fast path: resume exactly where the previous read for this caller
+  // stopped, if the segment still exists and the frame there carries
+  // the expected sequence.
+  if (cursor != nullptr && cursor->next_seq == after_seq + 1 &&
+      cursor->segment != 0) {
+    if (const auto f = File::open_read(segment_path(cursor->segment))) {
+      const auto bytes = f->read_all();
+      if (cursor->offset <= bytes.size()) {
+        std::size_t offset = cursor->offset;
+        std::uint64_t segment = cursor->segment;
+        bool valid = true;
+        std::uint64_t expect = after_seq + 1;
+        std::vector<ShippedRecord> records;
+        while (records.size() < max_records && expect <= durable_seq_) {
+          const auto rec =
+              parse_record(std::span<const std::uint8_t>(bytes), offset);
+          if (!rec) break;  // end of this segment (or torn tail)
+          Reader r{rec->payload};
+          (void)r.u8();
+          const std::uint64_t rec_seq = r.u64();
+          if (rec_seq != expect) {
+            valid = false;  // rotation/truncation moved the ground
+            break;
+          }
+          records.push_back(
+              {rec_seq, {rec->payload.begin(), rec->payload.end()}});
+          offset = rec->next_offset;
+          ++expect;
+        }
+        if (valid && !records.empty()) {
+          // More may live in later segments; only claim the fast path
+          // when it produced a full batch or reached the watermark —
+          // otherwise fall through to the scan.
+          if (records.size() == max_records || expect > durable_seq_) {
+            cursor->segment = segment;
+            cursor->offset = offset;
+            cursor->next_seq = expect;
+            out.records = std::move(records);
+            return out;
+          }
+        }
+      }
+    }
+  }
+
+  // Slow path: scan the segments in order. Sequences increase
+  // monotonically across segments, so the first frame above after_seq
+  // tells us whether the WAL still covers the caller's position.
+  std::vector<std::uint64_t> segments;
+  for (const auto& name : list_dir(dir_)) {
+    if (const auto n = parse_segment_name(name)) segments.push_back(*n);
+  }
+  std::uint64_t expect = after_seq + 1;
+  for (const auto n : segments) {
+    const auto f = File::open_read(segment_path(n));
+    if (!f) continue;  // rotated away under us
+    const auto bytes = f->read_all();
+    std::size_t offset = 0;
+    while (out.records.size() < max_records && expect <= durable_seq_) {
+      const auto rec =
+          parse_record(std::span<const std::uint8_t>(bytes), offset);
+      if (!rec) break;
+      Reader r{rec->payload};
+      (void)r.u8();
+      const std::uint64_t rec_seq = r.u64();
+      offset = rec->next_offset;
+      if (rec_seq <= after_seq) continue;
+      if (rec_seq > expect) {
+        // The records the caller needs were folded into a snapshot and
+        // their segments deleted.
+        out.gap = true;
+        out.records.clear();
+        return out;
+      }
+      out.records.push_back(
+          {rec_seq, {rec->payload.begin(), rec->payload.end()}});
+      if (cursor != nullptr) {
+        cursor->segment = n;
+        cursor->offset = offset;
+        cursor->next_seq = rec_seq + 1;
+      }
+      ++expect;
+    }
+    if (out.records.size() >= max_records || expect > durable_seq_) break;
+  }
+  if (out.records.empty() && after_seq < durable_seq_) {
+    // Nothing on disk covers (after_seq, durable]: snapshot-folded.
+    out.gap = true;
+  }
+  return out;
+}
+
+std::optional<Ledger::SnapshotImage> Ledger::snapshot_bytes() const {
+  // Lock so we never race a write_snapshot mid-rotation (the publish
+  // itself is atomic, but the read pairs with watermark accounting).
+  const MutexLock lk(io_mu_);
+  auto bytes = read_snapshot_bytes(dir_);
+  if (!bytes) return std::nullopt;
+  return SnapshotImage{snapshot_seq_, std::move(*bytes)};
 }
 
 std::unique_ptr<PersistentChain> open(const std::string& dir, Options opts) {

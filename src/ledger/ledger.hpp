@@ -30,6 +30,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "chain/chain.hpp"
 #include "check/mutex.hpp"
@@ -91,10 +92,59 @@ class Ledger : public chain::ChainObserver {
     const MutexLock lk(io_mu_);
     return seq_;
   }
+  // Last WAL sequence known durable (covered by an fsync). Equal to
+  // wal_seq() while fsync_each_append is on; trails it between sync()
+  // barriers otherwise, and recovery/replication trust exactly this
+  // mark: reopen replays to it, the shipper never ships past it, and a
+  // promoted follower truncates beyond it. This accessor replaces the
+  // old pattern of callers inferring durability from segment sizes.
+  [[nodiscard]] std::uint64_t durable_watermark() const {
+    const MutexLock lk(io_mu_);
+    return durable_seq_;
+  }
   [[nodiscard]] bool poisoned() const {
     const MutexLock lk(io_mu_);
     return poisoned_;
   }
+
+  // --- replication read API (src/replication) ---
+
+  // One durable WAL record as shipped to a follower: the raw payload
+  // (u8 type + u64 seq + body) that went through the CRC framing.
+  struct ShippedRecord {
+    std::uint64_t seq = 0;
+    std::vector<std::uint8_t> payload;
+  };
+  // Optional resume hint for read_records_after: remembers where the
+  // previous read stopped so steady-state shipping is O(batch), not
+  // O(segment). Owned by the caller (one per follower); invalidated
+  // hints (rotated segment, truncation) fall back to a full scan.
+  struct ReadCursor {
+    std::uint64_t segment = 0;
+    std::uint64_t offset = 0;
+    std::uint64_t next_seq = 0;
+  };
+  struct ReadResult {
+    std::vector<ShippedRecord> records;
+    // True when records in (after_seq, first-available) were folded
+    // into a snapshot and their segments deleted — the caller must
+    // bootstrap from snapshot_bytes() instead of the WAL.
+    bool gap = false;
+  };
+  // Returns durable records with seq in (after_seq, durable_watermark()],
+  // at most `max_records`, in order. Reads the on-disk segments — the
+  // shipping path never sees bytes that could still be lost.
+  [[nodiscard]] ReadResult read_records_after(std::uint64_t after_seq,
+                                              std::size_t max_records,
+                                              ReadCursor* cursor) const;
+  // Raw snapshot.bin bytes for follower bootstrap, labeled with the WAL
+  // sequence the snapshot covers; nullopt when no snapshot has been
+  // published yet.
+  struct SnapshotImage {
+    std::uint64_t wal_seq = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+  [[nodiscard]] std::optional<SnapshotImage> snapshot_bytes() const;
 
  private:
   // Construction-time only: runs before the observer is registered, so
@@ -122,6 +172,11 @@ class Ledger : public chain::ChainObserver {
   Stats stats_ ZKDET_GUARDED_BY(io_mu_);
   // Last WAL sequence written or replayed.
   std::uint64_t seq_ ZKDET_GUARDED_BY(io_mu_) = 0;
+  // Last WAL sequence covered by an fsync (== seq_ when
+  // fsync_each_append is on). See durable_watermark().
+  std::uint64_t durable_seq_ ZKDET_GUARDED_BY(io_mu_) = 0;
+  // WAL sequence covered by the published snapshot (0 = none).
+  std::uint64_t snapshot_seq_ ZKDET_GUARDED_BY(io_mu_) = 0;
   // Current segment number.
   std::uint64_t segment_ ZKDET_GUARDED_BY(io_mu_) = 1;
   std::uint64_t blocks_since_snapshot_ ZKDET_GUARDED_BY(io_mu_) = 0;

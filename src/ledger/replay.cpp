@@ -1,0 +1,282 @@
+#include "ledger/replay.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "ledger/wal.hpp"
+
+namespace zkdet::ledger {
+
+std::string segment_name(std::uint64_t n) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "wal-%020" PRIu64 ".log", n);
+  return buf;
+}
+
+std::optional<std::uint64_t> parse_segment_name(const std::string& name) {
+  if (name.size() != 28 || name.rfind("wal-", 0) != 0 ||
+      name.substr(24) != ".log") {
+    return std::nullopt;
+  }
+  std::uint64_t n = 0;
+  for (std::size_t i = 4; i < 24; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    n = n * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return n;
+}
+
+namespace {
+
+void apply_delta(ReplayImage& st, const chain::StateDelta& delta,
+                 const std::string& origin) {
+  for (const auto& c : delta.contracts_created) {
+    chain::RestoredContract rc;
+    rc.name = c.name;
+    rc.code_size = c.code_size;
+    st.contracts.emplace(c.address, std::move(rc));
+  }
+  for (const auto& [addr, bal] : delta.balance_sets) {
+    st.balances[addr] = bal;  // absolute values: idempotent
+  }
+  for (const auto& [addr, key, value] : delta.slot_sets) {
+    const auto it = st.contracts.find(addr);
+    if (it == st.contracts.end()) {
+      throw IoError("ledger: replayed slot write for unknown contract " +
+                    addr + " (" + origin + ")");
+    }
+    it->second.slots[key] = value;
+  }
+  for (const auto& [addr, key] : delta.slot_erases) {
+    const auto it = st.contracts.find(addr);
+    if (it == st.contracts.end()) {
+      throw IoError("ledger: replayed slot erase for unknown contract " +
+                    addr + " (" + origin + ")");
+    }
+    it->second.slots.erase(key);
+  }
+}
+
+}  // namespace
+
+ReplayImage::Applied ReplayImage::apply_record(
+    std::span<const std::uint8_t> payload, const std::string& origin,
+    bool verify_hashes) {
+  Reader r{payload};
+  try {
+    const std::uint8_t type = r.u8();
+    const std::uint64_t rec_seq = r.u64();
+    if (rec_seq <= seq) return Applied::kSkipped;
+    if (rec_seq != seq + 1) {
+      throw IoError("ledger: WAL sequence gap at " + origin + " (have " +
+                    std::to_string(seq) + ", next record is " +
+                    std::to_string(rec_seq) + ")");
+    }
+    if (type == kRecordBlock) {
+      chain::Block block = read_block(r);
+      const auto delta = read_delta(r);
+      r.expect_end();
+      if (block.height != blocks.size()) {
+        throw IoError("ledger: replayed block height " +
+                      std::to_string(block.height) + " != expected " +
+                      std::to_string(blocks.size()) + " (" + origin + ")");
+      }
+      if (verify_hashes) {
+        // Divergence fail-stop: a block whose content does not hash to
+        // its claimed hash, or whose prev-link does not extend this
+        // image's tip, is a fork — refuse it loudly, never apply.
+        if (chain::Chain::block_hash(block) != block.hash) {
+          throw IoError("ledger: replayed block " +
+                        std::to_string(block.height) +
+                        " content does not match its hash (" + origin + ")");
+        }
+        if (!blocks.empty() && block.prev_hash != blocks.back().hash) {
+          throw IoError("ledger: replayed block " +
+                        std::to_string(block.height) +
+                        " does not link to the current tip (" + origin + ")");
+        }
+      }
+      apply_delta(*this, delta, origin);
+      blocks.push_back(std::move(block));
+      seq = rec_seq;
+      return Applied::kBlock;
+    }
+    if (type == kRecordAccount) {
+      const auto addr = r.str();
+      const auto pk = r.g1();
+      const std::uint64_t balance = r.u64();
+      r.expect_end();
+      account_keys[addr] = pk;
+      balances[addr] = balance;
+      seq = rec_seq;
+      return Applied::kAccount;
+    }
+    throw IoError("ledger: unknown WAL record type " + std::to_string(type) +
+                  " in " + origin);
+  } catch (const CodecError& e) {
+    // CRC said the bytes are exactly what was written, so a decode
+    // failure means a buggy or newer writer — refuse the record.
+    throw IoError("ledger: undecodable WAL record in " + origin + ": " +
+                  e.what());
+  }
+}
+
+LoadedDir load_dir(const std::string& dir, bool verify_hashes) {
+  make_dirs(dir);
+  // A snapshot.tmp is an in-flight snapshot the previous process never
+  // published; the previous snapshot + WAL remain authoritative.
+  remove_file(dir + "/" + kSnapshotTmpFile);
+
+  LoadedDir out;
+
+  // 1. Snapshot (if any).
+  if (const auto f = File::open_read(dir + "/" + kSnapshotFile)) {
+    const auto bytes = f->read_all();
+    const std::span<const std::uint8_t> view(bytes);
+    if (bytes.size() < sizeof(kSnapshotMagic) ||
+        !std::equal(kSnapshotMagic, kSnapshotMagic + sizeof(kSnapshotMagic),
+                    bytes.begin())) {
+      throw IoError("ledger: " + f->path() + " has a bad magic");
+    }
+    const auto rec = parse_record(view, sizeof(kSnapshotMagic));
+    if (!rec || rec->next_offset != bytes.size()) {
+      // snapshot.bin is published atomically, so a bad body is media
+      // corruption — fail loudly rather than replay from genesis and
+      // silently resurrect a pre-snapshot fork.
+      throw IoError("ledger: " + f->path() + " is corrupt");
+    }
+    ChainSnapshot snap;
+    try {
+      snap = decode_snapshot(rec->payload);
+    } catch (const CodecError& e) {
+      throw IoError("ledger: " + f->path() + ": " + e.what());
+    }
+    out.from_snapshot = true;
+    out.snapshot_blocks = snap.blocks.size();
+    out.snapshot_wal_seq = snap.wal_seq;
+    out.image.blocks = std::move(snap.blocks);
+    out.image.balances = std::move(snap.balances);
+    out.image.account_keys = std::move(snap.account_keys);
+    out.image.contracts = std::move(snap.contracts);
+    out.image.seq = snap.wal_seq;
+  }
+  if (out.image.blocks.empty()) {
+    // WAL-only replay starts from the deterministic genesis block a
+    // fresh chain builds.
+    const chain::Chain fresh;
+    out.image.blocks.push_back(fresh.blocks().front());
+  }
+  out.first_wal_block = out.image.blocks.size();
+
+  // 2. WAL segments, in numeric order.
+  std::vector<std::uint64_t> segments;
+  for (const auto& name : list_dir(dir)) {
+    if (const auto n = parse_segment_name(name)) segments.push_back(*n);
+  }
+  // list_dir sorts names; zero-padding makes that numeric order too.
+
+  for (std::size_t si = 0; si < segments.size(); ++si) {
+    const bool final_segment = si + 1 == segments.size();
+    const std::string path = dir + "/" + segment_name(segments[si]);
+    const auto f = File::open_read(path);
+    if (!f) throw IoError("ledger: segment vanished: " + path);
+    const auto bytes = f->read_all();
+    const auto scan = scan_wal(bytes);
+    if (scan.has_torn_tail) {
+      if (!final_segment) {
+        // Only the crash-interrupted tail of the *last* segment may be
+        // invalid; garbage mid-history is corruption of committed data.
+        throw IoError("ledger: corrupt record inside sealed segment " + path);
+      }
+      File tail = File::open_append(path);
+      tail.truncate(scan.valid_bytes);
+      tail.sync();
+      out.torn_tail_truncated = true;
+    }
+    for (const auto& payload : scan.payloads) {
+      if (out.image.apply_record(payload, path, verify_hashes) ==
+          ReplayImage::Applied::kBlock) {
+        ++out.replayed_blocks;
+      }
+    }
+  }
+
+  out.head_segment = segments.empty() ? 1 : segments.back();
+  out.fresh_segment = segments.empty();
+  return out;
+}
+
+void truncate_wal_after(const std::string& dir, std::uint64_t seq) {
+  std::vector<std::pair<std::uint64_t, std::string>> segments;
+  for (const auto& name : list_dir(dir)) {
+    if (const auto n = parse_segment_name(name)) {
+      segments.emplace_back(*n, dir + "/" + name);
+    }
+  }
+  bool cutting = false;  // once a cut happened, later segments go whole
+  for (const auto& [n, path] : segments) {
+    if (cutting) {
+      remove_file(path);
+      continue;
+    }
+    const auto f = File::open_read(path);
+    if (!f) throw IoError("ledger: segment vanished: " + path);
+    const auto bytes = f->read_all();
+    const std::span<const std::uint8_t> view(bytes);
+    std::size_t offset = 0;
+    std::size_t keep = 0;
+    while (offset < bytes.size()) {
+      const auto rec = parse_record(view, offset);
+      if (!rec) break;  // torn tail: cut here too
+      Reader r{rec->payload};
+      (void)r.u8();
+      const std::uint64_t rec_seq = r.u64();
+      if (rec_seq > seq) break;
+      keep = rec->next_offset;
+      offset = rec->next_offset;
+    }
+    if (keep < bytes.size()) {
+      File tail = File::open_append(path);
+      tail.truncate(keep);
+      tail.sync();
+      cutting = true;
+    }
+  }
+  if (cutting) sync_dir(dir);
+}
+
+std::optional<std::vector<std::uint8_t>> read_snapshot_bytes(
+    const std::string& dir) {
+  const auto f = File::open_read(dir + "/" + kSnapshotFile);
+  if (!f) return std::nullopt;
+  return f->read_all();
+}
+
+ChainSnapshot install_snapshot_bytes(const std::string& dir,
+                                     std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < sizeof(kSnapshotMagic) ||
+      !std::equal(kSnapshotMagic, kSnapshotMagic + sizeof(kSnapshotMagic),
+                  bytes.begin())) {
+    throw IoError("ledger: shipped snapshot has a bad magic");
+  }
+  const auto rec = parse_record(bytes, sizeof(kSnapshotMagic));
+  if (!rec || rec->next_offset != bytes.size()) {
+    throw IoError("ledger: shipped snapshot is corrupt");
+  }
+  ChainSnapshot snap;
+  try {
+    snap = decode_snapshot(rec->payload);
+  } catch (const CodecError& e) {
+    throw IoError(std::string("ledger: shipped snapshot: ") + e.what());
+  }
+  make_dirs(dir);
+  const std::string tmp = dir + "/" + kSnapshotTmpFile;
+  File f = File::create_truncate(tmp);
+  f.write_all(bytes);
+  f.sync();
+  atomic_publish(tmp, dir + "/" + kSnapshotFile);
+  return snap;
+}
+
+}  // namespace zkdet::ledger

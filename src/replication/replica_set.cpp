@@ -1,0 +1,51 @@
+#include "replication/replica_set.hpp"
+
+namespace zkdet::replication {
+
+ReplicaSet::ReplicaSet(ledger::Ledger& ledger, const chain::Chain& chain,
+                       std::string base_dir, std::size_t replicas, Config cfg)
+    : shipper_(ledger, chain, cfg.shipper), cfg_(cfg) {
+  for (std::size_t i = 0; i < replicas; ++i) {
+    dirs_.push_back(base_dir + "/r" + std::to_string(i));
+    links_.push_back(std::make_unique<InMemoryLink>());
+    followers_.push_back(
+        std::make_unique<Follower>(dirs_[i], *links_[i], cfg_.follower));
+    shipper_.add_follower(*links_[i]);
+  }
+}
+
+void ReplicaSet::pump() {
+  shipper_.pump();
+  for (auto& f : followers_) f->pump();
+}
+
+bool ReplicaSet::sync(std::size_t max_rounds) {
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    if (shipper_.all_caught_up()) return true;
+    pump();
+  }
+  return shipper_.all_caught_up();
+}
+
+void ReplicaSet::restart_follower(std::size_t i) {
+  auto& slot = followers_.at(i);
+  slot.reset();  // release the old incarnation's WAL write head first
+  slot = std::make_unique<Follower>(dirs_[i], *links_[i], cfg_.follower);
+}
+
+std::string ReplicaSet::promote(std::size_t i) {
+  return followers_.at(i)->prepare_promotion();
+}
+
+std::size_t parse_replica_count(const char* value) {
+  if (value == nullptr || *value == '\0') return 0;
+  std::size_t n = 0;
+  for (const char* p = value; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return 0;
+    n = n * 10 + static_cast<std::size_t>(*p - '0');
+    if (n > 1000) return 16;
+  }
+  return n > 16 ? 16 : n;
+}
+
+}  // namespace zkdet::replication

@@ -1,0 +1,252 @@
+#include "replication/shipper.hpp"
+
+#include <algorithm>
+
+#include "fault/fault.hpp"
+#include "fault/points.hpp"
+#include "ledger/codec.hpp"
+#include "runtime/stats.hpp"
+
+namespace zkdet::replication {
+
+Shipper::Shipper(ledger::Ledger& ledger, const chain::Chain& chain,
+                 Config cfg)
+    : ledger_(ledger), chain_(chain), cfg_(cfg) {}
+
+std::size_t Shipper::add_follower(Link& link) {
+  const MutexLock lk(mu_);
+  Slot slot;
+  slot.link = &link;
+  slot.backoff = runtime::Backoff(cfg_.backoff);
+  slots_.push_back(std::move(slot));
+  return slots_.size() - 1;
+}
+
+void Shipper::pump() {
+  const MutexLock lk(mu_);
+  for (auto& slot : slots_) {
+    drain_acks(slot);
+    if (slot.failed || !slot.announced) continue;
+    if (slot.inflight_end != 0) {
+      // Waiting on an ack; the backoff window decides when to give up
+      // on this transmission and re-ship.
+      if (slot.wait_rounds > 0) {
+        --slot.wait_rounds;
+        continue;
+      }
+      retransmit(slot);
+      continue;
+    }
+    ship_next(slot);
+  }
+}
+
+void Shipper::drain_acks(Slot& slot) {
+  while (auto datagram = slot.link->recv_at_primary()) {
+    const auto frame = decode_frame(*datagram);
+    if (!frame) continue;  // damaged ack: the round timeout covers it
+    if (frame->type == FrameType::kFailStop) {
+      slot.failed = true;
+      slot.diagnostic = "follower fail-stop: " + frame->text;
+      runtime::counters::repl_failstops.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      continue;
+    }
+    if (frame->type != FrameType::kAck) continue;
+    slot.announced = true;
+    // Divergence cross-check: the follower's tip must be a block this
+    // primary's chain actually has, at the height it claims.
+    const auto& blocks = chain_.blocks();
+    if (frame->height > blocks.size() ||
+        (frame->height > 0 &&
+         blocks[frame->height - 1].hash != frame->tip_hash)) {
+      fail_follower(slot, "follower tip at height " +
+                              std::to_string(frame->height) +
+                              " does not match this chain (fork)");
+      continue;
+    }
+    slot.acked = std::max(slot.acked, frame->seq);
+    if (slot.inflight_end != 0 && slot.acked >= slot.inflight_end) {
+      // Range fully acknowledged: the retry budget belongs to a single
+      // transmission window, so it resets here.
+      slot.inflight_end = 0;
+      slot.inflight_snapshot = false;
+      slot.wait_rounds = 0;
+      slot.backoff.reset();
+    }
+  }
+}
+
+void Shipper::retransmit(Slot& slot) {
+  if (!slot.backoff.next_attempt()) {
+    fail_follower(slot,
+                  "retry budget exhausted after " +
+                      std::to_string(slot.backoff.attempts()) +
+                      " attempts waiting for ack of seq " +
+                      std::to_string(slot.inflight_end));
+    return;
+  }
+  runtime::counters::repl_retransmits.fetch_add(1, std::memory_order_relaxed);
+  if (slot.inflight_snapshot) {
+    ship_snapshot(slot);
+  } else {
+    // Re-ship the un-acked remainder of the in-flight range. A fresh
+    // scan (no cursor) because the range sits behind the cursor now.
+    const std::uint64_t want =
+        static_cast<std::uint64_t>(slot.inflight_end - slot.acked);
+    ship_records(slot, slot.acked,
+                 static_cast<std::size_t>(
+                     std::min<std::uint64_t>(want, cfg_.batch_records)),
+                 nullptr);
+  }
+  slot.wait_rounds = rounds_for(slot.backoff.last_delay_us());
+}
+
+void Shipper::ship_next(Slot& slot) {
+  const auto result =
+      ledger_.read_records_after(slot.acked, cfg_.batch_records, &slot.cursor);
+  if (result.gap) {
+    // The follower's position was folded into a snapshot and its
+    // segments deleted: bootstrap from the snapshot image.
+    if (!slot.backoff.next_attempt()) {
+      fail_follower(slot, "retry budget exhausted shipping snapshot");
+      return;
+    }
+    ship_snapshot(slot);
+    slot.wait_rounds = rounds_for(slot.backoff.last_delay_us());
+    return;
+  }
+  if (result.records.empty()) return;  // caught up
+  if (!slot.backoff.next_attempt()) {
+    // Unreachable with a sane config (the budget reset on the last full
+    // ack), but the invariant stands: no send without a granted attempt.
+    fail_follower(slot, "retry budget exhausted before first ship");
+    return;
+  }
+  for (const auto& rec : result.records) {
+    Frame f;
+    f.type = FrameType::kRecord;
+    f.seq = rec.seq;
+    f.bytes = maybe_tamper(rec);
+    slot.link->send_to_follower(encode_frame(f));
+  }
+  runtime::counters::repl_records_shipped.fetch_add(
+      result.records.size(), std::memory_order_relaxed);
+  slot.inflight_end = result.records.back().seq;
+  slot.inflight_snapshot = false;
+  slot.wait_rounds = rounds_for(slot.backoff.last_delay_us());
+}
+
+void Shipper::ship_records(Slot& slot, std::uint64_t after_seq,
+                           std::size_t max_records,
+                           ledger::Ledger::ReadCursor* cursor) {
+  const auto result =
+      ledger_.read_records_after(after_seq, max_records, cursor);
+  if (result.gap) {
+    ship_snapshot(slot);
+    return;
+  }
+  for (const auto& rec : result.records) {
+    Frame f;
+    f.type = FrameType::kRecord;
+    f.seq = rec.seq;
+    f.bytes = maybe_tamper(rec);
+    slot.link->send_to_follower(encode_frame(f));
+  }
+  runtime::counters::repl_records_shipped.fetch_add(
+      result.records.size(), std::memory_order_relaxed);
+}
+
+void Shipper::ship_snapshot(Slot& slot) {
+  const auto snap = ledger_.snapshot_bytes();
+  if (!snap) {
+    // A gap with no published snapshot means the WAL prefix is simply
+    // gone — nothing can rebuild this follower.
+    fail_follower(slot, "WAL gap with no published snapshot");
+    return;
+  }
+  if (snap->wal_seq <= slot.acked) {
+    fail_follower(slot, "WAL gap behind snapshot watermark " +
+                            std::to_string(snap->wal_seq));
+    return;
+  }
+  Frame f;
+  f.type = FrameType::kSnapshot;
+  f.seq = snap->wal_seq;
+  f.bytes = snap->bytes;
+  slot.link->send_to_follower(encode_frame(f));
+  runtime::counters::repl_snapshots_shipped.fetch_add(
+      1, std::memory_order_relaxed);
+  slot.inflight_end = snap->wal_seq;
+  slot.inflight_snapshot = true;
+  // Bootstrap invalidates any record cursor the slot accumulated.
+  slot.cursor = ledger::Ledger::ReadCursor{};
+}
+
+void Shipper::fail_follower(Slot& slot, const std::string& why) {
+  slot.failed = true;
+  slot.diagnostic = why;
+  runtime::counters::repl_failstops.fetch_add(1, std::memory_order_relaxed);
+  Frame f;
+  f.type = FrameType::kFailStop;
+  f.text = why;
+  slot.link->send_to_follower(encode_frame(f));
+}
+
+std::uint64_t Shipper::rounds_for(std::uint64_t delay_us) const {
+  const std::uint64_t unit = std::max<std::uint64_t>(1, cfg_.round_us);
+  return (delay_us + unit - 1) / unit;
+}
+
+std::vector<std::uint8_t> Shipper::maybe_tamper(
+    const ledger::Ledger::ShippedRecord& rec) {
+  // Fail-point: ship a *diverged* record. Block records become a
+  // self-consistent fork (bumped timestamp, recomputed content hash,
+  // valid CRC) that only the semantic cross-checks — prev-link at the
+  // follower, tip-hash at the next ack — can catch; account records
+  // lose their last byte, modeling a CRC-valid frame with a garbage
+  // body that the follower's strict decoder must reject.
+  if (!fault::fire(fault::points::kReplShipDiverge)) return rec.payload;
+  try {
+    ledger::Reader r{std::span<const std::uint8_t>(rec.payload)};
+    const std::uint8_t type = r.u8();
+    const std::uint64_t seq = r.u64();
+    if (type == ledger::kRecordBlock) {
+      chain::Block block = ledger::read_block(r);
+      const auto delta = ledger::read_delta(r);
+      block.timestamp += 1;
+      block.hash = chain::Chain::block_hash(block);
+      ledger::Writer w;
+      w.u8(type);
+      w.u64(seq);
+      ledger::write_block(w, block);
+      ledger::write_delta(w, delta);
+      return w.take();
+    }
+  } catch (const ledger::CodecError&) {
+    // fall through to the truncation tamper
+  }
+  auto out = rec.payload;
+  if (!out.empty()) out.pop_back();
+  return out;
+}
+
+bool Shipper::all_caught_up() const {
+  const MutexLock lk(mu_);
+  const std::uint64_t durable = ledger_.durable_watermark();
+  for (const auto& slot : slots_) {
+    if (slot.failed) continue;
+    if (!slot.announced || slot.inflight_end != 0 || slot.acked != durable) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Shipper::FollowerStatus Shipper::status(std::size_t follower) const {
+  const MutexLock lk(mu_);
+  const Slot& slot = slots_.at(follower);
+  return {slot.acked, slot.failed, slot.diagnostic};
+}
+
+}  // namespace zkdet::replication

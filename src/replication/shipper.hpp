@@ -1,0 +1,116 @@
+// Replication shipper: the primary-side half of WAL streaming.
+//
+// The shipper reads durable records out of the primary Ledger (never
+// past durable_watermark(): a follower must not hold bytes the primary
+// could lose) and ships them over per-follower Links in bounded
+// batches. Each follower slot tracks an acknowledged watermark and at
+// most one in-flight range; a range that is not fully acked within its
+// round budget is retransmitted under a bounded, deterministic,
+// jittered backoff (runtime/retry.hpp), and a follower that exhausts
+// the retry budget is marked failed rather than retried forever.
+//
+// Catch-up: when a follower's watermark predates the oldest retained
+// WAL segment (records folded into a snapshot, segments deleted —
+// read_records_after reports `gap`), the shipper bootstraps it with the
+// published snapshot image, then resumes record shipping from the
+// snapshot's sequence.
+//
+// Divergence detection: every ack carries the follower's chain height
+// and tip hash. The shipper cross-checks them against the primary's
+// chain; any mismatch — a height the primary never had, or a tip hash
+// differing from the primary's block at that height — is a fork, and
+// the shipper fail-stops that follower (kFailStop frame + local failed
+// mark) with a diagnostic. Forks are never reconciled silently.
+//
+// The shipper is pump-driven and single-threaded by contract: pump()
+// performs one round (drain acks → retransmit or ship per follower).
+// Backoff delays are virtual — converted to pump rounds, never slept —
+// so every fault schedule replays deterministically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chain/chain.hpp"
+#include "check/mutex.hpp"
+#include "ledger/ledger.hpp"
+#include "replication/transport.hpp"
+#include "runtime/retry.hpp"
+
+namespace zkdet::replication {
+
+class Shipper {
+ public:
+  struct Config {
+    // Records per shipped batch (bounded catch-up: a cold follower is
+    // fed the history batch_records at a time, never all at once).
+    std::size_t batch_records = 64;
+    // Retry budget per in-flight range: the first ship consumes one
+    // attempt, so max_attempts=8 allows 7 retransmits before the
+    // follower is declared failed.
+    runtime::BackoffPolicy backoff{
+        .max_attempts = 8, .base_delay_us = 100, .max_delay_us = 10'000};
+    // Virtual duration of one pump round; backoff delays are expressed
+    // as ceil(delay / round_us) rounds.
+    std::uint64_t round_us = 100;
+  };
+
+  Shipper(ledger::Ledger& ledger, const chain::Chain& chain, Config cfg);
+  Shipper(ledger::Ledger& ledger, const chain::Chain& chain)
+      : Shipper(ledger, chain, Config{}) {}
+
+  // Registers a follower link; returns its index. The follower's
+  // announce ack tells the shipper where to start.
+  std::size_t add_follower(Link& link);
+
+  // One round: per follower, drain acks (divergence cross-check), then
+  // retransmit a timed-out range or ship the next batch.
+  void pump();
+
+  // Every live follower acked the primary's durable watermark and has
+  // nothing in flight. Failed followers do not count.
+  [[nodiscard]] bool all_caught_up() const;
+
+  struct FollowerStatus {
+    std::uint64_t acked = 0;
+    bool failed = false;
+    std::string diagnostic;
+  };
+  [[nodiscard]] FollowerStatus status(std::size_t follower) const;
+
+ private:
+  struct Slot {
+    Link* link = nullptr;
+    bool announced = false;  // first ack seen; shipping may start
+    std::uint64_t acked = 0;
+    // Last sequence of the range currently awaiting ack (0 = none).
+    std::uint64_t inflight_end = 0;
+    bool inflight_snapshot = false;
+    std::uint64_t wait_rounds = 0;
+    ledger::Ledger::ReadCursor cursor;
+    runtime::Backoff backoff;
+    bool failed = false;
+    std::string diagnostic;
+  };
+
+  void drain_acks(Slot& slot) ZKDET_REQUIRES(mu_);
+  void retransmit(Slot& slot) ZKDET_REQUIRES(mu_);
+  void ship_next(Slot& slot) ZKDET_REQUIRES(mu_);
+  void ship_records(Slot& slot, std::uint64_t after_seq,
+                    std::size_t max_records,
+                    ledger::Ledger::ReadCursor* cursor) ZKDET_REQUIRES(mu_);
+  void ship_snapshot(Slot& slot) ZKDET_REQUIRES(mu_);
+  void fail_follower(Slot& slot, const std::string& why) ZKDET_REQUIRES(mu_);
+  [[nodiscard]] std::uint64_t rounds_for(std::uint64_t delay_us) const;
+  [[nodiscard]] static std::vector<std::uint8_t> maybe_tamper(
+      const ledger::Ledger::ShippedRecord& rec);
+
+  ledger::Ledger& ledger_;
+  const chain::Chain& chain_;
+  const Config cfg_;
+  mutable Mutex mu_{check::LockLevel::kReplShip, "repl.ship"};
+  std::vector<Slot> slots_ ZKDET_GUARDED_BY(mu_);
+};
+
+}  // namespace zkdet::replication

@@ -1,0 +1,108 @@
+#include "replication/transport.hpp"
+
+#include "fault/fault.hpp"
+#include "fault/points.hpp"
+#include "ledger/codec.hpp"
+#include "ledger/wal.hpp"
+
+namespace zkdet::replication {
+
+const char* frame_type_name(FrameType t) {
+  switch (t) {
+    case FrameType::kSnapshot: return "snapshot";
+    case FrameType::kRecord: return "record";
+    case FrameType::kAck: return "ack";
+    case FrameType::kFailStop: return "fail-stop";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  ledger::Writer w;
+  w.u8(static_cast<std::uint8_t>(frame.type));
+  w.u64(frame.seq);
+  w.u64(frame.height);
+  w.hash32(frame.tip_hash);
+  w.str(frame.text);
+  // u32 length prefix + raw payload, last field (Writer::bytes is raw).
+  w.u32(static_cast<std::uint32_t>(frame.bytes.size()));
+  w.bytes(frame.bytes);
+  return ledger::frame_record(w.take());
+}
+
+std::optional<Frame> decode_frame(const std::vector<std::uint8_t>& datagram) {
+  const auto rec =
+      ledger::parse_record(std::span<const std::uint8_t>(datagram), 0);
+  // A datagram is exactly one frame; trailing bytes mean it was damaged
+  // in a way the CRC happened to miss (or a framing bug) — drop it.
+  if (!rec || rec->next_offset != datagram.size()) return std::nullopt;
+  try {
+    ledger::Reader r{rec->payload};
+    Frame out;
+    const std::uint8_t type = r.u8();
+    if (type < static_cast<std::uint8_t>(FrameType::kSnapshot) ||
+        type > static_cast<std::uint8_t>(FrameType::kFailStop)) {
+      return std::nullopt;
+    }
+    out.type = static_cast<FrameType>(type);
+    out.seq = r.u64();
+    out.height = r.u64();
+    out.tip_hash = r.hash32();
+    out.text = r.str();
+    const std::uint32_t len = r.u32();
+    if (len != r.remaining()) return std::nullopt;
+    out.bytes.assign(rec->payload.end() - r.remaining(), rec->payload.end());
+    return out;
+  } catch (const ledger::CodecError&) {
+    return std::nullopt;
+  }
+}
+
+void InMemoryLink::send_to_follower(std::vector<std::uint8_t> datagram) {
+  // Fail-point: the ship-direction datagram vanishes in flight. The
+  // shipper's ack timeout + bounded retry covers it.
+  if (fault::fire(fault::points::kReplShipDrop)) return;
+  // Fail-point: one bit flips in flight. The CRC frame makes this
+  // indistinguishable from a drop at the receiver (decode → nullopt).
+  if (fault::fire(fault::points::kReplShipCorrupt) && !datagram.empty()) {
+    datagram[datagram.size() / 2] ^= 0x40;
+  }
+  const MutexLock lk(mu_);
+  to_follower_.push_back(std::move(datagram));
+}
+
+std::optional<std::vector<std::uint8_t>> InMemoryLink::recv_at_follower() {
+  const MutexLock lk(mu_);
+  if (to_follower_.empty()) return std::nullopt;
+  auto out = std::move(to_follower_.front());
+  to_follower_.pop_front();
+  return out;
+}
+
+void InMemoryLink::send_to_primary(std::vector<std::uint8_t> datagram) {
+  // Fail-point: the follower's ack never arrives. The shipper re-ships
+  // the in-flight range; the follower skips duplicates idempotently.
+  if (fault::fire(fault::points::kReplAckLost)) return;
+  const MutexLock lk(mu_);
+  to_primary_.push_back(std::move(datagram));
+}
+
+std::optional<std::vector<std::uint8_t>> InMemoryLink::recv_at_primary() {
+  const MutexLock lk(mu_);
+  if (to_primary_.empty()) return std::nullopt;
+  auto out = std::move(to_primary_.front());
+  to_primary_.pop_front();
+  return out;
+}
+
+std::size_t InMemoryLink::pending_to_follower() const {
+  const MutexLock lk(mu_);
+  return to_follower_.size();
+}
+
+std::size_t InMemoryLink::pending_to_primary() const {
+  const MutexLock lk(mu_);
+  return to_primary_.size();
+}
+
+}  // namespace zkdet::replication

@@ -1,0 +1,107 @@
+// Replication transport: the datagram framing and the link seam
+// between a primary's shipper and its followers.
+//
+// Every datagram is one CRC frame (ledger/wal.hpp framing — u32 len +
+// u32 crc32c + payload) whose payload is an encoded Frame. Reusing the
+// WAL's frame codec means a corrupted datagram is detected exactly the
+// way a torn WAL record is: decode_frame() returns nullopt and the
+// receiver drops it, relying on retransmission (records) or timeout
+// (acks) — never on trusting damaged bytes.
+//
+// Frame types:
+//
+//   kSnapshot  raw snapshot.bin bytes; `seq` = WAL sequence the
+//              snapshot covers. Shipped when the follower's watermark
+//              fell behind the primary's oldest retained segment.
+//   kRecord    one WAL record payload (u8 type + u64 seq + body);
+//              `seq` duplicates the record's sequence so the shipper's
+//              bookkeeping never needs to re-decode the body.
+//   kAck       follower → primary: `seq` = follower durable watermark,
+//              `height`/`tip_hash` = follower chain tip, for the
+//              primary's divergence cross-check.
+//   kFailStop  either direction: the sender detected divergence or an
+//              unrecoverable fault; `text` carries the diagnostic. The
+//              receiver marks the peer failed and stops shipping.
+//
+// The Link interface is socket-shaped on purpose: send/recv of whole
+// datagrams, lossy, unordered delivery never assumed (though the
+// in-memory implementation is FIFO). InMemoryLink is the in-process
+// implementation and hosts the transport fail-points.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/mutex.hpp"
+
+namespace zkdet::replication {
+
+enum class FrameType : std::uint8_t {
+  kSnapshot = 1,
+  kRecord = 2,
+  kAck = 3,
+  kFailStop = 4,
+};
+
+[[nodiscard]] const char* frame_type_name(FrameType t);
+
+struct Frame {
+  FrameType type = FrameType::kRecord;
+  std::uint64_t seq = 0;
+  std::uint64_t height = 0;
+  std::array<std::uint8_t, 32> tip_hash{};
+  std::string text;                 // kFailStop diagnostic
+  std::vector<std::uint8_t> bytes;  // record payload / snapshot bytes
+};
+
+// Encodes a frame into one CRC-framed datagram ready for Link::send.
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+// Decodes a datagram. nullopt on CRC mismatch or an undecodable body —
+// the caller treats the datagram as lost (in-transit corruption).
+[[nodiscard]] std::optional<Frame> decode_frame(
+    const std::vector<std::uint8_t>& datagram);
+
+// One bidirectional primary<->follower channel. Implementations must
+// be safe to call from both ends concurrently.
+class Link {
+ public:
+  virtual ~Link() = default;
+  // Primary-side send / follower-side receive (ship direction).
+  virtual void send_to_follower(std::vector<std::uint8_t> datagram) = 0;
+  virtual std::optional<std::vector<std::uint8_t>> recv_at_follower() = 0;
+  // Follower-side send / primary-side receive (ack direction).
+  virtual void send_to_primary(std::vector<std::uint8_t> datagram) = 0;
+  virtual std::optional<std::vector<std::uint8_t>> recv_at_primary() = 0;
+};
+
+// In-process FIFO link with deterministic fault injection:
+//
+//   repl.ship.drop     datagram to the follower silently dropped
+//   repl.ship.corrupt  one bit flipped in flight (CRC catches it)
+//   repl.ack.lost      datagram to the primary silently dropped
+//
+// Divergence injection (repl.ship.diverge) lives in the Shipper, not
+// here: it must tamper with record *content* self-consistently (valid
+// CRC, recomputed hash) so only the semantic cross-checks can catch it.
+class InMemoryLink final : public Link {
+ public:
+  void send_to_follower(std::vector<std::uint8_t> datagram) override;
+  std::optional<std::vector<std::uint8_t>> recv_at_follower() override;
+  void send_to_primary(std::vector<std::uint8_t> datagram) override;
+  std::optional<std::vector<std::uint8_t>> recv_at_primary() override;
+
+  [[nodiscard]] std::size_t pending_to_follower() const;
+  [[nodiscard]] std::size_t pending_to_primary() const;
+
+ private:
+  mutable Mutex mu_{check::LockLevel::kReplLink, "repl.link"};
+  std::deque<std::vector<std::uint8_t>> to_follower_ ZKDET_GUARDED_BY(mu_);
+  std::deque<std::vector<std::uint8_t>> to_primary_ ZKDET_GUARDED_BY(mu_);
+};
+
+}  // namespace zkdet::replication

@@ -130,15 +130,18 @@ std::optional<plonk::Proof> ProverService::prove(ProofJob job) {
 
 ProveOutcome ProverService::prove_with_retry(const ProofJob& job,
                                              RetryPolicy policy) {
-  const int budget = std::max(1, policy.max_attempts);
+  // Bounded by construction: Backoff grants at most max_attempts and
+  // records a deterministic jittered delay per retry (never slept).
+  Backoff backoff(policy.backoff());
   ProveOutcome out;
-  for (int attempt = 0; attempt < budget; ++attempt) {
+  while (backoff.next_attempt()) {
     ProveOutcome step = submit_typed(job).get();  // job copied per attempt
     out.proof = std::move(step.proof);
     out.error = step.error;
     out.attempts += step.attempts;
     if (out.proof || out.error != ProveError::kInjectedFault) break;
   }
+  out.backoff_us = backoff.total_delay_us();
   return out;
 }
 

@@ -33,6 +33,7 @@
 #include "check/mutex.hpp"
 #include "crypto/rng.hpp"
 #include "plonk/plonk.hpp"
+#include "runtime/retry.hpp"
 
 namespace zkdet::runtime {
 
@@ -65,13 +66,30 @@ struct ProveOutcome {
   std::optional<plonk::Proof> proof;
   ProveError error = ProveError::kNone;
   int attempts = 0;
+  // Virtual backoff recorded between attempts (never slept; see
+  // runtime/retry.hpp).
+  std::uint64_t backoff_us = 0;
 };
 
-// Bounded retry policy for transient job failures. Backoff is virtual
-// (recorded, not slept): the in-process substrate has no network to
-// wait out, and sleeping would only slow tests; see DESIGN.md.
+// Bounded retry policy for transient job failures, realized by
+// runtime::Backoff: jittered exponential delays, deterministic under
+// `jitter_seed`, and always virtual (recorded, not slept): the
+// in-process substrate has no network to wait out, and sleeping would
+// only slow tests; see DESIGN.md.
 struct RetryPolicy {
   int max_attempts = 3;
+  std::uint64_t base_delay_us = 100;
+  std::uint64_t max_delay_us = 100'000;
+  std::uint64_t jitter_seed = 0;
+
+  [[nodiscard]] BackoffPolicy backoff() const {
+    BackoffPolicy p;
+    p.max_attempts = max_attempts;
+    p.base_delay_us = base_delay_us;
+    p.max_delay_us = max_delay_us;
+    p.seed = jitter_seed;
+    return p;
+  }
 };
 
 class ProverService {

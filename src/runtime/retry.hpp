@@ -1,0 +1,116 @@
+// Bounded, jittered, deterministic retry backoff.
+//
+// One Backoff instance paces one retry loop: next_attempt() grants
+// attempts until the policy budget is spent, recording an exponentially
+// growing, jitter-decorrelated delay before each retry. Delays are
+// VIRTUAL — recorded, never slept. The in-process substrate has no
+// network to wait out, and sleeping would only slow tests; callers that
+// pace real work (the replication shipper) convert the recorded delay
+// into pump rounds instead (see DESIGN.md "Replication & failover").
+//
+// Determinism: the jitter for retry k is a pure function of
+// (policy.seed, k) via a splitmix64 mix — the same policy replays the
+// same delay sequence on every run, which is what lets the failover
+// chaos matrix reproduce a schedule from its seed alone.
+//
+// The canonical loop shape (bounded by construction, so the
+// unbounded-retry lint never needs an annotation):
+//
+//   Backoff backoff(policy);
+//   while (backoff.next_attempt()) {
+//     if (try_once()) break;            // success
+//   }                                   // false => budget exhausted
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace zkdet::runtime {
+
+struct BackoffPolicy {
+  // Total attempts granted (first try + retries). Values < 1 behave
+  // as 1: a Backoff always grants at least the initial attempt.
+  int max_attempts = 3;
+  // Delay before the first retry; doubles per retry up to max_delay_us.
+  std::uint64_t base_delay_us = 100;
+  std::uint64_t max_delay_us = 100'000;
+  // Fraction of each delay that jitter may subtract, in [0, 1]. Jitter
+  // only ever shortens a delay, so max_delay_us stays a hard ceiling.
+  double jitter = 0.25;
+  // Seed of the deterministic jitter stream.
+  std::uint64_t seed = 0;
+};
+
+class Backoff {
+ public:
+  explicit Backoff(BackoffPolicy policy = {}) : policy_(policy) {}
+
+  // Grants the next attempt, or returns false once the budget is spent.
+  // The first grant carries no delay; grant k (k >= 2) records the
+  // jittered exponential delay for retry k-1 in last_delay_us().
+  [[nodiscard]] bool next_attempt() {
+    if (attempts_ >= std::max(1, policy_.max_attempts)) return false;
+    ++attempts_;
+    last_delay_us_ = attempts_ == 1 ? 0 : delay_for(attempts_ - 1);
+    total_delay_us_ += last_delay_us_;
+    return true;
+  }
+
+  // Re-arms the full budget (e.g. the shipper after a successful ack:
+  // the next stall starts a fresh escalation).
+  void reset() {
+    attempts_ = 0;
+    last_delay_us_ = 0;
+    total_delay_us_ = 0;
+  }
+
+  [[nodiscard]] int attempts() const { return attempts_; }
+  [[nodiscard]] bool exhausted() const {
+    return attempts_ >= std::max(1, policy_.max_attempts);
+  }
+  // Virtual delay recorded for the most recent grant.
+  [[nodiscard]] std::uint64_t last_delay_us() const { return last_delay_us_; }
+  // Sum of all recorded delays since construction/reset.
+  [[nodiscard]] std::uint64_t total_delay_us() const {
+    return total_delay_us_;
+  }
+
+  // Pure delay schedule: the jittered delay before retry `retry`
+  // (1-based). Exposed so tests can assert determinism without driving
+  // a loop.
+  [[nodiscard]] std::uint64_t delay_for(int retry) const {
+    if (retry < 1) return 0;
+    const int shift = std::min(retry - 1, 63);
+    std::uint64_t d = policy_.base_delay_us;
+    // Saturating base << shift.
+    if (shift > 0) {
+      d = (shift >= 64 || d > (~std::uint64_t{0} >> shift)) ? ~std::uint64_t{0}
+                                                            : d << shift;
+    }
+    d = std::min(d, policy_.max_delay_us);
+    const double jitter = std::clamp(policy_.jitter, 0.0, 1.0);
+    const auto span = static_cast<std::uint64_t>(
+        static_cast<double>(d) * jitter);
+    if (span == 0) return d;
+    const std::uint64_t r =
+        mix(policy_.seed ^ (0x9e3779b97f4a7c15ULL *
+                            static_cast<std::uint64_t>(retry)));
+    return d - r % (span + 1);
+  }
+
+ private:
+  // splitmix64 finalizer: a well-mixed pure function of its input.
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  BackoffPolicy policy_;
+  int attempts_ = 0;
+  std::uint64_t last_delay_us_ = 0;
+  std::uint64_t total_delay_us_ = 0;
+};
+
+}  // namespace zkdet::runtime

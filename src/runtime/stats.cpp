@@ -21,6 +21,11 @@ std::atomic<std::uint64_t> txpool_batches_sealed{0};
 std::atomic<std::uint64_t> txpool_txs_executed{0};
 std::atomic<std::uint64_t> txpool_conflict_aborts{0};
 std::atomic<std::uint64_t> txpool_queue_depth{0};
+std::atomic<std::uint64_t> repl_records_shipped{0};
+std::atomic<std::uint64_t> repl_retransmits{0};
+std::atomic<std::uint64_t> repl_snapshots_shipped{0};
+std::atomic<std::uint64_t> repl_records_applied{0};
+std::atomic<std::uint64_t> repl_failstops{0};
 std::atomic<std::uint64_t> msm_ns{0};
 std::atomic<std::uint64_t> ntt_ns{0};
 std::atomic<std::uint64_t> quotient_ns{0};
@@ -58,6 +63,15 @@ StatsSnapshot stats() {
       counters::txpool_conflict_aborts.load(std::memory_order_relaxed);
   s.txpool_queue_depth =
       counters::txpool_queue_depth.load(std::memory_order_relaxed);
+  s.repl_records_shipped =
+      counters::repl_records_shipped.load(std::memory_order_relaxed);
+  s.repl_retransmits =
+      counters::repl_retransmits.load(std::memory_order_relaxed);
+  s.repl_snapshots_shipped =
+      counters::repl_snapshots_shipped.load(std::memory_order_relaxed);
+  s.repl_records_applied =
+      counters::repl_records_applied.load(std::memory_order_relaxed);
+  s.repl_failstops = counters::repl_failstops.load(std::memory_order_relaxed);
   s.msm_ns = counters::msm_ns.load(std::memory_order_relaxed);
   s.ntt_ns = counters::ntt_ns.load(std::memory_order_relaxed);
   s.quotient_ns = counters::quotient_ns.load(std::memory_order_relaxed);
@@ -86,6 +100,11 @@ void reset_stats() {
   counters::txpool_txs_executed.store(0, std::memory_order_relaxed);
   counters::txpool_conflict_aborts.store(0, std::memory_order_relaxed);
   counters::txpool_queue_depth.store(0, std::memory_order_relaxed);
+  counters::repl_records_shipped.store(0, std::memory_order_relaxed);
+  counters::repl_retransmits.store(0, std::memory_order_relaxed);
+  counters::repl_snapshots_shipped.store(0, std::memory_order_relaxed);
+  counters::repl_records_applied.store(0, std::memory_order_relaxed);
+  counters::repl_failstops.store(0, std::memory_order_relaxed);
   counters::msm_ns.store(0, std::memory_order_relaxed);
   counters::ntt_ns.store(0, std::memory_order_relaxed);
   counters::quotient_ns.store(0, std::memory_order_relaxed);

@@ -40,6 +40,12 @@ struct StatsSnapshot {
   std::uint64_t txpool_txs_executed = 0;
   std::uint64_t txpool_conflict_aborts = 0;
   std::uint64_t txpool_queue_depth = 0;  // gauge: pending txs right now
+  // WAL replication (src/replication).
+  std::uint64_t repl_records_shipped = 0;
+  std::uint64_t repl_retransmits = 0;  // re-ships after a missing ack
+  std::uint64_t repl_snapshots_shipped = 0;
+  std::uint64_t repl_records_applied = 0;  // follower-side, post-fsync
+  std::uint64_t repl_failstops = 0;        // divergence fail-stops raised
   // Per-stage wall time (ns, summed per executing thread).
   std::uint64_t msm_ns = 0;
   std::uint64_t ntt_ns = 0;
@@ -74,6 +80,11 @@ extern std::atomic<std::uint64_t> txpool_batches_sealed;
 extern std::atomic<std::uint64_t> txpool_txs_executed;
 extern std::atomic<std::uint64_t> txpool_conflict_aborts;
 extern std::atomic<std::uint64_t> txpool_queue_depth;
+extern std::atomic<std::uint64_t> repl_records_shipped;
+extern std::atomic<std::uint64_t> repl_retransmits;
+extern std::atomic<std::uint64_t> repl_snapshots_shipped;
+extern std::atomic<std::uint64_t> repl_records_applied;
+extern std::atomic<std::uint64_t> repl_failstops;
 extern std::atomic<std::uint64_t> msm_ns;
 extern std::atomic<std::uint64_t> ntt_ns;
 extern std::atomic<std::uint64_t> quotient_ns;

@@ -1,0 +1,587 @@
+// Replication unit tests: transport framing, backoff determinism,
+// ledger read API (durable watermark, record reads, truncation),
+// shipper/follower streaming, fault recovery, divergence fail-stop,
+// and the follower read-path prefix-consistency property.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <optional>
+
+#include "chain/arbiter.hpp"
+#include "chain/chain.hpp"
+#include "chain/verifier_contract.hpp"
+#include "core/follower_view.hpp"
+#include "crypto/rng.hpp"
+#include "fault/fault.hpp"
+#include "fault/points.hpp"
+#include "ledger/ledger.hpp"
+#include "ledger/replay.hpp"
+#include "replication/replica_set.hpp"
+#include "runtime/retry.hpp"
+#include "runtime/stats.hpp"
+
+namespace zkdet::replication {
+namespace {
+
+using chain::CallContext;
+using crypto::Drbg;
+using crypto::KeyPair;
+
+struct TempDir {
+  std::filesystem::path path;
+  TempDir() {
+    static std::atomic<int> counter{0};
+    path = std::filesystem::temp_directory_path() /
+           ("zkdet-repl-" + std::to_string(::getpid()) + "-" +
+            std::to_string(counter.fetch_add(1)));
+    std::filesystem::remove_all(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  [[nodiscard]] std::string str() const { return path.string(); }
+};
+
+// --- transport framing ---
+
+TEST(ReplTransport, FrameRoundTrip) {
+  Frame f;
+  f.type = FrameType::kRecord;
+  f.seq = 42;
+  f.height = 7;
+  f.tip_hash.fill(0xab);
+  f.text = "diag";
+  f.bytes = {1, 2, 3, 4, 5};
+  const auto wire = encode_frame(f);
+  const auto back = decode_frame(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->type, FrameType::kRecord);
+  EXPECT_EQ(back->seq, 42u);
+  EXPECT_EQ(back->height, 7u);
+  EXPECT_EQ(back->tip_hash, f.tip_hash);
+  EXPECT_EQ(back->text, "diag");
+  EXPECT_EQ(back->bytes, f.bytes);
+}
+
+TEST(ReplTransport, CorruptDatagramDecodesToNothing) {
+  Frame f;
+  f.type = FrameType::kAck;
+  f.seq = 9;
+  auto wire = encode_frame(f);
+  // Flip one bit anywhere: the CRC must catch it.
+  for (std::size_t i = 0; i < wire.size(); i += 3) {
+    auto bad = wire;
+    bad[i] ^= 0x10;
+    EXPECT_FALSE(decode_frame(bad).has_value()) << "byte " << i;
+  }
+  // Truncation and trailing garbage are rejected too.
+  auto trunc = wire;
+  trunc.pop_back();
+  EXPECT_FALSE(decode_frame(trunc).has_value());
+  auto padded = wire;
+  padded.push_back(0);
+  EXPECT_FALSE(decode_frame(padded).has_value());
+}
+
+TEST(ReplTransport, UnknownFrameTypeRejected) {
+  Frame f;
+  f.type = static_cast<FrameType>(9);
+  EXPECT_FALSE(decode_frame(encode_frame(f)).has_value());
+}
+
+TEST(ReplTransport, InMemoryLinkIsFifoBothWays) {
+  InMemoryLink link;
+  link.send_to_follower({1});
+  link.send_to_follower({2});
+  link.send_to_primary({3});
+  EXPECT_EQ(link.pending_to_follower(), 2u);
+  EXPECT_EQ(*link.recv_at_follower(), std::vector<std::uint8_t>{1});
+  EXPECT_EQ(*link.recv_at_follower(), std::vector<std::uint8_t>{2});
+  EXPECT_FALSE(link.recv_at_follower().has_value());
+  EXPECT_EQ(*link.recv_at_primary(), std::vector<std::uint8_t>{3});
+  EXPECT_FALSE(link.recv_at_primary().has_value());
+}
+
+// --- retry/backoff helper (satellite: src/runtime/retry.hpp) ---
+
+TEST(Backoff, BoundedAndDeterministic) {
+  runtime::BackoffPolicy policy;
+  policy.max_attempts = 4;
+  policy.base_delay_us = 100;
+  policy.max_delay_us = 250;
+  policy.jitter = 0.5;
+  policy.seed = 77;
+
+  runtime::Backoff a(policy);
+  runtime::Backoff b(policy);
+  std::vector<std::uint64_t> da;
+  std::vector<std::uint64_t> db;
+  int grants = 0;
+  while (a.next_attempt()) {
+    ++grants;
+    da.push_back(a.last_delay_us());
+  }
+  while (b.next_attempt()) db.push_back(b.last_delay_us());
+  EXPECT_EQ(grants, 4);
+  EXPECT_TRUE(a.exhausted());
+  EXPECT_EQ(da, db) << "same policy+seed must give identical delays";
+  EXPECT_EQ(da[0], 0u) << "first attempt is immediate";
+  for (std::size_t i = 1; i < da.size(); ++i) {
+    EXPECT_LE(da[i], policy.max_delay_us);
+  }
+  EXPECT_EQ(a.total_delay_us(), da[1] + da[2] + da[3]);
+
+  a.reset();
+  EXPECT_TRUE(a.next_attempt());
+  EXPECT_EQ(a.attempts(), 1);
+}
+
+TEST(Backoff, DelayGrowsExponentiallyUpToCap) {
+  runtime::BackoffPolicy policy;
+  policy.max_attempts = 10;
+  policy.base_delay_us = 100;
+  policy.max_delay_us = 800;
+  policy.jitter = 0.0;  // no jitter: exact doubling
+  runtime::Backoff b(policy);
+  std::vector<std::uint64_t> delays;
+  while (b.next_attempt()) delays.push_back(b.last_delay_us());
+  ASSERT_EQ(delays.size(), 10u);
+  EXPECT_EQ(delays[1], 100u);
+  EXPECT_EQ(delays[2], 200u);
+  EXPECT_EQ(delays[3], 400u);
+  EXPECT_EQ(delays[4], 800u);
+  EXPECT_EQ(delays[9], 800u) << "capped at max_delay_us";
+}
+
+// --- ledger read API ---
+
+struct LedgerFixture {
+  chain::Chain chain;
+  std::optional<ledger::Ledger> ledger;
+  KeyPair alice, bob;
+  chain::Address a, b;
+
+  explicit LedgerFixture(const std::string& dir,
+                         ledger::Options opts = good_opts()) {
+    Drbg rng("repl-ledger", 3);
+    alice = KeyPair::generate(rng);
+    bob = KeyPair::generate(rng);
+    ledger.emplace(chain, dir, opts);
+    a = chain.create_account(alice, 10'000);
+    b = chain.create_account(bob, 5'000);
+  }
+
+  static ledger::Options good_opts() {
+    ledger::Options opts;
+    opts.snapshot_interval = 0;  // only snapshot_now()
+    return opts;
+  }
+
+  void seal(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      chain.call(
+          alice, "t" + std::to_string(i), [](CallContext&) {}, 1, b);
+    }
+  }
+};
+
+TEST(DurableWatermark, TracksFsyncNotAppend) {
+  TempDir dir;
+  ledger::Options opts;
+  opts.snapshot_interval = 0;
+  opts.fsync_each_append = false;
+  LedgerFixture fx(dir.str(), opts);
+  const std::uint64_t setup_wal = fx.ledger->wal_seq();
+  const std::uint64_t setup_durable = fx.ledger->durable_watermark();
+  fx.seal(3);
+  EXPECT_EQ(fx.ledger->wal_seq(), setup_wal + 3);
+  EXPECT_EQ(fx.ledger->durable_watermark(), setup_durable)
+      << "un-synced appends must not advance the durable watermark";
+  fx.ledger->sync();
+  EXPECT_EQ(fx.ledger->durable_watermark(), fx.ledger->wal_seq());
+}
+
+TEST(DurableWatermark, EqualsWalSeqWithPerAppendFsync) {
+  TempDir dir;
+  LedgerFixture fx(dir.str());
+  fx.seal(2);
+  EXPECT_EQ(fx.ledger->durable_watermark(), fx.ledger->wal_seq());
+}
+
+TEST(ReadRecordsAfter, BatchesInOrderWithCursorResume) {
+  TempDir dir;
+  LedgerFixture fx(dir.str());
+  fx.seal(7);  // 2 account records + 7 block records
+  const std::uint64_t durable = fx.ledger->durable_watermark();
+  ASSERT_EQ(durable, 9u);
+
+  ledger::Ledger::ReadCursor cursor;
+  std::uint64_t next = 1;
+  std::uint64_t pos = 0;
+  while (pos < durable) {
+    const auto batch = fx.ledger->read_records_after(pos, 4, &cursor);
+    ASSERT_FALSE(batch.gap);
+    ASSERT_FALSE(batch.records.empty());
+    for (const auto& rec : batch.records) {
+      EXPECT_EQ(rec.seq, next);
+      ++next;
+    }
+    pos = batch.records.back().seq;
+  }
+  EXPECT_EQ(next, durable + 1);
+  // Caught up: nothing more.
+  const auto empty = fx.ledger->read_records_after(durable, 4, &cursor);
+  EXPECT_FALSE(empty.gap);
+  EXPECT_TRUE(empty.records.empty());
+}
+
+TEST(ReadRecordsAfter, NeverReadsPastDurableWatermark) {
+  TempDir dir;
+  ledger::Options opts;
+  opts.snapshot_interval = 0;
+  opts.fsync_each_append = false;
+  LedgerFixture fx(dir.str(), opts);
+  const std::uint64_t durable = fx.ledger->durable_watermark();
+  fx.seal(3);  // appended but not fsynced
+  const auto r = fx.ledger->read_records_after(durable, 100, nullptr);
+  EXPECT_TRUE(r.records.empty())
+      << "records beyond the durable watermark must not ship";
+  fx.ledger->sync();
+  const auto r2 = fx.ledger->read_records_after(durable, 100, nullptr);
+  EXPECT_EQ(r2.records.size(), fx.ledger->durable_watermark() - durable);
+}
+
+TEST(ReadRecordsAfter, ReportsGapWhenSegmentsRotatedAway) {
+  TempDir dir;
+  LedgerFixture fx(dir.str());
+  fx.seal(5);
+  fx.ledger->snapshot_now();  // rotates + deletes the old segments
+  const auto r = fx.ledger->read_records_after(1, 100, nullptr);
+  EXPECT_TRUE(r.gap) << "pre-snapshot records are gone; caller must bootstrap";
+  const auto snap = fx.ledger->snapshot_bytes();
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->wal_seq, fx.ledger->durable_watermark());
+  // Post-snapshot records read normally.
+  fx.seal(2);
+  const auto r2 =
+      fx.ledger->read_records_after(snap->wal_seq, 100, nullptr);
+  EXPECT_FALSE(r2.gap);
+  EXPECT_EQ(r2.records.size(), 2u);
+}
+
+TEST(TruncateWalAfter, CutsTailAndReopensAtWatermark) {
+  TempDir dir;
+  std::uint64_t cut_seq = 0;
+  std::array<std::uint8_t, 32> tip_at_cut{};
+  {
+    LedgerFixture fx(dir.str());
+    fx.seal(3);
+    cut_seq = fx.ledger->wal_seq();
+    tip_at_cut = fx.chain.blocks().back().hash;
+    fx.seal(4);  // these records get cut
+  }
+  ledger::truncate_wal_after(dir.str(), cut_seq);
+  LedgerFixture fx(dir.str());
+  EXPECT_EQ(fx.ledger->wal_seq(), cut_seq);
+  EXPECT_EQ(fx.chain.blocks().back().hash, tip_at_cut);
+  EXPECT_TRUE(fx.chain.validate_chain());
+}
+
+// --- streaming: shipper + follower ---
+
+struct ReplFixture : LedgerFixture {
+  std::optional<ReplicaSet> replicas;
+
+  explicit ReplFixture(const TempDir& dir, std::size_t n = 1,
+                       ledger::Options opts = good_opts())
+      : LedgerFixture(dir.str() + "/primary", opts) {
+    replicas.emplace(*ledger, chain, dir.str() + "/repl", n);
+  }
+};
+
+TEST(Replication, FollowerConvergesToPrimary) {
+  TempDir dir;
+  ReplFixture fx(dir);
+  fx.seal(6);
+  ASSERT_TRUE(fx.replicas->sync());
+  const auto& image = fx.replicas->follower(0).image();
+  EXPECT_EQ(image.height(), fx.chain.height());
+  EXPECT_EQ(image.blocks.back().hash, fx.chain.blocks().back().hash);
+  EXPECT_EQ(image.balances, fx.chain.balances_map());
+  EXPECT_EQ(fx.replicas->follower(0).durable_seq(),
+            fx.ledger->durable_watermark());
+}
+
+TEST(Replication, FollowerRestartResumesFromOwnDisk) {
+  TempDir dir;
+  ReplFixture fx(dir);
+  fx.seal(4);
+  ASSERT_TRUE(fx.replicas->sync());
+  const std::uint64_t durable = fx.replicas->follower(0).durable_seq();
+  fx.replicas->restart_follower(0);
+  EXPECT_EQ(fx.replicas->follower(0).durable_seq(), durable)
+      << "acked records must survive a follower restart";
+  fx.seal(3);
+  ASSERT_TRUE(fx.replicas->sync());
+  EXPECT_EQ(fx.replicas->follower(0).image().blocks.back().hash,
+            fx.chain.blocks().back().hash);
+}
+
+TEST(Replication, ColdFollowerBootstrapsFromSnapshot) {
+  TempDir dir;
+  LedgerFixture fx(dir.str() + "/primary");
+  fx.seal(6);
+  fx.ledger->snapshot_now();  // old segments deleted: WAL can't serve seq 1+
+  fx.seal(2);
+  runtime::reset_stats();
+  ReplicaSet reps(*fx.ledger, fx.chain, dir.str() + "/repl", 1);
+  ASSERT_TRUE(reps.sync());
+  EXPECT_GE(runtime::stats().repl_snapshots_shipped, 1u);
+  const auto& image = reps.follower(0).image();
+  EXPECT_EQ(image.height(), fx.chain.height());
+  EXPECT_EQ(image.blocks.back().hash, fx.chain.blocks().back().hash);
+  EXPECT_EQ(image.balances, fx.chain.balances_map());
+}
+
+TEST(Replication, MultipleFollowersEachConverge) {
+  TempDir dir;
+  ReplFixture fx(dir, /*n=*/3);
+  fx.seal(5);
+  ASSERT_TRUE(fx.replicas->sync());
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(fx.replicas->follower(i).image().blocks.back().hash,
+              fx.chain.blocks().back().hash)
+        << "follower " << i;
+  }
+}
+
+TEST(Replication, RecoversFromDroppedShipments) {
+  TempDir dir;
+  ReplFixture fx(dir);
+  runtime::reset_stats();
+  fault::inject(fault::points::kReplShipDrop, fault::Schedule::times(2));
+  fx.seal(5);
+  ASSERT_TRUE(fx.replicas->sync());
+  EXPECT_GT(fault::failures(fault::points::kReplShipDrop), 0u);
+  EXPECT_GE(runtime::stats().repl_retransmits, 1u);
+  EXPECT_EQ(fx.replicas->follower(0).image().blocks.back().hash,
+            fx.chain.blocks().back().hash);
+  fault::clear_all();
+}
+
+TEST(Replication, RecoversFromCorruptedShipments) {
+  TempDir dir;
+  ReplFixture fx(dir);
+  fault::inject(fault::points::kReplShipCorrupt, fault::Schedule::once(2));
+  fx.seal(5);
+  ASSERT_TRUE(fx.replicas->sync());
+  EXPECT_GT(fault::failures(fault::points::kReplShipCorrupt), 0u);
+  fault::clear_all();
+  EXPECT_EQ(fx.replicas->follower(0).image().blocks.back().hash,
+            fx.chain.blocks().back().hash);
+  EXPECT_FALSE(fx.replicas->follower(0).failed())
+      << "in-transit corruption is a transport loss, not divergence";
+}
+
+TEST(Replication, RecoversFromLostAcks) {
+  TempDir dir;
+  ReplFixture fx(dir);
+  fault::inject(fault::points::kReplAckLost, fault::Schedule::times(3));
+  fx.seal(5);
+  ASSERT_TRUE(fx.replicas->sync());
+  EXPECT_GT(fault::failures(fault::points::kReplAckLost), 0u);
+  fault::clear_all();
+  EXPECT_EQ(fx.replicas->follower(0).durable_seq(),
+            fx.ledger->durable_watermark());
+}
+
+TEST(Replication, PermanentDropExhaustsRetryBudgetFailStop) {
+  TempDir dir;
+  ReplFixture fx(dir);
+  fault::inject(fault::points::kReplShipDrop, fault::Schedule::always());
+  fx.seal(2);
+  // sync() returns once the follower is marked failed (failed slots do
+  // not count toward catch-up) — it must NOT spin forever.
+  ASSERT_TRUE(fx.replicas->sync());
+  fault::clear_all();
+  const auto status = fx.replicas->shipper().status(0);
+  EXPECT_TRUE(status.failed);
+  EXPECT_NE(status.diagnostic.find("retry budget exhausted"),
+            std::string::npos)
+      << status.diagnostic;
+}
+
+TEST(Replication, DivergenceIsDetectedNeverSilentlyForked) {
+  for (std::uint64_t hit = 1; hit <= 6; ++hit) {
+    TempDir dir;
+    ReplFixture fx(dir);
+    fault::inject(fault::points::kReplShipDiverge,
+                  fault::Schedule::once(hit));
+    fx.seal(6);
+    ASSERT_TRUE(fx.replicas->sync());
+    const bool fired =
+        fault::failures(fault::points::kReplShipDiverge) > 0;
+    fault::clear_all();
+    ASSERT_TRUE(fired) << "hit " << hit << " never shipped that record";
+    // Give the fail-stop an extra round to propagate both ways.
+    fx.replicas->pump();
+    fx.replicas->pump();
+    const bool detected = fx.replicas->shipper().status(0).failed ||
+                          fx.replicas->follower(0).failed();
+    EXPECT_TRUE(detected) << "hit " << hit << ": diverged silently";
+    // A diverged follower must never be promotable.
+    EXPECT_THROW((void)fx.replicas->promote(0), ledger::IoError)
+        << "hit " << hit;
+    // And whatever the follower holds is a prefix of the primary's real
+    // chain OR its tip differs (detected fork) — never an undetected
+    // different history of equal claim.
+    const auto& image = fx.replicas->follower(0).image();
+    if (!image.blocks.empty() && image.height() <= fx.chain.height()) {
+      const auto& primary_at =
+          fx.chain.blocks()[image.height() - 1].hash;
+      if (image.blocks.back().hash != primary_at) {
+        EXPECT_TRUE(detected);
+      }
+    }
+  }
+}
+
+TEST(Replication, FollowerCrashMidApplyRestartsAndCatchesUp) {
+  TempDir dir;
+  ReplFixture fx(dir);
+  fault::inject(fault::points::kReplFollowerCrash, fault::Schedule::once(3));
+  fx.seal(3);
+  bool crashed = false;
+  for (int round = 0; round < 200; ++round) {
+    if (fx.replicas->shipper().all_caught_up()) break;
+    try {
+      fx.replicas->pump();
+    } catch (const ledger::CrashInjected&) {
+      crashed = true;
+      fx.replicas->restart_follower(0);
+    }
+  }
+  fault::clear_all();
+  EXPECT_TRUE(crashed);
+  ASSERT_TRUE(fx.replicas->sync());
+  EXPECT_EQ(fx.replicas->follower(0).image().blocks.back().hash,
+            fx.chain.blocks().back().hash);
+}
+
+TEST(Replication, PromotionYieldsByteIdenticalPrimary) {
+  TempDir dir;
+  std::array<std::uint8_t, 32> primary_tip{};
+  std::map<chain::Address, std::uint64_t> primary_balances;
+  std::string promoted_dir;
+  {
+    ReplFixture fx(dir);
+    fx.seal(5);
+    ASSERT_TRUE(fx.replicas->sync());
+    primary_tip = fx.chain.blocks().back().hash;
+    primary_balances = fx.chain.balances_map();
+    promoted_dir = fx.replicas->promote(0);
+  }  // primary dies
+  LedgerFixture promoted(promoted_dir);
+  EXPECT_TRUE(promoted.chain.validate_chain());
+  EXPECT_EQ(promoted.chain.blocks().back().hash, primary_tip);
+  EXPECT_EQ(promoted.chain.balances_map(), primary_balances);
+}
+
+TEST(Replication, ParseReplicaCount) {
+  EXPECT_EQ(parse_replica_count(nullptr), 0u);
+  EXPECT_EQ(parse_replica_count(""), 0u);
+  EXPECT_EQ(parse_replica_count("3"), 3u);
+  EXPECT_EQ(parse_replica_count("0"), 0u);
+  EXPECT_EQ(parse_replica_count("junk"), 0u);
+  EXPECT_EQ(parse_replica_count("-1"), 0u);
+  EXPECT_EQ(parse_replica_count("999"), 16u) << "clamped";
+}
+
+// --- follower read path: prefix consistency (satellite 3) ---
+
+TEST(FollowerReadView, NeverObservesAStateThePrimaryNeverHad) {
+  TempDir dir;
+  chain::Chain chain;
+  std::optional<ledger::Ledger> ledger;
+  Drbg rng("repl-view", 11);
+  KeyPair buyer_keys = KeyPair::generate(rng);
+  KeyPair seller_keys = KeyPair::generate(rng);
+  ledger::Options opts;
+  opts.snapshot_interval = 0;
+  ledger.emplace(chain, dir.str() + "/primary", opts);
+  const auto buyer = chain.create_account(buyer_keys, 10'000);
+  const auto seller = chain.create_account(seller_keys, 5'000);
+  auto& verifier = chain.deploy<chain::PlonkVerifierContract>(
+      buyer_keys, nullptr, plonk::VerifyingKey{}, "PlonkVerifier(stub)");
+  auto& arbiter = chain.deploy<chain::KeySecureArbiter>(
+      buyer_keys, nullptr, verifier, /*first_id=*/1, /*stride=*/1);
+
+  ReplicaSet reps(*ledger, chain, dir.str() + "/repl", 1);
+  core::FollowerReadView view(reps.follower(0));
+
+  // The primary's exchange-state history, indexed by chain height:
+  // what a consistent read at height h is allowed to return.
+  std::map<std::uint64_t, std::optional<chain::ExchangeState>> truth;
+  const auto record_truth = [&] {
+    const auto x = arbiter.exchange(1);
+    truth[chain.height()] =
+        x ? std::optional<chain::ExchangeState>(x->state) : std::nullopt;
+  };
+  record_truth();
+
+  const ff::Fr h_v = rng.random_fr();
+  const ff::Fr key_cm = rng.random_fr();
+  std::uint64_t id = 0;
+  chain.call(
+      buyer_keys, "lock",
+      [&](CallContext& ctx) {
+        id = arbiter.lock(ctx, seller, h_v, key_cm, /*timeout_blocks=*/2);
+      },
+      300, arbiter.address());
+  ASSERT_EQ(id, 1u);
+  record_truth();
+  chain.advance_blocks(3);
+  record_truth();
+  chain.call(buyer_keys, "refund",
+             [&](CallContext& ctx) { arbiter.refund(ctx, id); });
+  record_truth();
+  (void)seller;
+
+  // Catch the follower up ONE PUMP AT A TIME; after every round the
+  // view must report a (height, state) pair the primary actually went
+  // through — a stale prefix is fine, an invented mix is not.
+  for (int round = 0; round < 300; ++round) {
+    reps.pump();
+    view.refresh();
+    const std::uint64_t h = view.height();
+    EXPECT_LE(h, chain.height());
+    if (h > 0) {
+      // The follower's tip at height h is the primary's block at h.
+      const auto& image = reps.follower(0).image();
+      EXPECT_EQ(image.blocks.back().hash, chain.blocks()[h - 1].hash)
+          << "round " << round << " height " << h;
+    }
+    const auto it = truth.find(h);
+    if (it != truth.end()) {
+      const auto got = view.exchange(1);
+      const auto want = it->second;
+      EXPECT_EQ(got.has_value(), want.has_value())
+          << "round " << round << " height " << h;
+      if (got && want) {
+        EXPECT_EQ(got->state, *want) << "round " << round << " height " << h;
+      }
+    }
+    if (reps.shipper().all_caught_up()) break;
+  }
+  ASSERT_TRUE(reps.sync());
+  view.refresh();
+  const auto final_view = view.exchange(1);
+  ASSERT_TRUE(final_view.has_value());
+  EXPECT_EQ(final_view->state, chain::ExchangeState::kRefunded);
+  EXPECT_EQ(final_view->amount, 300u);
+  EXPECT_TRUE(view.find_by_hv(h_v).has_value());
+  EXPECT_EQ(view.balance(buyer), chain.balance(buyer));
+}
+
+}  // namespace
+}  // namespace zkdet::replication
