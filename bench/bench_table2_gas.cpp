@@ -13,7 +13,12 @@
 // We run the same operations through the chain substrate's EVM-style gas
 // meter (DESIGN.md substitution #4) and print measured vs paper values.
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
+#include "bench_util.hpp"
+#include "chain/claim.hpp"
 #include "core/circuits.hpp"
 #include "core/system.hpp"
 
@@ -62,8 +67,9 @@ int main() {
       core::build_key_circuit(Fr::one(), Fr::from_u64(2), Fr::from_u64(3));
   const auto keys = plonk::preprocess(kb.cs(), srs);
   Receipt deploy_verifier;
-  chain.deploy<chain::PlonkVerifierContract>(operator_keys, &deploy_verifier,
-                                             keys->vk);
+  chain::PlonkVerifierContract& verifier =
+      chain.deploy<chain::PlonkVerifierContract>(operator_keys,
+                                                 &deploy_verifier, keys->vk);
   row("Verifier contract deployment", deploy_verifier.gas_used, 1'644'969);
 
   // --- token operations (steady state: warm the per-account balance and
@@ -135,5 +141,114 @@ int main() {
   std::printf("\nshape check: one-time deployments cost ~1-1.6M gas; metadata\n");
   std::printf("operations stay around 40-110k gas — the economics argument of\n");
   std::printf("paper VI-C (NFTs store only metadata, so invocation is cheap).\n");
+
+  // --- batched settlement: per-proof verification cost vs batch size ---
+  //
+  // Settle txs carry ProofClaims; every claim sealed in one block shares
+  // ONE folded pairing check and each valid claim is charged an equal
+  // share of the pairing cost (plus two fold multiplications). We meter
+  // the verifier contract under a synthetic N-claim verdict — exactly
+  // what chain stage 2.5 installs — and cross-check the gas curve with
+  // the real wall-clock cost of the folded check itself.
+  std::printf("\n==============================================================\n");
+  std::printf("Batched settlement — per-proof verify cost vs batch size N\n");
+  std::printf("==============================================================\n");
+  std::printf("%-8s %16s %16s %14s %14s\n", "N", "gas/proof", "gas ratio",
+              "time/proof", "time speedup");
+
+  const auto proof_k =
+      plonk::prove(keys->pk, kb.cs(), srs, kb.witness(), rng);
+  if (!proof_k) {
+    std::printf("pi_k proving failed\n");
+    return 1;
+  }
+  const std::vector<Fr> pubs_k =
+      kb.cs().extract_public_inputs(kb.witness());
+
+  struct SweepPoint {
+    std::size_t n = 0;
+    std::uint64_t gas_per_proof = 0;
+    double us_per_proof = 0.0;
+  };
+  std::vector<SweepPoint> sweep;
+  for (const std::size_t n : {1u, 4u, 16u, 64u}) {
+    // Gas leg: the verdict chain stage 2.5 would install for a valid
+    // claim folded with n-1 others.
+    chain::ProofClaim claim;
+    claim.vk = &verifier.vk();
+    claim.public_inputs = pubs_k;
+    claim.proof = *proof_k;
+    const chain::ClaimVerdict verdict{&claim, /*valid=*/true,
+                                      /*batch_claims=*/n};
+    std::uint64_t gas = 0;
+    bool ok = false;
+    chain.call(alice, "batched-verify-" + std::to_string(n),
+               [&](CallContext& ctx) {
+                 ctx.set_claim_verdict(&verdict);
+                 const std::uint64_t g0 = ctx.gas().used();
+                 ok = verifier.verify(ctx, pubs_k, *proof_k);
+                 gas = ctx.gas().used() - g0;
+               });
+    if (!ok) {
+      std::printf("batched verify rejected a valid proof at N=%zu\n", n);
+      return 1;
+    }
+
+    // Time leg: the folded pairing check itself (what the batch stage
+    // actually executes), per proof, vs n individual verifies.
+    std::vector<plonk::BatchEntry> entries(
+        n, plonk::BatchEntry{&keys->vk, &pubs_k, &proof_k.value()});
+    zkdet::bench::Stopwatch fold_sw;
+    const auto res = plonk::batch_verify_attributed(entries);
+    const double fold_s = fold_sw.seconds();
+    if (!res.all_ok()) {
+      std::printf("fold rejected a valid batch at N=%zu\n", n);
+      return 1;
+    }
+    sweep.push_back({n, gas, fold_s / static_cast<double>(n) * 1e6});
+  }
+
+  // Baseline (N=1) is the inline pairing at full price.
+  const double gas_base = static_cast<double>(sweep[0].gas_per_proof);
+  const double us_base = sweep[0].us_per_proof;
+  double ratio_n16 = 0.0;
+  for (const SweepPoint& p : sweep) {
+    const double gr = gas_base / static_cast<double>(p.gas_per_proof);
+    const double ts = us_base / p.us_per_proof;
+    if (p.n == 16) ratio_n16 = gr;
+    char tbuf[32];
+    std::snprintf(tbuf, sizeof(tbuf), "%.1f us", p.us_per_proof);
+    std::printf("%-8zu %16llu %15.2fx %14s %13.2fx\n", p.n,
+                static_cast<unsigned long long>(p.gas_per_proof), gr, tbuf,
+                ts);
+  }
+
+  std::ofstream json("BENCH_aggregate.json");
+  json << "{\n  \"bench\": \"aggregate_settlement\",\n"
+       << "  \"gas_split_rule\": \"valid claim in an N>1 batch pays "
+          "2 fold muls + pairing/N; N=1 or invalid pays the full "
+          "pairing\",\n"
+       << "  \"sweep\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    json << "    {\"n\": " << sweep[i].n
+         << ", \"verify_gas_per_proof\": " << sweep[i].gas_per_proof
+         << ", \"gas_amortization\": "
+         << gas_base / static_cast<double>(sweep[i].gas_per_proof)
+         << ", \"fold_us_per_proof\": " << sweep[i].us_per_proof << "}"
+         << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"gas_amortization_n16\": " << ratio_n16
+       << ",\n  \"required_n16\": 1.5\n}\n";
+  std::printf("\nwrote BENCH_aggregate.json\n");
+
+  if (ratio_n16 < 1.5) {
+    std::printf("FAIL: per-proof gas amortization at N=16 is %.2fx "
+                "(need >= 1.5x)\n",
+                ratio_n16);
+    return 1;
+  }
+  std::printf("per-proof verification gas amortization at N=16: %.2fx "
+              "(>= 1.5x required)\n",
+              ratio_n16);
   return 0;
 }

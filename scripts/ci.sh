@@ -85,6 +85,12 @@ if [[ "$QUICK" == "1" ]]; then
   # serial-vs-parallel block/WAL divergence.
   cmake --build build -j --target bench_chain
   ./build/bench/bench_chain --quick
+  echo "=== bench: batched-settlement sweep (quick, writes BENCH_aggregate.json) ==="
+  # Per-proof verification gas vs batch size N in {1,4,16,64} under the
+  # claim-verdict gas split; exits nonzero unless amortization at N=16
+  # is >= 1.5x.
+  cmake --build build -j --target bench_table2_gas
+  ./build/bench/bench_table2_gas
   echo "=== replication: disjoint failover-matrix slice (quick) ==="
   # The tier-1 ctest above already swept kill positions 1..10; replay a
   # disjoint slice so quick runs still probe kill positions the suite

@@ -39,6 +39,12 @@ analysis tooling"):
                            (declared access sets, nonce assignment, pooled
                            batching); reviewed direct sends (ZKCP baseline,
                            mint) are annotated.
+  unbatched-verify         no inline plonk::verify() on settlement
+                           paths (src/chain, src/core) — on-chain proof
+                           checks ride the batched claim pipeline
+                           (ProverService::batch_verify folding one
+                           pairing product per sealed block); reviewed
+                           off-chain/fallback sites are annotated.
   unchecked-io             two-sided durability hygiene: outside
                            src/ledger/ no raw file IO (fstream, fopen,
                            fwrite, ::open/::write/fsync...) — durable
@@ -182,6 +188,21 @@ RULES = [
         "(nonce assignment, declared access sets, pooled batching); "
         "annotate reviewed direct sends with "
         "// zkdet-lint: allow(direct-chain-call)",
+    ),
+    Rule(
+        # Settlement-path proof checks must ride the batched claim
+        # pipeline: a tx carries its ProofClaim, chain stage 2.5 folds
+        # every claim in the sealed block into ONE pairing product, and
+        # the verifier contract consumes the verdict. An inline
+        # plonk::verify on these paths silently forfeits the
+        # amortization (and the per-entry attribution semantics).
+        "unbatched-verify",
+        r"\bplonk::verify\s*\(",
+        _in(("src/chain/", "src/core/")),
+        "settlement-path proofs verify through the batched claim "
+        "pipeline (chain/claim.hpp + ProverService::batch_verify); "
+        "annotate reviewed off-chain or fallback sites with "
+        "// zkdet-lint: allow(unbatched-verify)",
     ),
     Rule(
         # Raw file IO outside the ledger. The `(?<![\w)])::` lookbehind
@@ -372,6 +393,18 @@ SELF_TEST_CASES = [
      "auto r = sys_.pool().call(buyer, desc, fn, access);\n", None),
     ("src/chain/chain_scope_ok.cpp", "auto r = chain_.call(from, d, fn);\n",
      None),  # the chain layer itself is out of scope
+    ("src/chain/inline_verify.cpp",
+     "bool ok = plonk::verify(vk_, publics, proof);\n", "unbatched-verify"),
+    ("src/core/inline_verify.cpp",
+     "return plonk::verify(keys->vk, publics, offer.proof_p);\n",
+     "unbatched-verify"),
+    ("src/core/inline_verify_allow_ok.cpp",
+     "// zkdet-lint: allow(unbatched-verify) reviewed: off-chain check\n"
+     "return plonk::verify(keys->vk, publics, proof);\n", None),
+    ("src/chain/prepare_ok.cpp",
+     "auto pc = plonk::verify_prepare(vk_, publics, proof);\n", None),
+    ("src/plonk/verify_impl_ok.cpp",
+     "bool v = plonk::verify(vk, publics, proof);\n", None),  # out of scope
     ("src/chain/raw_stream.cpp",
      '#include <fstream>\nstd::ofstream out("state.bin");\n', "unchecked-io"),
     ("src/storage/raw_write.cpp",

@@ -1,5 +1,6 @@
 #include "chain/chain.hpp"
 
+#include "chain/claim.hpp"
 #include "crypto/sha256.hpp"
 #include "fault/fault.hpp"
 #include "fault/points.hpp"
@@ -468,6 +469,48 @@ std::vector<Receipt> Chain::execute_batch(const std::vector<BatchTx>& txs,
     included[i] = 1;
   }
 
+  // Stage 2½ — batched proof-claim verification. Every included tx's
+  // ProofClaim is folded, in canonical order, into one attributed
+  // pairing check (per SRS group; plonk bisects on fold failure), so N
+  // settle txs in a batch pay one shared pairing product instead of N.
+  // Runs before stage 3 and identically in serial and parallel mode —
+  // the verdicts (and hence gas and receipts) are a pure function of
+  // the admitted tx vector, preserving serial/parallel byte-identity.
+  std::vector<ClaimVerdict> verdicts(txs.size());
+  {
+    std::vector<std::size_t> claim_idx;
+    for (std::size_t i = 0; i < txs.size(); ++i) {
+      if (included[i] && txs[i].claim) claim_idx.push_back(i);
+    }
+    if (!claim_idx.empty()) {
+      std::vector<plonk::BatchEntry> entries;
+      entries.reserve(claim_idx.size());
+      for (const std::size_t i : claim_idx) {
+        const ProofClaim& c = *txs[i].claim;
+        entries.push_back({c.vk, &c.public_inputs, &c.proof});
+      }
+      const plonk::BatchResult folded =
+          plonk::batch_verify_attributed(entries);
+      for (std::size_t k = 0; k < claim_idx.size(); ++k) {
+        ClaimVerdict& v = verdicts[claim_idx[k]];
+        v.claim = txs[claim_idx[k]].claim.get();
+        v.valid = folded.ok[k] != 0;
+        v.batch_claims = claim_idx.size();
+      }
+      runtime::counters::settle_batches.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      runtime::counters::settle_claims.fetch_add(claim_idx.size(),
+                                                 std::memory_order_relaxed);
+      // Gauge: remember the largest fold (relaxed racy max is fine).
+      std::uint64_t cur = runtime::counters::settle_max_fold.load(
+          std::memory_order_relaxed);
+      while (cur < claim_idx.size() &&
+             !runtime::counters::settle_max_fold.compare_exchange_weak(
+                 cur, claim_idx.size(), std::memory_order_relaxed)) {
+      }
+    }
+  }
+
   // Stage 3 — captured execution. Each tx buffers every effect in its
   // own TxExecCapture; chain state is not mutated here, so the
   // scheduler's conflict-free batches run concurrently. Failed txs are
@@ -500,6 +543,7 @@ std::vector<Receipt> Chain::execute_batch(const std::vector<BatchTx>& txs,
         transfer(t.sender, t.pay_to, t.value);
       }
       CallContext ctx(*this, t.sender, t.value, meter);
+      if (verdicts[i].claim != nullptr) ctx.set_claim_verdict(&verdicts[i]);
       if (t.fn) t.fn(ctx);
       rc.success = true;
       rec.events = ctx.events();

@@ -130,6 +130,8 @@ struct Receipt {
 
 class Chain;
 class CallContext;
+struct ProofClaim;    // chain/claim.hpp
+struct ClaimVerdict;  // chain/claim.hpp
 
 // Declared-access authorization for batched execution (implemented by
 // src/txpool over a tx intent's declared read/write sets). While a
@@ -161,6 +163,10 @@ struct BatchTx {
   Address pay_to;
   std::uint64_t gas_limit = 30'000'000;
   const TxAccessPolicy* policy = nullptr;  // nullptr = unrestricted
+  // Optional pre-execution proof claim (chain/claim.hpp): folded with
+  // the batch's other claims into one attributed pairing check before
+  // stage 3, with the verdict served to the closure's verifier call.
+  std::shared_ptr<const ProofClaim> claim;
 };
 
 // Per-transaction execution capture: while one is installed (thread-
@@ -204,6 +210,14 @@ class CallContext {
 
   [[nodiscard]] std::vector<Event>& events() { return events_; }
 
+  // Batched-settlement verdict for this tx's proof claim (nullptr when
+  // the tx carried none, or outside batch execution). Installed by
+  // Chain::execute_batch; consumed by PlonkVerifierContract::verify.
+  [[nodiscard]] const ClaimVerdict* claim_verdict() const {
+    return claim_verdict_;
+  }
+  void set_claim_verdict(const ClaimVerdict* v) { claim_verdict_ = v; }
+
   // EVM msg.sender semantics for contract-to-contract calls: while a
   // SenderScope is alive, ctx.sender() reports the calling contract's
   // address instead of the originating account.
@@ -228,6 +242,7 @@ class CallContext {
   std::uint64_t value_;
   GasMeter& gas_;
   std::vector<Event> events_;
+  const ClaimVerdict* claim_verdict_ = nullptr;
 };
 
 // Gas-metered contract storage: a flat key -> field-element map with

@@ -19,7 +19,11 @@ class PlonkVerifierContract : public Contract {
                                  std::string label = "PlonkVerifier");
 
   // Gas-metered verification; returns the verdict (does not revert on an
-  // invalid proof so callers can branch).
+  // invalid proof so callers can branch). When the enclosing batch tx
+  // carried a matching ProofClaim (chain/claim.hpp), the pre-folded
+  // attributed verdict is consumed instead of re-running the pairing,
+  // and each valid claim is charged an equal share of the shared
+  // pairing cost — the batched-settlement fast path.
   bool verify(CallContext& ctx, const std::vector<Fr>& public_inputs,
               const plonk::Proof& proof) const;
 

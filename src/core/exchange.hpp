@@ -17,6 +17,8 @@
 // ell-term G1 MSM + 3 pairings; see Groth16CostVerifier).
 #pragma once
 
+#include <span>
+
 #include "core/system.hpp"
 #include "core/transformation.hpp"
 
@@ -76,9 +78,27 @@ class KeySecureExchange {
       const chain::Address& seller = {});
 
   // Seller: derive k_c = k + k_v, prove pi_k, settle on-chain. Returns
-  // false if the chain rejects (e.g. forged k_v hash).
+  // false if the chain rejects (e.g. forged k_v hash). The settle tx
+  // carries a ProofClaim, so it rides the batched verification path:
+  // every settle landing in the same sealed batch shares ONE folded
+  // pairing check (a batch of one degenerates to the inline check).
   bool settle(const crypto::KeyPair& seller, const OwnedAsset& asset,
               std::uint64_t exchange_id, const Fr& k_v);
+
+  // One pending settlement of a batched settle call.
+  struct SettleRequest {
+    const crypto::KeyPair* seller = nullptr;
+    const OwnedAsset* asset = nullptr;
+    std::uint64_t exchange_id = 0;
+    Fr k_v;
+  };
+  // Batched settlement: proves every pi_k, submits all settle txs with
+  // their proof claims, then pumps the pool to completion. Settles that
+  // are conflict-free (distinct sellers on distinct arbiter shards)
+  // seal into one batch and share a single folded pairing check; an
+  // invalid entry is attributed by bisection and reverts alone while
+  // the honest ones commit. Returns per-request success, index-aligned.
+  std::vector<bool> settle_batch(std::span<const SettleRequest> requests);
 
   // Buyer: read k_c off-chain state, recover k, fetch and decrypt.
   [[nodiscard]] std::optional<std::vector<Fr>> recover_data(
@@ -103,6 +123,13 @@ class KeySecureExchange {
   [[nodiscard]] bool verify_sample(const Sample& sample) const;
 
  private:
+  // Shared by settle()/settle_batch(): sanity checks, proves pi_k and
+  // builds the signed settle intent carrying its ProofClaim. nullopt on
+  // any seller-side rejection (bad k_v, foreign asset, prover failure).
+  std::optional<txpool::TxIntent> make_settle_intent(
+      const crypto::KeyPair& seller, const OwnedAsset& asset,
+      std::uint64_t exchange_id, const Fr& k_v);
+
   ZkdetSystem& sys_;
   TransformationProtocol& transform_;
 };
@@ -125,6 +152,19 @@ class ZkcpExchange {
   // Seller reveals k on-chain to redeem (the leak).
   bool open(const crypto::KeyPair& seller, const OwnedAsset& asset,
             std::uint64_t exchange_id);
+
+  // One pending open of a batched redeem call.
+  struct OpenRequest {
+    const crypto::KeyPair* seller = nullptr;
+    const OwnedAsset* asset = nullptr;
+    std::uint64_t exchange_id = 0;
+  };
+  // Batched redeem: accumulates all opens in the pool, then pumps to
+  // completion. ZKCP settlement carries no pairing work (a Poseidon
+  // preimage check), so there is nothing to fold — this batches for
+  // block throughput, not gas amortization (DESIGN.md). Returns
+  // per-request success, index-aligned.
+  std::vector<bool> open_batch(std::span<const OpenRequest> requests);
 
   // ANY third party can now decrypt the public ciphertext — this is the
   // vulnerability the key-secure protocol eliminates.

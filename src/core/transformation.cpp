@@ -21,6 +21,7 @@ bool TransformationProtocol::verify_shape(const std::string& shape_id,
                                           const plonk::Proof& proof) const {
   const plonk::KeyPairResult* keys = sys_.find_keys(shape_id);
   if (keys == nullptr) return false;
+  // zkdet-lint: allow(unbatched-verify) reviewed: off-chain client check
   return plonk::verify(keys->vk, publics, proof);
 }
 

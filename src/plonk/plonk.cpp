@@ -1,6 +1,7 @@
 #include "plonk/plonk.hpp"
 
 #include <array>
+#include <functional>
 
 #include "check/check.hpp"
 #include "check/invariants.hpp"
@@ -673,17 +674,67 @@ bool verify(const VerifyingKey& vk, const std::vector<Fr>& public_inputs,
                                     vk.g2_gen);
 }
 
-bool batch_verify(std::span<const BatchEntry> entries) {
-  if (entries.empty()) return true;
-  const VerifyingKey& vk0 = *entries[0].vk;
-  for (const BatchEntry& e : entries) {
-    // The folded check is only sound when every entry shares the SRS.
-    if (!(e.vk->g2_gen == vk0.g2_gen) || !(e.vk->g2_tau == vk0.g2_tau)) {
-      return false;
-    }
+bool BatchResult::all_ok() const {
+  for (const std::uint8_t v : ok) {
+    if (v == 0) return false;
   }
+  return true;
+}
 
-  // Per-proof scalar work is independent; prepare in parallel.
+std::size_t BatchResult::invalid_count() const {
+  std::size_t n = 0;
+  for (const std::uint8_t v : ok) n += (v == 0) ? 1 : 0;
+  return n;
+}
+
+namespace {
+
+// One weighted fold over `idx` (indices into `entries`/`checks`), all
+// sharing an SRS: accept iff the random linear combination of the
+// entries' pairing checks passes one 2-pairing product. A fresh
+// transcript is built per call so bisection sub-batches draw
+// independent weights; every entry contributes a challenge-derived
+// weight (no fixed r_0 = 1) bound to its position, statement and proof
+// bytes, so a repeated entry cannot cancel against itself.
+bool fold_check(std::span<const BatchEntry> entries,
+                std::span<const std::optional<PairingCheck>> checks,
+                std::span<const std::size_t> idx) {
+  const VerifyingKey& vk0 = *entries[idx.front()].vk;
+  if (idx.size() == 1) {
+    // Degenerate fold: run exactly the pairing check verify() runs, so
+    // a batch of one is outcome-identical to individual verification.
+    const PairingCheck& c = *checks[idx.front()];
+    return ec::pairing_product_is_one(c.lhs, vk0.g2_tau, -c.rhs, vk0.g2_gen);
+  }
+  Transcript t("zkdet-batch-verify");
+  t.absorb_u64(idx.size());
+  for (const std::size_t i : idx) {
+    t.absorb_u64(i);
+    entries[i].vk->bind_transcript(t);
+    for (const Fr& x : *entries[i].public_inputs) t.absorb_fr(x);
+    t.absorb_bytes(entries[i].proof->to_bytes());
+  }
+  G1 lhs = G1::identity();
+  G1 rhs = G1::identity();
+  for (const std::size_t i : idx) {
+    const Fr r = t.challenge("batch-r");
+    lhs += checks[i]->lhs.mul(r);
+    rhs += checks[i]->rhs.mul(r);
+  }
+  return ec::pairing_product_is_one(lhs, vk0.g2_tau, -rhs, vk0.g2_gen);
+}
+
+}  // namespace
+
+BatchResult batch_verify_attributed(std::span<const BatchEntry> entries) {
+  BatchResult out;
+  out.ok.assign(entries.size(), 0);
+  if (entries.empty()) return out;
+
+  // Per-proof scalar work is independent; prepare in parallel. A
+  // structural failure (wrong public-input count, off-curve point,
+  // non-subgroup G2) is attributed to its entry here instead of
+  // rejecting the whole batch.
   std::vector<std::optional<PairingCheck>> checks(entries.size());
   runtime::ThreadPool::instance().parallel_for(
       entries.size(), 1, [&](std::size_t lo, std::size_t hi) {
@@ -692,26 +743,56 @@ bool batch_verify(std::span<const BatchEntry> entries) {
                                      *entries[i].proof);
         }
       });
-  for (const auto& c : checks) {
-    if (!c) return false;
-  }
 
-  // Fold with weights bound to the whole batch: r_0 = 1, r_i from a
-  // transcript that absorbed every statement and proof.
-  Transcript t("zkdet-batch-verify");
-  for (const BatchEntry& e : entries) {
-    e.vk->bind_transcript(t);
-    for (const Fr& x : *e.public_inputs) t.absorb_fr(x);
-    t.absorb_bytes(e.proof->to_bytes());
+  // Group surviving entries by SRS in first-appearance order: the fold
+  // is only sound within one (g2_gen, g2_tau) pair, but an entry under
+  // a foreign SRS is its own (attributable) group, not a batch error.
+  std::vector<std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (!checks[i]) continue;
+    const VerifyingKey& vk = *entries[i].vk;
+    bool placed = false;
+    for (auto& g : groups) {
+      const VerifyingKey& gvk = *entries[g.front()].vk;
+      if (vk.g2_gen == gvk.g2_gen && vk.g2_tau == gvk.g2_tau) {
+        g.push_back(i);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) groups.push_back({i});
   }
-  G1 lhs = checks[0]->lhs;
-  G1 rhs = checks[0]->rhs;
-  for (std::size_t i = 1; i < checks.size(); ++i) {
-    const Fr r = t.challenge("batch-r");
-    lhs += checks[i]->lhs.mul(r);
-    rhs += checks[i]->rhs.mul(r);
-  }
-  return ec::pairing_product_is_one(lhs, vk0.g2_tau, -rhs, vk0.g2_gen);
+  out.srs_groups = groups.size();
+
+  // Fold each group; on failure bisect to attribution. A sub-batch of
+  // one that fails is the (an) offending entry; everything in a passing
+  // sub-batch is accepted. Worst case (all forged) this costs 2N-1
+  // pairing products — still linear, and only paid under attack.
+  const std::function<void(std::span<const std::size_t>)> attribute =
+      [&](std::span<const std::size_t> idx) {
+        ++out.pairing_checks;
+        if (fold_check(entries, checks, idx)) {
+          for (const std::size_t i : idx) out.ok[i] = 1;
+          return;
+        }
+        if (idx.size() == 1) return;  // attributed invalid (ok stays 0)
+        const std::size_t mid = idx.size() / 2;
+        attribute(idx.first(mid));
+        attribute(idx.subspan(mid));
+      };
+  for (const auto& g : groups) attribute(g);
+
+  runtime::counters::batch_fold_checks.fetch_add(out.pairing_checks,
+                                                 std::memory_order_relaxed);
+  runtime::counters::batch_entries_folded.fetch_add(entries.size(),
+                                                    std::memory_order_relaxed);
+  runtime::counters::batch_invalid_attributed.fetch_add(
+      out.invalid_count(), std::memory_order_relaxed);
+  return out;
+}
+
+bool batch_verify(std::span<const BatchEntry> entries) {
+  return batch_verify_attributed(entries).all_ok();
 }
 
 }  // namespace zkdet::plonk

@@ -108,18 +108,43 @@ std::optional<PairingCheck> verify_prepare(const VerifyingKey& vk,
                                            const Proof& proof);
 
 // One proof in a batch-verification call. Pointed-to data must outlive
-// the call; verifying keys may differ per entry but must share the SRS
-// (identical [1]_2 / [tau]_2).
+// the call; verifying keys may differ per entry. Entries sharing the
+// SRS (identical [1]_2 / [tau]_2) fold into one pairing product;
+// entries under a foreign SRS are grouped and checked separately
+// rather than poisoning the batch.
 struct BatchEntry {
   const VerifyingKey* vk = nullptr;
   const std::vector<Fr>* public_inputs = nullptr;
   const Proof* proof = nullptr;
 };
 
-// Accepts iff every entry verifies. The per-proof pairing checks are
-// folded with Fiat-Shamir-derived random weights into a single 2-pairing
-// product, sharing the pairing-side work across the batch. A forged
-// proof escapes only with probability ~1/r.
+// Per-entry outcome of an attributed batch verification.
+struct BatchResult {
+  // ok[i] != 0 iff entry i verifies (same verdict plain verify() would
+  // return for that entry alone).
+  std::vector<std::uint8_t> ok;
+  // 2-pairing products actually evaluated: one per all-valid SRS group,
+  // plus the bisection probes needed to attribute failures.
+  std::size_t pairing_checks = 0;
+  // Distinct (g2_gen, g2_tau) groups folded.
+  std::size_t srs_groups = 0;
+
+  [[nodiscard]] bool all_ok() const;
+  [[nodiscard]] std::size_t invalid_count() const;
+};
+
+// Attributed batch verification: folds the per-proof pairing checks
+// with Fiat-Shamir-derived random weights into one 2-pairing product
+// per SRS group, and on fold failure bisects (fresh transcript per
+// sub-batch) until every invalid entry is individually attributed —
+// honest entries in a batch with a forged one still verify. Weights are
+// bound to every statement AND its batch position, so duplicate entries
+// draw distinct weights and cannot cancel. A batch of one skips the
+// fold and runs the exact pairing check verify() runs. A forged proof
+// escapes a fold only with probability ~1/r.
+BatchResult batch_verify_attributed(std::span<const BatchEntry> entries);
+
+// Accepts iff every entry verifies (batch_verify_attributed().all_ok()).
 bool batch_verify(std::span<const BatchEntry> entries);
 
 }  // namespace zkdet::plonk

@@ -146,11 +146,16 @@ ProveOutcome ProverService::prove_with_retry(const ProofJob& job,
 }
 
 bool ProverService::batch_verify(std::span<const plonk::BatchEntry> entries) {
+  return batch_verify_attributed(entries).all_ok();
+}
+
+plonk::BatchResult ProverService::batch_verify_attributed(
+    std::span<const plonk::BatchEntry> entries) {
   counters::batch_verifications.fetch_add(1, std::memory_order_relaxed);
   counters::proofs_verified.fetch_add(entries.size(),
                                       std::memory_order_relaxed);
   ScopedTimer timer(counters::verify_ns);
-  return plonk::batch_verify(entries);
+  return plonk::batch_verify_attributed(entries);
 }
 
 std::size_t ProverService::key_cache_size() const {

@@ -131,9 +131,13 @@ class ProverService {
   ProveOutcome prove_with_retry(const ProofJob& job, RetryPolicy policy = {});
 
   // Verifies all (vk, publics, proof) triples with one shared pairing
-  // product; all verifying keys must come from the same SRS. Empty
-  // input verifies trivially.
+  // product per SRS group. Empty input verifies trivially.
   static bool batch_verify(std::span<const plonk::BatchEntry> entries);
+
+  // Attributed variant: per-entry verdicts with fold-failure bisection,
+  // so one forged proof no longer rejects (or DoSes) the whole batch.
+  static plonk::BatchResult batch_verify_attributed(
+      std::span<const plonk::BatchEntry> entries);
 
   [[nodiscard]] std::size_t key_cache_size() const;
   [[nodiscard]] std::size_t key_cache_capacity() const { return capacity_; }

@@ -11,6 +11,12 @@ std::atomic<std::uint64_t> key_cache_misses{0};
 std::atomic<std::uint64_t> key_cache_evictions{0};
 std::atomic<std::uint64_t> proofs_verified{0};
 std::atomic<std::uint64_t> batch_verifications{0};
+std::atomic<std::uint64_t> batch_fold_checks{0};
+std::atomic<std::uint64_t> batch_entries_folded{0};
+std::atomic<std::uint64_t> batch_invalid_attributed{0};
+std::atomic<std::uint64_t> settle_batches{0};
+std::atomic<std::uint64_t> settle_claims{0};
+std::atomic<std::uint64_t> settle_max_fold{0};
 std::atomic<std::uint64_t> parallel_regions{0};
 std::atomic<std::uint64_t> chunks_executed{0};
 std::atomic<std::uint64_t> chunks_stolen{0};
@@ -47,6 +53,16 @@ StatsSnapshot stats() {
   s.proofs_verified = counters::proofs_verified.load(std::memory_order_relaxed);
   s.batch_verifications =
       counters::batch_verifications.load(std::memory_order_relaxed);
+  s.batch_fold_checks =
+      counters::batch_fold_checks.load(std::memory_order_relaxed);
+  s.batch_entries_folded =
+      counters::batch_entries_folded.load(std::memory_order_relaxed);
+  s.batch_invalid_attributed =
+      counters::batch_invalid_attributed.load(std::memory_order_relaxed);
+  s.settle_batches = counters::settle_batches.load(std::memory_order_relaxed);
+  s.settle_claims = counters::settle_claims.load(std::memory_order_relaxed);
+  s.settle_max_fold =
+      counters::settle_max_fold.load(std::memory_order_relaxed);
   s.parallel_regions =
       counters::parallel_regions.load(std::memory_order_relaxed);
   s.chunks_executed = counters::chunks_executed.load(std::memory_order_relaxed);
@@ -90,6 +106,12 @@ void reset_stats() {
   counters::key_cache_evictions.store(0, std::memory_order_relaxed);
   counters::proofs_verified.store(0, std::memory_order_relaxed);
   counters::batch_verifications.store(0, std::memory_order_relaxed);
+  counters::batch_fold_checks.store(0, std::memory_order_relaxed);
+  counters::batch_entries_folded.store(0, std::memory_order_relaxed);
+  counters::batch_invalid_attributed.store(0, std::memory_order_relaxed);
+  counters::settle_batches.store(0, std::memory_order_relaxed);
+  counters::settle_claims.store(0, std::memory_order_relaxed);
+  counters::settle_max_fold.store(0, std::memory_order_relaxed);
   counters::parallel_regions.store(0, std::memory_order_relaxed);
   counters::chunks_executed.store(0, std::memory_order_relaxed);
   counters::chunks_stolen.store(0, std::memory_order_relaxed);

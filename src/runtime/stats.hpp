@@ -28,6 +28,14 @@ struct StatsSnapshot {
   // Batch verification.
   std::uint64_t proofs_verified = 0;
   std::uint64_t batch_verifications = 0;
+  // Attributed batch verification (plonk::batch_verify_attributed).
+  std::uint64_t batch_fold_checks = 0;        // pairing products evaluated
+  std::uint64_t batch_entries_folded = 0;     // entries processed
+  std::uint64_t batch_invalid_attributed = 0; // entries attributed invalid
+  // Batched settlement (Chain::execute_batch pre-execution claim stage).
+  std::uint64_t settle_batches = 0;   // batches with >= 1 proof claim
+  std::uint64_t settle_claims = 0;    // settle claims pre-verified
+  std::uint64_t settle_max_fold = 0;  // gauge: largest claim fold so far
   // Thread pool.
   std::uint64_t parallel_regions = 0;
   std::uint64_t chunks_executed = 0;
@@ -70,6 +78,12 @@ extern std::atomic<std::uint64_t> key_cache_misses;
 extern std::atomic<std::uint64_t> key_cache_evictions;
 extern std::atomic<std::uint64_t> proofs_verified;
 extern std::atomic<std::uint64_t> batch_verifications;
+extern std::atomic<std::uint64_t> batch_fold_checks;
+extern std::atomic<std::uint64_t> batch_entries_folded;
+extern std::atomic<std::uint64_t> batch_invalid_attributed;
+extern std::atomic<std::uint64_t> settle_batches;
+extern std::atomic<std::uint64_t> settle_claims;
+extern std::atomic<std::uint64_t> settle_max_fold;
 extern std::atomic<std::uint64_t> parallel_regions;
 extern std::atomic<std::uint64_t> chunks_executed;
 extern std::atomic<std::uint64_t> chunks_stolen;

@@ -33,6 +33,11 @@ struct TxIntent {
   // with strictly higher priority.
   std::uint64_t priority = 0;
   AccessSet access;
+  // Optional pre-execution proof claim (chain/claim.hpp): settlement
+  // intents attach the (vk, statement, proof) their closure will
+  // verify, so the batch executor folds all of a batch's pairing
+  // checks into one attributed product before execution.
+  std::shared_ptr<const chain::ProofClaim> claim;
 };
 
 // Builds a signed intent (signature over Chain::tx_auth_message, same
@@ -41,7 +46,8 @@ struct TxIntent {
     const crypto::KeyPair& sender, std::uint64_t nonce,
     std::string description, std::function<void(chain::CallContext&)> fn,
     AccessSet access = {}, std::uint64_t value = 0, chain::Address pay_to = {},
-    std::uint64_t gas_limit = 30'000'000, std::uint64_t priority = 0);
+    std::uint64_t gas_limit = 30'000'000, std::uint64_t priority = 0,
+    std::shared_ptr<const chain::ProofClaim> claim = {});
 
 // Resolves when the tx leaves the pool: sealed into a block (receipt
 // from execution), rejected as stale, or replaced. `ready` is written

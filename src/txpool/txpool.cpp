@@ -35,7 +35,8 @@ TxIntent make_intent(const crypto::KeyPair& sender, std::uint64_t nonce,
                      std::function<void(chain::CallContext&)> fn,
                      AccessSet access, std::uint64_t value,
                      chain::Address pay_to, std::uint64_t gas_limit,
-                     std::uint64_t priority) {
+                     std::uint64_t priority,
+                     std::shared_ptr<const chain::ProofClaim> claim) {
   TxIntent in;
   in.sender = crypto::address_of(sender.pk);
   in.nonce = nonce;
@@ -45,6 +46,7 @@ TxIntent make_intent(const crypto::KeyPair& sender, std::uint64_t nonce,
   in.pay_to = std::move(pay_to);
   in.gas_limit = gas_limit;
   in.priority = priority;
+  in.claim = std::move(claim);
   // Same deterministic signing stream as Chain::call, so a pooled tx
   // and a direct call with identical (sender, description, nonce) yield
   // identical signatures — and identical WAL bytes.
@@ -142,6 +144,7 @@ std::size_t TxPool::seal_next_batch() {
     b.value = in.value;
     b.pay_to = in.pay_to;
     b.gas_limit = in.gas_limit;
+    b.claim = in.claim;
     policies.emplace_back(in.access);
     batch.push_back(std::move(b));
   }
@@ -179,10 +182,12 @@ chain::Receipt TxPool::call(const crypto::KeyPair& sender,
                             const std::function<void(chain::CallContext&)>& fn,
                             AccessSet access, std::uint64_t value,
                             const chain::Address& pay_to,
-                            std::uint64_t gas_limit) {
+                            std::uint64_t gas_limit,
+                            std::shared_ptr<const chain::ProofClaim> claim) {
   const chain::Address from = crypto::address_of(sender.pk);
   auto res = submit(make_intent(sender, next_nonce(from), description, fn,
-                                std::move(access), value, pay_to, gas_limit));
+                                std::move(access), value, pay_to, gas_limit,
+                                /*priority=*/0, std::move(claim)));
   if (!res.accepted) {
     chain::Receipt r;
     r.error = std::move(res.error);

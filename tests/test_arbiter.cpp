@@ -1,8 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <filesystem>
+
 #include "chain/arbiter.hpp"
+#include "chain/claim.hpp"
 #include "core/circuits.hpp"
 #include "core/system.hpp"
+#include "fault/fault.hpp"
+#include "fault/points.hpp"
+#include "ledger/ledger.hpp"
+#include "runtime/stats.hpp"
+#include "txpool/intent.hpp"
 
 namespace zkdet::chain {
 namespace {
@@ -323,6 +332,396 @@ TEST_F(ArbiterFixture, VerifierContractChargesGas) {
   // EIP-1108 floor: pairing (45k + 2*34k) + 18 muls (108k)
   EXPECT_GT(gas, 200'000u);
   EXPECT_LT(gas, 400'000u);
+}
+
+// ---------------------------------------------------------------------
+// Batched settlement: settle txs carrying ProofClaims seal into one
+// block and share a single folded pairing check (chain stage 2.5).
+// Settles conflict on their arbiter shard, so the fixture deploys four
+// shards — four locks on four shards fold into one batch.
+// ---------------------------------------------------------------------
+
+// One exchange's cast: a funded seller/buyer pair plus key material.
+struct Party {
+  KeyPair seller_keys;
+  KeyPair buyer_keys;
+  Address seller;
+  Address buyer;
+  Fr k;
+  Fr o;
+  Fr key_cm;
+};
+
+Party make_party(core::ZkdetSystem& sys, Drbg& rng) {
+  Party p{KeyPair::generate(rng), KeyPair::generate(rng), {}, {},
+          rng.random_fr(),        rng.random_fr(),        Fr::zero()};
+  p.seller = sys.chain().create_account(p.seller_keys, 100000);
+  p.buyer = sys.chain().create_account(p.buyer_keys, 100000);
+  p.key_cm = commit_key(p.k, p.o);
+  return p;
+}
+
+// Signed settle intent carrying its ProofClaim — the same shape
+// core::KeySecureExchange::make_settle_intent builds, constructed by
+// hand so tests can attach deliberately invalid proofs.
+txpool::TxIntent claimed_settle(core::ZkdetSystem& sys,
+                                const KeyPair& seller_keys, std::uint64_t id,
+                                const Fr& k_c, const plonk::Proof& proof) {
+  auto& arb = sys.arbiter_for_exchange(id);
+  const auto xinfo = arb.exchange(id);
+  auto claim = std::make_shared<ProofClaim>();
+  claim->vk = &sys.key_verifier().vk();
+  claim->public_inputs = {k_c, xinfo->key_commitment, xinfo->h_v};
+  claim->proof = proof;
+  txpool::AccessSet access;
+  access.write_contract(arb.address())
+      .touch_account(arb.address())
+      .touch_account(xinfo->seller);
+  return txpool::make_intent(
+      seller_keys,
+      sys.pool().next_nonce(crypto::address_of(seller_keys.pk)),
+      "arbiter.settle",
+      [arbp = &arb, id, k_c, claim](CallContext& ctx) {
+        arbp->settle(ctx, id, k_c, claim->proof);
+      },
+      std::move(access), /*value=*/0, /*pay_to=*/{},
+      /*gas_limit=*/30'000'000, /*priority=*/0, claim);
+}
+
+struct BatchedArbiterFixture : ::testing::Test {
+  static constexpr std::size_t kShards = 4;
+  static core::ZkdetSystem& sys() {
+    static core::ZkdetSystem s(1 << 12, 11, /*data_dir=*/"", {}, kShards);
+    return s;
+  }
+
+  Drbg rng{17};
+
+  // Lock `amount` on shard `shard` for party `p`; returns exchange id.
+  std::uint64_t lock_on(std::size_t shard, const Party& p,
+                        std::uint64_t amount, const Fr& h_v,
+                        std::uint64_t timeout = 200) {
+    std::uint64_t id = 0;
+    auto& arb = sys().arbiter_shard(shard);
+    const Receipt r = sys().chain().call(
+        p.buyer_keys, "lock",
+        [&](CallContext& ctx) {
+          id = arb.lock(ctx, p.seller, h_v, p.key_cm, timeout);
+        },
+        amount, arb.address());
+    EXPECT_TRUE(r.success) << r.error;
+    return id;
+  }
+
+  std::optional<plonk::Proof> prove_key(const Party& p, const Fr& k_v) {
+    gadgets::CircuitBuilder bld = build_key_circuit(p.k, p.o, k_v);
+    const auto& keys = sys().keys_for("pi_k", bld.cs());
+    return plonk::prove(keys.pk, bld.cs(), sys().srs(), bld.witness(), rng);
+  }
+};
+
+TEST_F(BatchedArbiterFixture, BatchedSettleFoldsOneCheckAndAmortizesGas) {
+  // Four independent exchanges, one per shard: their settles are
+  // conflict-free and must seal as ONE block with ONE folded check.
+  std::vector<Party> parties;
+  std::vector<std::uint64_t> ids;
+  std::vector<Fr> kvs;
+  std::vector<plonk::Proof> proofs;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    parties.push_back(make_party(sys(), rng));
+    const Fr k_v = rng.random_fr();
+    kvs.push_back(k_v);
+    ids.push_back(lock_on(s, parties.back(), 500 + s, hash_key(k_v)));
+    auto proof = prove_key(parties.back(), k_v);
+    ASSERT_TRUE(proof);
+    proofs.push_back(*proof);
+  }
+
+  // Reference point: a batch of ONE degenerates to the inline pairing
+  // and pays the full verification price.
+  Party solo = make_party(sys(), rng);
+  const Fr solo_kv = rng.random_fr();
+  const std::uint64_t solo_id = lock_on(0, solo, 700, hash_key(solo_kv));
+  auto solo_proof = prove_key(solo, solo_kv);
+  ASSERT_TRUE(solo_proof);
+  auto solo_res = sys().pool().submit(
+      claimed_settle(sys(), solo.seller_keys, solo_id, solo.k + solo_kv,
+                     *solo_proof));
+  ASSERT_TRUE(solo_res.accepted);
+  ASSERT_GT(sys().pool().drain(), 0u);
+  ASSERT_TRUE(solo_res.ticket->receipt.success)
+      << solo_res.ticket->receipt.error;
+  const std::uint64_t solo_gas = solo_res.ticket->receipt.gas_used;
+
+  const auto before = runtime::stats();
+  std::vector<txpool::TicketPtr> tickets;
+  std::vector<std::uint64_t> sellers_before;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    sellers_before.push_back(sys().chain().balance(parties[i].seller));
+    auto res = sys().pool().submit(claimed_settle(
+        sys(), parties[i].seller_keys, ids[i], parties[i].k + kvs[i],
+        proofs[i]));
+    ASSERT_TRUE(res.accepted) << res.error;
+    tickets.push_back(res.ticket);
+  }
+  ASSERT_EQ(sys().pool().drain(), kShards);
+
+  const auto after = runtime::stats();
+  for (std::size_t i = 0; i < kShards; ++i) {
+    ASSERT_TRUE(tickets[i]->done());
+    EXPECT_TRUE(tickets[i]->receipt.success) << tickets[i]->receipt.error;
+    EXPECT_EQ(sys().chain().balance(parties[i].seller),
+              sellers_before[i] + 500 + i);
+    EXPECT_EQ(sys().arbiter_for_exchange(ids[i]).exchange(ids[i])->state,
+              ExchangeState::kSettled);
+    // Gas amortization: a 4-way batch splits the shared pairing cost,
+    // so each settle is visibly cheaper than the batch-of-1 settle.
+    EXPECT_LT(tickets[i]->receipt.gas_used + 50'000, solo_gas);
+  }
+  // All four claims folded into one check in one batch.
+  EXPECT_EQ(after.settle_batches, before.settle_batches + 1);
+  EXPECT_EQ(after.settle_claims, before.settle_claims + kShards);
+  EXPECT_EQ(after.settle_max_fold, kShards);
+  EXPECT_GT(after.batch_fold_checks, before.batch_fold_checks);
+}
+
+TEST_F(BatchedArbiterFixture, BatchedSettleAttributesForgeryHonestCommit) {
+  // 1 bad among N: the forged settle must revert alone while the three
+  // honest ones commit from the same sealed batch.
+  constexpr std::size_t kBad = 2;
+  std::vector<Party> parties;
+  std::vector<std::uint64_t> ids;
+  std::vector<Fr> kvs;
+  std::vector<txpool::TicketPtr> tickets;
+  std::vector<std::uint64_t> sellers_before;
+  const auto before = runtime::stats();
+  for (std::size_t s = 0; s < kShards; ++s) {
+    parties.push_back(make_party(sys(), rng));
+    const Fr k_v = rng.random_fr();
+    kvs.push_back(k_v);
+    ids.push_back(lock_on(s, parties.back(), 400, hash_key(k_v)));
+    // The forger proves a well-formed pi_k for the WRONG k_v: the proof
+    // survives structural checks and only dies at the pairing, so only
+    // fold-failure bisection can attribute it.
+    const Fr proven_kv = (s == kBad) ? rng.random_fr() : k_v;
+    auto proof = prove_key(parties.back(), proven_kv);
+    ASSERT_TRUE(proof);
+    sellers_before.push_back(sys().chain().balance(parties.back().seller));
+    auto res = sys().pool().submit(claimed_settle(
+        sys(), parties.back().seller_keys, ids.back(),
+        parties.back().k + k_v, *proof));
+    ASSERT_TRUE(res.accepted) << res.error;
+    tickets.push_back(res.ticket);
+  }
+  ASSERT_EQ(sys().pool().drain(), kShards);
+
+  for (std::size_t i = 0; i < kShards; ++i) {
+    ASSERT_TRUE(tickets[i]->done());
+    const auto& r = tickets[i]->receipt;
+    const auto state =
+        sys().arbiter_for_exchange(ids[i]).exchange(ids[i])->state;
+    if (i == kBad) {
+      EXPECT_FALSE(r.success);
+      EXPECT_NE(r.error.find("invalid key proof"), std::string::npos)
+          << r.error;
+      EXPECT_EQ(state, ExchangeState::kLocked);
+      EXPECT_EQ(sys().chain().balance(parties[i].seller), sellers_before[i]);
+    } else {
+      EXPECT_TRUE(r.success) << r.error;
+      EXPECT_EQ(state, ExchangeState::kSettled);
+      EXPECT_EQ(sys().chain().balance(parties[i].seller),
+                sellers_before[i] + 400);
+    }
+  }
+  const auto after = runtime::stats();
+  EXPECT_GT(after.batch_invalid_attributed, before.batch_invalid_attributed);
+
+  // Idempotency after failed attribution: the honest resubmission for
+  // the reverted exchange is accepted EXACTLY once.
+  auto good = prove_key(parties[kBad], kvs[kBad]);
+  ASSERT_TRUE(good);
+  auto retry = sys().pool().submit(claimed_settle(
+      sys(), parties[kBad].seller_keys, ids[kBad],
+      parties[kBad].k + kvs[kBad], *good));
+  ASSERT_TRUE(retry.accepted);
+  ASSERT_GT(sys().pool().drain(), 0u);
+  EXPECT_TRUE(retry.ticket->receipt.success) << retry.ticket->receipt.error;
+  EXPECT_EQ(sys().chain().balance(parties[kBad].seller),
+            sellers_before[kBad] + 400);
+  auto replay = sys().pool().submit(claimed_settle(
+      sys(), parties[kBad].seller_keys, ids[kBad],
+      parties[kBad].k + kvs[kBad], *good));
+  ASSERT_TRUE(replay.accepted);
+  ASSERT_GT(sys().pool().drain(), 0u);
+  EXPECT_FALSE(replay.ticket->receipt.success);
+  EXPECT_EQ(sys().chain().balance(parties[kBad].seller),
+            sellers_before[kBad] + 400);
+}
+
+TEST_F(BatchedArbiterFixture, BatchedDoubleSettleAndRefundAfterSettleReject) {
+  // The classic double-settle / refund-after-settle guarantees must
+  // hold when the first settle rode the batched path.
+  std::vector<Party> parties;
+  std::vector<std::uint64_t> ids;
+  std::vector<Fr> kvs;
+  std::vector<plonk::Proof> proofs;
+  for (std::size_t s = 0; s < 2; ++s) {
+    parties.push_back(make_party(sys(), rng));
+    const Fr k_v = rng.random_fr();
+    kvs.push_back(k_v);
+    ids.push_back(
+        lock_on(s, parties.back(), 350, hash_key(k_v), /*timeout=*/1));
+    auto proof = prove_key(parties.back(), k_v);
+    ASSERT_TRUE(proof);
+    proofs.push_back(*proof);
+  }
+  std::vector<txpool::TicketPtr> tickets;
+  for (std::size_t i = 0; i < 2; ++i) {
+    auto res = sys().pool().submit(claimed_settle(
+        sys(), parties[i].seller_keys, ids[i], parties[i].k + kvs[i],
+        proofs[i]));
+    ASSERT_TRUE(res.accepted);
+    tickets.push_back(res.ticket);
+  }
+  ASSERT_EQ(sys().pool().drain(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    ASSERT_TRUE(tickets[i]->receipt.success) << tickets[i]->receipt.error;
+  }
+
+  // Double settle via the batched path: both replays revert.
+  std::vector<std::uint64_t> sellers_after;
+  for (std::size_t i = 0; i < 2; ++i) {
+    sellers_after.push_back(sys().chain().balance(parties[i].seller));
+  }
+  std::vector<txpool::TicketPtr> replays;
+  for (std::size_t i = 0; i < 2; ++i) {
+    auto res = sys().pool().submit(claimed_settle(
+        sys(), parties[i].seller_keys, ids[i], parties[i].k + kvs[i],
+        proofs[i]));
+    ASSERT_TRUE(res.accepted);
+    replays.push_back(res.ticket);
+  }
+  ASSERT_EQ(sys().pool().drain(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_FALSE(replays[i]->receipt.success);
+    EXPECT_EQ(sys().chain().balance(parties[i].seller), sellers_after[i]);
+    EXPECT_EQ(sys().arbiter_for_exchange(ids[i]).exchange(ids[i])->state,
+              ExchangeState::kSettled);
+  }
+
+  // Refund after a batched settle: rejected long past the deadline.
+  sys().chain().advance_blocks(5);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const std::uint64_t buyer_before = sys().chain().balance(parties[i].buyer);
+    const Receipt r = sys().chain().call(
+        parties[i].buyer_keys, "refund-after-batched-settle",
+        [&, i](CallContext& ctx) {
+          sys().arbiter_for_exchange(ids[i]).refund(ctx, ids[i]);
+        });
+    EXPECT_FALSE(r.success);
+    EXPECT_EQ(sys().chain().balance(parties[i].buyer), buyer_before);
+  }
+}
+
+struct ArbiterTempDir {
+  std::filesystem::path path;
+  ArbiterTempDir() {
+    static std::atomic<int> counter{0};
+    path = std::filesystem::temp_directory_path() /
+           ("zkdet-arbiter-batch-" + std::to_string(counter.fetch_add(1)));
+    std::filesystem::remove_all(path);
+  }
+  ~ArbiterTempDir() { std::filesystem::remove_all(path); }
+  [[nodiscard]] std::string str() const { return path.string(); }
+};
+
+TEST(BatchedArbiterCrash, SealCrashMidBatchRecoversAndSettlesOnce) {
+  // Crash-at-seal in the middle of a batched settle: the whole batch
+  // dies pre-commit, a reboot restores the pre-batch tip, and the
+  // resubmitted settles land exactly once.
+  ArbiterTempDir dir;
+  constexpr std::size_t kShards = 2;
+  Drbg rng{23};
+  KeyPair seller_keys[kShards] = {KeyPair::generate(rng),
+                                  KeyPair::generate(rng)};
+  KeyPair buyer_keys[kShards] = {KeyPair::generate(rng),
+                                 KeyPair::generate(rng)};
+  Fr k[kShards];
+  Fr o[kShards];
+  Fr kv[kShards];
+  std::uint64_t ids[kShards];
+  plonk::Proof proofs[kShards];
+  Address sellers[kShards];
+  std::uint64_t sellers_before[kShards];
+  {
+    core::ZkdetSystem sys(1 << 12, 29, dir.str(), {}, kShards);
+    for (std::size_t s = 0; s < kShards; ++s) {
+      sellers[s] = sys.chain().create_account(seller_keys[s], 100000);
+      const Address buyer = sys.chain().create_account(buyer_keys[s], 100000);
+      (void)buyer;
+      k[s] = rng.random_fr();
+      o[s] = rng.random_fr();
+      kv[s] = rng.random_fr();
+      auto& arb = sys.arbiter_shard(s);
+      const Receipt r = sys.chain().call(
+          buyer_keys[s], "lock",
+          [&](CallContext& ctx) {
+            ids[s] = arb.lock(ctx, sellers[s], hash_key(kv[s]),
+                              commit_key(k[s], o[s]), 200);
+          },
+          450, arb.address());
+      ASSERT_TRUE(r.success) << r.error;
+      gadgets::CircuitBuilder bld = build_key_circuit(k[s], o[s], kv[s]);
+      const auto& keys = sys.keys_for("pi_k", bld.cs());
+      auto proof =
+          plonk::prove(keys.pk, bld.cs(), sys.srs(), bld.witness(), rng);
+      ASSERT_TRUE(proof);
+      proofs[s] = *proof;
+      sellers_before[s] = sys.chain().balance(sellers[s]);
+      ASSERT_TRUE(sys.pool()
+                      .submit(claimed_settle(sys, seller_keys[s], ids[s],
+                                             k[s] + kv[s], proofs[s]))
+                      .accepted);
+    }
+    const fault::ScopedFaults guard;
+    fault::inject(fault::points::kTxpoolSealCrash, fault::Schedule::once());
+    EXPECT_THROW(sys.pool().seal_next_batch(), ledger::CrashInjected);
+    // Nothing reached chain state or the WAL: the escrows are intact.
+    // (The arbiter's in-memory exchange mirror is NOT authoritative
+    // here — it is rebuilt from chain state on reopen below.)
+    for (std::size_t s = 0; s < kShards; ++s) {
+      EXPECT_EQ(sys.chain().balance(sellers[s]), sellers_before[s]);
+    }
+  }
+  // "Reboot": reopen the ledger; the locks survived, the dead batch
+  // did not. Resubmit both settles — each must land exactly once.
+  {
+    core::ZkdetSystem sys(1 << 12, 29, dir.str(), {}, kShards);
+    ASSERT_TRUE(sys.chain().validate_chain());
+    std::vector<txpool::TicketPtr> tickets;
+    for (std::size_t s = 0; s < kShards; ++s) {
+      ASSERT_EQ(sys.arbiter_for_exchange(ids[s]).exchange(ids[s])->state,
+                ExchangeState::kLocked);
+      auto res = sys.pool().submit(claimed_settle(
+          sys, seller_keys[s], ids[s], k[s] + kv[s], proofs[s]));
+      ASSERT_TRUE(res.accepted) << res.error;
+      tickets.push_back(res.ticket);
+    }
+    ASSERT_EQ(sys.pool().drain(), kShards);
+    for (std::size_t s = 0; s < kShards; ++s) {
+      ASSERT_TRUE(tickets[s]->receipt.success) << tickets[s]->receipt.error;
+      EXPECT_EQ(sys.chain().balance(sellers[s]), sellers_before[s] + 450);
+      EXPECT_EQ(sys.arbiter_for_exchange(ids[s]).exchange(ids[s])->state,
+                ExchangeState::kSettled);
+      // Exactly once: the replay reverts and moves no money.
+      auto replay = sys.pool().submit(claimed_settle(
+          sys, seller_keys[s], ids[s], k[s] + kv[s], proofs[s]));
+      ASSERT_TRUE(replay.accepted);
+      ASSERT_GT(sys.pool().drain(), 0u);
+      EXPECT_FALSE(replay.ticket->receipt.success);
+      EXPECT_EQ(sys.chain().balance(sellers[s]), sellers_before[s] + 450);
+    }
+  }
 }
 
 }  // namespace

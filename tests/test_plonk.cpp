@@ -202,6 +202,217 @@ TEST_F(PlonkFixture, ManyPublicInputs) {
   EXPECT_FALSE(verify(keys->vk, pub_vals, *proof));
 }
 
+// --- attributed batch verification (batched settlement substrate) ---
+
+// x = w^2 + 1 with public x: a second circuit shape, so batches can mix
+// different verifying keys under one SRS.
+struct SquareCircuit {
+  ConstraintSystem cs;
+  std::vector<Fr> witness;
+
+  explicit SquareCircuit(std::uint64_t w_val) {
+    const Var w = cs.add_variable();
+    const Var x = cs.add_variable();
+    cs.set_public(x);
+    cs.add_gate({Fr::one(), Fr::zero(), Fr::zero(), -Fr::one(), Fr::one(), w,
+                 w, x});
+    const Fr wf = Fr::from_u64(w_val);
+    witness = {Fr::zero(), wf, wf * wf + Fr::one()};
+  }
+};
+
+// One proved statement, self-contained so BatchEntry pointers stay
+// valid for the fixture's lifetime.
+struct ProvedCubic {
+  CubicCircuit circ;
+  KeyPairResult keys;
+  std::vector<Fr> publics;
+  Proof proof;
+
+  ProvedCubic(std::uint64_t w, const Srs& srs, std::uint64_t seed)
+      : circ(w), keys(*preprocess(circ.cs, srs)) {
+    Drbg rng(seed);
+    proof = *prove(keys.pk, circ.cs, srs, circ.witness, rng);
+    publics = {circ.witness[4]};
+  }
+
+  [[nodiscard]] BatchEntry entry() const {
+    return {&keys.vk, &publics, &proof};
+  }
+};
+
+// Structurally valid but unsound proof: survives verify_prepare, fails
+// the pairing — the case that exercises fold-failure bisection.
+Proof tampered(const Proof& p) {
+  Proof bad = p;
+  bad.eval_a += Fr::one();
+  return bad;
+}
+
+TEST_F(PlonkFixture, BatchEmptyIsVacuouslyOk) {
+  const BatchResult r = batch_verify_attributed({});
+  EXPECT_TRUE(r.all_ok());
+  EXPECT_EQ(r.invalid_count(), 0u);
+  EXPECT_EQ(r.pairing_checks, 0u);
+  EXPECT_TRUE(batch_verify({}));
+}
+
+TEST_F(PlonkFixture, BatchOfOneMatchesIndividualVerifyOutcome) {
+  const ProvedCubic a(3, srs(), 101);
+  {
+    const BatchEntry e = a.entry();
+    const BatchResult r = batch_verify_attributed({&e, 1});
+    EXPECT_EQ(r.ok[0] != 0, verify(a.keys.vk, a.publics, a.proof));
+    EXPECT_TRUE(r.all_ok());
+    EXPECT_EQ(r.pairing_checks, 1u);  // no fold, the direct check only
+    EXPECT_EQ(r.srs_groups, 1u);
+  }
+  {
+    const Proof bad = tampered(a.proof);
+    const BatchEntry e{&a.keys.vk, &a.publics, &bad};
+    const BatchResult r = batch_verify_attributed({&e, 1});
+    EXPECT_EQ(r.ok[0] != 0, verify(a.keys.vk, a.publics, bad));
+    EXPECT_FALSE(r.all_ok());
+    EXPECT_EQ(r.invalid_count(), 1u);
+    EXPECT_EQ(r.pairing_checks, 1u);
+  }
+}
+
+TEST_F(PlonkFixture, BatchAttributesOneBadAmongGoodAtEveryPosition) {
+  // Distinct statements (different witnesses) under one vk. The bad
+  // proof is tried at every position; only it may be rejected.
+  std::vector<ProvedCubic> good;
+  good.reserve(4);
+  for (std::uint64_t w = 2; w <= 5; ++w) {
+    good.emplace_back(w, srs(), 200 + w);
+  }
+  for (std::size_t bad_at = 0; bad_at < good.size(); ++bad_at) {
+    const Proof bad = tampered(good[bad_at].proof);
+    std::vector<BatchEntry> entries;
+    for (std::size_t i = 0; i < good.size(); ++i) {
+      entries.push_back(good[i].entry());
+      if (i == bad_at) entries.back().proof = &bad;
+    }
+    const BatchResult r = batch_verify_attributed(entries);
+    for (std::size_t i = 0; i < good.size(); ++i) {
+      EXPECT_EQ(r.ok[i] != 0, i != bad_at) << "bad_at=" << bad_at;
+    }
+    EXPECT_EQ(r.invalid_count(), 1u);
+    EXPECT_GT(r.pairing_checks, 1u);  // fold failed, bisection ran
+    EXPECT_FALSE(batch_verify(entries));
+  }
+}
+
+TEST_F(PlonkFixture, BatchAllBadAttributesEveryEntry) {
+  std::vector<ProvedCubic> good;
+  for (std::uint64_t w = 2; w <= 4; ++w) good.emplace_back(w, srs(), 300 + w);
+  std::vector<Proof> bads;
+  for (const auto& g : good) bads.push_back(tampered(g.proof));
+  std::vector<BatchEntry> entries;
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    entries.push_back(good[i].entry());
+    entries[i].proof = &bads[i];
+  }
+  const BatchResult r = batch_verify_attributed(entries);
+  EXPECT_EQ(r.invalid_count(), entries.size());
+  for (const auto v : r.ok) EXPECT_EQ(v, 0u);
+}
+
+TEST_F(PlonkFixture, BatchMixedVksFoldSoundlyAndSwapIsAttributed) {
+  // Two circuits, two verifying keys, one SRS: the honest batch folds
+  // into one pairing product; swapping the proofs between the two
+  // statements must reject BOTH entries (each proof is bound to its own
+  // statement by the fold weights).
+  CubicCircuit ca(3);
+  SquareCircuit cb(6);
+  auto ka = *preprocess(ca.cs, srs());
+  auto kb = *preprocess(cb.cs, srs());
+  Drbg ra(401);
+  Drbg rb(402);
+  const Proof pa = *prove(ka.pk, ca.cs, srs(), ca.witness, ra);
+  const Proof pb = *prove(kb.pk, cb.cs, srs(), cb.witness, rb);
+  const std::vector<Fr> puba = {ca.witness[4]};
+  const std::vector<Fr> pubb = {cb.witness[2]};
+
+  const std::vector<BatchEntry> honest = {{&ka.vk, &puba, &pa},
+                                          {&kb.vk, &pubb, &pb}};
+  const BatchResult hr = batch_verify_attributed(honest);
+  EXPECT_TRUE(hr.all_ok());
+  EXPECT_EQ(hr.srs_groups, 1u);
+  EXPECT_EQ(hr.pairing_checks, 1u);  // one fold covered both circuits
+
+  const std::vector<BatchEntry> swapped = {{&ka.vk, &puba, &pb},
+                                           {&kb.vk, &pubb, &pa}};
+  const BatchResult sr = batch_verify_attributed(swapped);
+  EXPECT_EQ(sr.ok[0], 0u);
+  EXPECT_EQ(sr.ok[1], 0u);
+  EXPECT_EQ(sr.invalid_count(), 2u);
+  EXPECT_FALSE(batch_verify(swapped));
+}
+
+TEST_F(PlonkFixture, BatchWrongSrsEntryIsAttributedNotFatal) {
+  // An entry preprocessed under a DIFFERENT SRS used to reject the
+  // whole batch; now it folds in its own (g2_gen, g2_tau) group and
+  // only its own validity decides its verdict.
+  const ProvedCubic a(3, srs(), 501);
+  Drbg rng2(77);
+  const Srs srs2 = Srs::setup(1 << 11, rng2);
+  CubicCircuit c2(4);
+  auto k2 = *preprocess(c2.cs, srs2);
+  Drbg rp(502);
+  const Proof p2 = *prove(k2.pk, c2.cs, srs2, c2.witness, rp);
+  const std::vector<Fr> pub2 = {c2.witness[4]};
+
+  {
+    const std::vector<BatchEntry> entries = {a.entry(), {&k2.vk, &pub2, &p2}};
+    const BatchResult r = batch_verify_attributed(entries);
+    EXPECT_TRUE(r.all_ok());  // both valid under their own SRS
+    EXPECT_EQ(r.srs_groups, 2u);
+    EXPECT_EQ(r.pairing_checks, 2u);  // one product per group
+  }
+  {
+    const Proof bad = tampered(p2);
+    const std::vector<BatchEntry> entries = {a.entry(), {&k2.vk, &pub2, &bad}};
+    const BatchResult r = batch_verify_attributed(entries);
+    EXPECT_EQ(r.ok[0], 1u);  // honest entry unaffected
+    EXPECT_EQ(r.ok[1], 0u);  // foreign-SRS forgery attributed to itself
+    EXPECT_FALSE(batch_verify(entries));
+  }
+}
+
+TEST_F(PlonkFixture, BatchDuplicateEntriesCannotMaskAThirdInvalid) {
+  // The same (vk, inputs, proof) submitted twice draws two DIFFERENT
+  // fold weights (each challenge is bound to the entry's position and
+  // the chained transcript state), so weighted cancellation cannot hide
+  // another entry's invalidity.
+  const ProvedCubic good(3, srs(), 601);
+  const ProvedCubic other(4, srs(), 602);
+  const Proof bad = tampered(other.proof);
+
+  {
+    // [good, good, bad]: duplicates stay valid, the forgery is caught.
+    std::vector<BatchEntry> entries = {good.entry(), good.entry(),
+                                       other.entry()};
+    entries[2].proof = &bad;
+    const BatchResult r = batch_verify_attributed(entries);
+    EXPECT_EQ(r.ok[0], 1u);
+    EXPECT_EQ(r.ok[1], 1u);
+    EXPECT_EQ(r.ok[2], 0u);
+  }
+  {
+    // [bad, bad, good]: a duplicated forgery cannot cancel itself out.
+    std::vector<BatchEntry> entries = {other.entry(), other.entry(),
+                                       good.entry()};
+    entries[0].proof = &bad;
+    entries[1].proof = &bad;
+    const BatchResult r = batch_verify_attributed(entries);
+    EXPECT_EQ(r.ok[0], 0u);
+    EXPECT_EQ(r.ok[1], 0u);
+    EXPECT_EQ(r.ok[2], 1u);
+    EXPECT_EQ(r.invalid_count(), 2u);
+  }
+}
+
 TEST(ConstraintSystem, SatisfiabilityChecks) {
   ConstraintSystem cs;
   const Var a = cs.add_variable();

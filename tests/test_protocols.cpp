@@ -403,6 +403,86 @@ TEST_F(ExchangeFixture, SampleDisclosureCannotLie) {
   EXPECT_FALSE(ex.verify_sample(*sample2));
 }
 
+TEST_F(ExchangeFixture, SettleBatchSettlesEachExactlyOnce) {
+  // Two sellers settle two exchanges in one settle_batch call: both
+  // ride the batched claim path, both succeed, both buyers recover
+  // their data — and a replayed batch is rejected wholesale.
+  auto asset_a = tp().publish(alice, make_data(4, 3100));
+  auto asset_c = tp().publish(carol, make_data(4, 3200));
+  ASSERT_TRUE(asset_a);
+  ASSERT_TRUE(asset_c);
+  auto offer_a = ex.make_offer(*asset_a, nullptr, "any");
+  auto offer_c = ex.make_offer(*asset_c, nullptr, "any");
+  ASSERT_TRUE(offer_a);
+  ASSERT_TRUE(offer_c);
+  auto session_a = ex.lock_payment(bob, *offer_a, 310, 100);
+  auto session_c = ex.lock_payment(bob, *offer_c, 320, 100);
+  ASSERT_TRUE(session_a);
+  ASSERT_TRUE(session_c);
+
+  const auto alice_addr = crypto::address_of(alice.pk);
+  const auto carol_addr = crypto::address_of(carol.pk);
+  const std::uint64_t alice_before = sys().chain().balance(alice_addr);
+  const std::uint64_t carol_before = sys().chain().balance(carol_addr);
+
+  const KeySecureExchange::SettleRequest reqs[] = {
+      {&alice, &*asset_a, session_a->exchange_id, session_a->k_v},
+      {&carol, &*asset_c, session_c->exchange_id, session_c->k_v},
+  };
+  const auto ok = ex.settle_batch(reqs);
+  ASSERT_EQ(ok.size(), 2u);
+  EXPECT_TRUE(ok[0]);
+  EXPECT_TRUE(ok[1]);
+  EXPECT_EQ(sys().chain().balance(alice_addr), alice_before + 310);
+  EXPECT_EQ(sys().chain().balance(carol_addr), carol_before + 320);
+  auto data_a = ex.recover_data(*session_a);
+  auto data_c = ex.recover_data(*session_c);
+  ASSERT_TRUE(data_a);
+  ASSERT_TRUE(data_c);
+  EXPECT_EQ(*data_a, asset_a->plain);
+  EXPECT_EQ(*data_c, asset_c->plain);
+
+  // Exactly once: replaying the same batch settles nothing twice.
+  const auto replay = ex.settle_batch(reqs);
+  EXPECT_FALSE(replay[0]);
+  EXPECT_FALSE(replay[1]);
+  EXPECT_EQ(sys().chain().balance(alice_addr), alice_before + 310);
+  EXPECT_EQ(sys().chain().balance(carol_addr), carol_before + 320);
+}
+
+TEST_F(ExchangeFixture, ZkcpOpenBatchRedeemsAll) {
+  // ZKCP settlement has no pairing to fold (Poseidon preimage check):
+  // open_batch batches for throughput, with the same leak per entry.
+  auto asset1 = tp().publish(alice, make_data(4, 3300));
+  auto asset2 = tp().publish(carol, make_data(4, 3400));
+  ASSERT_TRUE(asset1);
+  ASSERT_TRUE(asset2);
+  auto offer1 = zkcp.make_offer(*asset1, nullptr, "any");
+  auto offer2 = zkcp.make_offer(*asset2, nullptr, "any");
+  ASSERT_TRUE(offer1);
+  ASSERT_TRUE(offer2);
+  auto xid1 = zkcp.lock_payment(bob, *offer1, 210);
+  auto xid2 = zkcp.lock_payment(bob, *offer2, 220);
+  ASSERT_TRUE(xid1);
+  ASSERT_TRUE(xid2);
+
+  const ZkcpExchange::OpenRequest reqs[] = {
+      {&alice, &*asset1, *xid1},
+      {&carol, &*asset2, *xid2},
+  };
+  const auto ok = zkcp.open_batch(reqs);
+  ASSERT_EQ(ok.size(), 2u);
+  EXPECT_TRUE(ok[0]);
+  EXPECT_TRUE(ok[1]);
+  // Both keys are now public chain state — the flaw, at batch scale.
+  EXPECT_TRUE(zkcp.eavesdrop(*xid1, asset1->token_id).has_value());
+  EXPECT_TRUE(zkcp.eavesdrop(*xid2, asset2->token_id).has_value());
+  // Replays revert: each redemption is exactly-once.
+  const auto replay = zkcp.open_batch(reqs);
+  EXPECT_FALSE(replay[0]);
+  EXPECT_FALSE(replay[1]);
+}
+
 TEST_F(ExchangeFixture, KeySecureResistsEavesdropper) {
   auto asset = tp().publish(alice, make_data(4, 2000));
   ASSERT_TRUE(asset);

@@ -256,18 +256,37 @@ TEST_F(RuntimeTest, BatchVerifySharesOnePairingProduct) {
   EXPECT_TRUE(ProverService::batch_verify(entries));
   EXPECT_TRUE(ProverService::batch_verify({}));  // empty batch is vacuous
 
-  // One corrupted statement must sink the whole batch.
+  // One corrupted statement fails the batch verdict — but only THAT
+  // entry, attributed by fold bisection; the others stay valid.
   std::vector<Fr> tampered = publics[1];
   tampered[0] += Fr::one();
   entries[1].public_inputs = &tampered;
   EXPECT_FALSE(ProverService::batch_verify(entries));
+  const auto before = runtime::stats();
+  const auto res = ProverService::batch_verify_attributed(entries);
+  EXPECT_FALSE(res.all_ok());
+  EXPECT_EQ(res.invalid_count(), 1u);
+  ASSERT_EQ(res.ok.size(), kProofs);
+  EXPECT_TRUE(res.ok[0]);
+  EXPECT_FALSE(res.ok[1]);
+  EXPECT_TRUE(res.ok[2]);
+  const auto after = runtime::stats();
+  EXPECT_GT(after.batch_fold_checks, before.batch_fold_checks);
+  EXPECT_EQ(after.batch_entries_folded, before.batch_entries_folded + kProofs);
+  EXPECT_EQ(after.batch_invalid_attributed,
+            before.batch_invalid_attributed + 1);
+  EXPECT_EQ(after.proofs_verified, before.proofs_verified + kProofs);
   entries[1].public_inputs = &publics[1];
 
-  // One corrupted proof must sink the whole batch too.
+  // One corrupted proof: same attribution story.
   plonk::Proof bad = proofs[2];
   bad.eval_a += Fr::one();
   entries[2].proof = &bad;
   EXPECT_FALSE(ProverService::batch_verify(entries));
+  const auto res2 = ProverService::batch_verify_attributed(entries);
+  EXPECT_TRUE(res2.ok[0]);
+  EXPECT_TRUE(res2.ok[1]);
+  EXPECT_FALSE(res2.ok[2]);
 }
 
 }  // namespace
