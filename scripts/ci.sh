@@ -29,7 +29,7 @@
 #
 # Usage: scripts/ci.sh [--quick] [--skip-tsan]
 #   --quick      lint + analysis + tier-1 + bench smokes (MSM sweep,
-#                chain pipeline, replication) + a disjoint failover
+#                chain pipeline, replication, RPC) + a disjoint failover
 #                matrix slice (pre-push sanity; minutes, not hours;
 #                analysis is compile-only so it stays in quick)
 #   --skip-tsan  everything except the TSan stage (it is the slowest)
@@ -102,6 +102,12 @@ if [[ "$QUICK" == "1" ]]; then
   # promotion time; fails on promoted-chain divergence.
   cmake --build build -j --target bench_repl
   ./build/bench/bench_repl --quick
+  echo "=== bench: RPC serving-layer smoke (quick, writes BENCH_rpc.json) ==="
+  # Sustained req/s + p50/p99 through the socket front end and a 2x
+  # overload burst; fails if any request lacks exactly one typed
+  # response, the queue depth bound is exceeded, or p99 blows its budget.
+  cmake --build build -j --target bench_rpc
+  ./build/bench/bench_rpc --quick
   echo "=== quick mode: remaining stages skipped ==="
   echo "=== CI OK (quick) ==="
   exit 0

@@ -62,6 +62,14 @@ analysis tooling"):
                            in its WAL went through verify -> append ->
                            sync -> durable_seq advance -> ack; the
                            reviewed apply-path sites are annotated.
+  raw-socket-io            raw socket syscalls (::socket, ::connect,
+                           ::recv, socketpair, <sys/socket.h>...) only
+                           inside src/rpc (the sockio layer) and
+                           src/replication (SocketLink) — everything
+                           else speaks framed requests through
+                           rpc::Client / replication::Link, so the CRC
+                           framing, non-blocking discipline and rpc.*
+                           fail-points can't be bypassed.
 
 Suppression: append  // zkdet-lint: allow(<rule>)  to the offending
 line (or the line above) after review.
@@ -247,6 +255,29 @@ RULES = [
         "apply path (verify -> append -> sync -> durable_seq_ -> ack); "
         "annotate reviewed apply-path sites with "
         "// zkdet-lint: allow(untracked-watermark)",
+    ),
+    Rule(
+        # Raw socket syscalls outside the two reviewed homes. Mirrors
+        # unchecked-io's shape: the `(?<![\w)])::` lookbehind keeps
+        # namespace-qualified calls (sockio::connect_tcp, this->send())
+        # from matching — only global-namespace POSIX calls do — and a
+        # short list of unmistakable bare names (socketpair, accept4,
+        # setsockopt, ...) catches unqualified use. Including a socket
+        # header anywhere else is itself a finding: there is no
+        # legitimate reason to see sockaddr outside the sockio layer.
+        "raw-socket-io",
+        r"(?<![\w)])::(?:socket|socketpair|bind|listen|accept4?|connect"
+        r"|send|sendto|sendmsg|recv|recvfrom|recvmsg|setsockopt|getsockopt"
+        r"|shutdown|getsockname|getpeername)\s*\("
+        r"|(?<![\w.:>])(?:socketpair|accept4|recvfrom|sendto|recvmsg"
+        r"|sendmsg|setsockopt|getsockopt)\s*\("
+        r"|#\s*include\s*<(?:sys/socket\.h|sys/un\.h|netinet/[\w./]+)>",
+        lambda p: not p.startswith("src/rpc/")
+        and not p.startswith("src/replication/"),
+        "raw socket IO lives only in src/rpc (sockio) and "
+        "src/replication (SocketLink); speak framed requests through "
+        "rpc::Client / replication::Link instead, or annotate a "
+        "reviewed site with // zkdet-lint: allow(raw-socket-io)",
     ),
     Rule(
         # Keep the concurrency annotation surface closed: every lock in
@@ -443,6 +474,27 @@ SELF_TEST_CASES = [
     ("src/ledger/wal_home_ok.cpp",
      "WalWriter w(File::open_append(p), true);\n",
      None),  # the WAL's own home is out of scope
+    # raw-socket-io: socket syscalls live only in src/rpc (sockio) and
+    # src/replication (SocketLink).
+    ("src/core/raw_socket.cpp",
+     "int s = ::socket(AF_INET, SOCK_STREAM, 0);\n", "raw-socket-io"),
+    ("src/storage/sock_hdr.cpp", "#include <sys/socket.h>\n",
+     "raw-socket-io"),
+    ("src/chain/bare_pair.cpp",
+     "int rc = socketpair(AF_UNIX, SOCK_STREAM, 0, sv);\n", "raw-socket-io"),
+    ("src/runtime/bare_sockopt.cpp",
+     "setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);\n",
+     "raw-socket-io"),
+    ("src/rpc/sock_home_ok.cpp",
+     "int s = ::socket(AF_UNIX, SOCK_STREAM, 0);\n"
+     "#include <sys/socket.h>\n", None),  # the sockio home is legal
+    ("src/replication/sock_link_ok.cpp", "#include <sys/un.h>\n", None),
+    ("src/core/member_send_ok.cpp",
+     "link.send_to_follower(bytes);\nauto d = link.recv_at_primary();\n"
+     "auto fd = sockio::connect_tcp(port);\n", None),  # members/namespaced
+    ("src/core/sock_allow_ok.cpp",
+     "int s = ::socket(AF_UNIX, SOCK_STREAM, 0);"
+     "  // zkdet-lint: allow(raw-socket-io)\n", None),
     # raw-mutex: std locking primitives are banned in src/ outside
     # src/check/ (the annotated-wrapper home).
     ("src/chain/raw_mutex.cpp", "static std::mutex mu;\n", "raw-mutex"),

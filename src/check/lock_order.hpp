@@ -12,6 +12,9 @@
 //
 // The table mirrors the subsystem call graph, outermost first:
 //
+//   RPC admission queue (kRpc)               outermost: the server's
+//     -> TxPool (kTxPool), fault (kFault)    pump admits under it, but
+//                                            dispatch runs lock-free
 //   TxPool::submit/seal (kTxPool)
 //     -> Chain nonce map (kChain)            admission reads nonces
 //   Mempool (kMempool)                       reserved: mempool is
@@ -55,6 +58,7 @@
 namespace zkdet::check {
 
 enum class LockLevel : std::uint16_t {
+  kRpc = 5,            // rpc::AdmissionQueue mu_ (bounded request queue)
   kTxPool = 10,        // txpool::TxPool mu_ (mempool + tickets)
   kMempool = 12,       // reserved for a split-out mempool lock
   kChain = 20,         // chain::Chain nonce_mu_ (account nonce map)
@@ -75,6 +79,7 @@ enum class LockLevel : std::uint16_t {
 
 constexpr const char* lock_level_name(LockLevel level) {
   switch (level) {
+    case LockLevel::kRpc: return "Rpc";
     case LockLevel::kTxPool: return "TxPool";
     case LockLevel::kMempool: return "Mempool";
     case LockLevel::kChain: return "Chain";

@@ -107,6 +107,15 @@ class KeySecureExchange {
   // Buyer: reclaim an expired escrow.
   bool refund(const crypto::KeyPair& buyer, std::uint64_t exchange_id);
 
+  // Shared by settle()/settle_batch() and the RPC dispatcher's batching
+  // path: sanity checks, proves pi_k and builds the signed settle
+  // intent carrying its ProofClaim (so however the caller batches, the
+  // settle rides the folded verification). nullopt on any seller-side
+  // rejection (bad k_v, foreign asset, prover failure).
+  std::optional<txpool::TxIntent> make_settle_intent(
+      const crypto::KeyPair& seller, const OwnedAsset& asset,
+      std::uint64_t exchange_id, const Fr& k_v);
+
   // --- sample disclosure (marketplace extension) ---
   // Seller: reveal entry `index` of the asset's plaintext with a proof
   // pi_s that it opens the token's on-chain commitment.
@@ -123,13 +132,6 @@ class KeySecureExchange {
   [[nodiscard]] bool verify_sample(const Sample& sample) const;
 
  private:
-  // Shared by settle()/settle_batch(): sanity checks, proves pi_k and
-  // builds the signed settle intent carrying its ProofClaim. nullopt on
-  // any seller-side rejection (bad k_v, foreign asset, prover failure).
-  std::optional<txpool::TxIntent> make_settle_intent(
-      const crypto::KeyPair& seller, const OwnedAsset& asset,
-      std::uint64_t exchange_id, const Fr& k_v);
-
   ZkdetSystem& sys_;
   TransformationProtocol& transform_;
 };

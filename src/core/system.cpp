@@ -79,7 +79,11 @@ ZkdetSystem::~ZkdetSystem() {
   if (!replicas_) return;
   try {
     ledger_->sync();
-    replicas_->sync();
+    // Deadline-bounded: final_sync's backoff budget burns only on
+    // rounds that make no progress, so a healthy follower catches up
+    // fully while a dead follower transport costs a bounded number of
+    // pumps — shutdown never stalls on an unreachable peer.
+    replicas_->final_sync();
   } catch (...) {
     // Shutdown is best-effort: a failed fsync or a fail-stopped
     // follower must not turn destruction into a crash. The follower

@@ -68,6 +68,23 @@
 //   repl.follower.crash  the follower process dies mid-apply; a fresh
 //                        follower over the same directory resumes from
 //                        its own durable watermark
+//   rpc.accept           the server drops a freshly-accepted connection
+//                        before any byte is exchanged (listen backlog
+//                        overflow / transient accept failure); the
+//                        client observes EOF and reconnects
+//   rpc.session.disconnect
+//                        a client vanishes right after its request was
+//                        admitted (killed mid-settle): the work still
+//                        runs to completion on-chain, the response is
+//                        dropped on the closed session — the client must
+//                        re-query state, never resubmit blindly
+//   rpc.queue.full       admission sheds a request as if the bounded
+//                        queue were full; the client receives a typed
+//                        Overloaded response (retryable)
+//   rpc.write.torn       the response write tears mid-frame and the
+//                        connection dies: the client sees a CRC-invalid
+//                        partial frame + EOF and treats the response as
+//                        lost (state already committed server-side)
 #pragma once
 
 namespace zkdet::fault::points {
@@ -97,6 +114,10 @@ inline constexpr const char kReplShipCorrupt[] = "repl.ship.corrupt";
 inline constexpr const char kReplShipDiverge[] = "repl.ship.diverge";
 inline constexpr const char kReplAckLost[] = "repl.ack.lost";
 inline constexpr const char kReplFollowerCrash[] = "repl.follower.crash";
+inline constexpr const char kRpcAccept[] = "rpc.accept";
+inline constexpr const char kRpcSessionDisconnect[] = "rpc.session.disconnect";
+inline constexpr const char kRpcQueueFull[] = "rpc.queue.full";
+inline constexpr const char kRpcWriteTorn[] = "rpc.write.torn";
 
 // All registered points, for enumeration (tests, docs, tooling).
 inline constexpr const char* kAll[] = {
@@ -107,7 +128,8 @@ inline constexpr const char* kAll[] = {
     kLedgerFsync,       kLedgerSnapshotWrite,    kTxpoolAdmitFull,
     kTxpoolExecConflictAbort, kTxpoolSealCrash,  kReplShipDrop,
     kReplShipCorrupt,   kReplShipDiverge,        kReplAckLost,
-    kReplFollowerCrash,
+    kReplFollowerCrash, kRpcAccept,              kRpcSessionDisconnect,
+    kRpcQueueFull,      kRpcWriteTorn,
 };
 
 // The subset whose firing simulates a process kill or IO fault inside
@@ -129,6 +151,16 @@ inline constexpr const char* kReplAll[] = {
     kReplShipDiverge,
     kReplAckLost,
     kReplFollowerCrash,
+};
+
+// The RPC serving-layer fail-point family (the rpc chaos schedules in
+// tests/test_chaos.cpp iterate these: each one must leave funds
+// conserved and every exchange settled xor refunded).
+inline constexpr const char* kRpcAll[] = {
+    kRpcAccept,
+    kRpcSessionDisconnect,
+    kRpcQueueFull,
+    kRpcWriteTorn,
 };
 
 }  // namespace zkdet::fault::points

@@ -1,13 +1,42 @@
 #include "replication/replica_set.hpp"
 
+#include <cstdlib>
+#include <cstring>
+
+#include "replication/socket_link.hpp"
+
 namespace zkdet::replication {
+
+namespace {
+
+std::unique_ptr<Link> make_link(TransportKind kind) {
+  if (kind == TransportKind::kSocket) {
+    if (auto link = SocketLink::loopback()) return link;
+    // socketpair refused (fd exhaustion): degrade to in-memory rather
+    // than lose the replica.
+  }
+  return std::make_unique<InMemoryLink>();
+}
+
+}  // namespace
+
+TransportKind resolve_transport(TransportKind kind) {
+  if (kind != TransportKind::kDefault) return kind;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at construction
+  const char* env = std::getenv("ZKDET_REPL_TRANSPORT");
+  if (env != nullptr && std::strcmp(env, "socket") == 0) {
+    return TransportKind::kSocket;
+  }
+  return TransportKind::kMemory;
+}
 
 ReplicaSet::ReplicaSet(ledger::Ledger& ledger, const chain::Chain& chain,
                        std::string base_dir, std::size_t replicas, Config cfg)
     : shipper_(ledger, chain, cfg.shipper), cfg_(cfg) {
+  const TransportKind kind = resolve_transport(cfg.transport);
   for (std::size_t i = 0; i < replicas; ++i) {
     dirs_.push_back(base_dir + "/r" + std::to_string(i));
-    links_.push_back(std::make_unique<InMemoryLink>());
+    links_.push_back(make_link(kind));
     followers_.push_back(
         std::make_unique<Follower>(dirs_[i], *links_[i], cfg_.follower));
     shipper_.add_follower(*links_[i]);
@@ -25,6 +54,31 @@ bool ReplicaSet::sync(std::size_t max_rounds) {
     pump();
   }
   return shipper_.all_caught_up();
+}
+
+bool ReplicaSet::final_sync(runtime::BackoffPolicy policy) {
+  runtime::Backoff backoff(policy);
+  auto acked_sum = [this] {
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < followers_.size(); ++i) {
+      sum += shipper_.status(i).acked;
+    }
+    return sum;
+  };
+  std::uint64_t last = acked_sum();
+  while (!shipper_.all_caught_up()) {
+    // The budget only burns on fruitless rounds: progress re-arms it,
+    // so a healthy-but-behind follower catches up fully while a dead
+    // transport costs at most max_attempts pumps.
+    if (!backoff.next_attempt()) return false;
+    pump();
+    const std::uint64_t now = acked_sum();
+    if (now > last) {
+      last = now;
+      backoff.reset();
+    }
+  }
+  return true;
 }
 
 void ReplicaSet::restart_follower(std::size_t i) {

@@ -1,5 +1,13 @@
-// ReplicaSet: wires one primary Ledger to N in-process followers over
-// InMemoryLinks and drives the whole ensemble with manual pumps.
+// ReplicaSet: wires one primary Ledger to N in-process followers and
+// drives the whole ensemble with manual pumps.
+//
+// The per-follower transport is pluggable: InMemoryLink (default) or
+// SocketLink — both ends of a real AF_UNIX stream pair — selected by
+// Config::transport or the ZKDET_REPL_TRANSPORT env var ("socket" /
+// "memory"). The socket transport exercises the exact byte path an
+// out-of-process follower would use (stream framing, partial writes,
+// kernel-buffer backpressure) while staying pump-driven and
+// deterministic.
 //
 // This is the deployment shape the tests, the failover matrix and the
 // ZKDET_REPLICAS quickstart use: follower i lives in
@@ -27,11 +35,22 @@
 
 namespace zkdet::replication {
 
+enum class TransportKind : std::uint8_t {
+  kDefault = 0,  // consult ZKDET_REPL_TRANSPORT; fall back to memory
+  kMemory = 1,
+  kSocket = 2,
+};
+
+// Resolves kDefault against ZKDET_REPL_TRANSPORT ("socket"/"memory";
+// anything else, or unset, means memory).
+[[nodiscard]] TransportKind resolve_transport(TransportKind kind);
+
 class ReplicaSet {
  public:
   struct Config {
     Shipper::Config shipper;
     Follower::Config follower;
+    TransportKind transport = TransportKind::kDefault;
   };
 
   // Creates `replicas` followers under `<base_dir>/r<i>`. Existing
@@ -52,6 +71,15 @@ class ReplicaSet {
   // Returns true when caught up.
   bool sync(std::size_t max_rounds = 10'000);
 
+  // Deadline-bounded sync for shutdown paths: pumps while progress is
+  // being made (any follower's acked watermark advancing re-arms the
+  // budget), but gives up after `policy.max_attempts` consecutive
+  // fruitless rounds — a dead follower transport costs a bounded number
+  // of pumps, never a stall. Returns true when every live follower
+  // caught up within the budget.
+  bool final_sync(runtime::BackoffPolicy policy = {
+      .max_attempts = 64, .base_delay_us = 100, .max_delay_us = 10'000});
+
   // Replaces follower `i` with a fresh incarnation loaded from its
   // directory — the restart after an injected follower crash. Queued
   // in-flight datagrams survive on the link; the new incarnation skips
@@ -66,6 +94,7 @@ class ReplicaSet {
   [[nodiscard]] std::size_t size() const { return followers_.size(); }
   [[nodiscard]] Shipper& shipper() { return shipper_; }
   [[nodiscard]] Follower& follower(std::size_t i) { return *followers_.at(i); }
+  [[nodiscard]] Link& link(std::size_t i) { return *links_.at(i); }
   [[nodiscard]] const std::string& follower_dir(std::size_t i) const {
     return dirs_.at(i);
   }
@@ -74,7 +103,7 @@ class ReplicaSet {
   Shipper shipper_;
   Config cfg_;
   std::vector<std::string> dirs_;
-  std::vector<std::unique_ptr<InMemoryLink>> links_;
+  std::vector<std::unique_ptr<Link>> links_;
   std::vector<std::unique_ptr<Follower>> followers_;
 };
 

@@ -1,0 +1,89 @@
+// SocketLink: replication::Link over a real stream socket.
+//
+// Each Link datagram is already one CRC frame (encode_frame wraps the
+// payload in the WAL's u32 len + u32 crc32c framing), so the stream
+// protocol is trivial: a datagram's bytes go onto the wire verbatim,
+// and the receiver reassembles frames with sockio::FrameBuffer. A frame
+// that arrives CRC-dead is skipped by its length prefix — exactly the
+// lossy drop-on-corrupt contract Link promises — and recv hands back
+// the reconstructed datagram (re-framed payload, byte-identical to what
+// was sent) so decode_frame sees the same bytes either transport.
+//
+// The link owns up to two endpoints:
+//   - loopback(): both ends of an AF_UNIX stream pair in one object —
+//     the drop-in InMemoryLink replacement (ZKDET_REPL_TRANSPORT=socket)
+//     that proves the whole replication stack runs over real sockets.
+//   - SocketLink(primary_fd, follower_fd) with either Fd invalid: one
+//     half of an out-of-process deployment. Calls belonging to the
+//     missing end are no-ops / nullopt.
+//
+// Everything is non-blocking: sends queue bytes and flush what the
+// kernel will take now; each recv opportunistically re-flushes its
+// end's queue first, so a multi-megabyte snapshot frame drains across
+// pump rounds as the peer reads (kernel-buffer backpressure, not
+// deadlock). A write error, orderly EOF or poisoned stream marks that
+// endpoint broken: further sends are dropped (the peer is gone — the
+// shipper's retry/fail-stop machinery takes over), recvs return
+// nullopt.
+//
+// Carries the same fail-points as InMemoryLink (repl.ship.drop /
+// repl.ship.corrupt on the ship direction, repl.ack.lost on the ack
+// direction), so every existing replication chaos schedule runs
+// unchanged over real sockets.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "check/mutex.hpp"
+#include "replication/transport.hpp"
+#include "rpc/socket.hpp"
+
+namespace zkdet::replication {
+
+class SocketLink final : public Link {
+ public:
+  // One half (or, with both Fds valid, both halves) of the channel.
+  SocketLink(rpc::sockio::Fd primary_end, rpc::sockio::Fd follower_end);
+
+  // Both ends over a fresh AF_UNIX stream pair; nullptr when the kernel
+  // refuses a socketpair.
+  [[nodiscard]] static std::unique_ptr<SocketLink> loopback();
+
+  void send_to_follower(std::vector<std::uint8_t> datagram) override;
+  std::optional<std::vector<std::uint8_t>> recv_at_follower() override;
+  void send_to_primary(std::vector<std::uint8_t> datagram) override;
+  std::optional<std::vector<std::uint8_t>> recv_at_primary() override;
+
+  // Hard-closes both ends: the dead-transport case (a follower machine
+  // gone mid-shutdown). Sends become drops, recvs come up empty.
+  void sever();
+
+  [[nodiscard]] bool primary_broken() const;
+  [[nodiscard]] bool follower_broken() const;
+
+ private:
+  // One socket end: its fd, the frames arriving at it, and the bytes
+  // queued to leave it. The primary end is touched only by primary-side
+  // calls and the follower end only by follower-side calls, so each has
+  // its own mutex and the two are never held together.
+  struct Endpoint {
+    mutable Mutex mu{check::LockLevel::kReplLink, "repl.socket-link"};
+    rpc::sockio::Fd fd ZKDET_GUARDED_BY(mu);
+    rpc::sockio::FrameBuffer in ZKDET_GUARDED_BY(mu);
+    std::vector<std::uint8_t> out ZKDET_GUARDED_BY(mu);
+    std::size_t out_off = 0;
+    bool broken ZKDET_GUARDED_BY(mu) = false;
+  };
+
+  static void queue_and_flush(Endpoint& ep,
+                              std::vector<std::uint8_t> datagram);
+  static std::optional<std::vector<std::uint8_t>> flush_and_recv(Endpoint& ep);
+  static void flush_locked(Endpoint& ep) ZKDET_REQUIRES(ep.mu);
+
+  Endpoint primary_;
+  Endpoint follower_;
+};
+
+}  // namespace zkdet::replication

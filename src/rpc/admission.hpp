@@ -1,0 +1,68 @@
+// Admission control: the bounded front-door queue of the RPC server.
+//
+// Load shedding is deterministic and typed: a request either enters the
+// bounded queue or is answered immediately with Status::kOverloaded —
+// never silently dropped, never buffered without bound. Two knobs (read
+// once at construction):
+//
+//   ZKDET_RPC_QUEUE     admitted-but-undispatched bound  (default 1024)
+//   ZKDET_RPC_INFLIGHT  max requests per dispatch round  (default 256)
+//
+// The queue bound caps memory AND worst-case admitted latency (a
+// request waits at most queue/inflight dispatch rounds); the in-flight
+// bound caps how much work one dispatch round batches into the txpool /
+// prover service. bench_rpc drives 2x sustained overload against these
+// bounds and enforces that queue depth stays bounded and p99 admitted
+// latency stays within budget.
+//
+// The rpc.queue.full fail-point sheds an admissible request, so chaos
+// schedules can prove clients handle Overloaded at any position.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "check/mutex.hpp"
+#include "rpc/wire.hpp"
+
+namespace zkdet::rpc {
+
+struct AdmissionConfig {
+  std::size_t queue_capacity = 1024;
+  std::size_t max_inflight = 256;
+
+  // Reads ZKDET_RPC_QUEUE / ZKDET_RPC_INFLIGHT (invalid/absent values
+  // keep the defaults; both are clamped to >= 1).
+  [[nodiscard]] static AdmissionConfig from_env();
+};
+
+// One admitted unit of work, tagged with the session that must receive
+// the response.
+struct Admitted {
+  std::uint64_t session = 0;
+  Request request;
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(AdmissionConfig cfg) : cfg_(cfg) {}
+
+  // Admits `req` or sheds it. True = enqueued; false = the caller owes
+  // the client a typed Overloaded response. Updates the rpc_admitted /
+  // rpc_shed counters and the rpc_queue_depth gauge.
+  bool offer(std::uint64_t session, Request req);
+
+  // Dequeues the next dispatch round: up to max_inflight entries, FIFO.
+  [[nodiscard]] std::vector<Admitted> take_round();
+
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] const AdmissionConfig& config() const { return cfg_; }
+
+ private:
+  const AdmissionConfig cfg_;
+  mutable Mutex mu_{check::LockLevel::kRpc, "rpc.admission"};
+  std::deque<Admitted> q_ ZKDET_GUARDED_BY(mu_);
+};
+
+}  // namespace zkdet::rpc

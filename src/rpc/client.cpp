@@ -1,0 +1,93 @@
+#include "rpc/client.hpp"
+
+#include <utility>
+
+#include "ledger/wal.hpp"
+
+namespace zkdet::rpc {
+
+std::optional<Client> Client::connect_unix(const std::string& path) {
+  auto fd = sockio::connect_unix(path);
+  if (!fd) return std::nullopt;
+  return Client(std::move(*fd));
+}
+
+std::optional<Client> Client::connect_tcp(std::uint16_t port) {
+  auto fd = sockio::connect_tcp(port);
+  if (!fd) return std::nullopt;
+  return Client(std::move(*fd));
+}
+
+bool Client::send(const Request& rq) {
+  if (!alive()) return false;
+  const std::vector<std::uint8_t> frame =
+      ledger::frame_record(encode_request(rq));
+  out_.insert(out_.end(), frame.begin(), frame.end());
+  return flush();
+}
+
+bool Client::flush() {
+  if (!alive()) return false;
+  while (out_off_ < out_.size()) {
+    const auto r = sockio::write_some(
+        fd_, std::span<const std::uint8_t>(out_).subspan(out_off_));
+    if (r.status == sockio::IoStatus::kOk) {
+      out_off_ += r.n;
+      continue;
+    }
+    if (r.status != sockio::IoStatus::kWouldBlock) broken_ = true;
+    break;
+  }
+  if (out_off_ == out_.size() && !out_.empty()) {
+    out_.clear();
+    out_off_ = 0;
+  }
+  return !broken_;
+}
+
+std::size_t Client::poll() {
+  if (!fd_.valid()) return 0;
+  // Bounded by kernel buffer contents: every kOk consumes bytes, any
+  // other status breaks.
+  for (;;) {  // zkdet-lint: allow(unbounded-retry)
+    const auto r = sockio::read_some(fd_, in_.stream());
+    if (r.status == sockio::IoStatus::kOk) continue;
+    if (r.status != sockio::IoStatus::kWouldBlock) broken_ = true;
+    break;
+  }
+  std::size_t fresh = 0;
+  while (auto payload = in_.next_payload()) {
+    auto rs = decode_response(*payload);
+    if (!rs) {
+      broken_ = true;  // CRC-valid but not a Response: protocol violation
+      break;
+    }
+    stash_.insert_or_assign(rs->id, std::move(*rs));
+    ++fresh;
+  }
+  if (in_.poisoned()) broken_ = true;
+  return fresh;
+}
+
+std::optional<Response> Client::take(std::uint64_t id) {
+  const auto it = stash_.find(id);
+  if (it == stash_.end()) return std::nullopt;
+  Response rs = std::move(it->second);
+  stash_.erase(it);
+  return rs;
+}
+
+std::optional<Response> Client::call(Server& server, const Request& rq,
+                                     std::size_t max_rounds) {
+  if (!send(rq)) return std::nullopt;
+  for (std::size_t i = 0; i < max_rounds; ++i) {
+    server.pump();
+    flush();
+    poll();
+    if (auto rs = take(rq.id)) return rs;
+    if (!alive()) return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace zkdet::rpc

@@ -1,0 +1,72 @@
+// Minimal framed RPC client.
+//
+// Non-blocking like everything else: send() frames and queues, flush()
+// pushes queued bytes, poll() drains the socket and stashes decoded
+// responses by request id. call() is the synchronous convenience for
+// tests and benches co-located with the server — it pumps the server
+// between polls, so one thread can play both ends deterministically.
+//
+// A response whose frame arrives torn (CRC-dead tail, short read at
+// close) is simply never stashed: the client observes a missing answer
+// and a dead connection, never a corrupted payload — callers re-query
+// over a fresh connection (state-changing ops are visible via
+// kReadExchange / kReadBalance, so re-query beats blind retry).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "rpc/server.hpp"
+#include "rpc/socket.hpp"
+#include "rpc/wire.hpp"
+
+namespace zkdet::rpc {
+
+class Client {
+ public:
+  explicit Client(sockio::Fd fd) : fd_(std::move(fd)) {}
+
+  [[nodiscard]] static std::optional<Client> connect_unix(
+      const std::string& path);
+  [[nodiscard]] static std::optional<Client> connect_tcp(std::uint16_t port);
+
+  // Frames and queues `rq`, then attempts a flush. False when the
+  // connection is already dead.
+  bool send(const Request& rq);
+
+  // Pushes queued bytes; returns false when the connection died.
+  bool flush();
+
+  // Drains the socket, decoding complete frames into the stash.
+  // Returns the number of responses newly stashed.
+  std::size_t poll();
+
+  // Removes and returns the stashed response for `id`, if present.
+  [[nodiscard]] std::optional<Response> take(std::uint64_t id);
+
+  // send + pump the (in-process) server + poll until the response for
+  // rq.id arrives or the round budget runs out.
+  std::optional<Response> call(Server& server, const Request& rq,
+                               std::size_t max_rounds = 200);
+
+  // Connection still usable (socket open, stream not poisoned).
+  [[nodiscard]] bool alive() const { return fd_.valid() && !broken_; }
+
+  // Hard-closes the socket mid-conversation (chaos tests: a client
+  // killed after its request was admitted).
+  void sever() { fd_.reset(); }
+
+  [[nodiscard]] std::size_t stashed() const { return stash_.size(); }
+
+ private:
+  sockio::Fd fd_;
+  sockio::FrameBuffer in_;
+  std::vector<std::uint8_t> out_;
+  std::size_t out_off_ = 0;
+  bool broken_ = false;
+  std::map<std::uint64_t, Response> stash_;
+};
+
+}  // namespace zkdet::rpc

@@ -1,0 +1,97 @@
+// Request dispatcher: THE canonical execution of an RPC intent stream.
+//
+// run() executes one round of admitted requests against a ZkdetSystem
+// in deterministic phases:
+//
+//   1. serial ops, arrival order: ping / register / publish / offer /
+//      reads, plus building + async-submitting every prove job (all of
+//      a round's proves coalesce into one ProverService group);
+//      transactional ops (transfer / lock / settle / refund) build
+//      their signed TxIntents in arrival order — per-sender nonces come
+//      from TxPool::next_nonce as each intent is submitted, so a
+//      sender's same-round requests get sequential nonces — and enter
+//      the mempool.
+//   2. one TxPool::drain(): the scheduler seals conflict-free batches,
+//      the parallel executor runs them, same-batch settle claims fold
+//      into one pairing product (PR-9 path).
+//   3. ticket resolution -> responses, then prove-future harvest.
+//
+// Determinism contract (the byte-identity acceptance test): for a fixed
+// system seed, dispatcher seed and request stream, the sealed blocks
+// and WAL bytes are identical whether run() is called directly
+// (in-process) or by the socket server on admitted rounds — run() is
+// the only execution path, and every rng draw happens at a
+// stream-determined point. Responses to reads may differ (they observe
+// the serving replica's prefix); chain state may not.
+//
+// The dispatcher custodies principals' keys and published assets (the
+// hosted-wallet model): kRegister generates a KeyPair server-side and
+// returns an opaque handle. Buyer k_v secrets are drawn from the
+// dispatcher's own Drbg at lock time and held per exchange, mirroring
+// the off-chain "buyer sends k_v to seller" step inside the operator.
+//
+// Reads (kReadExchange / kReadBalance) are served from an attached
+// FollowerReadView when one is set — prefix-consistent follower reads
+// (core/follower_view.hpp): a committed prefix of the primary's
+// history, possibly stale, never a state the primary never had. With no
+// view attached they read the primary directly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/exchange.hpp"
+#include "core/follower_view.hpp"
+#include "core/system.hpp"
+#include "core/transformation.hpp"
+#include "rpc/wire.hpp"
+
+namespace zkdet::rpc {
+
+class Dispatcher {
+ public:
+  // `seed` drives principal keygen and buyer k_v draws; equal seeds (and
+  // equal request streams) give byte-identical chain effects.
+  Dispatcher(core::ZkdetSystem& sys, core::TransformationProtocol& transform,
+             std::uint64_t seed = 1);
+
+  // Executes one round; returns responses index-aligned with `requests`.
+  // Single-pumper, like TxPool::seal_next_batch: not safe to call
+  // concurrently with itself.
+  std::vector<Response> run(std::span<const Request> requests);
+
+  // Serve reads from this follower view (nullptr = read the primary).
+  // The view must outlive the dispatcher or be detached first.
+  void serve_reads_from(core::FollowerReadView* view) { reads_ = view; }
+
+  [[nodiscard]] core::ZkdetSystem& system() { return sys_; }
+  [[nodiscard]] std::size_t principals() const { return principals_.size(); }
+
+ private:
+  struct Principal {
+    crypto::KeyPair keys;
+    chain::Address addr;
+  };
+  // Buyer-side session custody: what settle/refund need later.
+  struct Session {
+    ff::Fr k_v;
+    std::uint64_t token_id = 0;
+  };
+
+  [[nodiscard]] const Principal* principal(std::uint64_t handle) const;
+  Response handle_serial(const Request& rq);
+
+  core::ZkdetSystem& sys_;
+  core::TransformationProtocol& transform_;
+  core::KeySecureExchange exchange_;
+  crypto::Drbg rng_;
+  core::FollowerReadView* reads_ = nullptr;
+  std::vector<Principal> principals_;             // handle = index + 1
+  std::map<std::uint64_t, core::OwnedAsset> assets_;  // token id -> asset
+  std::vector<core::Offer> offers_;               // handle = index + 1
+  std::map<std::uint64_t, Session> sessions_;     // exchange id -> session
+};
+
+}  // namespace zkdet::rpc

@@ -1,0 +1,167 @@
+#include "rpc/server.hpp"
+
+#include <utility>
+
+#include "fault/fault.hpp"
+#include "fault/points.hpp"
+#include "ledger/wal.hpp"
+
+namespace zkdet::rpc {
+
+Server::Server(Dispatcher& dispatcher, sockio::Fd listener,
+               AdmissionConfig cfg)
+    : dispatcher_(dispatcher),
+      listener_(std::move(listener)),
+      admission_(cfg) {}
+
+std::size_t Server::accept_new() {
+  std::size_t progress = 0;
+  while (auto fd = sockio::accept_one(listener_)) {
+    ++progress;
+    // Fail-point: the accept path dies after the kernel handed us the
+    // connection — the client sees an immediate close and reconnects.
+    if (fault::fire(fault::points::kRpcAccept)) continue;  // Fd closes
+    auto s = std::make_unique<Session>();
+    s->id = next_session_++;
+    s->fd = std::move(*fd);
+    sessions_.push_back(std::move(s));
+  }
+  return progress;
+}
+
+std::size_t Server::read_sessions() {
+  std::size_t progress = 0;
+  for (auto& sp : sessions_) {
+    Session& s = *sp;
+    if (s.dead) continue;
+    bool closed = false;
+    // Bounded by kernel buffer contents: every kOk consumes bytes, any
+    // other status breaks.
+    for (;;) {  // zkdet-lint: allow(unbounded-retry)
+      const auto r = sockio::read_some(s.fd, s.in.stream());
+      if (r.status == sockio::IoStatus::kOk) continue;
+      if (r.status == sockio::IoStatus::kWouldBlock) break;
+      closed = true;  // kClosed / kError: drain buffered frames, then die
+      break;
+    }
+    while (auto payload = s.in.next_payload()) {
+      ++progress;
+      const auto rq = decode_request(*payload);
+      if (!rq) {
+        // Valid CRC but not a Request: protocol violation, not line
+        // noise — drop the connection rather than guess.
+        s.dead = true;
+        break;
+      }
+      if (!admission_.offer(s.id, *rq)) {
+        Response shed;
+        shed.id = rq->id;
+        shed.status = Status::kOverloaded;
+        shed.text = "admission queue full";
+        queue_response(s, shed);
+        continue;
+      }
+      // Fail-point: the client vanishes right after its request was
+      // admitted. The work still executes — the chaos suite proves the
+      // chain conserves funds and the exchange settles-xor-refunds —
+      // but the response has nowhere to go.
+      if (fault::fire(fault::points::kRpcSessionDisconnect)) {
+        s.dead = true;
+        break;
+      }
+    }
+    if (s.in.poisoned() || closed) s.dead = true;
+  }
+  return progress;
+}
+
+std::size_t Server::dispatch_round() {
+  std::vector<Admitted> round = admission_.take_round();
+  if (round.empty()) return 0;
+  std::vector<Request> requests;
+  requests.reserve(round.size());
+  for (const Admitted& a : round) requests.push_back(a.request);
+  std::vector<Response> responses = dispatcher_.run(requests);
+  for (std::size_t i = 0; i < round.size(); ++i) {
+    Session* s = find_session(round[i].session);
+    if (s == nullptr || s->dead) continue;  // orphaned response: dropped
+    queue_response(*s, responses[i]);
+  }
+  return round.size();
+}
+
+void Server::queue_response(Session& s, const Response& rs) {
+  const std::vector<std::uint8_t> frame =
+      ledger::frame_record(encode_response(rs));
+  // Fail-point: the response write tears mid-frame (process death with
+  // bytes half-flushed). The client's FrameBuffer sees an incomplete /
+  // CRC-dead tail and the connection closes — it can never decode a
+  // wrong payload, only miss one.
+  if (fault::fire(fault::points::kRpcWriteTorn)) {
+    s.out.insert(s.out.end(), frame.begin(),
+                 frame.begin() + static_cast<std::ptrdiff_t>(frame.size() / 2));
+    s.dead = true;
+    return;
+  }
+  s.out.insert(s.out.end(), frame.begin(), frame.end());
+}
+
+std::size_t Server::flush_writes() {
+  std::size_t progress = 0;
+  for (auto& sp : sessions_) {
+    Session& s = *sp;
+    // Dead sessions still flush what they already queued (a torn frame
+    // must reach the wire for the client to observe the tear).
+    while (s.out_off < s.out.size()) {
+      const auto r = sockio::write_some(
+          s.fd, std::span<const std::uint8_t>(s.out).subspan(s.out_off));
+      if (r.status == sockio::IoStatus::kOk) {
+        s.out_off += r.n;
+        progress += r.n;
+        continue;
+      }
+      if (r.status != sockio::IoStatus::kWouldBlock) s.dead = true;
+      break;
+    }
+    if (s.out_off == s.out.size() && !s.out.empty()) {
+      s.out.clear();
+      s.out_off = 0;
+    }
+  }
+  return progress;
+}
+
+void Server::reap() {
+  std::erase_if(sessions_, [](const std::unique_ptr<Session>& s) {
+    return s->dead;
+  });
+}
+
+Server::Session* Server::find_session(std::uint64_t id) {
+  for (auto& sp : sessions_) {
+    if (sp->id == id) return sp.get();
+  }
+  return nullptr;
+}
+
+std::size_t Server::pump() {
+  std::size_t progress = 0;
+  progress += accept_new();
+  progress += read_sessions();
+  progress += dispatch_round();
+  progress += flush_writes();
+  reap();
+  return progress;
+}
+
+std::size_t Server::run_until_idle(std::size_t max_rounds) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < max_rounds; ++i) {
+    const std::size_t p = pump();
+    if (p == 0) break;
+    total += p;
+  }
+  return total;
+}
+
+}  // namespace zkdet::rpc

@@ -1,0 +1,86 @@
+// The RPC front end: a pump-driven, threadless socket server.
+//
+// One Server owns a listening socket (unix path or loopback TCP) and a
+// set of client sessions. Like every other subsystem outside
+// src/runtime, it has no threads of its own: pump() performs one
+// bounded round of work —
+//
+//   accept -> read+decode+admit -> dispatch one admitted round -> flush
+//
+// — and the caller (a test, bench_rpc, or an embedding node loop)
+// decides the cadence. All sockets are non-blocking, so a slow or dead
+// client can never stall the pump; its session just stops making
+// progress and is reaped when the connection drops.
+//
+// Back-pressure story (DESIGN.md "RPC front end & admission control"):
+// decoded requests go through the bounded AdmissionQueue. A shed
+// request is answered immediately with a typed Overloaded response on
+// the same connection — load shedding is an answer, not a silence. An
+// admitted round (at most ZKDET_RPC_INFLIGHT requests) is executed by
+// the shared Dispatcher, so RPC traffic rides the txpool's parallel
+// block executor and the folded settlement verification exactly like
+// in-process callers.
+//
+// Fail-points (fault/points.hpp, rpc.*): kRpcAccept drops an accepted
+// connection, kRpcSessionDisconnect kills a session right after one of
+// its requests was admitted (the work still executes; the response is
+// dropped — the chaos suite proves funds stay conserved), kRpcWriteTorn
+// truncates a response frame mid-write before killing the session (the
+// client sees a CRC-invalid torn tail, never a wrong payload).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rpc/admission.hpp"
+#include "rpc/dispatch.hpp"
+#include "rpc/socket.hpp"
+
+namespace zkdet::rpc {
+
+class Server {
+ public:
+  // `listener` must be a non-blocking listening socket (sockio::
+  // listen_unix / listen_tcp). The dispatcher must outlive the server.
+  Server(Dispatcher& dispatcher, sockio::Fd listener,
+         AdmissionConfig cfg = AdmissionConfig::from_env());
+
+  // One bounded round of service. Returns a progress count (accepted
+  // connections + frames admitted/shed + requests dispatched + bytes
+  // flushed); 0 means the server is idle.
+  std::size_t pump();
+
+  // Pumps until an idle round or `max_rounds`; returns total progress.
+  std::size_t run_until_idle(std::size_t max_rounds = 10'000);
+
+  [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
+  [[nodiscard]] AdmissionQueue& admission() { return admission_; }
+  [[nodiscard]] Dispatcher& dispatcher() { return dispatcher_; }
+
+ private:
+  struct Session {
+    std::uint64_t id = 0;
+    sockio::Fd fd;
+    sockio::FrameBuffer in;
+    std::vector<std::uint8_t> out;  // framed responses awaiting flush
+    std::size_t out_off = 0;
+    bool dead = false;
+  };
+
+  std::size_t accept_new();
+  std::size_t read_sessions();
+  std::size_t dispatch_round();
+  std::size_t flush_writes();
+  void reap();
+  Session* find_session(std::uint64_t id);
+  void queue_response(Session& s, const Response& rs);
+
+  Dispatcher& dispatcher_;
+  sockio::Fd listener_;
+  AdmissionQueue admission_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::uint64_t next_session_ = 1;
+};
+
+}  // namespace zkdet::rpc

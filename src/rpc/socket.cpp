@@ -1,0 +1,203 @@
+#include "rpc/socket.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "ledger/wal.hpp"
+
+namespace zkdet::rpc::sockio {
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+void Fd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+std::optional<Fd> listen_unix(const std::string& path, int backlog) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return std::nullopt;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return std::nullopt;
+  // A previous run's socket file would make bind fail with EADDRINUSE;
+  // the listener owns its path, so replacing a stale file is safe.
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return std::nullopt;
+  }
+  if (::listen(fd.get(), backlog) != 0) return std::nullopt;
+  return fd;
+}
+
+std::optional<Fd> connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return std::nullopt;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return std::nullopt;
+  // A non-blocking AF_UNIX connect to a live listener completes
+  // immediately (the kernel queues it on the backlog); EAGAIN means the
+  // backlog is full, which callers treat as connection failure.
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return std::nullopt;
+  }
+  return fd;
+}
+
+std::optional<Fd> listen_tcp(std::uint16_t port, std::uint16_t* bound_port,
+                             int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return std::nullopt;
+  const int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return std::nullopt;
+  }
+  if (::listen(fd.get(), backlog) != 0) return std::nullopt;
+  if (bound_port != nullptr) {
+    sockaddr_in got{};
+    socklen_t len = sizeof(got);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&got), &len) != 0) {
+      return std::nullopt;
+    }
+    *bound_port = ntohs(got.sin_port);
+  }
+  return fd;
+}
+
+std::optional<Fd> connect_tcp(std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return std::nullopt;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  // Blocking connect on purpose: loopback handshakes complete in one
+  // round and a connected-or-failed answer keeps callers simple. The
+  // descriptor goes non-blocking before any data moves.
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return std::nullopt;
+  }
+  if (!set_nonblocking(fd.get())) return std::nullopt;
+  return fd;
+}
+
+std::optional<std::pair<Fd, Fd>> stream_pair() {
+  int fds[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0,
+                   fds) != 0) {
+    return std::nullopt;
+  }
+  return std::make_pair(Fd(fds[0]), Fd(fds[1]));
+}
+
+std::optional<Fd> accept_one(const Fd& listener) {
+  if (!listener.valid()) return std::nullopt;
+  const int fd = ::accept4(listener.get(), nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (fd < 0) return std::nullopt;
+  return Fd(fd);
+}
+
+IoResult read_some(const Fd& fd, std::vector<std::uint8_t>& out) {
+  if (!fd.valid()) return {IoStatus::kError, 0};
+  std::uint8_t chunk[64 * 1024];
+  const ssize_t n = ::recv(fd.get(), chunk, sizeof(chunk), 0);
+  if (n > 0) {
+    out.insert(out.end(), chunk, chunk + n);
+    return {IoStatus::kOk, static_cast<std::size_t>(n)};
+  }
+  if (n == 0) return {IoStatus::kClosed, 0};
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+    return {IoStatus::kWouldBlock, 0};
+  }
+  return {IoStatus::kError, 0};
+}
+
+IoResult write_some(const Fd& fd, std::span<const std::uint8_t> buf) {
+  if (!fd.valid()) return {IoStatus::kError, 0};
+  if (buf.empty()) return {IoStatus::kOk, 0};
+  const ssize_t n = ::send(fd.get(), buf.data(), buf.size(), MSG_NOSIGNAL);
+  if (n > 0) return {IoStatus::kOk, static_cast<std::size_t>(n)};
+  if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+    return {IoStatus::kWouldBlock, 0};
+  }
+  return {IoStatus::kError, 0};
+}
+
+std::optional<std::vector<std::uint8_t>> FrameBuffer::next_payload() {
+  while (!poisoned_) {
+    const std::size_t avail = buf_.size() - off_;
+    if (avail < ledger::kFrameHeaderSize) break;
+    const std::uint32_t len = static_cast<std::uint32_t>(buf_[off_]) |
+                              static_cast<std::uint32_t>(buf_[off_ + 1]) << 8 |
+                              static_cast<std::uint32_t>(buf_[off_ + 2]) << 16 |
+                              static_cast<std::uint32_t>(buf_[off_ + 3]) << 24;
+    if (len > ledger::kMaxRecordPayload) {
+      // The length prefix itself is garbage; frame boundaries are gone.
+      poisoned_ = true;
+      break;
+    }
+    const std::size_t total = ledger::kFrameHeaderSize + len;
+    if (avail < total) break;  // incomplete tail; wait for more bytes
+    const auto rec = ledger::parse_record(buf_, off_);
+    if (rec && rec->next_offset == off_ + total) {
+      std::vector<std::uint8_t> payload(rec->payload.begin(),
+                                        rec->payload.end());
+      off_ += total;
+      compact();
+      return payload;
+    }
+    // Complete frame, bad CRC: a datagram lost in transit. Skip it.
+    off_ += total;
+  }
+  compact();
+  return std::nullopt;
+}
+
+void FrameBuffer::compact() {
+  if (off_ == 0) return;
+  if (off_ == buf_.size()) {
+    buf_.clear();
+    off_ = 0;
+  } else if (off_ >= 64 * 1024) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(off_));
+    off_ = 0;
+  }
+}
+
+}  // namespace zkdet::rpc::sockio

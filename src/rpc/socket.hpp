@@ -1,0 +1,128 @@
+// Minimal non-blocking socket layer (zkdet_sockio).
+//
+// This file and src/replication are the ONLY places in the tree allowed
+// to issue raw socket syscalls (enforced by scripts/lint_zkdet.py, rule
+// raw-socket-io). Everything above works in terms of RAII `Fd`s and the
+// four byte-level operations below; everything here is non-blocking by
+// construction, so the pump-driven subsystems (rpc::Server, the
+// replication SocketLink) never stall a pump on a slow peer.
+//
+// Scope is deliberately local-only: AF_UNIX paths and 127.0.0.1 TCP.
+// The serving layer is a front end for one operator node, not an
+// internet-facing listener; binding a routable address is a deployment
+// concern outside this repo.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace zkdet::rpc::sockio {
+
+// RAII file descriptor. Move-only; closes on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  // Closes the held descriptor (if any) and adopts `fd`.
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+// Outcome of one non-blocking read/write.
+enum class IoStatus : std::uint8_t {
+  kOk = 0,          // made progress (n bytes)
+  kWouldBlock = 1,  // no progress; retry on a later pump
+  kClosed = 2,      // orderly EOF (read) — peer is gone
+  kError = 3,       // connection dead (ECONNRESET, EPIPE, ...)
+};
+
+struct IoResult {
+  IoStatus status = IoStatus::kWouldBlock;
+  std::size_t n = 0;  // bytes moved this call
+};
+
+// --- listeners / connectors (all descriptors come back non-blocking) ---
+
+// AF_UNIX stream listener at `path`. Replaces a stale socket file.
+// nullopt on failure (path too long for sun_path, bind error, ...).
+[[nodiscard]] std::optional<Fd> listen_unix(const std::string& path,
+                                            int backlog = 64);
+[[nodiscard]] std::optional<Fd> connect_unix(const std::string& path);
+
+// TCP listener on 127.0.0.1. `port` 0 picks an ephemeral port; the
+// actual bound port is written to *bound_port when non-null.
+[[nodiscard]] std::optional<Fd> listen_tcp(std::uint16_t port,
+                                           std::uint16_t* bound_port = nullptr,
+                                           int backlog = 64);
+[[nodiscard]] std::optional<Fd> connect_tcp(std::uint16_t port);
+
+// Connected AF_UNIX stream pair (both ends non-blocking): the loopback
+// transport for in-process tests of out-of-process wiring.
+[[nodiscard]] std::optional<std::pair<Fd, Fd>> stream_pair();
+
+// Accepts one pending connection; nullopt when none is queued (or the
+// listener is dead). The accepted descriptor is non-blocking.
+[[nodiscard]] std::optional<Fd> accept_one(const Fd& listener);
+
+// Appends whatever is immediately readable (bounded by one internal
+// chunk per call) to `out`.
+[[nodiscard]] IoResult read_some(const Fd& fd, std::vector<std::uint8_t>& out);
+
+// Writes as much of `buf` as the kernel will take right now. SIGPIPE is
+// suppressed (a dead peer reports kError instead of killing the
+// process).
+[[nodiscard]] IoResult write_some(const Fd& fd,
+                                  std::span<const std::uint8_t> buf);
+
+// Stream reassembly: a byte stream in, complete CRC-framed datagram
+// payloads out (ledger/wal.hpp framing — u32 len + u32 crc32c +
+// payload, the same frame the WAL and the replication transport use).
+//
+// A complete frame whose CRC fails is SKIPPED using its length prefix —
+// the datagram is "lost in transit" and the stream stays aligned,
+// matching replication::Link's lossy drop-on-corrupt contract. A length
+// prefix beyond kMaxRecordPayload cannot be skipped safely (the prefix
+// itself is untrustworthy), so it poisons the buffer: the owner must
+// drop the connection.
+class FrameBuffer {
+ public:
+  // Raw stream bytes land here (hand this to read_some).
+  [[nodiscard]] std::vector<std::uint8_t>& stream() { return buf_; }
+
+  // Payload of the next complete valid frame; nullopt when no complete
+  // frame is buffered (or the buffer is poisoned).
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> next_payload();
+
+  [[nodiscard]] bool poisoned() const { return poisoned_; }
+  // Bytes buffered but not yet consumed (incomplete tail).
+  [[nodiscard]] std::size_t pending_bytes() const { return buf_.size() - off_; }
+
+ private:
+  void compact();
+  std::vector<std::uint8_t> buf_;
+  std::size_t off_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace zkdet::rpc::sockio

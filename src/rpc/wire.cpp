@@ -1,0 +1,122 @@
+#include "rpc/wire.hpp"
+
+#include "ledger/codec.hpp"
+
+namespace zkdet::rpc {
+
+namespace {
+
+// Sanity bounds: a request is a few field elements, a response carries
+// at most one proof. Anything claiming more is malformed, not big.
+constexpr std::size_t kMaxRequestFrs = 4096;
+constexpr std::size_t kMaxResponseBytes = 1u << 20;
+
+bool valid_op(std::uint8_t raw) {
+  return raw >= static_cast<std::uint8_t>(Op::kPing) &&
+         raw <= static_cast<std::uint8_t>(Op::kReadBalance);
+}
+
+}  // namespace
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kPing: return "ping";
+    case Op::kRegister: return "register";
+    case Op::kTransfer: return "transfer";
+    case Op::kProve: return "prove";
+    case Op::kPublish: return "publish";
+    case Op::kOffer: return "offer";
+    case Op::kLock: return "lock";
+    case Op::kSettle: return "settle";
+    case Op::kRefund: return "refund";
+    case Op::kReadExchange: return "read-exchange";
+    case Op::kReadBalance: return "read-balance";
+  }
+  return "?";
+}
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kOverloaded: return "overloaded";
+    case Status::kRejected: return "rejected";
+    case Status::kError: return "error";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> encode_request(const Request& rq) {
+  ledger::Writer w;
+  w.u8(static_cast<std::uint8_t>(rq.op));
+  w.u64(rq.id);
+  w.u64(rq.client);
+  w.u64(rq.a);
+  w.u64(rq.b);
+  w.u64(rq.c);
+  w.u32(static_cast<std::uint32_t>(rq.frs.size()));
+  for (const auto& f : rq.frs) w.fr(f);
+  return w.take();
+}
+
+std::optional<Request> decode_request(std::span<const std::uint8_t> payload) {
+  try {
+    ledger::Reader r(payload);
+    const std::uint8_t raw_op = r.u8();
+    if (!valid_op(raw_op)) return std::nullopt;
+    Request rq;
+    rq.op = static_cast<Op>(raw_op);
+    rq.id = r.u64();
+    rq.client = r.u64();
+    rq.a = r.u64();
+    rq.b = r.u64();
+    rq.c = r.u64();
+    const std::uint32_t n = r.u32();
+    if (n > kMaxRequestFrs) return std::nullopt;
+    r.check_count(n, 32);
+    rq.frs.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) rq.frs.push_back(r.fr());
+    r.expect_end();
+    return rq;
+  } catch (const ledger::CodecError&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<std::uint8_t> encode_response(const Response& rs) {
+  ledger::Writer w;
+  w.u64(rs.id);
+  w.u8(static_cast<std::uint8_t>(rs.status));
+  w.u64(rs.value);
+  w.u64(rs.aux);
+  w.fr(rs.fr);
+  w.u32(static_cast<std::uint32_t>(rs.bytes.size()));
+  w.bytes(rs.bytes);
+  w.str(rs.text);
+  return w.take();
+}
+
+std::optional<Response> decode_response(
+    std::span<const std::uint8_t> payload) {
+  try {
+    ledger::Reader r(payload);
+    Response rs;
+    rs.id = r.u64();
+    const std::uint8_t raw = r.u8();
+    if (raw > static_cast<std::uint8_t>(Status::kError)) return std::nullopt;
+    rs.status = static_cast<Status>(raw);
+    rs.value = r.u64();
+    rs.aux = r.u64();
+    rs.fr = r.fr();
+    const std::uint32_t n = r.u32();
+    if (n > kMaxResponseBytes || n > r.remaining()) return std::nullopt;
+    rs.bytes.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) rs.bytes.push_back(r.u8());
+    rs.text = r.str();
+    r.expect_end();
+    return rs;
+  } catch (const ledger::CodecError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace zkdet::rpc

@@ -1,0 +1,105 @@
+// RPC wire protocol: typed requests/responses over CRC-framed datagrams.
+//
+// Transport framing reuses the WAL/replication frame (u32 len + u32
+// crc32c + payload; sockio::FrameBuffer reassembles them from the byte
+// stream), and the payload codec reuses the ledger's canonical Writer/
+// Reader — one length-prefix/endianness/bounds-check discipline across
+// the whole tree. Decoders are strict: a malformed payload decodes to
+// nullopt, never to a half-trusted request.
+//
+// Request field usage per op ("client" is the server-assigned principal
+// handle returned by kRegister; the server custodies keys and assets —
+// the hosted-wallet model a serving front end implies):
+//
+//   kPing          (none)                        -> value echoed a
+//   kRegister      a=initial deposit             -> value=client handle
+//   kTransfer      client=sender, a=dest handle,
+//                  b=amount                      -> value=sender balance
+//   kProve         frs={key, key_blinder, k_v}   -> bytes=pi_k proof
+//   kPublish       client=owner, frs=plaintext   -> value=token id
+//   kOffer         client=seller, a=token id     -> value=offer handle
+//   kLock          client=buyer, a=offer handle,
+//                  b=amount, c=timeout blocks    -> value=exchange id
+//   kSettle        client=seller, a=exchange id  -> value=1
+//   kRefund        client=buyer, a=exchange id   -> value=1
+//   kReadExchange  a=exchange id                 -> value=state,
+//                                                   aux=amount, fr=k_c
+//   kReadBalance   client                        -> value=balance,
+//                                                   aux=read height
+//
+// A request that depends on the *effects* of an earlier transactional
+// request (e.g. settle after lock) must be issued after the earlier
+// one's response arrived: within one dispatch round, transaction
+// intents are built in arrival order against pre-round chain state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ff/bn254.hpp"
+
+namespace zkdet::rpc {
+
+enum class Op : std::uint8_t {
+  kPing = 1,
+  kRegister = 2,
+  kTransfer = 3,
+  kProve = 4,
+  kPublish = 5,
+  kOffer = 6,
+  kLock = 7,
+  kSettle = 8,
+  kRefund = 9,
+  kReadExchange = 10,
+  kReadBalance = 11,
+};
+
+[[nodiscard]] const char* op_name(Op op);
+
+struct Request {
+  Op op = Op::kPing;
+  std::uint64_t id = 0;      // client correlation id, echoed verbatim
+  std::uint64_t client = 0;  // principal handle (0 = none)
+  std::uint64_t a = 0;       // op-specific (see table above)
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+  std::vector<ff::Fr> frs;  // op-specific field elements
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  // Shed by admission control BEFORE any work ran: the system is at
+  // capacity and the client should back off and retry. This is the one
+  // status whose request had no effect by construction.
+  kOverloaded = 1,
+  // Refused by validation (unknown handle, bad arity, unknown op).
+  kRejected = 2,
+  // Accepted but failed during execution (tx reverted, prover failed).
+  kError = 3,
+};
+
+[[nodiscard]] const char* status_name(Status s);
+
+struct Response {
+  std::uint64_t id = 0;
+  Status status = Status::kOk;
+  std::uint64_t value = 0;
+  std::uint64_t aux = 0;
+  ff::Fr fr;
+  std::vector<std::uint8_t> bytes;
+  std::string text;  // diagnostic for kRejected / kError
+};
+
+// Payload codecs (the caller wraps payloads with ledger::frame_record
+// for the wire; sockio::FrameBuffer hands back exactly these payloads).
+[[nodiscard]] std::vector<std::uint8_t> encode_request(const Request& rq);
+[[nodiscard]] std::optional<Request> decode_request(
+    std::span<const std::uint8_t> payload);
+[[nodiscard]] std::vector<std::uint8_t> encode_response(const Response& rs);
+[[nodiscard]] std::optional<Response> decode_response(
+    std::span<const std::uint8_t> payload);
+
+}  // namespace zkdet::rpc

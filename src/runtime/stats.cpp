@@ -32,6 +32,11 @@ std::atomic<std::uint64_t> repl_retransmits{0};
 std::atomic<std::uint64_t> repl_snapshots_shipped{0};
 std::atomic<std::uint64_t> repl_records_applied{0};
 std::atomic<std::uint64_t> repl_failstops{0};
+std::atomic<std::uint64_t> rpc_admitted{0};
+std::atomic<std::uint64_t> rpc_shed{0};
+std::atomic<std::uint64_t> rpc_batched_proves{0};
+std::atomic<std::uint64_t> rpc_inflight{0};
+std::atomic<std::uint64_t> rpc_queue_depth{0};
 std::atomic<std::uint64_t> msm_ns{0};
 std::atomic<std::uint64_t> ntt_ns{0};
 std::atomic<std::uint64_t> quotient_ns{0};
@@ -88,6 +93,13 @@ StatsSnapshot stats() {
   s.repl_records_applied =
       counters::repl_records_applied.load(std::memory_order_relaxed);
   s.repl_failstops = counters::repl_failstops.load(std::memory_order_relaxed);
+  s.rpc_admitted = counters::rpc_admitted.load(std::memory_order_relaxed);
+  s.rpc_shed = counters::rpc_shed.load(std::memory_order_relaxed);
+  s.rpc_batched_proves =
+      counters::rpc_batched_proves.load(std::memory_order_relaxed);
+  s.rpc_inflight = counters::rpc_inflight.load(std::memory_order_relaxed);
+  s.rpc_queue_depth =
+      counters::rpc_queue_depth.load(std::memory_order_relaxed);
   s.msm_ns = counters::msm_ns.load(std::memory_order_relaxed);
   s.ntt_ns = counters::ntt_ns.load(std::memory_order_relaxed);
   s.quotient_ns = counters::quotient_ns.load(std::memory_order_relaxed);
@@ -127,6 +139,11 @@ void reset_stats() {
   counters::repl_snapshots_shipped.store(0, std::memory_order_relaxed);
   counters::repl_records_applied.store(0, std::memory_order_relaxed);
   counters::repl_failstops.store(0, std::memory_order_relaxed);
+  counters::rpc_admitted.store(0, std::memory_order_relaxed);
+  counters::rpc_shed.store(0, std::memory_order_relaxed);
+  counters::rpc_batched_proves.store(0, std::memory_order_relaxed);
+  counters::rpc_inflight.store(0, std::memory_order_relaxed);
+  counters::rpc_queue_depth.store(0, std::memory_order_relaxed);
   counters::msm_ns.store(0, std::memory_order_relaxed);
   counters::ntt_ns.store(0, std::memory_order_relaxed);
   counters::quotient_ns.store(0, std::memory_order_relaxed);

@@ -54,6 +54,13 @@ struct StatsSnapshot {
   std::uint64_t repl_snapshots_shipped = 0;
   std::uint64_t repl_records_applied = 0;  // follower-side, post-fsync
   std::uint64_t repl_failstops = 0;        // divergence fail-stops raised
+  // RPC front end (src/rpc).
+  std::uint64_t rpc_admitted = 0;        // requests past admission control
+  std::uint64_t rpc_shed = 0;            // typed Overloaded responses sent
+  std::uint64_t rpc_batched_proves = 0;  // prove requests coalesced into
+                                         // ProverService groups
+  std::uint64_t rpc_inflight = 0;     // gauge: requests dispatching right now
+  std::uint64_t rpc_queue_depth = 0;  // gauge: admitted-but-undispatched
   // Per-stage wall time (ns, summed per executing thread).
   std::uint64_t msm_ns = 0;
   std::uint64_t ntt_ns = 0;
@@ -99,6 +106,11 @@ extern std::atomic<std::uint64_t> repl_retransmits;
 extern std::atomic<std::uint64_t> repl_snapshots_shipped;
 extern std::atomic<std::uint64_t> repl_records_applied;
 extern std::atomic<std::uint64_t> repl_failstops;
+extern std::atomic<std::uint64_t> rpc_admitted;
+extern std::atomic<std::uint64_t> rpc_shed;
+extern std::atomic<std::uint64_t> rpc_batched_proves;
+extern std::atomic<std::uint64_t> rpc_inflight;
+extern std::atomic<std::uint64_t> rpc_queue_depth;
 extern std::atomic<std::uint64_t> msm_ns;
 extern std::atomic<std::uint64_t> ntt_ns;
 extern std::atomic<std::uint64_t> quotient_ns;

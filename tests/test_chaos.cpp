@@ -16,14 +16,18 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
+#include <optional>
 
 #include "check/check.hpp"
 #include "core/exchange_driver.hpp"
 #include "fault/fault.hpp"
 #include "fault/points.hpp"
 #include "ledger/ledger.hpp"
+#include "rpc/client.hpp"
+#include "rpc/server.hpp"
 
 namespace zkdet::core {
 namespace {
@@ -555,6 +559,211 @@ TEST_F(LedgerChaos, KillAtEveryLedgerFailPointThenReopenRestoresTheSystem) {
     }
   }
   fs::remove_all(dir);
+}
+
+// --- RPC chaos: rpc.* fail-points against a live socket server ----------
+//
+// The serving layer adds failure modes the library never had: the accept
+// path dying, a client vanishing after its request was admitted, the
+// admission queue shedding, and a response frame tearing mid-write. The
+// invariants are the same as every other chaos surface: the chain's
+// funds are conserved and each exchange terminates settled xor refunded
+// — a lost RESPONSE must never mean lost or duplicated STATE.
+
+struct RpcChaos : ChaosBase {
+  // Shared dispatcher over the chaos system: registered principals and
+  // published assets persist across the suite (publishing is
+  // proof-heavy; the chaos target is the serving layer).
+  static rpc::Dispatcher& disp() {
+    static rpc::Dispatcher d(sys(), tp(), /*seed=*/606);
+    return d;
+  }
+
+  struct World {
+    std::uint64_t seller = 0;
+    std::uint64_t buyer = 0;
+    std::uint64_t token = 0;
+    std::uint64_t offer = 0;
+  };
+  static World& world() {
+    static World w = [] {
+      World out;
+      std::vector<rpc::Request> rqs;
+      rqs.push_back(rq(rpc::Op::kRegister, 0, 0, 200'000));
+      rqs.push_back(rq(rpc::Op::kRegister, 0, 0, 500'000));
+      auto rs = disp().run(rqs);
+      ZKDET_CHECK(rs[0].status == rpc::Status::kOk, "seller register");
+      ZKDET_CHECK(rs[1].status == rpc::Status::kOk, "buyer register");
+      out.seller = rs[0].value;
+      out.buyer = rs[1].value;
+      std::vector<rpc::Request> pub;
+      pub.push_back(rq(rpc::Op::kPublish, 0, out.seller, 0, 0, 0,
+                       {Fr::from_u64(71), Fr::from_u64(72)}));
+      rs = disp().run(pub);
+      ZKDET_CHECK(rs[0].status == rpc::Status::kOk, "publish");
+      out.token = rs[0].value;
+      std::vector<rpc::Request> off;
+      off.push_back(rq(rpc::Op::kOffer, 0, out.seller, out.token));
+      rs = disp().run(off);
+      ZKDET_CHECK(rs[0].status == rpc::Status::kOk, "offer");
+      out.offer = rs[0].value;
+      return out;
+    }();
+    return w;
+  }
+
+  static rpc::Request rq(rpc::Op op, std::uint64_t id,
+                         std::uint64_t client = 0, std::uint64_t a = 0,
+                         std::uint64_t b = 0, std::uint64_t c = 0,
+                         std::vector<Fr> frs = {}) {
+    rpc::Request r;
+    r.op = op;
+    r.id = id != 0 ? id : next_id();
+    r.client = client;
+    r.a = a;
+    r.b = b;
+    r.c = c;
+    r.frs = std::move(frs);
+    return r;
+  }
+  static std::uint64_t next_id() {
+    static std::uint64_t id = 90'000;
+    return ++id;
+  }
+
+  // Total of every account balance on the chain (escrow lives in the
+  // arbiter contract's account, so lock/settle/refund only move value
+  // within this sum).
+  static std::uint64_t total_funds() {
+    std::uint64_t total = 0;
+    for (const auto& [addr, bal] : sys().chain().balances_map()) total += bal;
+    return total;
+  }
+
+  // A server on a fresh unix socket under a throwaway path.
+  struct Harness {
+    std::filesystem::path sock;
+    std::optional<rpc::Server> server;
+    Harness() {
+      static std::atomic<int> counter{0};
+      sock = std::filesystem::temp_directory_path() /
+             ("zkdet-chaos-rpc-" + std::to_string(::getpid()) + "-" +
+              std::to_string(counter.fetch_add(1)) + ".sock");
+      auto listener = rpc::sockio::listen_unix(sock.string());
+      ZKDET_CHECK(listener.has_value(), "chaos rpc listener");
+      server.emplace(disp(), std::move(*listener));
+    }
+    ~Harness() { std::filesystem::remove(sock); }
+    [[nodiscard]] std::optional<rpc::Client> connect() const {
+      return rpc::Client::connect_unix(sock.string());
+    }
+  };
+
+  // Locks a fresh exchange through the RPC path; returns its id.
+  static std::uint64_t lock_exchange(Harness& h, rpc::Client& client) {
+    const auto rs = client.call(
+        *h.server,
+        rq(rpc::Op::kLock, 0, world().buyer, world().offer, 3'000, 1'000));
+    ZKDET_CHECK(rs.has_value() && rs->status == rpc::Status::kOk,
+                "chaos lock failed");
+    return rs->value;
+  }
+};
+
+TEST_F(RpcChaos, AcceptFailureDropsConnectionReconnectSucceeds) {
+  Harness h;
+  fault::inject(fault::points::kRpcAccept, Schedule::once(1));
+  auto doomed = h.connect();
+  ASSERT_TRUE(doomed.has_value());  // backlog accepts client-side
+  // The server-side accept dies: the call never completes and the
+  // client observes a dead connection, not a hung one.
+  EXPECT_FALSE(doomed->call(*h.server, rq(rpc::Op::kPing, 0, 0, 1)));
+  EXPECT_FALSE(doomed->alive());
+  EXPECT_GT(fault::failures(fault::points::kRpcAccept), 0u);
+  // Reconnect: service resumes immediately.
+  auto retry = h.connect();
+  ASSERT_TRUE(retry.has_value());
+  const auto rs = retry->call(*h.server, rq(rpc::Op::kPing, 0, 0, 2));
+  ASSERT_TRUE(rs.has_value());
+  EXPECT_EQ(rs->status, rpc::Status::kOk);
+  EXPECT_EQ(rs->value, 2u);
+}
+
+TEST_F(RpcChaos, QueueFullShedIsTypedAndRetryableOnSameConnection) {
+  Harness h;
+  auto client = h.connect();
+  ASSERT_TRUE(client.has_value());
+  fault::inject(fault::points::kRpcQueueFull, Schedule::once(1));
+  const auto shed = client->call(*h.server, rq(rpc::Op::kPing, 0, 0, 3));
+  ASSERT_TRUE(shed.has_value()) << "shed must be an answer, not silence";
+  EXPECT_EQ(shed->status, rpc::Status::kOverloaded);
+  EXPECT_FALSE(shed->text.empty());
+  // Same connection, immediate retry: admitted and served.
+  const auto rs = client->call(*h.server, rq(rpc::Op::kPing, 0, 0, 4));
+  ASSERT_TRUE(rs.has_value());
+  EXPECT_EQ(rs->status, rpc::Status::kOk);
+  EXPECT_EQ(rs->value, 4u);
+}
+
+TEST_F(RpcChaos, ClientKilledMidSettleStateCommitsFundsConserved) {
+  Harness h;
+  auto client = h.connect();
+  ASSERT_TRUE(client.has_value());
+  world();  // materialize registrations before snapshotting total funds
+  const std::uint64_t funds_before_lock = total_funds();
+  const std::uint64_t xid = lock_exchange(h, *client);
+
+  // The seller's connection dies the moment its settle is admitted: the
+  // work must still execute (admission is the commit point for intake),
+  // only the response is lost.
+  fault::inject(fault::points::kRpcSessionDisconnect, Schedule::once(1));
+  ASSERT_TRUE(
+      client->send(rq(rpc::Op::kSettle, 0, world().seller, xid)));
+  h.server->run_until_idle();
+  EXPECT_GT(fault::failures(fault::points::kRpcSessionDisconnect), 0u);
+  EXPECT_EQ(h.server->session_count(), 0u);
+
+  // A fresh connection observes the committed outcome: settled (xor
+  // refunded — and the lock deadline is far away), funds conserved.
+  auto probe = h.connect();
+  ASSERT_TRUE(probe.has_value());
+  const auto xi =
+      probe->call(*h.server, rq(rpc::Op::kReadExchange, 0, 0, xid));
+  ASSERT_TRUE(xi.has_value());
+  EXPECT_EQ(xi->value, static_cast<std::uint64_t>(ExchangeState::kSettled));
+  EXPECT_EQ(total_funds(), funds_before_lock);
+  EXPECT_TRUE(sys().chain().validate_chain());
+}
+
+TEST_F(RpcChaos, TornSettleResponseLosesAnswerNeverState) {
+  Harness h;
+  auto client = h.connect();
+  ASSERT_TRUE(client.has_value());
+  const std::uint64_t funds_before_lock = total_funds();
+  const std::uint64_t xid = lock_exchange(h, *client);
+
+  // The settle executes, but its response frame tears mid-write. The
+  // client must observe a missing answer and a dead connection — never
+  // a corrupted payload, never doubled or vanished funds.
+  fault::inject(fault::points::kRpcWriteTorn, Schedule::once(1));
+  const auto settle_id = next_id();
+  ASSERT_TRUE(
+      client->send(rq(rpc::Op::kSettle, settle_id, world().seller, xid)));
+  h.server->run_until_idle();
+  client->flush();
+  client->poll();
+  EXPECT_FALSE(client->take(settle_id).has_value());
+  EXPECT_GT(fault::failures(fault::points::kRpcWriteTorn), 0u);
+
+  // Re-query over a fresh connection: the settle committed exactly once.
+  auto probe = h.connect();
+  ASSERT_TRUE(probe.has_value());
+  const auto xi =
+      probe->call(*h.server, rq(rpc::Op::kReadExchange, 0, 0, xid));
+  ASSERT_TRUE(xi.has_value());
+  EXPECT_EQ(xi->value, static_cast<std::uint64_t>(ExchangeState::kSettled));
+  EXPECT_EQ(total_funds(), funds_before_lock);
+  EXPECT_TRUE(sys().chain().validate_chain());
 }
 
 }  // namespace
